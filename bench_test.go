@@ -1,0 +1,53 @@
+package ml4all
+
+// One benchmark per table and figure of the paper's evaluation (and per
+// DESIGN.md extra ablation), each delegating to the corresponding experiment
+// runner. Benchmarks use the Quick sweeps and the default 1/256 harness
+// scale so `go test -bench=. -benchmem` finishes in minutes; run
+// `ml4all-bench -exp <id> -scale 64` for the full, paper-magnitude versions.
+//
+// Reported custom metrics: sim_s/op is the simulated cluster time the
+// experiment's runs consumed (wall time measures the simulator; sim time is
+// what the paper's figures plot).
+
+import (
+	"testing"
+
+	"ml4all/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := experiments.Config{Quick: true, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Run(id, cfg)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(rep.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkFig1Motivation(b *testing.B)        { benchExperiment(b, "fig1") }
+func BenchmarkFig6Iterations(b *testing.B)        { benchExperiment(b, "fig6") }
+func BenchmarkFig7aCostPerIteration(b *testing.B) { benchExperiment(b, "fig7a") }
+func BenchmarkFig7bTotalCost(b *testing.B)        { benchExperiment(b, "fig7b") }
+func BenchmarkFig8Effectiveness(b *testing.B)     { benchExperiment(b, "fig8") }
+func BenchmarkFig9Systems(b *testing.B)           { benchExperiment(b, "fig9") }
+func BenchmarkFig10Scalability(b *testing.B)      { benchExperiment(b, "fig10") }
+func BenchmarkFig11Abstraction(b *testing.B)      { benchExperiment(b, "fig11") }
+func BenchmarkFig12Accuracy(b *testing.B)         { benchExperiment(b, "fig12") }
+func BenchmarkFig13SamplingMGD(b *testing.B)      { benchExperiment(b, "fig13") }
+func BenchmarkFig14Transform(b *testing.B)        { benchExperiment(b, "fig14") }
+func BenchmarkFig15CurveFitSteps(b *testing.B)    { benchExperiment(b, "fig15") }
+func BenchmarkFig16CurveFitDatasets(b *testing.B) { benchExperiment(b, "fig16") }
+func BenchmarkFig17SamplingSGD(b *testing.B)      { benchExperiment(b, "fig17") }
+func BenchmarkFig18TransformRandom(b *testing.B)  { benchExperiment(b, "fig18") }
+func BenchmarkTable2Datasets(b *testing.B)        { benchExperiment(b, "table2") }
+func BenchmarkTable4ChosenPlans(b *testing.B)     { benchExperiment(b, "table4") }
+
+func BenchmarkAblationSpeculationBudget(b *testing.B) { benchExperiment(b, "ablation-speculation") }
+func BenchmarkAblationPlacement(b *testing.B)         { benchExperiment(b, "ablation-placement") }
+func BenchmarkAblationTuner(b *testing.B)             { benchExperiment(b, "ablation-tuner") }

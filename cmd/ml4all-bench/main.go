@@ -1,0 +1,56 @@
+// Command ml4all-bench regenerates the paper's tables and figures on the
+// simulated cluster.
+//
+// Usage:
+//
+//	ml4all-bench -list
+//	ml4all-bench -exp fig8
+//	ml4all-bench -exp all -scale 64        # reference scale, paper-magnitude times
+//	ml4all-bench -exp fig9 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ml4all/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (or 'all')")
+	scale := flag.Int("scale", experiments.DefaultScale, "dataset scale divisor (64 = paper-magnitude times)")
+	quick := flag.Bool("quick", false, "restrict sweeps to a representative subset")
+	seed := flag.Int64("seed", 1, "random seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:", strings.Join(experiments.IDs(), " "))
+		if *exp == "" {
+			os.Exit(2)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Scale: *scale, Quick: *quick, Seed: *seed}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ml4all-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if _, err := rep.WriteTo(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "ml4all-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s finished in %.1fs wall)\n\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,43 @@
+package ml4all_test
+
+import (
+	"fmt"
+
+	"ml4all"
+	"ml4all/internal/synth"
+)
+
+// Example demonstrates the optimizer end to end: generate a dataset, rank
+// the eleven GD plans, and check the decision's structure. Training times
+// are simulated cluster seconds; plan choice, iteration estimates and
+// numerics are real.
+func Example() {
+	spec, err := synth.ByName("covtype", 1024) // tiny stand-in, instant
+	if err != nil {
+		panic(err)
+	}
+	ds := synth.MustGenerate(spec)
+
+	sys := ml4all.NewSystem()
+	sys.Estimator.SampleSize = 200
+	sys.Estimator.TimeBudget = 2
+
+	dec, err := sys.Optimize(ds, ml4all.Params{
+		Task:      ds.Task,
+		Format:    ds.Format,
+		Lambda:    0.01,
+		Tolerance: 0.01,
+		MaxIter:   500,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("plans ranked:", len(dec.Ranked))
+	fmt.Println("algorithms speculated:", len(dec.Estimates))
+	fmt.Println("chosen plan uses sampling:", dec.Best.Plan.Sampling != 0 || dec.Best.Plan.Algorithm.String() == "BGD")
+	// Output:
+	// plans ranked: 11
+	// algorithms speculated: 3
+	// chosen plan uses sampling: true
+}

@@ -1,0 +1,77 @@
+// Declarative workflow: write datasets to disk, then drive everything —
+// training, persisting, predicting — through the paper's query language
+// (Appendix A), exactly as the ml4all CLI would.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ml4all"
+	"ml4all/internal/data"
+	"ml4all/internal/synth"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "ml4all-declarative")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Materialize a LIBSVM training file and a test file on disk, the way a
+	// user of the CLI would have them.
+	spec, err := synth.ByName("adult", 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := synth.MustGenerate(spec)
+	train, test := ds.Split(0.8, 7)
+	trainPath := filepath.Join(dir, "train.libsvm")
+	testPath := filepath.Join(dir, "test.libsvm")
+	modelPath := filepath.Join(dir, "model.txt")
+	for path, d := range map[string]*data.Dataset{trainPath: train, testPath: test} {
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := data.WriteAll(f, d.Units); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}
+
+	// A three-statement script: train, persist, predict. The system loads
+	// the datasets from disk, sniffs the format, runs the optimizer, trains
+	// with the chosen plan, and evaluates.
+	script := fmt.Sprintf(`
+		Q1 = run logistic() on %s having epsilon 0.01, max iter 800;
+		persist Q1 on %s;
+		result = predict on %s with %s;
+	`, trainPath, modelPath, testPath, modelPath)
+
+	sys := ml4all.NewSystem()
+	outs, err := sys.Exec(script)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := outs[0].Model
+	fmt.Printf("trained %s: plan=%s iterations=%d converged=%v time=%.1fs\n",
+		m.Name, m.PlanName, m.Iterations, m.Converged, float64(m.TrainTime))
+	fmt.Printf("persisted to %s\n", outs[1].Path)
+	rep := outs[2].Report
+	fmt.Printf("prediction on held-out data: n=%d mse=%.3f accuracy=%.3f\n",
+		rep.N, rep.MSE, rep.Accuracy)
+
+	// Advanced users can pin optimizer choices with the using clause.
+	out2, err := sys.Exec(fmt.Sprintf(
+		`Q2 = run logistic() on %s having epsilon 0.01, max iter 300 using algorithm MGD, sampler shuffle(), step 1;`,
+		trainPath))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pinned run: plan=%s iterations=%d\n", out2[0].Model.PlanName, out2[0].Model.Iterations)
+}

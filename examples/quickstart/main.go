@@ -1,0 +1,72 @@
+// Quickstart: generate a small classification dataset, let the cost-based
+// optimizer pick a GD plan, train, and evaluate — the five-minute tour of
+// the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ml4all"
+	"ml4all/internal/synth"
+)
+
+func main() {
+	// A synthetic stand-in for the paper's covtype dataset (Table 2),
+	// scaled to run instantly.
+	spec, err := synth.ByName("covtype", 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := synth.MustGenerate(spec)
+	train, test := ds.Split(0.8, 1)
+
+	sys := ml4all.NewSystem()
+	sys.RegisterDataset("covtype", train)
+
+	// Ask the optimizer which of the eleven GD plans is cheapest for
+	// tolerance 0.01.
+	params := ml4all.Params{
+		Task:      train.Task,
+		Format:    train.Format,
+		Lambda:    0.01,
+		Tolerance: 0.01,
+		MaxIter:   1000,
+	}
+	dec, err := sys.Optimize(train, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimizer chose %s (estimated %d iterations, %.1fs)\n",
+		dec.Best.Plan.Name(), dec.Best.Iterations, float64(dec.Best.Cost))
+	fmt.Println("full ranking:")
+	for _, line := range ml4all.RankedPlanNames(dec) {
+		fmt.Println("  ", line)
+	}
+
+	// Train with the chosen plan and evaluate on the held-out split.
+	res, err := sys.Execute(train, dec.Best.Plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := &ml4all.Model{
+		Name: "quickstart", Task: train.Task, Weights: res.Weights,
+		PlanName: res.PlanName, Iterations: res.Iterations, TrainTime: res.Time,
+	}
+	rep, err := sys.Evaluate(model, test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained in %d iterations, %.1fs simulated cluster time\n", res.Iterations, float64(res.Time))
+	fmt.Printf("test accuracy %.3f, MSE %.3f on %d points\n", rep.Accuracy, rep.MSE, rep.N)
+
+	// The same thing, declaratively: datasets registered on the System are
+	// addressable by name in queries.
+	out, err := sys.Exec(`Q1 = run logistic() on covtype having epsilon 0.01, max iter 500 using algorithm BGD;`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := out[0].Model
+	fmt.Printf("declarative run: plan=%s iterations=%d time=%.1fs\n",
+		m.PlanName, m.Iterations, float64(m.TrainTime))
+}

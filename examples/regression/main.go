@@ -1,0 +1,74 @@
+// Regression workload: the paper's yearpred scenario (linear regression on
+// dense data) end to end — optimizer decision, training, residual check, and
+// a comparison of what each GD algorithm would have cost.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"ml4all"
+	"ml4all/internal/gd"
+	"ml4all/internal/metrics"
+	"ml4all/internal/synth"
+)
+
+func main() {
+	spec, err := synth.ByName("yearpred", 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := synth.MustGenerate(spec)
+	train, test := ds.Split(0.8, 3)
+
+	sys := ml4all.NewSystem()
+	params := ml4all.Params{
+		Task:      train.Task,
+		Format:    train.Format,
+		Tolerance: 0.001,
+		MaxIter:   1000,
+	}
+
+	dec, err := sys.Optimize(train, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimizer: %s, estimated %d iterations, %.1fs\n",
+		dec.Best.Plan.Name(), dec.Best.Iterations, float64(dec.Best.Cost))
+
+	res, err := sys.Execute(train, dec.Best.Plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained: %d iterations, converged=%v, %.1fs simulated\n",
+		res.Iterations, res.Converged, float64(res.Time))
+
+	// Residual analysis on held-out data.
+	var sse, sst, mean float64
+	for _, u := range test.Units {
+		mean += u.Label
+	}
+	mean /= float64(test.N())
+	for _, u := range test.Units {
+		pred := metrics.Predict(train.Task, res.Weights, u)
+		sse += (pred - u.Label) * (pred - u.Label)
+		sst += (u.Label - mean) * (u.Label - mean)
+	}
+	r2 := 1 - sse/sst
+	fmt.Printf("test RMSE %.4f, R² %.4f over %d points\n",
+		math.Sqrt(sse/float64(test.N())), r2, test.N())
+
+	// What would the other algorithms have cost? The decision's ranking
+	// holds every plan in the space.
+	fmt.Println("per-algorithm best plans:")
+	seen := map[gd.Algo]bool{}
+	for _, c := range dec.Ranked {
+		if seen[c.Plan.Algorithm] {
+			continue
+		}
+		seen[c.Plan.Algorithm] = true
+		fmt.Printf("  %-20s estimated %7.1fs (%d iterations)\n",
+			c.Plan.Name(), float64(c.Cost), c.Iterations)
+	}
+}

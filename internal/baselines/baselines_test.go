@@ -1,0 +1,200 @@
+package baselines
+
+import (
+	"errors"
+	"testing"
+
+	"ml4all/internal/cluster"
+	"ml4all/internal/data"
+	"ml4all/internal/engine"
+	"ml4all/internal/gd"
+	"ml4all/internal/storage"
+	"ml4all/internal/synth"
+)
+
+// buildStore and runEngine mirror what the public facade does, giving the
+// baseline comparisons an ML4all-side reference run.
+func buildStore(ds *data.Dataset, opts Options) (*storage.Store, error) {
+	return storage.Build(ds, opts.layout())
+}
+
+func runEngine(sim *cluster.Sim, st *storage.Store, plan *gd.Plan, seed int64) (*engine.Result, error) {
+	return engine.Run(sim, st, plan, engine.Options{Seed: seed})
+}
+
+func smallDS(t *testing.T, name string, n int) *data.Dataset {
+	t.Helper()
+	spec, err := synth.ByName(name, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > 0 {
+		spec.N = n
+	}
+	return synth.MustGenerate(spec)
+}
+
+func params(ds *data.Dataset) gd.Params {
+	return gd.Params{Task: ds.Task, Format: ds.Format, Tolerance: 1e-3, MaxIter: 30}
+}
+
+func TestMLlibRunsAllAlgorithms(t *testing.T) {
+	ds := smallDS(t, "covtype", 2000)
+	for _, algo := range []gd.Algo{gd.BGD, gd.MGD, gd.SGD} {
+		res, err := RunMLlib(cluster.Default(), ds, params(ds), algo, DefaultMLlib(), Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if res.System != "MLlib" || res.Iterations == 0 {
+			t.Fatalf("%v: %+v", algo, res)
+		}
+	}
+}
+
+func TestMLlibSlowerThanCentralizedOnTinyData(t *testing.T) {
+	// On single-partition data ML4all runs centralized; MLlib is always
+	// distributed with per-iteration job overhead, so it must be slower for
+	// the same iteration count (the Figure 9 covtype/adult gap).
+	ds := smallDS(t, "adult", 0)
+	p := params(ds)
+	p.MaxIter = 50
+	p.Tolerance = 1e-12
+
+	ml, err := RunMLlib(cluster.Default(), ds, p, gd.BGD, DefaultMLlib(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// ML4all equivalent through the same engine: the default BGD plan.
+	plan := gd.NewBGD(p)
+	sim := cluster.New(cluster.Default())
+	st, err := buildStore(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runEngine(sim, st, &plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ml.Time <= res.Time {
+		t.Fatalf("MLlib %.2fs not slower than ML4all %.2fs on single-partition data", ml.Time, res.Time)
+	}
+}
+
+func TestSystemMLConversionChargedAndReported(t *testing.T) {
+	ds := smallDS(t, "covtype", 2000)
+	res, err := RunSystemML(cluster.Default(), ds, params(ds), gd.BGD, DefaultSystemML(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Conversion <= 0 {
+		t.Fatal("conversion time missing")
+	}
+	if res.Time <= res.Conversion {
+		t.Fatal("total time does not include training beyond conversion")
+	}
+}
+
+func TestSystemMLOOMOnLargeDenseData(t *testing.T) {
+	ds := smallDS(t, "svm1", 0) // dense, above the OOM threshold
+	_, err := RunSystemML(cluster.Default(), ds, params(ds), gd.BGD, DefaultSystemML(), Options{Seed: 1})
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestSystemMLRunsSparseLargeData(t *testing.T) {
+	ds := smallDS(t, "rcv1", 3000) // sparse: no dense OOM
+	if _, err := RunSystemML(cluster.Default(), ds, params(ds), gd.SGD, DefaultSystemML(), Options{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBismarckFailureModes(t *testing.T) {
+	cfg := cluster.Default()
+	bc := DefaultBismarck()
+
+	// rcv1 BGD: dataset bytes exceed the single aggregation node.
+	rcv1 := smallDS(t, "rcv1", 0)
+	if _, err := RunBismarck(cfg, rcv1, params(rcv1), gd.BGD, bc, Options{Seed: 1}); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("rcv1 BGD err = %v, want OOM (paper Figure 11b)", err)
+	}
+
+	// rcv1 MGD(10k): batch×features beyond the fused-aggregate budget.
+	p := params(rcv1)
+	p.BatchSize = 10000
+	if _, err := RunBismarck(cfg, rcv1, p, gd.MGD, bc, Options{Seed: 1}); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("rcv1 MGD(10k) err = %v, want OOM", err)
+	}
+
+	// rcv1 MGD(1k) runs (paper shows Bismarck completing it).
+	p.BatchSize = 1000
+	p.MaxIter = 10
+	if _, err := RunBismarck(cfg, rcv1, p, gd.MGD, bc, Options{Seed: 1}); err != nil {
+		t.Fatalf("rcv1 MGD(1k) failed: %v", err)
+	}
+
+	// svm1 BGD: too many data points for the serialized aggregate.
+	svm1 := smallDS(t, "svm1", 0)
+	if _, err := RunBismarck(cfg, svm1, params(svm1), gd.BGD, bc, Options{Seed: 1}); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("svm1 BGD err = %v, want OOM", err)
+	}
+}
+
+func TestBismarckSerializationCostsOnLargeBatches(t *testing.T) {
+	// MGD(10k) on dense data: ML4all distributes the gradient computation,
+	// Bismarck serializes it; Bismarck must be slower (Figure 11c).
+	ds := smallDS(t, "svm1", 8000)
+	p := params(ds)
+	p.BatchSize = 10000
+	p.MaxIter = 10
+	p.Tolerance = 1e-12
+
+	bis, err := RunBismarck(cluster.Default(), ds, p, gd.MGD, DefaultBismarck(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan := gd.NewMGD(p, gd.Eager, gd.ShuffledPartition)
+	sim := cluster.New(cluster.Default())
+	st, err := buildStore(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runEngine(sim, st, &plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bis.Time <= res.Time {
+		t.Fatalf("Bismarck MGD(10k) %.2fs not slower than ML4all %.2fs", bis.Time, res.Time)
+	}
+}
+
+func TestMLlibThrashesWhenFootprintExceedsCache(t *testing.T) {
+	// A dataset fitting raw but not at the boxed footprint must be much
+	// slower under MLlib than the raw engine run (Figure 9/10 regime).
+	ds := smallDS(t, "higgs", 15000) // ~3 MB raw
+	cfg := cluster.Default()
+	cfg.CacheBytes = 4 << 20 // fits raw, not 5x boxed
+	p := params(ds)
+	p.MaxIter = 15
+	p.Tolerance = 1e-12
+
+	ml, err := RunMLlib(cfg, ds, p, gd.BGD, DefaultMLlib(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := gd.NewBGD(p)
+	sim := cluster.New(cfg)
+	st, err := buildStore(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runEngine(sim, st, &plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(ml.Time) < 2*float64(res.Time) {
+		t.Fatalf("MLlib with thrashing cache %.2fs vs ML4all %.2fs: expected >= 2x", ml.Time, res.Time)
+	}
+}

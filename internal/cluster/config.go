@@ -1,0 +1,151 @@
+// Package cluster simulates the compute substrate the paper runs on: a small
+// cluster of worker nodes executing tasks over data partitions in waves, with
+// a packet network between executors and a block cache per cluster. The
+// simulator advances a virtual clock using the same cost structure as the
+// paper's cost model (pages, seeks, waves, packets, per-unit CPU); the
+// numeric work itself (gradients, updates) is executed for real by the
+// engine, so convergence behaviour is genuine while reported training time is
+// simulated cluster time.
+package cluster
+
+import "fmt"
+
+// Seconds is simulated cluster time. It is deliberately a distinct type from
+// time.Duration so virtual and wall-clock time cannot be confused.
+type Seconds float64
+
+// Config describes the simulated cluster and its cost constants. All
+// *Sec fields are virtual seconds.
+type Config struct {
+	// Topology (paper Section 8.1: four nodes, four executors, four cores
+	// each => 16-way parallelism).
+	Nodes            int
+	ExecutorsPerNode int
+	CoresPerExecutor int
+
+	// CacheBytes is the cluster-wide block-cache capacity (the Spark
+	// executor storage memory stand-in). Datasets larger than this incur
+	// disk IO on every pass (paper Figures 9-10, svm3).
+	CacheBytes int64
+
+	// Storage costs.
+	DiskPageSec Seconds // pageIO from disk
+	MemPageSec  Seconds // pageIO from cache
+	SeekSec     Seconds // SK: per partition access
+
+	// Network costs.
+	NetBytePerSec    float64 // bytes/second of simulated bandwidth
+	PacketBytes      int64   // maximum network data unit
+	PacketLatencySec Seconds // per-round latency (handshake / shuffle round)
+
+	// CPU costs.
+	FlopSec         Seconds // per multiply-add on a feature value
+	ParseByteSec    Seconds // per byte parsed by Transform
+	UnitOverheadSec Seconds // per data unit UDF invocation overhead
+
+	// Framework overheads.
+	JobInitSec      Seconds // per-job driver overhead (the ~4s Spark job init the paper reports)
+	WaveOverheadSec Seconds // task scheduling overhead per wave
+	DriverIterSec   Seconds // per-iteration driver coordination overhead
+
+	// JitterFrac is the maximum multiplicative task-time jitter
+	// (stragglers). 0 disables jitter; the cost model predicts jitter-free
+	// times, so this is what keeps estimates approximate rather than
+	// tautological.
+	JitterFrac float64
+
+	// Seed drives the deterministic jitter stream.
+	Seed int64
+}
+
+// Default returns the simulated analogue of the paper's evaluation cluster
+// at the repository's global 1/64 scale: four nodes, one executor per node
+// with four cores, and a 64 MB cluster cache standing in for the 4×20 GB of
+// Spark storage memory (minus overheads) at 1/64 scale. Per-byte and per-unit
+// costs are the real-hardware constants (100 MB/s disk, ~5 GB/s cache reads,
+// 10 GbE, ~100 Mflop/s effective JVM arithmetic, ~100 MB/s parsing)
+// multiplied by 64 so that running 1/64-scale data yields training times of
+// the same magnitude the paper reports.
+func Default() Config {
+	return Config{
+		Nodes:            4,
+		ExecutorsPerNode: 1,
+		CoresPerExecutor: 4,
+		CacheBytes:       64 << 20,
+		DiskPageSec:      6.4e-4,  // 1 KB page: 64 × (1 KB / 100 MB/s)
+		MemPageSec:       1.28e-5, // 1 KB page: 64 × (1 KB / 5 GB/s)
+		SeekSec:          2e-3,    // per partition access; partition counts are unscaled
+		NetBytePerSec:    2.0e7,   // 1.25 GB/s ÷ 64
+		PacketBytes:      1 << 10, // 64 KB ÷ 64
+		PacketLatencySec: 3e-4,
+		FlopSec:          6.4e-7, // 64 × 10 ns per multiply-add
+		ParseByteSec:     6.4e-7, // 64 × (1 B / 100 MB/s)
+		UnitOverheadSec:  6.4e-6, // 64 × 100 ns per record
+		JobInitSec:       4.0,
+		WaveOverheadSec:  5e-3,
+		DriverIterSec:    0.02, // per-iteration Spark driver coordination
+		JitterFrac:       0.12,
+		Seed:             1,
+	}
+}
+
+// SimulationScale is the repository's global data-scale divisor: datasets
+// are generated at 1/SimulationScale of the paper's bytes, and Default()'s
+// per-byte/per-unit cost constants are the real-hardware ones multiplied by
+// this factor, so scaled data yields paper-magnitude simulated times.
+const SimulationScale = 64
+
+// LocalOnly returns a single-node single-core configuration used for the
+// centralized ("Java") execution mode and unit tests. Framework overheads
+// vanish: a local loop has no job scheduling, waves or per-iteration driver
+// round trips.
+func LocalOnly() Config {
+	c := Default()
+	c.Nodes, c.ExecutorsPerNode, c.CoresPerExecutor = 1, 1, 1
+	c.JobInitSec = 0
+	c.WaveOverheadSec = 0
+	c.DriverIterSec = 1e-5
+	return c
+}
+
+// SpeculationLocal returns the configuration for the estimator's driver-side
+// speculation runs. Unlike LocalOnly it undoes the SimulationScale cost
+// multiplier: the speculation sample is *not* scaled data (it is a constant
+// ~1000 points whatever the dataset scale), so charging it scaled per-unit
+// costs would inflate the optimizer's overhead 64-fold relative to the
+// paper's 4.6-8 s measurements.
+func SpeculationLocal() Config {
+	c := LocalOnly()
+	s := Seconds(SimulationScale)
+	c.DiskPageSec /= s
+	c.MemPageSec /= s
+	c.FlopSec /= s
+	c.ParseByteSec /= s
+	c.UnitOverheadSec /= s
+	return c
+}
+
+// Cap returns cap from Table 1: the number of tasks the cluster can run in
+// parallel.
+func (c Config) Cap() int {
+	return c.Nodes * c.ExecutorsPerNode * c.CoresPerExecutor
+}
+
+// Executors returns the total executor count (the fan-in of aggregations).
+func (c Config) Executors() int { return c.Nodes * c.ExecutorsPerNode }
+
+// Validate returns an error describing the first invalid field.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes <= 0 || c.ExecutorsPerNode <= 0 || c.CoresPerExecutor <= 0:
+		return fmt.Errorf("cluster: topology must be positive, got %d/%d/%d",
+			c.Nodes, c.ExecutorsPerNode, c.CoresPerExecutor)
+	case c.PacketBytes <= 0:
+		return fmt.Errorf("cluster: PacketBytes must be positive, got %d", c.PacketBytes)
+	case c.NetBytePerSec <= 0:
+		return fmt.Errorf("cluster: NetBytePerSec must be positive, got %g", c.NetBytePerSec)
+	case c.JitterFrac < 0 || c.JitterFrac >= 1:
+		return fmt.Errorf("cluster: JitterFrac must be in [0,1), got %g", c.JitterFrac)
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ml4all/internal/storage"
+)
+
+// Accounting accumulates what the simulated cluster did, for reports and
+// tests.
+type Accounting struct {
+	DiskPages  int64
+	MemPages   int64
+	Seeks      int64
+	NetBytes   int64
+	Packets    int64
+	Tasks      int64
+	Waves      int64
+	Jobs       int64
+	UnitsSeen  int64
+	CPUSeconds Seconds
+	IOSeconds  Seconds
+	NetSeconds Seconds
+}
+
+// Sim is a simulated cluster: a configuration, a virtual clock, a block cache
+// and deterministic jitter. It is not safe for concurrent use; each training
+// run owns one Sim.
+type Sim struct {
+	Cfg   Config
+	Cache *storage.Cache
+	Acct  Accounting
+
+	clock Seconds
+	rng   *rand.Rand
+}
+
+// New returns a Sim for cfg. It panics on an invalid configuration, which is
+// always a programming error.
+func New(cfg Config) *Sim {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Sim{
+		Cfg:   cfg,
+		Cache: storage.NewCache(cfg.CacheBytes),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Seconds { return s.clock }
+
+// Reset rewinds the clock, empties the cache and clears accounting, keeping
+// the configuration.
+func (s *Sim) Reset() {
+	s.clock = 0
+	s.Cache.Reset()
+	s.Acct = Accounting{}
+	s.rng = rand.New(rand.NewSource(s.Cfg.Seed))
+}
+
+// Advance moves the clock forward by d (which must be non-negative).
+func (s *Sim) Advance(d Seconds) {
+	if d < 0 {
+		panic(fmt.Sprintf("cluster: negative advance %g", d))
+	}
+	s.clock += d
+}
+
+// JobInit charges the per-job driver overhead (Spark job submission). The
+// paper attributes ~4s of its speculation overhead to exactly this.
+func (s *Sim) JobInit() {
+	s.Acct.Jobs++
+	s.Advance(s.Cfg.JobInitSec)
+}
+
+// jitter returns a multiplicative straggler factor in [1, 1+JitterFrac).
+func (s *Sim) jitter() float64 {
+	if s.Cfg.JitterFrac == 0 {
+		return 1
+	}
+	return 1 + s.Cfg.JitterFrac*s.rng.Float64()
+}
+
+// CostReadPartition returns the IO cost of scanning one whole partition,
+// consulting and updating the cache: a seek plus one pageIO per page, from
+// memory when the partition is resident and from disk (then admitted to
+// cache) when not.
+func (s *Sim) CostReadPartition(p storage.Partition, l storage.Layout) Seconds {
+	pages := p.Pages(l)
+	s.Acct.Seeks++
+	var c Seconds
+	if s.Cache.Contains(p.ID) {
+		s.Acct.MemPages += pages
+		c = s.Cfg.SeekSec + Seconds(pages)*s.Cfg.MemPageSec
+	} else {
+		s.Acct.DiskPages += pages
+		c = s.Cfg.SeekSec + Seconds(pages)*s.Cfg.DiskPageSec
+		s.Cache.Insert(p.ID, p.Bytes)
+	}
+	s.Acct.IOSeconds += c
+	return c
+}
+
+// CostReadBytes returns the IO cost of reading `bytes` from within a
+// partition (a partial, random access as done by the random-partition
+// sampler): one seek plus the covering pages, at memory or disk speed
+// depending on residency. The partition is not admitted to cache on a miss —
+// random access of a few units does not materialize a block.
+func (s *Sim) CostReadBytes(p storage.Partition, l storage.Layout, bytes int64) Seconds {
+	if bytes > p.Bytes {
+		bytes = p.Bytes
+	}
+	pages := (bytes + l.PageBytes - 1) / l.PageBytes
+	s.Acct.Seeks++
+	var c Seconds
+	if s.Cache.Contains(p.ID) {
+		s.Acct.MemPages += pages
+		c = s.Cfg.SeekSec + Seconds(pages)*s.Cfg.MemPageSec
+	} else {
+		s.Acct.DiskPages += pages
+		c = s.Cfg.SeekSec + Seconds(pages)*s.Cfg.DiskPageSec
+	}
+	s.Acct.IOSeconds += c
+	return c
+}
+
+// CostCPU returns the CPU cost of ops multiply-adds plus per-unit UDF
+// overhead for units data units.
+func (s *Sim) CostCPU(units int, ops float64) Seconds {
+	s.Acct.UnitsSeen += int64(units)
+	c := Seconds(ops)*s.Cfg.FlopSec + Seconds(units)*s.Cfg.UnitOverheadSec
+	s.Acct.CPUSeconds += c
+	return c
+}
+
+// CostParse returns the CPU cost of parsing bytes of raw input (the Transform
+// operator's work) over units data units.
+func (s *Sim) CostParse(units int, bytes int64) Seconds {
+	s.Acct.UnitsSeen += int64(units)
+	c := Seconds(bytes)*s.Cfg.ParseByteSec + Seconds(units)*s.Cfg.UnitOverheadSec
+	s.Acct.CPUSeconds += c
+	return c
+}
+
+// RunWaves schedules the given per-task costs onto the cluster in waves of
+// Cap() parallel tasks (longest-processing-time first, matching a work-
+// stealing scheduler closely enough) and advances the clock by the resulting
+// makespan plus per-wave overhead. Jitter is applied per task. It returns the
+// makespan.
+func (s *Sim) RunWaves(taskCosts []Seconds) Seconds {
+	if len(taskCosts) == 0 {
+		return 0
+	}
+	cap := s.Cfg.Cap()
+	jittered := make([]Seconds, len(taskCosts))
+	for i, t := range taskCosts {
+		jittered[i] = t * Seconds(s.jitter())
+	}
+	sort.Slice(jittered, func(a, b int) bool { return jittered[a] > jittered[b] })
+	// Greedy LPT assignment onto cap cores.
+	cores := make([]Seconds, cap)
+	for _, t := range jittered {
+		// Find least-loaded core.
+		min := 0
+		for i := 1; i < cap; i++ {
+			if cores[i] < cores[min] {
+				min = i
+			}
+		}
+		cores[min] += t
+	}
+	var makespan Seconds
+	for _, c := range cores {
+		if c > makespan {
+			makespan = c
+		}
+	}
+	waves := (len(taskCosts) + cap - 1) / cap
+	makespan += Seconds(waves) * s.Cfg.WaveOverheadSec
+	s.Acct.Tasks += int64(len(taskCosts))
+	s.Acct.Waves += int64(waves)
+	s.Advance(makespan)
+	return makespan
+}
+
+// RunLocal executes a centralized task (the "Java operator" path in ML4all's
+// hybrid mode): the cost is charged directly on the driver with jitter but no
+// wave overhead.
+func (s *Sim) RunLocal(cost Seconds) Seconds {
+	c := cost * Seconds(s.jitter())
+	s.Acct.Tasks++
+	s.Advance(c)
+	return c
+}
+
+// Transfer moves bytes across the network in the given number of aggregation
+// rounds (1 for a flat reduce, log2(executors) for a tree aggregate) and
+// advances the clock. It returns the elapsed network time.
+func (s *Sim) Transfer(bytes int64, rounds int) Seconds {
+	if bytes <= 0 {
+		return 0
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+	packets := (bytes + s.Cfg.PacketBytes - 1) / s.Cfg.PacketBytes
+	c := Seconds(float64(bytes)/s.Cfg.NetBytePerSec) + Seconds(rounds)*s.Cfg.PacketLatencySec
+	s.Acct.NetBytes += bytes
+	s.Acct.Packets += packets
+	s.Acct.NetSeconds += c
+	s.Advance(c)
+	return c
+}

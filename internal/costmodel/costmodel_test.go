@@ -1,0 +1,185 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"ml4all/internal/cluster"
+	"ml4all/internal/engine"
+	"ml4all/internal/gd"
+	"ml4all/internal/storage"
+	"ml4all/internal/synth"
+)
+
+func fixture(t *testing.T, n int) (*storage.Store, cluster.Config, gd.Params) {
+	t.Helper()
+	spec, err := synth.ByName("covtype", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.N = n
+	ds := synth.MustGenerate(spec)
+	st, err := storage.Build(ds, storage.Layout{PartitionBytes: 64 << 10, PageBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cluster.Default()
+	cfg.JitterFrac = 0
+	p := gd.Params{Task: ds.Task, Format: ds.Format, Tolerance: 1e-9, MaxIter: 50, Lambda: 0.01}
+	return st, cfg, p
+}
+
+func TestStatsOf(t *testing.T) {
+	st, cfg, _ := fixture(t, 2000)
+	s := StatsOf(st, cfg)
+	if s.N != 2000 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if s.Partitions != st.NumPartitions() || s.UnitsPerPart != st.UnitsPerPartition() {
+		t.Fatal("partition stats diverge from store")
+	}
+	if s.AvgUnitBytes <= 0 || s.AvgNNZ <= 0 {
+		t.Fatalf("averages not populated: %+v", s)
+	}
+	if !s.FitsInCache {
+		t.Fatal("small dataset reported as not fitting cache")
+	}
+}
+
+// TestModelTracksEngineBGD is the Figure 7(a) property: the analytic per-plan
+// cost must track the simulated execution within a modest relative error.
+func TestModelTracksEngineBGD(t *testing.T) {
+	st, cfg, p := fixture(t, 4000)
+	plan := gd.NewBGD(p)
+	plan.Looper = gd.FixedIterLooper{}
+
+	sim := cluster.New(cfg)
+	res, err := engine.Run(sim, st, &plan, engine.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(st, cfg)
+	est := m.PlanCost(plan, res.Iterations)
+	rel := math.Abs(float64(est-res.Time)) / float64(res.Time)
+	if rel > 0.25 {
+		t.Fatalf("BGD model estimate %.3fs vs actual %.3fs (%.0f%% off)", est, res.Time, rel*100)
+	}
+}
+
+func TestModelTracksEngineSampledPlans(t *testing.T) {
+	st, cfg, p := fixture(t, 4000)
+	for _, mk := range []struct {
+		name string
+		plan gd.Plan
+	}{
+		{"SGD-eager-shuffle", gd.NewSGD(p, gd.Eager, gd.ShuffledPartition)},
+		{"SGD-lazy-shuffle", gd.NewSGD(p, gd.Lazy, gd.ShuffledPartition)},
+		{"MGD-eager-bernoulli", gd.NewMGD(p, gd.Eager, gd.Bernoulli)},
+		{"MGD-eager-random", gd.NewMGD(p, gd.Eager, gd.RandomPartition)},
+	} {
+		plan := mk.plan
+		plan.Looper = gd.FixedIterLooper{}
+		plan.MaxIter = 60
+		sim := cluster.New(cfg)
+		res, err := engine.Run(sim, st, &plan, engine.Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", mk.name, err)
+		}
+		m := New(st, cfg)
+		est := m.PlanCost(plan, res.Iterations)
+		rel := math.Abs(float64(est-res.Time)) / float64(res.Time)
+		if rel > 0.45 {
+			t.Errorf("%s: estimate %.3fs vs actual %.3fs (%.0f%% off)", mk.name, est, res.Time, rel*100)
+		}
+	}
+}
+
+func TestPlanCostIncreasesWithIterations(t *testing.T) {
+	st, cfg, p := fixture(t, 2000)
+	m := New(st, cfg)
+	plan := gd.NewBGD(p)
+	c10 := m.PlanCost(plan, 10)
+	c100 := m.PlanCost(plan, 100)
+	if c100 <= c10 {
+		t.Fatalf("cost not increasing in T: %g vs %g", c10, c100)
+	}
+	// Linear in T: the increment per iteration is constant.
+	c1000 := m.PlanCost(plan, 1000)
+	slope1 := float64(c100-c10) / 90
+	slope2 := float64(c1000-c100) / 900
+	if math.Abs(slope1-slope2) > 1e-9*math.Abs(slope1) {
+		t.Fatalf("cost not affine in T: slopes %g vs %g", slope1, slope2)
+	}
+}
+
+func TestBernoulliIterationCostsMoreThanShuffled(t *testing.T) {
+	// On a multi-partition dataset, Bernoulli's full scan per iteration must
+	// dominate shuffled-partition's sequential draws (Section 6's premise).
+	st, cfg, p := fixture(t, 8000)
+	m := New(st, cfg)
+	bern := m.Breakdown(gd.NewMGD(p, gd.Eager, gd.Bernoulli))
+	shuf := m.Breakdown(gd.NewMGD(p, gd.Eager, gd.ShuffledPartition))
+	if bern.Iteration <= shuf.Iteration {
+		t.Fatalf("bernoulli iter %.4fs <= shuffled iter %.4fs", bern.Iteration, shuf.Iteration)
+	}
+}
+
+func TestLazySkipsUpfrontTransform(t *testing.T) {
+	st, cfg, p := fixture(t, 4000)
+	m := New(st, cfg)
+	eager := m.Breakdown(gd.NewSGD(p, gd.Eager, gd.ShuffledPartition))
+	lazy := m.Breakdown(gd.NewSGD(p, gd.Lazy, gd.ShuffledPartition))
+	if eager.Transform <= 0 {
+		t.Fatal("eager plan has no upfront transform cost")
+	}
+	if lazy.Transform != 0 {
+		t.Fatalf("lazy plan charged upfront transform %.4fs", lazy.Transform)
+	}
+	if lazy.Iteration <= eager.Iteration {
+		t.Fatal("lazy iteration should pay per-draw parse and cost more per iteration")
+	}
+	// For few iterations lazy wins overall; for many, eager does.
+	if lazy.Total(1) >= eager.Total(1) {
+		t.Fatal("lazy not cheaper at T=1")
+	}
+	if lazy.Total(1_000_000) <= eager.Total(1_000_000) {
+		t.Fatal("eager not cheaper at huge T")
+	}
+}
+
+func TestCacheMissRaisesIterationCost(t *testing.T) {
+	st, _, p := fixture(t, 8000)
+	warm := cluster.Default()
+	warm.JitterFrac = 0
+	cold := warm
+	cold.CacheBytes = 0
+
+	mWarm := New(st, warm)
+	mCold := New(st, cold)
+	planBGD := gd.NewBGD(p)
+	if mCold.Breakdown(planBGD).Iteration <= mWarm.Breakdown(planBGD).Iteration {
+		t.Fatal("cache miss did not raise BGD per-iteration cost")
+	}
+}
+
+func TestCNT(t *testing.T) {
+	st, cfg, _ := fixture(t, 1000)
+	m := New(st, cfg)
+	if m.CNT(0, 1) != 0 {
+		t.Fatal("zero bytes should cost nothing")
+	}
+	one := m.CNT(1<<20, 1)
+	three := m.CNT(1<<20, 3)
+	if three <= one {
+		t.Fatal("more rounds must cost more latency")
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	st, cfg, p := fixture(t, 1000)
+	m := New(st, cfg)
+	s := m.Breakdown(gd.NewBGD(p)).String()
+	if s == "" {
+		t.Fatal("empty breakdown string")
+	}
+}

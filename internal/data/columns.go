@@ -1,0 +1,71 @@
+package data
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ml4all/internal/linalg"
+)
+
+// ColumnSpec selects which CSV columns hold the label and the features, all
+// 1-based as written in the declarative language ("input.txt:2,
+// input.txt:4-20" means label in column 2, features in columns 4-20). A zero
+// FeatLo means "every column except the label".
+type ColumnSpec struct {
+	LabelCol int
+	FeatLo   int
+	FeatHi   int
+}
+
+// Validate reports the first problem with the spec.
+func (c ColumnSpec) Validate() error {
+	switch {
+	case c.LabelCol < 1:
+		return fmt.Errorf("data: label column must be >= 1, got %d", c.LabelCol)
+	case c.FeatLo != 0 && (c.FeatLo < 1 || c.FeatHi < c.FeatLo):
+		return fmt.Errorf("data: bad feature column range %d-%d", c.FeatLo, c.FeatHi)
+	case c.FeatLo != 0 && c.LabelCol >= c.FeatLo && c.LabelCol <= c.FeatHi:
+		return fmt.Errorf("data: label column %d inside feature range %d-%d", c.LabelCol, c.FeatLo, c.FeatHi)
+	}
+	return nil
+}
+
+// ParseCSVColumns parses a dense comma-separated line under the given column
+// selection.
+func ParseCSVColumns(line string, spec ColumnSpec) (u Unit, ok bool, err error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return Unit{}, false, nil
+	}
+	if err := spec.Validate(); err != nil {
+		return Unit{}, false, err
+	}
+	parts := strings.Split(line, ",")
+	if spec.LabelCol > len(parts) {
+		return Unit{}, false, fmt.Errorf("data: label column %d beyond %d columns", spec.LabelCol, len(parts))
+	}
+	label, err := strconv.ParseFloat(strings.TrimSpace(parts[spec.LabelCol-1]), 64)
+	if err != nil {
+		return Unit{}, false, fmt.Errorf("data: bad label %q: %w", parts[spec.LabelCol-1], err)
+	}
+	lo, hi := spec.FeatLo, spec.FeatHi
+	if lo == 0 {
+		lo, hi = 1, len(parts)
+	}
+	if hi > len(parts) {
+		return Unit{}, false, fmt.Errorf("data: feature column %d beyond %d columns", hi, len(parts))
+	}
+	feats := make(linalg.Vector, 0, hi-lo+1)
+	for col := lo; col <= hi; col++ {
+		if col == spec.LabelCol {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(parts[col-1]), 64)
+		if err != nil {
+			return Unit{}, false, fmt.Errorf("data: bad value %q in column %d: %w", parts[col-1], col, err)
+		}
+		feats = append(feats, v)
+	}
+	return NewDenseUnit(label, feats), true, nil
+}

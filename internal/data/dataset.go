@@ -1,0 +1,186 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Dataset is an in-memory handle to a parsed dataset plus its descriptive
+// metadata. In the real ML4all the raw bytes live in HDFS and parsing happens
+// inside the plan's Transform operator; here the Dataset carries both the raw
+// text lines (for plans that transform lazily) and the parsed units so that
+// the simulator can charge parse CPU where the plan actually performs it.
+type Dataset struct {
+	Name   string
+	Task   TaskKind
+	Format Format
+
+	// Raw holds the unparsed text records, one per data unit. Plans with
+	// lazy transformation read from Raw and parse on demand.
+	Raw []string
+
+	// Units holds the parsed data units, index-aligned with Raw.
+	Units []Unit
+
+	// NumFeatures is the model dimensionality d (max feature index + 1,
+	// or as declared by the generator).
+	NumFeatures int
+
+	// Density is the fraction of non-zero values (1.0 for dense data).
+	Density float64
+}
+
+// TaskKind is the supervised learning task a dataset is meant for.
+type TaskKind int
+
+// Supported tasks, mirroring the paper's Table 3.
+const (
+	TaskSVM TaskKind = iota
+	TaskLogisticRegression
+	TaskLinearRegression
+)
+
+// String returns the task name as used in the paper's tables.
+func (t TaskKind) String() string {
+	switch t {
+	case TaskSVM:
+		return "SVM"
+	case TaskLogisticRegression:
+		return "LogR"
+	case TaskLinearRegression:
+		return "LinR"
+	default:
+		return fmt.Sprintf("TaskKind(%d)", int(t))
+	}
+}
+
+// FromUnits builds a Dataset from already-parsed units, synthesizing the raw
+// text lines so lazy-transform plans have something to parse. All-dense unit
+// sets render as CSV (the paper's dense convention); anything else as LIBSVM.
+func FromUnits(name string, task TaskKind, units []Unit) *Dataset {
+	ds := &Dataset{Name: name, Task: task, Format: FormatLIBSVM, Units: units}
+	allDense := len(units) > 0
+	for _, u := range units {
+		if u.IsSparse() {
+			allDense = false
+			break
+		}
+	}
+	if allDense {
+		ds.Format = FormatCSV
+	}
+	ds.Raw = make([]string, len(units))
+	var nnz, total int
+	for i, u := range units {
+		if allDense {
+			ds.Raw[i] = u.CSVString()
+		} else {
+			ds.Raw[i] = u.String()
+		}
+		if mi := u.MaxIndex(); mi+1 > ds.NumFeatures {
+			ds.NumFeatures = mi + 1
+		}
+		nnz += u.NNZ()
+	}
+	total = len(units) * ds.NumFeatures
+	if total > 0 {
+		ds.Density = float64(nnz) / float64(total)
+	}
+	return ds
+}
+
+// N returns the number of data points.
+func (ds *Dataset) N() int { return len(ds.Units) }
+
+// SizeBytes returns the approximate on-disk size of the dataset in bytes
+// (raw text length), which is what the storage layer partitions.
+func (ds *Dataset) SizeBytes() int64 {
+	var b int64
+	for _, r := range ds.Raw {
+		b += int64(len(r)) + 1
+	}
+	return b
+}
+
+// Validate checks internal consistency and returns a descriptive error for
+// the first violation found.
+func (ds *Dataset) Validate() error {
+	if len(ds.Raw) != len(ds.Units) {
+		return fmt.Errorf("data: dataset %s has %d raw lines but %d units", ds.Name, len(ds.Raw), len(ds.Units))
+	}
+	for i, u := range ds.Units {
+		if u.MaxIndex() >= ds.NumFeatures {
+			return fmt.Errorf("data: dataset %s unit %d has feature index %d >= NumFeatures %d",
+				ds.Name, i, u.MaxIndex(), ds.NumFeatures)
+		}
+	}
+	return nil
+}
+
+// Split partitions the dataset into train and test subsets, assigning each
+// point to train with probability trainFrac using the given seed. The paper
+// uses an 80/20 split when no test set is published.
+func (ds *Dataset) Split(trainFrac float64, seed int64) (train, test *Dataset) {
+	rng := rand.New(rand.NewSource(seed))
+	var trainUnits, testUnits []Unit
+	for _, u := range ds.Units {
+		if rng.Float64() < trainFrac {
+			trainUnits = append(trainUnits, u)
+		} else {
+			testUnits = append(testUnits, u)
+		}
+	}
+	train = FromUnits(ds.Name+"-train", ds.Task, trainUnits)
+	test = FromUnits(ds.Name+"-test", ds.Task, testUnits)
+	// Keep the dimensionality consistent across the split even if one side
+	// lost the highest-index feature.
+	if ds.NumFeatures > train.NumFeatures {
+		train.NumFeatures = ds.NumFeatures
+	}
+	if ds.NumFeatures > test.NumFeatures {
+		test.NumFeatures = ds.NumFeatures
+	}
+	return train, test
+}
+
+// Sample returns m units drawn uniformly without replacement (or all units if
+// m >= N), using the given seed. The iterations estimator speculates on such
+// a sample (Algorithm 1, line 1).
+func (ds *Dataset) Sample(m int, seed int64) *Dataset {
+	if m >= ds.N() {
+		m = ds.N()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(ds.N())
+	units := make([]Unit, m)
+	for i := 0; i < m; i++ {
+		units[i] = ds.Units[perm[i]]
+	}
+	s := FromUnits(ds.Name+"-sample", ds.Task, units)
+	if ds.NumFeatures > s.NumFeatures {
+		s.NumFeatures = ds.NumFeatures
+	}
+	return s
+}
+
+// Stats summarizes a dataset in the shape of the paper's Table 2.
+type Stats struct {
+	Name     string
+	Task     TaskKind
+	Points   int
+	Features int
+	Bytes    int64
+	Density  float64
+}
+
+// Stats returns the dataset's Table 2-style summary row.
+func (ds *Dataset) Stats() Stats {
+	return Stats{
+		Name:     ds.Name,
+		Task:     ds.Task,
+		Points:   ds.N(),
+		Features: ds.NumFeatures,
+		Bytes:    ds.SizeBytes(),
+		Density:  ds.Density,
+	}
+}

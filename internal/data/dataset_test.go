@@ -1,0 +1,144 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"ml4all/internal/linalg"
+)
+
+func sparseUnit(t *testing.T, label float64, idx []int32, val []float64) Unit {
+	t.Helper()
+	s, err := linalg.NewSparse(idx, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSparseUnit(label, s)
+}
+
+func TestFromUnitsSparse(t *testing.T) {
+	units := []Unit{
+		sparseUnit(t, 1, []int32{0, 4}, []float64{1, 2}),
+		sparseUnit(t, -1, []int32{2}, []float64{3}),
+	}
+	ds := FromUnits("toy", TaskSVM, units)
+	if ds.Format != FormatLIBSVM {
+		t.Fatalf("format = %v, want libsvm", ds.Format)
+	}
+	if ds.NumFeatures != 5 {
+		t.Fatalf("NumFeatures = %d, want 5", ds.NumFeatures)
+	}
+	if got, want := ds.Density, 3.0/10.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("density = %g, want %g", got, want)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 2 || ds.SizeBytes() == 0 {
+		t.Fatalf("N=%d SizeBytes=%d", ds.N(), ds.SizeBytes())
+	}
+}
+
+func TestFromUnitsDenseRendersCSV(t *testing.T) {
+	units := []Unit{
+		NewDenseUnit(1, linalg.Vector{0.5, 0.25}),
+		NewDenseUnit(-1, linalg.Vector{1, 0}),
+	}
+	ds := FromUnits("densetoy", TaskLinearRegression, units)
+	if ds.Format != FormatCSV {
+		t.Fatalf("format = %v, want csv", ds.Format)
+	}
+	// Raw lines must parse back to the same units under the dataset format.
+	for i, raw := range ds.Raw {
+		u, ok, err := ds.Format.ParseLine(raw)
+		if err != nil || !ok {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if u.Label != units[i].Label || !u.Dense.Equal(units[i].Dense, 0) {
+			t.Fatalf("line %d round trip: %v != %v", i, u, units[i])
+		}
+	}
+}
+
+func TestSplitProportionsAndDimensions(t *testing.T) {
+	units := make([]Unit, 1000)
+	for i := range units {
+		units[i] = sparseUnit(t, 1, []int32{int32(i % 20)}, []float64{1})
+	}
+	// Give the max index only to one unit so a split side may lose it.
+	units[0] = sparseUnit(t, 1, []int32{99}, []float64{1})
+	ds := FromUnits("toy", TaskSVM, units)
+
+	train, test := ds.Split(0.8, 1)
+	if train.N()+test.N() != ds.N() {
+		t.Fatalf("split lost units: %d + %d != %d", train.N(), test.N(), ds.N())
+	}
+	frac := float64(train.N()) / float64(ds.N())
+	if frac < 0.75 || frac > 0.85 {
+		t.Fatalf("train fraction = %g, want ~0.8", frac)
+	}
+	if train.NumFeatures != ds.NumFeatures || test.NumFeatures != ds.NumFeatures {
+		t.Fatalf("split changed dimensionality: %d/%d vs %d",
+			train.NumFeatures, test.NumFeatures, ds.NumFeatures)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	units := make([]Unit, 100)
+	for i := range units {
+		units[i] = sparseUnit(t, float64(i%2*2-1), []int32{int32(i % 7)}, []float64{1})
+	}
+	ds := FromUnits("toy", TaskSVM, units)
+	a1, _ := ds.Split(0.5, 42)
+	a2, _ := ds.Split(0.5, 42)
+	if a1.N() != a2.N() {
+		t.Fatalf("same seed, different splits: %d vs %d", a1.N(), a2.N())
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	units := make([]Unit, 50)
+	for i := range units {
+		units[i] = sparseUnit(t, float64(i), []int32{0}, []float64{float64(i)})
+	}
+	ds := FromUnits("toy", TaskSVM, units)
+	s := ds.Sample(20, 7)
+	if s.N() != 20 {
+		t.Fatalf("sample size = %d, want 20", s.N())
+	}
+	seen := map[float64]bool{}
+	for _, u := range s.Units {
+		if seen[u.Label] {
+			t.Fatalf("duplicate sample %g", u.Label)
+		}
+		seen[u.Label] = true
+	}
+	// Oversampling returns everything.
+	if all := ds.Sample(500, 7); all.N() != 50 {
+		t.Fatalf("oversample = %d, want 50", all.N())
+	}
+}
+
+func TestValidateCatchesBadDimensions(t *testing.T) {
+	ds := FromUnits("toy", TaskSVM, []Unit{sparseUnit(t, 1, []int32{3}, []float64{1})})
+	ds.NumFeatures = 2 // corrupt
+	if err := ds.Validate(); err == nil {
+		t.Fatal("Validate accepted feature index beyond NumFeatures")
+	}
+}
+
+func TestStats(t *testing.T) {
+	ds := FromUnits("toy", TaskLogisticRegression, []Unit{
+		sparseUnit(t, 1, []int32{0, 1}, []float64{1, 1}),
+	})
+	st := ds.Stats()
+	if st.Name != "toy" || st.Points != 1 || st.Features != 2 || st.Task != TaskLogisticRegression {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTaskKindString(t *testing.T) {
+	if TaskSVM.String() != "SVM" || TaskLogisticRegression.String() != "LogR" || TaskLinearRegression.String() != "LinR" {
+		t.Fatal("task names diverge from Table 2 notation")
+	}
+}

@@ -1,0 +1,152 @@
+package data
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ml4all/internal/linalg"
+)
+
+// ParseLIBSVMLine parses one line of LIBSVM text: "label idx:val idx:val ...".
+// Indices in the text are 1-based (the LIBSVM convention) and stored 0-based.
+// Empty lines and lines starting with '#' yield ok=false with no error.
+func ParseLIBSVMLine(line string) (u Unit, ok bool, err error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return Unit{}, false, nil
+	}
+	fields := strings.Fields(line)
+	label, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return Unit{}, false, fmt.Errorf("data: bad LIBSVM label %q: %w", fields[0], err)
+	}
+	idx := make([]int32, 0, len(fields)-1)
+	val := make([]float64, 0, len(fields)-1)
+	for _, f := range fields[1:] {
+		colon := strings.IndexByte(f, ':')
+		if colon <= 0 {
+			return Unit{}, false, fmt.Errorf("data: bad LIBSVM feature %q", f)
+		}
+		i, err := strconv.Atoi(f[:colon])
+		if err != nil {
+			return Unit{}, false, fmt.Errorf("data: bad LIBSVM index %q: %w", f[:colon], err)
+		}
+		if i < 1 {
+			return Unit{}, false, fmt.Errorf("data: LIBSVM index %d out of range (must be >= 1)", i)
+		}
+		v, err := strconv.ParseFloat(f[colon+1:], 64)
+		if err != nil {
+			return Unit{}, false, fmt.Errorf("data: bad LIBSVM value %q: %w", f[colon+1:], err)
+		}
+		idx = append(idx, int32(i-1))
+		val = append(val, v)
+	}
+	s, err := linalg.NewSparse(idx, val)
+	if err != nil {
+		return Unit{}, false, err
+	}
+	return NewSparseUnit(label, s), true, nil
+}
+
+// ParseCSVLine parses one dense comma-separated line. labelCol selects the
+// 0-based column holding the label; all remaining columns are features in
+// order. This matches the paper's default of "first column as the label and
+// the remaining columns as the features".
+func ParseCSVLine(line string, labelCol int) (u Unit, ok bool, err error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return Unit{}, false, nil
+	}
+	parts := strings.Split(line, ",")
+	if labelCol < 0 || labelCol >= len(parts) {
+		return Unit{}, false, fmt.Errorf("data: label column %d out of range for %d columns", labelCol, len(parts))
+	}
+	label, err := strconv.ParseFloat(strings.TrimSpace(parts[labelCol]), 64)
+	if err != nil {
+		return Unit{}, false, fmt.Errorf("data: bad CSV label %q: %w", parts[labelCol], err)
+	}
+	feats := make(linalg.Vector, 0, len(parts)-1)
+	for i, p := range parts {
+		if i == labelCol {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return Unit{}, false, fmt.Errorf("data: bad CSV value %q: %w", p, err)
+		}
+		feats = append(feats, v)
+	}
+	return NewDenseUnit(label, feats), true, nil
+}
+
+// Format identifies an input text format.
+type Format int
+
+// Supported input formats.
+const (
+	FormatLIBSVM Format = iota // sparse "label idx:val ..." lines
+	FormatCSV                  // dense comma-separated lines, label in column 0
+)
+
+// String returns the format name.
+func (f Format) String() string {
+	switch f {
+	case FormatLIBSVM:
+		return "libsvm"
+	case FormatCSV:
+		return "csv"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+// ParseLine dispatches to the parser for f.
+func (f Format) ParseLine(line string) (Unit, bool, error) {
+	switch f {
+	case FormatLIBSVM:
+		return ParseLIBSVMLine(line)
+	case FormatCSV:
+		return ParseCSVLine(line, 0)
+	default:
+		return Unit{}, false, fmt.Errorf("data: unknown format %v", f)
+	}
+}
+
+// ReadAll parses every record in r using format f.
+func ReadAll(r io.Reader, f Format) ([]Unit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var units []Unit
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		u, ok, err := f.ParseLine(sc.Text())
+		if err != nil {
+			return nil, fmt.Errorf("data: line %d: %w", lineNo, err)
+		}
+		if ok {
+			units = append(units, u)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return units, nil
+}
+
+// WriteAll writes units to w in LIBSVM text form, one record per line.
+func WriteAll(w io.Writer, units []Unit) error {
+	bw := bufio.NewWriter(w)
+	for _, u := range units {
+		if _, err := bw.WriteString(u.String()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,207 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ml4all/internal/linalg"
+)
+
+func TestParseLIBSVMLine(t *testing.T) {
+	u, ok, err := ParseLIBSVMLine("+1 2:0.1 4:0.4 10:0.3")
+	if err != nil || !ok {
+		t.Fatalf("parse failed: ok=%v err=%v", ok, err)
+	}
+	if u.Label != 1 {
+		t.Fatalf("label = %g, want 1", u.Label)
+	}
+	if !u.IsSparse() {
+		t.Fatal("LIBSVM unit not sparse")
+	}
+	wantIdx := []int32{1, 3, 9} // 1-based in text, 0-based stored
+	if !reflect.DeepEqual(u.Sparse.Indices, wantIdx) {
+		t.Fatalf("indices = %v, want %v", u.Sparse.Indices, wantIdx)
+	}
+	if u.NNZ() != 3 || u.MaxIndex() != 9 {
+		t.Fatalf("NNZ/MaxIndex = %d/%d", u.NNZ(), u.MaxIndex())
+	}
+}
+
+func TestParseLIBSVMSkipsBlanksAndComments(t *testing.T) {
+	for _, line := range []string{"", "   ", "# comment"} {
+		_, ok, err := ParseLIBSVMLine(line)
+		if ok || err != nil {
+			t.Fatalf("line %q: ok=%v err=%v, want skip", line, ok, err)
+		}
+	}
+}
+
+func TestParseLIBSVMErrors(t *testing.T) {
+	bad := []string{
+		"x 1:2",   // bad label
+		"1 0:5",   // index < 1
+		"1 a:5",   // bad index
+		"1 2:xyz", // bad value
+		"1 2",     // missing colon
+		"1 :5",    // empty index
+	}
+	for _, line := range bad {
+		if _, _, err := ParseLIBSVMLine(line); err == nil {
+			t.Errorf("line %q: no error", line)
+		}
+	}
+}
+
+func TestParseCSVLine(t *testing.T) {
+	u, ok, err := ParseCSVLine("1.5, 2, 3, -4", 0)
+	if err != nil || !ok {
+		t.Fatalf("parse failed: ok=%v err=%v", ok, err)
+	}
+	if u.Label != 1.5 || u.IsSparse() {
+		t.Fatalf("label=%g sparse=%v", u.Label, u.IsSparse())
+	}
+	if !u.Dense.Equal(linalg.Vector{2, 3, -4}, 0) {
+		t.Fatalf("features = %v", u.Dense)
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	if _, _, err := ParseCSVLine("1,2", 5); err == nil {
+		t.Error("label column out of range accepted")
+	}
+	if _, _, err := ParseCSVLine("x,2", 0); err == nil {
+		t.Error("bad label accepted")
+	}
+	if _, _, err := ParseCSVLine("1,y", 0); err == nil {
+		t.Error("bad value accepted")
+	}
+}
+
+// TestLIBSVMRoundTripProperty: unit -> String() -> parse reproduces the unit.
+func TestLIBSVMRoundTripProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Rand:     rand.New(rand.NewSource(21)),
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			nnz := r.Intn(8)
+			idx := make([]int32, 0, nnz)
+			val := make([]float64, 0, nnz)
+			seen := map[int32]bool{}
+			for len(idx) < nnz {
+				i := int32(r.Intn(40))
+				if seen[i] {
+					continue
+				}
+				seen[i] = true
+				idx = append(idx, i)
+				val = append(val, math.Round(r.NormFloat64()*1e4)/1e4)
+			}
+			s, err := linalg.NewSparse(idx, val)
+			if err != nil {
+				panic(err)
+			}
+			label := 1.0
+			if r.Float64() < 0.5 {
+				label = -1
+			}
+			vals[0] = reflect.ValueOf(NewSparseUnit(label, s))
+		},
+	}
+	f := func(u Unit) bool {
+		parsed, ok, err := ParseLIBSVMLine(u.String())
+		if err != nil {
+			// All-zero sparse unit renders as bare label; must still parse.
+			return false
+		}
+		if !ok {
+			return false
+		}
+		if parsed.Label != u.Label || parsed.NNZ() != u.NNZ() {
+			return false
+		}
+		for k := range u.Sparse.Indices {
+			if parsed.Sparse.Indices[k] != u.Sparse.Indices[k] ||
+				math.Abs(parsed.Sparse.Values[k]-u.Sparse.Values[k]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	u := NewDenseUnit(-1, linalg.Vector{0.5, 0, -2.25})
+	parsed, ok, err := ParseCSVLine(u.CSVString(), 0)
+	if err != nil || !ok {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	if parsed.Label != -1 || !parsed.Dense.Equal(u.Dense, 0) {
+		t.Fatalf("round trip = %v, want %v", parsed, u)
+	}
+}
+
+func TestReadAllWriteAll(t *testing.T) {
+	in := "1 1:0.5 3:1\n-1 2:0.25\n# comment\n\n1 1:2\n"
+	units, err := ReadAll(strings.NewReader(in), FormatLIBSVM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 3 {
+		t.Fatalf("parsed %d units, want 3", len(units))
+	}
+	var sb strings.Builder
+	if err := WriteAll(&sb, units); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ReadAll(strings.NewReader(sb.String()), FormatLIBSVM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 3 {
+		t.Fatalf("re-parsed %d units, want 3", len(again))
+	}
+	for i := range units {
+		if units[i].String() != again[i].String() {
+			t.Fatalf("unit %d: %q != %q", i, units[i].String(), again[i].String())
+		}
+	}
+}
+
+func TestReadAllReportsLineNumbers(t *testing.T) {
+	_, err := ReadAll(strings.NewReader("1 1:1\nbogus line:\n"), FormatLIBSVM)
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want line-2 mention", err)
+	}
+}
+
+func TestParseCSVColumns(t *testing.T) {
+	// label in column 2, features in 4-6 (1-based)
+	u, ok, err := ParseCSVColumns("9,1,8,0.1,0.2,0.3", ColumnSpec{LabelCol: 2, FeatLo: 4, FeatHi: 6})
+	if err != nil || !ok {
+		t.Fatalf("parse failed: %v", err)
+	}
+	if u.Label != 1 || !u.Dense.Equal(linalg.Vector{0.1, 0.2, 0.3}, 0) {
+		t.Fatalf("got label=%g feats=%v", u.Label, u.Dense)
+	}
+	// Label inside feature range is rejected.
+	if _, _, err := ParseCSVColumns("1,2,3", ColumnSpec{LabelCol: 2, FeatLo: 1, FeatHi: 3}); err == nil {
+		t.Error("label inside feature range accepted")
+	}
+	// Range beyond columns is rejected.
+	if _, _, err := ParseCSVColumns("1,2", ColumnSpec{LabelCol: 1, FeatLo: 2, FeatHi: 9}); err == nil {
+		t.Error("out-of-range features accepted")
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	if FormatLIBSVM.String() != "libsvm" || FormatCSV.String() != "csv" {
+		t.Fatal("format names wrong")
+	}
+}

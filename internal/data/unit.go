@@ -1,0 +1,121 @@
+// Package data defines the data units that flow through GD plans, plus
+// parsers for the two input formats the paper exercises (sparse LIBSVM and
+// dense comma-separated), dataset handles, train/test splitting and global
+// statistics.
+//
+// Terminology follows the paper: a raw "data unit" is one input record (a text
+// line); Transform turns it into a parsed, typed unit (label + features).
+package data
+
+import (
+	"fmt"
+	"strings"
+
+	"ml4all/internal/linalg"
+)
+
+// Unit is a parsed data unit: a labeled feature vector. Sparse points carry
+// their features in coordinate form; dense points use the Dense slice. Exactly
+// one of the two representations is populated, reported by IsSparse.
+type Unit struct {
+	Label  float64
+	Sparse linalg.Sparse
+	Dense  linalg.Vector
+	sparse bool
+}
+
+// NewSparseUnit builds a sparse unit.
+func NewSparseUnit(label float64, s linalg.Sparse) Unit {
+	return Unit{Label: label, Sparse: s, sparse: true}
+}
+
+// NewDenseUnit builds a dense unit.
+func NewDenseUnit(label float64, v linalg.Vector) Unit {
+	return Unit{Label: label, Dense: v}
+}
+
+// IsSparse reports whether the unit stores its features sparsely.
+func (u Unit) IsSparse() bool { return u.sparse }
+
+// NNZ returns the number of stored feature values.
+func (u Unit) NNZ() int {
+	if u.sparse {
+		return u.Sparse.NNZ()
+	}
+	return len(u.Dense)
+}
+
+// Dot returns the inner product of the unit's features with w.
+func (u Unit) Dot(w linalg.Vector) float64 {
+	if u.sparse {
+		return u.Sparse.Dot(w)
+	}
+	return u.Dense.Dot(w)
+}
+
+// AddScaledInto accumulates alpha * features into dst.
+func (u Unit) AddScaledInto(dst linalg.Vector, alpha float64) {
+	if u.sparse {
+		u.Sparse.AddScaledInto(dst, alpha)
+		return
+	}
+	dst.AddScaled(alpha, u.Dense)
+}
+
+// MaxIndex returns the largest feature index present (0-based), or -1 when
+// the unit has no features.
+func (u Unit) MaxIndex() int {
+	if u.sparse {
+		return int(u.Sparse.MaxIndex())
+	}
+	return len(u.Dense) - 1
+}
+
+// String renders the unit in LIBSVM text form (1-based indices), the format
+// used throughout the paper's examples.
+func (u Unit) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%g", u.Label)
+	if u.sparse {
+		for k, i := range u.Sparse.Indices {
+			fmt.Fprintf(&b, " %d:%g", i+1, u.Sparse.Values[k])
+		}
+		return b.String()
+	}
+	for i, v := range u.Dense {
+		if v != 0 {
+			fmt.Fprintf(&b, " %d:%g", i+1, v)
+		}
+	}
+	return b.String()
+}
+
+// CSVString renders the unit as a dense comma-separated line with the label
+// in the first column — the paper's dense input convention.
+func (u Unit) CSVString() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%g", u.Label)
+	if u.sparse {
+		d := int(u.Sparse.MaxIndex()) + 1
+		dense := u.Sparse.Dense(d)
+		for _, v := range dense {
+			fmt.Fprintf(&b, ",%g", v)
+		}
+		return b.String()
+	}
+	for _, v := range u.Dense {
+		fmt.Fprintf(&b, ",%g", v)
+	}
+	return b.String()
+}
+
+// ApproxBytes estimates the in-memory footprint of the unit in bytes. The
+// storage layer uses it to lay units out on simulated pages; it intentionally
+// matches the accounting a columnar record reader would do (8 bytes per value,
+// 4 per sparse index, 8 for the label).
+func (u Unit) ApproxBytes() int {
+	if u.sparse {
+		return 8 + 12*u.Sparse.NNZ()
+	}
+	return 8 + 8*len(u.Dense)
+}

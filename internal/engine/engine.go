@@ -1,0 +1,415 @@
+// Package engine executes GD plans over the simulated cluster. It is the
+// stand-in for Rheem with Java and Spark underneath (paper Appendix D):
+// every operator is placed either centralized ("Java", on the driver) or
+// distributed ("Spark", in waves over partitions), chosen per operator by
+// whether its input fits in a single data partition — so a plan can and
+// usually does execute as a mix of both. The numeric work (parsing,
+// gradients, updates) is performed for real; only time is simulated.
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ml4all/internal/cluster"
+	"ml4all/internal/data"
+	"ml4all/internal/gd"
+	"ml4all/internal/linalg"
+	"ml4all/internal/sampling"
+	"ml4all/internal/storage"
+)
+
+// Options tunes a single plan execution.
+type Options struct {
+	// TimeBudget, when positive, stops the run once the simulated clock has
+	// advanced that far past the start (the iterations estimator speculates
+	// under such a budget, Algorithm 1).
+	TimeBudget cluster.Seconds
+
+	// Seed drives the run's sampling RNG. Zero means seed 1.
+	Seed int64
+
+	// CollectWeightsTrace, when true, snapshots the weight vector after
+	// every iteration (used by curve-fit figures; costs memory).
+	CollectWeightsTrace bool
+}
+
+// Result reports one plan execution.
+type Result struct {
+	PlanName   string
+	Weights    linalg.Vector
+	Iterations int
+	Converged  bool // stopped because delta < tolerance
+	Budgeted   bool // stopped because the time budget ran out
+	Diverged   bool // weights became non-finite
+	FinalDelta float64
+	Time       cluster.Seconds // simulated training time
+	Deltas     []float64       // per-iteration convergence deltas (error sequence)
+	Trace      []linalg.Vector // optional per-iteration weights
+	Acct       cluster.Accounting
+}
+
+// Run executes plan against the dataset in store on sim, advancing sim's
+// clock. The caller owns sim; Run neither resets it nor assumes a zero clock,
+// so speculation and execution can share one timeline.
+func Run(sim *cluster.Sim, store *storage.Store, plan *gd.Plan, opts Options) (*Result, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	ds := store.Dataset
+	n := ds.N()
+	if n == 0 {
+		return nil, fmt.Errorf("engine: empty dataset %q", ds.Name)
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	start := sim.Now()
+
+	ctx := gd.NewContext()
+	ctx.NumFeatures = ds.NumFeatures
+	ctx.NumPoints = n
+	ctx.Tolerance = plan.Tolerance
+	ctx.MaxIter = plan.MaxIter
+	ctx.BatchSize = plan.BatchSize
+	if plan.Algorithm == gd.BGD || plan.Algorithm == gd.LineSearchBGD {
+		ctx.BatchSize = n
+	}
+
+	ex := &executor{sim: sim, store: store, plan: plan, ctx: ctx, rng: rng}
+
+	sim.JobInit()
+	if err := ex.stage(); err != nil {
+		return nil, err
+	}
+	if plan.Transform == gd.Eager {
+		if err := ex.eagerTransform(); err != nil {
+			return nil, err
+		}
+	}
+	if plan.Sampling != gd.NoSampling {
+		s, err := sampling.New(plan.Sampling)
+		if err != nil {
+			return nil, err
+		}
+		ex.sampler = s
+		ex.senv = &sampling.Env{Sim: sim, Store: store, RNG: rng}
+	}
+
+	res := &Result{PlanName: plan.Name()}
+	prev := ctx.Weights.Clone()
+	for {
+		ctx.Iter++
+		ctx.Step = plan.Step.Alpha(ctx.Iter)
+		sim.Advance(sim.Cfg.DriverIterSec)
+
+		acc, err := ex.iteration()
+		if err != nil {
+			return nil, err
+		}
+
+		// Update on the driver.
+		sim.RunLocal(sim.CostCPU(1, float64(2*ctx.NumFeatures)))
+		wNew, err := plan.Updater.Update(acc, ctx)
+		if err != nil {
+			return nil, err
+		}
+
+		// Converge + Loop on the driver.
+		sim.RunLocal(sim.CostCPU(1, float64(ctx.NumFeatures)))
+		delta := plan.Converger.Converge(wNew, prev, ctx)
+		res.Deltas = append(res.Deltas, delta)
+		if opts.CollectWeightsTrace {
+			res.Trace = append(res.Trace, wNew.Clone())
+		}
+		copy(prev, wNew)
+		res.FinalDelta = delta
+
+		if !wNew.IsFinite() {
+			res.Diverged = true
+			break
+		}
+		if !plan.Looper.Loop(delta, ctx) {
+			res.Converged = delta < plan.Tolerance
+			break
+		}
+		if opts.TimeBudget > 0 && sim.Now()-start >= opts.TimeBudget {
+			res.Budgeted = true
+			break
+		}
+	}
+
+	res.Weights = ctx.Weights.Clone()
+	res.Iterations = ctx.Iter
+	res.Time = sim.Now() - start
+	res.Acct = sim.Acct
+	return res, nil
+}
+
+// executor carries the per-run state shared by the phases.
+type executor struct {
+	sim   *cluster.Sim
+	store *storage.Store
+	plan  *gd.Plan
+	ctx   *gd.Context
+	rng   *rand.Rand
+
+	sampler sampling.Sampler
+	senv    *sampling.Env
+
+	// units holds the transformed data units the processing phase reads:
+	// all of them after an eager transform, or a growing memo under lazy
+	// transformation (parsed on first touch, every iteration charged).
+	units []data.Unit
+	lazy  []bool // under lazy transform: which indices are parsed already
+}
+
+// stage runs the Stage operator on the driver, optionally feeding it a small
+// sample of (parsed) units per Figure 3(b).
+func (ex *executor) stage() error {
+	var sample []data.Unit
+	if m := ex.plan.StageSampleSize; m > 0 {
+		if m > ex.store.Dataset.N() {
+			m = ex.store.Dataset.N()
+		}
+		sample = make([]data.Unit, 0, m)
+		var bytes int64
+		for i := 0; i < m; i++ {
+			u, err := ex.plan.Transformer.Transform(ex.store.Dataset.Raw[i], ex.ctx)
+			if err != nil {
+				return fmt.Errorf("engine: staging sample: %w", err)
+			}
+			sample = append(sample, u)
+			bytes += int64(len(ex.store.Dataset.Raw[i])) + 1
+		}
+		ex.sim.RunLocal(ex.sim.CostParse(m, bytes))
+	}
+	ex.sim.RunLocal(ex.sim.CostCPU(1, float64(ex.ctx.NumFeatures)))
+	return ex.plan.Stager.Stage(sample, ex.ctx)
+}
+
+// stockTransformer reports whether the plan uses the unmodified format
+// transformer for the dataset's own format, in which case re-parsing Raw is
+// guaranteed to reproduce Dataset.Units and the engine reuses them (cost is
+// charged identically either way).
+func (ex *executor) stockTransformer() bool {
+	ft, ok := ex.plan.Transformer.(gd.FormatTransformer)
+	return ok && ft.Format == ex.store.Dataset.Format
+}
+
+// eagerTransform parses the whole dataset upfront, one distributed task per
+// partition (or locally when the dataset is a single partition).
+func (ex *executor) eagerTransform() error {
+	ds := ex.store.Dataset
+	if ex.stockTransformer() {
+		ex.units = ds.Units
+	} else {
+		ex.units = make([]data.Unit, ds.N())
+		for i, raw := range ds.Raw {
+			u, err := ex.plan.Transformer.Transform(raw, ex.ctx)
+			if err != nil {
+				return fmt.Errorf("engine: transform unit %d: %w", i, err)
+			}
+			ex.units[i] = u
+		}
+	}
+	costs := make([]cluster.Seconds, 0, ex.store.NumPartitions())
+	for _, p := range ex.store.Partitions {
+		c := ex.sim.CostReadPartition(p, ex.store.Layout)
+		c += ex.sim.CostParse(p.Units(), p.Bytes)
+		costs = append(costs, c)
+	}
+	mode := ex.plan.Mode
+	if ex.plan.TransformMode != gd.AutoMode {
+		mode = ex.plan.TransformMode
+	}
+	if ex.distributedInputMode(ex.store.TotalBytes, mode) {
+		ex.sim.RunWaves(costs)
+	} else {
+		var sum cluster.Seconds
+		for _, c := range costs {
+			sum += c
+		}
+		ex.sim.RunLocal(sum)
+	}
+	return nil
+}
+
+// unit returns transformed unit i, parsing (and charging) lazily when the
+// plan defers transformation.
+func (ex *executor) unit(i int) (data.Unit, cluster.Seconds, error) {
+	if ex.plan.Transform == gd.Eager {
+		return ex.units[i], 0, nil
+	}
+	raw := ex.store.Dataset.Raw[i]
+	cost := ex.sim.CostParse(1, int64(len(raw))+1)
+	if ex.units == nil {
+		if ex.stockTransformer() {
+			// Reuse the pre-parsed units but still charge parse cost per
+			// touch: lazy transformation re-parses every sampled unit each
+			// time it is drawn.
+			ex.units = ex.store.Dataset.Units
+			ex.lazy = nil
+		} else {
+			ex.units = make([]data.Unit, ex.store.Dataset.N())
+			ex.lazy = make([]bool, ex.store.Dataset.N())
+		}
+	}
+	if ex.lazy != nil && !ex.lazy[i] {
+		u, err := ex.plan.Transformer.Transform(raw, ex.ctx)
+		if err != nil {
+			return data.Unit{}, 0, fmt.Errorf("engine: lazy transform unit %d: %w", i, err)
+		}
+		ex.units[i] = u
+		ex.lazy[i] = true
+	}
+	return ex.units[i], cost, nil
+}
+
+// distributedInput applies the Appendix D placement rule: distribute iff the
+// operator's input does not fit in a single data partition (unless the plan
+// pins a mode).
+func (ex *executor) distributedInput(bytes int64) bool {
+	return ex.distributedInputMode(bytes, ex.plan.Mode)
+}
+
+func (ex *executor) distributedInputMode(bytes int64, mode gd.ExecMode) bool {
+	switch mode {
+	case gd.CentralizedMode:
+		return false
+	case gd.DistributedMode:
+		return true
+	default:
+		return bytes > ex.store.Layout.PartitionBytes
+	}
+}
+
+// iteration runs Sample (optional) + Transform (if lazy) + Compute for one
+// iteration and returns the aggregated accumulator UC.
+func (ex *executor) iteration() (linalg.Vector, error) {
+	plan, ctx := ex.plan, ex.ctx
+	d := ctx.NumFeatures
+	acc := linalg.NewVector(plan.Computer.AccDim(d))
+
+	fullBatch := plan.Sampling == gd.NoSampling
+	if plan.Algorithm == gd.SVRG && plan.UpdateFrequency > 0 && ctx.Iter%plan.UpdateFrequency == 1 {
+		fullBatch = true // SVRG snapshot iteration sweeps everything
+	}
+
+	if fullBatch {
+		ctx.BatchSize = ctx.NumPoints
+		return acc, ex.computeFull(acc)
+	}
+
+	ctx.BatchSize = plan.BatchSize
+	idx, err := ex.sampler.Draw(ex.senv, plan.BatchSize)
+	if err != nil {
+		return nil, err
+	}
+	if plan.Algorithm != gd.SVRG {
+		// Bernoulli returns a binomially-distributed count; Update takes
+		// the mean over what was actually drawn.
+		ctx.BatchSize = len(idx)
+	}
+	return acc, ex.computeBatch(idx, acc)
+}
+
+// computeFull runs Compute over every unit, one task per partition when
+// distributed, charging each task its partition read plus CPU.
+func (ex *executor) computeFull(acc linalg.Vector) error {
+	plan, ctx := ex.plan, ex.ctx
+	costs := make([]cluster.Seconds, 0, ex.store.NumPartitions())
+	for _, p := range ex.store.Partitions {
+		c := ex.sim.CostReadPartition(p, ex.store.Layout)
+		var ops float64
+		for i := p.Lo; i < p.Hi; i++ {
+			u, parseCost, err := ex.unit(i)
+			if err != nil {
+				return err
+			}
+			c += parseCost
+			plan.Computer.Compute(u, ctx, acc)
+			ops += plan.Computer.Ops(u.NNZ())
+		}
+		c += ex.sim.CostCPU(p.Units(), ops)
+		costs = append(costs, c)
+	}
+	if ex.distributedInput(ex.store.TotalBytes) {
+		ex.sim.RunWaves(costs)
+		// Partial aggregates (one per executor) reduce to the driver.
+		execs := ex.sim.Cfg.Executors()
+		ex.sim.Transfer(int64(execs*len(acc))*8, 1)
+	} else {
+		var sum cluster.Seconds
+		for _, c := range costs {
+			sum += c
+		}
+		ex.sim.RunLocal(sum)
+	}
+	return nil
+}
+
+// computeBatch runs Compute over the sampled unit indices. Placement follows
+// the batch's byte size: small batches run on the driver (after shipping the
+// sampled units there), large ones run as distributed tasks grouped by
+// partition.
+func (ex *executor) computeBatch(idx []int, acc linalg.Vector) error {
+	plan, ctx := ex.plan, ex.ctx
+	var batchBytes int64
+	for _, i := range idx {
+		batchBytes += int64(len(ex.store.Dataset.Raw[i])) + 1
+	}
+	if !ex.distributedInput(batchBytes) {
+		// Centralized: sampled units travel to the driver, then one task.
+		ex.sim.Transfer(batchBytes, 1)
+		var cpu cluster.Seconds
+		var ops float64
+		for _, i := range idx {
+			u, parseCost, err := ex.unit(i)
+			if err != nil {
+				return err
+			}
+			cpu += parseCost
+			plan.Computer.Compute(u, ctx, acc)
+			ops += plan.Computer.Ops(u.NNZ())
+		}
+		cpu += ex.sim.CostCPU(len(idx), ops)
+		ex.sim.RunLocal(cpu)
+		return nil
+	}
+
+	// Distributed: group the batch by partition, one task per partition.
+	byPart := map[int][]int{}
+	for _, i := range idx {
+		p, err := ex.store.PartitionOf(i)
+		if err != nil {
+			return err
+		}
+		byPart[p.ID] = append(byPart[p.ID], i)
+	}
+	costs := make([]cluster.Seconds, 0, len(byPart))
+	for _, members := range byPart {
+		var c cluster.Seconds
+		var ops float64
+		for _, i := range members {
+			u, parseCost, err := ex.unit(i)
+			if err != nil {
+				return err
+			}
+			c += parseCost
+			plan.Computer.Compute(u, ctx, acc)
+			ops += plan.Computer.Ops(u.NNZ())
+		}
+		c += ex.sim.CostCPU(len(members), ops)
+		costs = append(costs, c)
+	}
+	ex.sim.RunWaves(costs)
+	execs := ex.sim.Cfg.Executors()
+	if len(byPart) < execs {
+		execs = len(byPart)
+	}
+	ex.sim.Transfer(int64(execs*len(acc))*8, 1)
+	return nil
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ml4all/internal/estimator"
+	"ml4all/internal/gd"
+	"ml4all/internal/step"
+)
+
+// Fig15 reproduces the adaptive-step-size curve-fitting experiment
+// (Figure 15, Appendix E): speculate BGD on a 1000-point sample of adult
+// under step sizes 1/sqrt(i), 1/i and 1/i², fit T(eps) = a/eps, and compare
+// the extrapolated iteration count for eps = 0.001 against the real run.
+// The claim: the fitted curve reaches the target tolerance near the real
+// iteration count for every step size.
+func Fig15(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	return curveFit(cfg, "fig15", "Curve fitting under adaptive step sizes (adult, BGD)",
+		[]curveCase{
+			{"adult", step.InvSqrt{Beta: 1}},
+			{"adult", step.Inv{Beta: 1}},
+			{"adult", step.InvSquare{Beta: 1}},
+		})
+}
+
+// Fig16 reproduces the cross-dataset curve-fitting experiment (Figure 16):
+// BGD with step 1/i on covtype, rcv1 and higgs.
+func Fig16(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	cases := []curveCase{
+		{"covtype", step.Inv{Beta: 1}},
+		{"rcv1", step.Inv{Beta: 1}},
+		{"higgs", step.Inv{Beta: 1}},
+	}
+	if cfg.Quick {
+		cases = cases[:2]
+	}
+	return curveFit(cfg, "fig16", "Curve fitting across datasets (BGD, step 1/i)", cases)
+}
+
+type curveCase struct {
+	dataset string
+	step    step.Size
+}
+
+func curveFit(cfg Config, id, title string, cases []curveCase) (*Report, error) {
+	r := &Report{ID: id, Title: title,
+		Header: []string{"dataset", "step", "fitted a", "rate", "est T(.001)", "real T(.001)", "ratio"}}
+	const target = 0.001
+	const realCap = 20000
+
+	within := 0
+	for _, c := range cases {
+		ds, err := cfg.Dataset(c.dataset)
+		if err != nil {
+			return nil, err
+		}
+		st, err := cfg.store(ds)
+		if err != nil {
+			return nil, err
+		}
+		p := ParamsFor(ds, target, realCap)
+		p.Step = c.step
+		plan := gd.NewBGD(p)
+
+		est, err := estimator.Speculate(plan, st, estimator.Config{
+			SampleSize: 1000, SpecTolerance: 0.05, TimeBudget: 10, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		estT := est.Iterations(target)
+		if estT > realCap {
+			estT = realCap
+		}
+
+		res, err := cfg.runPlan(ds, plan)
+		if err != nil {
+			return nil, err
+		}
+		ratio := float64(estT) / float64(res.Iterations)
+		if ratio >= 0.1 && ratio <= 10 {
+			within++
+		}
+		r.Add(c.dataset, c.step.Name(), est.A, estimator.ClassifyRate(est.Sequence).String(),
+			estT, res.Iterations, fmt.Sprintf("%.2f", ratio))
+	}
+	r.Note("estimates within one order of magnitude of real: %d/%d", within, len(cases))
+	return r, nil
+}

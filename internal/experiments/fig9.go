@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"ml4all/internal/baselines"
+	"ml4all/internal/cluster"
+	"ml4all/internal/data"
+	"ml4all/internal/engine"
+	"ml4all/internal/gd"
+	"ml4all/internal/planner"
+)
+
+// Fig9 reproduces the system comparison (Figure 9 a/b/c): for each dataset
+// and each GD algorithm, train with MLlib, SystemML and ML4all (which picks
+// the best physical plan for the fixed algorithm). OOM/timeout failures are
+// reported as the paper reports them. The shape to hold: ML4all at least
+// matches MLlib everywhere and wins big on large data; SystemML is
+// competitive locally on small inputs but pays conversion and dies on large
+// dense data.
+func Fig9(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	r := &Report{
+		ID:     "fig9",
+		Title:  "Training time by system (s); conversion included for SystemML",
+		Header: []string{"algo", "dataset", "MLlib", "SystemML", "ML4all", "ml4all plan"},
+	}
+
+	datasets := []string{"adult", "covtype", "yearpred", "rcv1", "higgs", "svm1", "svm2", "svm3"}
+	if cfg.Quick {
+		datasets = []string{"adult", "covtype", "rcv1", "svm1"}
+	}
+
+	mlWins, cells := 0, 0
+	for _, algo := range []gd.Algo{gd.BGD, gd.MGD, gd.SGD} {
+		for _, name := range datasets {
+			ds, err := cfg.Dataset(name)
+			if err != nil {
+				return nil, err
+			}
+			p := ParamsFor(ds, 0.001, 1000)
+
+			mllib := runBaselineCell(func() (*baselines.Result, error) {
+				return baselines.RunMLlib(ClusterFor(cfg.Scale), ds, p, algo,
+					baselines.DefaultMLlib(), baselines.Options{Layout: LayoutFor(cfg.Scale), Seed: cfg.Seed})
+			})
+			sysml := runBaselineCell(func() (*baselines.Result, error) {
+				return baselines.RunSystemML(ClusterFor(cfg.Scale), ds, p, algo,
+					SystemMLFor(cfg.Scale), baselines.Options{Layout: LayoutFor(cfg.Scale), Seed: cfg.Seed})
+			})
+
+			ml4allTime, planName, err := cfg.ml4allBestForAlgo(ds, p, algo)
+			if err != nil {
+				return nil, err
+			}
+
+			if mllib.ok && ml4allTime <= mllib.t {
+				mlWins++
+			}
+			if mllib.ok {
+				cells++
+			}
+			r.Add(algo.String(), name, mllib.String(), sysml.String(),
+				cluster.Seconds(ml4allTime), planName)
+		}
+	}
+	r.Note("ML4all at least matches MLlib on %d/%d comparable cells", mlWins, cells)
+	return r, nil
+}
+
+// ml4allBestForAlgo picks the cheapest physical plan for a fixed algorithm
+// (what Section 8.4 uses ML4all for) and executes it.
+func (c Config) ml4allBestForAlgo(ds *data.Dataset, p gd.Params, algo gd.Algo) (cluster.Seconds, string, error) {
+	c = c.withDefaults()
+	st, err := c.store(ds)
+	if err != nil {
+		return 0, "", err
+	}
+	sim := c.sim()
+	dec, err := planner.Choose(sim, st, p, planner.Options{Estimator: EstimatorFor(c.Seed)})
+	if err != nil {
+		return 0, "", err
+	}
+	for _, choice := range dec.Ranked {
+		if choice.Plan.Algorithm != algo {
+			continue
+		}
+		plan := choice.Plan
+		res, err := engine.Run(c.sim(), st, &plan, engine.Options{Seed: c.Seed})
+		if err != nil {
+			return 0, "", err
+		}
+		return res.Time, plan.Name(), nil
+	}
+	return 0, "", fmt.Errorf("experiments: no plan for %v", algo)
+}
+
+// baselineCell is one baseline measurement or its failure.
+type baselineCell struct {
+	ok  bool
+	t   cluster.Seconds
+	err error
+}
+
+func runBaselineCell(f func() (*baselines.Result, error)) baselineCell {
+	res, err := f()
+	if err != nil {
+		if errors.Is(err, baselines.ErrOutOfMemory) {
+			return baselineCell{err: err}
+		}
+		return baselineCell{err: err}
+	}
+	return baselineCell{ok: true, t: res.Time}
+}
+
+// String renders the cell the way the paper annotates failures.
+func (c baselineCell) String() string {
+	if !c.ok {
+		if errors.Is(c.err, baselines.ErrOutOfMemory) {
+			return "OOM"
+		}
+		return "fail"
+	}
+	return fmt.Sprintf("%.1f", float64(c.t))
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner is one reproducible experiment.
+type Runner func(Config) (*Report, error)
+
+// All maps experiment IDs to their runners — everything the paper's
+// evaluation section reports, plus the DESIGN.md extra ablations.
+var All = map[string]Runner{
+	"fig1":                 Fig1,
+	"fig6":                 Fig6,
+	"fig7a":                Fig7a,
+	"fig7b":                Fig7b,
+	"fig8":                 Fig8,
+	"fig9":                 Fig9,
+	"fig10":                Fig10,
+	"fig11":                Fig11,
+	"fig12":                Fig12,
+	"fig13":                Fig13,
+	"fig14":                Fig14,
+	"fig15":                Fig15,
+	"fig16":                Fig16,
+	"fig17":                Fig17,
+	"fig18":                Fig18,
+	"table2":               Table2,
+	"table4":               Table4,
+	"ablation-speculation": AblationSpeculation,
+	"ablation-placement":   AblationPlacement,
+	"ablation-tuner":       AblationTuner,
+}
+
+// IDs returns the experiment identifiers in stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(All))
+	for id := range All {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run looks up and executes one experiment.
+func Run(id string, cfg Config) (*Report, error) {
+	f, ok := All[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return f(cfg)
+}

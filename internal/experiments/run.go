@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"ml4all/internal/cluster"
+	"ml4all/internal/data"
+	"ml4all/internal/engine"
+	"ml4all/internal/gd"
+	"ml4all/internal/storage"
+)
+
+// store lays a dataset out under the config's scale-matched layout.
+func (c Config) store(ds *data.Dataset) (*storage.Store, error) {
+	return storage.Build(ds, LayoutFor(c.withDefaults().Scale))
+}
+
+// sim returns a fresh scale-matched simulator.
+func (c Config) sim() *cluster.Sim {
+	return cluster.New(ClusterFor(c.withDefaults().Scale))
+}
+
+// runPlan executes one plan on a fresh simulator and returns the result.
+func (c Config) runPlan(ds *data.Dataset, plan gd.Plan) (*engine.Result, error) {
+	c = c.withDefaults()
+	st, err := c.store(ds)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Run(c.sim(), st, &plan, engine.Options{Seed: c.Seed})
+}
+
+// runAlgo executes the default physical plan for an algorithm.
+func (c Config) runAlgo(ds *data.Dataset, p gd.Params, algo gd.Algo) (*engine.Result, error) {
+	plan, err := gd.ForAlgo(p, algo)
+	if err != nil {
+		return nil, err
+	}
+	return c.runPlan(ds, plan)
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ml4all/internal/engine"
+	"ml4all/internal/gd"
+	"ml4all/internal/planner"
+)
+
+// Table2 reproduces the dataset-suite table (Table 2) at the configured
+// scale: name, task, points, features, bytes, density for every stand-in.
+func Table2(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	r := &Report{ID: "table2",
+		Title:  fmt.Sprintf("Dataset suite at scale 1/%d", cfg.Scale),
+		Header: []string{"name", "task", "#points", "#features", "size", "density", "#partitions"}}
+	names := []string{"adult", "covtype", "yearpred", "rcv1", "higgs", "svm1", "svm2", "svm3"}
+	if cfg.Quick {
+		names = names[:5]
+	}
+	for _, name := range names {
+		ds, err := cfg.Dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		st, err := cfg.store(ds)
+		if err != nil {
+			return nil, err
+		}
+		stats := ds.Stats()
+		r.Add(stats.Name, stats.Task.String(), stats.Points, stats.Features,
+			fmt.Sprintf("%.1fMB", float64(stats.Bytes)/(1<<20)),
+			fmt.Sprintf("%.3g", stats.Density), st.NumPartitions())
+	}
+	return r, nil
+}
+
+// Table4 reproduces the chosen-plan table (Table 4): for each dataset and
+// each GD algorithm, the physical plan the optimizer picks and the real
+// iteration count of running that plan to convergence (tolerance 0.001, max
+// 1000).
+func Table4(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	r := &Report{ID: "table4",
+		Title:  "Chosen plan and iterations per GD algorithm",
+		Header: []string{"dataset", "SGD plan", "SGD iters", "MGD plan", "MGD iters", "BGD iters"}}
+
+	datasets := []string{"adult", "covtype", "yearpred", "rcv1", "higgs", "svm1", "svm2", "svm3"}
+	if cfg.Quick {
+		datasets = []string{"adult", "covtype", "rcv1", "svm1"}
+	}
+
+	sgdLazyShuffleOnLarge := 0
+	largeCount := 0
+	for _, name := range datasets {
+		ds, err := cfg.Dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		st, err := cfg.store(ds)
+		if err != nil {
+			return nil, err
+		}
+		p := ParamsFor(ds, 0.001, 1000)
+		dec, err := planner.Choose(cfg.sim(), st, p, planner.Options{Estimator: EstimatorFor(cfg.Seed)})
+		if err != nil {
+			return nil, err
+		}
+
+		cells := []any{name}
+		var sgdPlanName string
+		for _, algo := range []gd.Algo{gd.SGD, gd.MGD, gd.BGD} {
+			for _, choice := range dec.Ranked {
+				if choice.Plan.Algorithm != algo {
+					continue
+				}
+				plan := choice.Plan
+				res, err := engine.Run(cfg.sim(), st, &plan, engine.Options{Seed: cfg.Seed})
+				if err != nil {
+					return nil, err
+				}
+				if algo == gd.BGD {
+					cells = append(cells, res.Iterations)
+				} else {
+					label := fmt.Sprintf("%s-%s", plan.Transform, plan.Sampling)
+					cells = append(cells, label, res.Iterations)
+				}
+				if algo == gd.SGD {
+					sgdPlanName = plan.Name()
+				}
+				break
+			}
+		}
+		r.Add(cells...)
+
+		large := name == "higgs" || name == "svm1" || name == "svm2" || name == "svm3" || name == "yearpred"
+		if large {
+			largeCount++
+			if sgdPlanName == "SGD-lazy-shuffle" {
+				sgdLazyShuffleOnLarge++
+			}
+		}
+	}
+	r.Note("SGD-lazy-shuffle chosen on %d/%d large datasets (paper Table 4: all)", sgdLazyShuffleOnLarge, largeCount)
+	return r, nil
+}

@@ -1,0 +1,68 @@
+// Package gd implements the paper's gradient-descent abstraction (Section 4):
+// seven operators — Transform, Stage, Compute, Update, Sample, Converge,
+// Loop — that compose into GD plans, plus reference implementations covering
+// BGD, SGD, MGD and the Appendix C variants (SVRG and backtracking line
+// search). The operators are plain Go interfaces standing in for the paper's
+// Java UDFs; expert users provide their own implementations exactly as the
+// paper intends.
+package gd
+
+import (
+	"fmt"
+
+	"ml4all/internal/linalg"
+)
+
+// Context carries the global variables shared by the operators of a running
+// plan — the equivalent of the paper's Context with getByKey/put. The hot
+// variables (weights, step, iteration) are typed fields; everything else
+// (SVRG's weightsBar, line search's bookkeeping, user extensions) lives in
+// Vars.
+type Context struct {
+	// Weights is the current model vector w.
+	Weights linalg.Vector
+
+	// Step is the current step size alpha_i (refreshed each iteration from
+	// the plan's step-size strategy; line search overwrites it).
+	Step float64
+
+	// Iter is the 1-based current iteration.
+	Iter int
+
+	// NumFeatures is the model dimensionality d.
+	NumFeatures int
+
+	// NumPoints is n, the dataset cardinality (Stage may use it; the
+	// estimator's sample runs see the sample's n).
+	NumPoints int
+
+	// BatchSize is the sample size b of the running plan (n for BGD).
+	BatchSize int
+
+	// Tolerance is the requested convergence tolerance epsilon.
+	Tolerance float64
+
+	// MaxIter caps the iteration count.
+	MaxIter int
+
+	// Vars holds algorithm-specific extension state.
+	Vars map[string]any
+}
+
+// NewContext returns a Context with an empty extension map.
+func NewContext() *Context { return &Context{Vars: map[string]any{}} }
+
+// Get returns the extension variable under key, or nil.
+func (c *Context) Get(key string) any { return c.Vars[key] }
+
+// Put stores an extension variable.
+func (c *Context) Put(key string, v any) { c.Vars[key] = v }
+
+// GetVector returns the named extension vector, or an error naming the key.
+func (c *Context) GetVector(key string) (linalg.Vector, error) {
+	v, ok := c.Vars[key].(linalg.Vector)
+	if !ok {
+		return nil, fmt.Errorf("gd: context variable %q is not a vector", key)
+	}
+	return v, nil
+}

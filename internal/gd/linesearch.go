@@ -1,0 +1,181 @@
+package gd
+
+import (
+	"fmt"
+	"math"
+
+	"ml4all/internal/data"
+	"ml4all/internal/gradients"
+	"ml4all/internal/linalg"
+)
+
+// Backtracking line search (paper Appendix C, Listings 9-10): BGD whose step
+// size per update is found by shrinking alpha by beta until the Armijo
+// sufficient-decrease condition holds. As in the paper, the nested
+// line-search loop is flattened into the main loop with an if-else keyed off
+// a context flag: "gradient" iterations compute the full gradient at w,
+// "probe" iterations evaluate the objective at the trial point w - alpha*g.
+// Each engine iteration is one full data pass, so the extra passes line
+// search performs are charged their true cost.
+
+// Context variable keys used by the line-search operators.
+const (
+	lsPhaseKey   = "ls.phase"   // "grad" or "probe"
+	lsGradKey    = "ls.grad"    // mean gradient at w
+	lsTrialKey   = "ls.trial"   // trial weights w - alpha*g
+	lsFwKey      = "ls.fw"      // objective at w
+	lsAlphaKey   = "ls.alpha"   // current candidate step
+	lsUpdatesKey = "ls.updates" // number of applied updates (outer k)
+	lsDeltaKey   = "ls.delta"   // convergence delta of the last applied update
+)
+
+const (
+	lsPhaseGrad  = "grad"
+	lsPhaseProbe = "probe"
+	// armijoC is the standard sufficient-decrease constant.
+	armijoC = 1e-4
+	// maxBacktracks bounds probes per update so a flat objective cannot
+	// stall the plan; after this many shrinks the step is applied as-is.
+	maxBacktracks = 30
+)
+
+// LineSearchComputer accumulates, depending on the phase:
+//
+//	grad:  slot 0 += f_i(w),            slots 2.. += ∇f_i(w)
+//	probe: slot 0 += f_i(w),            slot 1 += f_i(w - alpha*g)
+type LineSearchComputer struct {
+	Gradient gradients.Gradient
+}
+
+// Compute implements Computer.
+func (c LineSearchComputer) Compute(u data.Unit, ctx *Context, acc linalg.Vector) {
+	if phase, _ := ctx.Get(lsPhaseKey).(string); phase == lsPhaseProbe {
+		trial, err := ctx.GetVector(lsTrialKey)
+		if err != nil {
+			panic(err)
+		}
+		acc[0] += c.Gradient.Loss(ctx.Weights, u)
+		acc[1] += c.Gradient.Loss(trial, u)
+		return
+	}
+	acc[0] += c.Gradient.Loss(ctx.Weights, u)
+	c.Gradient.AddGradient(ctx.Weights, u, acc[2:])
+}
+
+// AccDim implements Computer: two objective slots plus the gradient.
+func (LineSearchComputer) AccDim(d int) int { return d + 2 }
+
+// Ops implements Computer.
+func (c LineSearchComputer) Ops(nnz int) float64 { return c.Gradient.Ops(nnz) + float64(2*nnz) }
+
+// LineSearchUpdater implements the flattened backtracking logic of
+// Listing 10: after a gradient pass it prepares the first trial point; after
+// a probe pass it either shrinks the step (Armijo violated) or applies the
+// update and returns to the gradient phase.
+type LineSearchUpdater struct {
+	Reg   gradients.L2
+	Beta  float64 // step shrink factor in (0,1)
+	Alpha float64 // initial candidate step per update
+}
+
+// Update implements Updater.
+func (up LineSearchUpdater) Update(acc linalg.Vector, ctx *Context) (linalg.Vector, error) {
+	n := float64(ctx.NumPoints)
+	if n == 0 {
+		return nil, fmt.Errorf("gd: line search over empty dataset")
+	}
+	phase, _ := ctx.Get(lsPhaseKey).(string)
+	if phase != lsPhaseProbe {
+		// Gradient pass done: stash f(w) and mean regularized gradient,
+		// set up the first trial point.
+		grad := acc[2:].Clone()
+		grad.Scale(1 / n)
+		up.Reg.AddGradient(ctx.Weights, grad)
+		fw := acc[0]/n + up.Reg.Penalty(ctx.Weights)
+		ctx.Put(lsGradKey, grad)
+		ctx.Put(lsFwKey, fw)
+		ctx.Put(lsAlphaKey, up.Alpha)
+		ctx.Put("ls.backtracks", 0)
+		trial := ctx.Weights.Clone()
+		trial.AddScaled(-up.Alpha, grad)
+		ctx.Put(lsTrialKey, trial)
+		ctx.Put(lsPhaseKey, lsPhaseProbe)
+		return ctx.Weights, nil
+	}
+
+	grad, err := ctx.GetVector(lsGradKey)
+	if err != nil {
+		return nil, err
+	}
+	trial, err := ctx.GetVector(lsTrialKey)
+	if err != nil {
+		return nil, err
+	}
+	alpha, _ := ctx.Get(lsAlphaKey).(float64)
+	backtracks, _ := ctx.Get("ls.backtracks").(int)
+	fw, _ := ctx.Get(lsFwKey).(float64)
+	fTrial := acc[1]/n + up.Reg.Penalty(trial)
+	g2 := grad.Dot(grad)
+
+	if fTrial > fw-armijoC*alpha*g2 && backtracks < maxBacktracks {
+		// Armijo violated: shrink and probe again.
+		alpha *= up.Beta
+		ctx.Put(lsAlphaKey, alpha)
+		ctx.Put("ls.backtracks", backtracks+1)
+		next := ctx.Weights.Clone()
+		next.AddScaled(-alpha, grad)
+		ctx.Put(lsTrialKey, next)
+		return ctx.Weights, nil
+	}
+
+	// Sufficient decrease: apply the update.
+	prev := ctx.Weights
+	ctx.Weights = trial
+	updates, _ := ctx.Get(lsUpdatesKey).(int)
+	ctx.Put(lsUpdatesKey, updates+1)
+	ctx.Put(lsDeltaKey, trial.DistL1(prev))
+	ctx.Put(lsPhaseKey, lsPhaseGrad)
+	return ctx.Weights, nil
+}
+
+// lineSearchStager initializes the phase machine alongside the weights.
+type lineSearchStager struct{}
+
+// Stage implements Stager.
+func (lineSearchStager) Stage(_ []data.Unit, ctx *Context) error {
+	ctx.Weights = linalg.NewVector(ctx.NumFeatures)
+	ctx.Iter = 0
+	ctx.Put(lsPhaseKey, lsPhaseGrad)
+	ctx.Put(lsDeltaKey, math.Inf(1))
+	ctx.Put(lsUpdatesKey, 0)
+	return nil
+}
+
+// LineSearchConverger reports the delta of the most recent applied update;
+// intermediate probe passes keep the previous delta so the Looper does not
+// mistake "weights unchanged while probing" for convergence.
+type LineSearchConverger struct{}
+
+// Converge implements Converger.
+func (LineSearchConverger) Converge(_, _ linalg.Vector, ctx *Context) float64 {
+	d, ok := ctx.Get(lsDeltaKey).(float64)
+	if !ok {
+		return math.Inf(1)
+	}
+	return d
+}
+
+// NewLineSearchBGD builds the Appendix C BGD-with-backtracking plan. beta in
+// (0,1) is the shrink factor (0.5 when out of range).
+func NewLineSearchBGD(p Params, beta float64) Plan {
+	p = p.withDefaults()
+	if beta <= 0 || beta >= 1 {
+		beta = 0.5
+	}
+	plan := p.base(LineSearchBGD, Eager, NoSampling, 0)
+	plan.Stager = lineSearchStager{}
+	plan.Computer = LineSearchComputer{Gradient: p.Gradient}
+	plan.Updater = LineSearchUpdater{Reg: gradients.L2{Lambda: p.Lambda}, Beta: beta, Alpha: 1}
+	plan.Converger = LineSearchConverger{}
+	return plan
+}

@@ -1,0 +1,198 @@
+package gd
+
+import (
+	"math"
+	"testing"
+
+	"ml4all/internal/data"
+	"ml4all/internal/gradients"
+	"ml4all/internal/linalg"
+)
+
+func newCtx(d int) *Context {
+	ctx := NewContext()
+	ctx.NumFeatures = d
+	ctx.NumPoints = 100
+	ctx.BatchSize = 1
+	ctx.Tolerance = 1e-3
+	ctx.MaxIter = 100
+	return ctx
+}
+
+func TestContextVars(t *testing.T) {
+	ctx := NewContext()
+	ctx.Put("k", linalg.Vector{1, 2})
+	v, err := ctx.GetVector("k")
+	if err != nil || !v.Equal(linalg.Vector{1, 2}, 0) {
+		t.Fatalf("GetVector: %v %v", v, err)
+	}
+	if _, err := ctx.GetVector("missing"); err == nil {
+		t.Fatal("missing key accepted")
+	}
+	ctx.Put("s", "hello")
+	if _, err := ctx.GetVector("s"); err == nil {
+		t.Fatal("non-vector accepted")
+	}
+	if ctx.Get("s") != "hello" {
+		t.Fatal("Get lost value")
+	}
+}
+
+func TestFormatTransformer(t *testing.T) {
+	tr := FormatTransformer{Format: data.FormatLIBSVM}
+	u, err := tr.Transform("1 2:0.5", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Label != 1 || u.NNZ() != 1 {
+		t.Fatalf("transformed unit = %v", u)
+	}
+	if _, err := tr.Transform("", nil); err == nil {
+		t.Fatal("blank line accepted")
+	}
+	if _, err := tr.Transform("not a line", nil); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestZeroStager(t *testing.T) {
+	ctx := newCtx(5)
+	if err := (ZeroStager{}).Stage(nil, ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Weights.Dim() != 5 || ctx.Weights.Norm1() != 0 || ctx.Iter != 0 {
+		t.Fatalf("stage left %v iter=%d", ctx.Weights, ctx.Iter)
+	}
+}
+
+func TestSampleMeanStager(t *testing.T) {
+	ctx := newCtx(2)
+	sample := []data.Unit{
+		data.NewDenseUnit(1, linalg.Vector{2, 0}),
+		data.NewDenseUnit(1, linalg.Vector{0, 4}),
+	}
+	if err := (SampleMeanStager{Scale: 1}).Stage(sample, ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !ctx.Weights.Equal(linalg.Vector{1, 2}, 1e-12) {
+		t.Fatalf("weights = %v, want mean [1 2]", ctx.Weights)
+	}
+	// Without a sample it behaves like ZeroStager.
+	ctx2 := newCtx(2)
+	if err := (SampleMeanStager{Scale: 1}).Stage(nil, ctx2); err != nil {
+		t.Fatal(err)
+	}
+	if ctx2.Weights.Norm1() != 0 {
+		t.Fatalf("no-sample staging = %v, want zeros", ctx2.Weights)
+	}
+}
+
+func TestGradientComputerAccumulates(t *testing.T) {
+	ctx := newCtx(2)
+	ctx.Weights = linalg.Vector{0, 0}
+	c := GradientComputer{Gradient: gradients.LeastSquares{}}
+	acc := linalg.NewVector(c.AccDim(2))
+	u := data.NewDenseUnit(1, linalg.Vector{1, 0}) // grad = 2(0-1)x = [-2, 0]
+	c.Compute(u, ctx, acc)
+	c.Compute(u, ctx, acc)
+	if !acc.Equal(linalg.Vector{-4, 0}, 1e-12) {
+		t.Fatalf("acc = %v, want [-4 0]", acc)
+	}
+	if c.Ops(3) <= 0 {
+		t.Fatal("Ops must be positive")
+	}
+}
+
+func TestGradientUpdaterTakesMeanAndStep(t *testing.T) {
+	ctx := newCtx(2)
+	ctx.Weights = linalg.Vector{1, 1}
+	ctx.Step = 0.5
+	ctx.BatchSize = 2
+	up := GradientUpdater{}
+	// Summed gradient [4, -2] over batch 2 => mean [2, -1]; w -= 0.5*mean.
+	w, err := up.Update(linalg.Vector{4, -2}, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Equal(linalg.Vector{0, 1.5}, 1e-12) {
+		t.Fatalf("w = %v, want [0 1.5]", w)
+	}
+	if !ctx.Weights.Equal(w, 0) {
+		t.Fatal("context weights not updated")
+	}
+	ctx.BatchSize = 0
+	if _, err := up.Update(linalg.Vector{1, 1}, ctx); err == nil {
+		t.Fatal("zero batch accepted")
+	}
+}
+
+func TestGradientUpdaterAppliesRegularizer(t *testing.T) {
+	ctx := newCtx(2)
+	ctx.Weights = linalg.Vector{2, 0}
+	ctx.Step = 1
+	ctx.BatchSize = 1
+	up := GradientUpdater{Reg: gradients.L2{Lambda: 0.5}}
+	// grad = [0,0] + lambda*w = [1, 0]; w -= [1,0].
+	w, err := up.Update(linalg.Vector{0, 0}, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Equal(linalg.Vector{1, 0}, 1e-12) {
+		t.Fatalf("w = %v, want [1 0]", w)
+	}
+}
+
+func TestConvergers(t *testing.T) {
+	a := linalg.Vector{1, 2}
+	b := linalg.Vector{0, 0}
+	if got := (L1Converger{}).Converge(a, b, nil); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("L1 = %g, want 3", got)
+	}
+	if got := (L2Converger{}).Converge(a, b, nil); math.Abs(got-math.Sqrt(5)) > 1e-12 {
+		t.Fatalf("L2 = %g, want sqrt(5)", got)
+	}
+}
+
+func TestToleranceLooper(t *testing.T) {
+	ctx := newCtx(2)
+	ctx.Tolerance = 0.01
+	ctx.MaxIter = 10
+	ctx.Iter = 5
+	l := ToleranceLooper{}
+	if !l.Loop(0.5, ctx) {
+		t.Fatal("should continue above tolerance")
+	}
+	if l.Loop(0.001, ctx) {
+		t.Fatal("should stop below tolerance")
+	}
+	ctx.Iter = 10
+	if l.Loop(0.5, ctx) {
+		t.Fatal("should stop at max iterations")
+	}
+}
+
+func TestFixedIterLooper(t *testing.T) {
+	ctx := newCtx(2)
+	ctx.MaxIter = 3
+	l := FixedIterLooper{}
+	ctx.Iter = 2
+	if !l.Loop(0, ctx) {
+		t.Fatal("stopped early despite fixed iteration count")
+	}
+	ctx.Iter = 3
+	if l.Loop(math.Inf(1), ctx) {
+		t.Fatal("did not stop at the fixed count")
+	}
+}
+
+func TestSVRGFullIterationSchedule(t *testing.T) {
+	// m=5: iterations 1, 6, 11 are snapshots.
+	for _, c := range []struct {
+		t    int
+		want bool
+	}{{1, true}, {2, false}, {5, false}, {6, true}, {11, true}} {
+		if got := svrgFullIteration(c.t, 5); got != c.want {
+			t.Errorf("svrgFullIteration(%d, 5) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}

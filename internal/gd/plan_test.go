@@ -1,0 +1,136 @@
+package gd
+
+import (
+	"strings"
+	"testing"
+
+	"ml4all/internal/data"
+)
+
+func params() Params {
+	return Params{Task: data.TaskSVM, Format: data.FormatLIBSVM}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	p := params().withDefaults()
+	if p.Tolerance != 1e-3 {
+		t.Errorf("default tolerance = %g, want 1e-3 (the language default)", p.Tolerance)
+	}
+	if p.MaxIter != 1000 {
+		t.Errorf("default max iter = %d, want 1000", p.MaxIter)
+	}
+	if p.BatchSize != 1000 {
+		t.Errorf("default batch = %d, want 1000 (the paper's MGD setting)", p.BatchSize)
+	}
+	if p.Gradient == nil || p.Step == nil || p.Converger == nil {
+		t.Error("defaults left nil operators")
+	}
+	if p.Gradient.Name() != "hinge" {
+		t.Errorf("SVM default gradient = %s, want hinge", p.Gradient.Name())
+	}
+}
+
+func TestPlanNames(t *testing.T) {
+	p := params()
+	cases := []struct {
+		plan Plan
+		want string
+	}{
+		{NewBGD(p), "BGD"},
+		{NewSGD(p, Lazy, ShuffledPartition), "SGD-lazy-shuffle"},
+		{NewSGD(p, Eager, Bernoulli), "SGD-eager-bernoulli"},
+		{NewMGD(p, Eager, RandomPartition), "MGD-eager-random"},
+	}
+	for _, c := range cases {
+		if got := c.plan.Name(); got != c.want {
+			t.Errorf("Name = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	p := params()
+	good := []Plan{
+		NewBGD(p),
+		NewSGD(p, Eager, Bernoulli),
+		NewSGD(p, Lazy, RandomPartition),
+		NewMGD(p, Eager, ShuffledPartition),
+		NewSVRG(p, 10),
+		NewLineSearchBGD(p, 0.5),
+	}
+	for _, pl := range good {
+		if err := pl.Validate(); err != nil {
+			t.Errorf("%s: unexpected invalid: %v", pl.Name(), err)
+		}
+	}
+
+	bad := NewSGD(p, Lazy, Bernoulli)
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "lazy") {
+		t.Errorf("lazy+bernoulli accepted (err=%v); Section 6 discards it", err)
+	}
+
+	bgdSampled := NewBGD(p)
+	bgdSampled.Sampling = Bernoulli
+	if bgdSampled.Validate() == nil {
+		t.Error("BGD with sampling accepted")
+	}
+
+	noBatch := NewMGD(p, Eager, Bernoulli)
+	noBatch.BatchSize = 0
+	if noBatch.Validate() == nil {
+		t.Error("MGD without batch size accepted")
+	}
+
+	nilOp := NewBGD(p)
+	nilOp.Computer = nil
+	if nilOp.Validate() == nil {
+		t.Error("nil operator accepted")
+	}
+
+	noIter := NewBGD(p)
+	noIter.MaxIter = 0
+	if noIter.Validate() == nil {
+		t.Error("MaxIter 0 accepted")
+	}
+}
+
+func TestForAlgo(t *testing.T) {
+	p := params()
+	for _, algo := range []Algo{BGD, SGD, MGD, SVRG, LineSearchBGD} {
+		plan, err := ForAlgo(p, algo)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if plan.Algorithm != algo {
+			t.Fatalf("ForAlgo(%v).Algorithm = %v", algo, plan.Algorithm)
+		}
+		if err := plan.Validate(); err != nil {
+			t.Fatalf("%v default plan invalid: %v", algo, err)
+		}
+	}
+	if _, err := ForAlgo(p, Algo(99)); err == nil {
+		t.Error("unknown algo accepted")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if BGD.String() != "BGD" || SGD.String() != "SGD" || MGD.String() != "MGD" {
+		t.Error("algo names wrong")
+	}
+	if Eager.String() != "eager" || Lazy.String() != "lazy" {
+		t.Error("placement names wrong")
+	}
+	if Bernoulli.String() != "bernoulli" || RandomPartition.String() != "random" ||
+		ShuffledPartition.String() != "shuffle" || NoSampling.String() != "none" {
+		t.Error("sampling names wrong")
+	}
+	if AutoMode.String() != "auto" || CentralizedMode.String() != "centralized" || DistributedMode.String() != "distributed" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestSGDBatchSizeIsOne(t *testing.T) {
+	if got := NewSGD(params(), Eager, ShuffledPartition).BatchSize; got != 1 {
+		t.Fatalf("SGD batch = %d, want 1", got)
+	}
+}

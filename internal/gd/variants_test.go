@@ -1,0 +1,207 @@
+package gd
+
+import (
+	"math"
+	"testing"
+
+	"ml4all/internal/data"
+	"ml4all/internal/gradients"
+	"ml4all/internal/linalg"
+)
+
+// Operator-level tests for the Appendix C variants (SVRG, backtracking line
+// search); whole-plan behaviour is covered in the engine tests.
+
+func svrgCtx(d int) *Context {
+	ctx := newCtx(d)
+	ctx.Weights = linalg.NewVector(d)
+	ctx.Step = 0.1
+	ctx.NumPoints = 4
+	return ctx
+}
+
+func TestSVRGStagerSeedsSnapshot(t *testing.T) {
+	ctx := svrgCtx(3)
+	if err := (svrgStager{}).Stage(nil, ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.GetVector(svrgBarKey); err != nil {
+		t.Fatalf("snapshot not staged: %v", err)
+	}
+	if _, err := ctx.GetVector(svrgMuKey); err != nil {
+		t.Fatalf("mu not staged: %v", err)
+	}
+}
+
+func TestSVRGSnapshotIterationSetsMuAndBar(t *testing.T) {
+	ctx := svrgCtx(2)
+	if err := (svrgStager{}).Stage(nil, ctx); err != nil {
+		t.Fatal(err)
+	}
+	ctx.Iter = 1 // snapshot iteration for any m
+	ctx.Weights = linalg.Vector{1, 2}
+
+	up := SVRGUpdater{M: 5}
+	// Summed gradient [4, 8] over NumPoints=4 => mu = [1, 2].
+	w, err := up.Update(linalg.Vector{4, 8, 0, 0}, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, err := ctx.GetVector(svrgMuKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mu.Equal(linalg.Vector{1, 2}, 1e-12) {
+		t.Fatalf("mu = %v, want [1 2]", mu)
+	}
+	bar, err := ctx.GetVector(svrgBarKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bar.Equal(linalg.Vector{1, 2}, 1e-12) {
+		t.Fatalf("w-bar = %v, want pre-update weights [1 2]", bar)
+	}
+	// w = [1,2] - 0.1*[1,2] = [0.9, 1.8]
+	if !w.Equal(linalg.Vector{0.9, 1.8}, 1e-12) {
+		t.Fatalf("w = %v, want [0.9 1.8]", w)
+	}
+}
+
+func TestSVRGStochasticIterationVarianceCorrection(t *testing.T) {
+	ctx := svrgCtx(2)
+	if err := (svrgStager{}).Stage(nil, ctx); err != nil {
+		t.Fatal(err)
+	}
+	ctx.Put(svrgMuKey, linalg.Vector{0.5, 0.5})
+	ctx.Weights = linalg.Vector{1, 1}
+	ctx.Iter = 2 // stochastic for m=5
+
+	up := SVRGUpdater{M: 5}
+	// acc = [grad(w) | grad(wBar)] = [2,0 | 1,0]
+	// dir = (2-1, 0-0) + mu = (1.5, 0.5); w -= 0.1*dir.
+	w, err := up.Update(linalg.Vector{2, 0, 1, 0}, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Equal(linalg.Vector{0.85, 0.95}, 1e-12) {
+		t.Fatalf("w = %v, want [0.85 0.95]", w)
+	}
+}
+
+func TestSVRGComputerPacksBothGradients(t *testing.T) {
+	ctx := svrgCtx(2)
+	if err := (svrgStager{}).Stage(nil, ctx); err != nil {
+		t.Fatal(err)
+	}
+	ctx.Weights = linalg.Vector{1, 0}
+	ctx.Put(svrgBarKey, linalg.Vector{0, 0})
+	ctx.Iter = 3 // stochastic
+
+	c := SVRGComputer{Gradient: gradients.LeastSquares{}, M: 5}
+	acc := linalg.NewVector(c.AccDim(2))
+	u := data.NewDenseUnit(1, linalg.Vector{1, 1})
+	c.Compute(u, ctx, acc)
+	// grad(w): 2(w·x - y)x = 2(1-1)x = 0; grad(wBar): 2(0-1)x = [-2,-2].
+	if !acc.Equal(linalg.Vector{0, 0, -2, -2}, 1e-12) {
+		t.Fatalf("acc = %v", acc)
+	}
+}
+
+func TestLineSearchPhaseMachine(t *testing.T) {
+	ctx := newCtx(2)
+	if err := (lineSearchStager{}).Stage(nil, ctx); err != nil {
+		t.Fatal(err)
+	}
+	ctx.NumPoints = 1
+	ctx.Weights = linalg.Vector{2, 0}
+
+	up := LineSearchUpdater{Beta: 0.5, Alpha: 1}
+	// Gradient pass: acc = [sum f_i(w), 0, grad...] with grad [2, 0].
+	if _, err := up.Update(linalg.Vector{4, 0, 2, 0}, ctx); err != nil {
+		t.Fatal(err)
+	}
+	if phase, _ := ctx.Get(lsPhaseKey).(string); phase != lsPhaseProbe {
+		t.Fatalf("phase = %q, want probe", phase)
+	}
+	trial, err := ctx.GetVector(lsTrialKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trial.Equal(linalg.Vector{0, 0}, 1e-12) {
+		t.Fatalf("trial = %v, want w - 1*grad = [0 0]", trial)
+	}
+
+	// Probe pass with sufficient decrease: f(trial)=0 < f(w)=4 - c*1*4.
+	w, err := up.Update(linalg.Vector{4, 0, 0, 0}, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Equal(linalg.Vector{0, 0}, 1e-12) {
+		t.Fatalf("applied w = %v, want trial", w)
+	}
+	if phase, _ := ctx.Get(lsPhaseKey).(string); phase != lsPhaseGrad {
+		t.Fatalf("phase after apply = %q, want grad", phase)
+	}
+	if n, _ := ctx.Get(lsUpdatesKey).(int); n != 1 {
+		t.Fatalf("applied updates = %d, want 1", n)
+	}
+}
+
+func TestLineSearchBacktracksOnInsufficientDecrease(t *testing.T) {
+	ctx := newCtx(1)
+	if err := (lineSearchStager{}).Stage(nil, ctx); err != nil {
+		t.Fatal(err)
+	}
+	ctx.NumPoints = 1
+	ctx.Weights = linalg.Vector{1}
+
+	up := LineSearchUpdater{Beta: 0.5, Alpha: 1}
+	if _, err := up.Update(linalg.Vector{1, 0, 1}, ctx); err != nil { // f(w)=1, grad=1
+		t.Fatal(err)
+	}
+	// Probe claims the trial is WORSE: f(trial)=5 > f(w) - c*alpha*g².
+	if _, err := up.Update(linalg.Vector{1, 5, 0}, ctx); err != nil {
+		t.Fatal(err)
+	}
+	alpha, _ := ctx.Get(lsAlphaKey).(float64)
+	if math.Abs(alpha-0.5) > 1e-12 {
+		t.Fatalf("alpha = %g, want halved to 0.5", alpha)
+	}
+	if phase, _ := ctx.Get(lsPhaseKey).(string); phase != lsPhaseProbe {
+		t.Fatal("backtrack must stay in probe phase")
+	}
+	// The weights must not have moved.
+	if !ctx.Weights.Equal(linalg.Vector{1}, 0) {
+		t.Fatalf("weights moved during backtrack: %v", ctx.Weights)
+	}
+}
+
+func TestLineSearchConvergerUsesAppliedDelta(t *testing.T) {
+	ctx := newCtx(1)
+	if err := (lineSearchStager{}).Stage(nil, ctx); err != nil {
+		t.Fatal(err)
+	}
+	c := LineSearchConverger{}
+	// Before any applied update: infinite delta so the loop continues.
+	if got := c.Converge(linalg.Vector{0}, linalg.Vector{0}, ctx); !math.IsInf(got, 1) {
+		t.Fatalf("pre-update delta = %g, want +Inf", got)
+	}
+	ctx.Put(lsDeltaKey, 0.25)
+	if got := c.Converge(linalg.Vector{0}, linalg.Vector{0}, ctx); got != 0.25 {
+		t.Fatalf("delta = %g, want stored 0.25", got)
+	}
+}
+
+func TestNewLineSearchClampsBeta(t *testing.T) {
+	p := params()
+	for _, beta := range []float64{-1, 0, 1, 2} {
+		plan := NewLineSearchBGD(p, beta)
+		up, ok := plan.Updater.(LineSearchUpdater)
+		if !ok {
+			t.Fatal("unexpected updater type")
+		}
+		if up.Beta <= 0 || up.Beta >= 1 {
+			t.Fatalf("beta %g not clamped: %g", beta, up.Beta)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package gradients implements the loss functions and gradient functions of
+// the paper's Table 3 — SVM (hinge), logistic regression and linear
+// regression (least squares) — plus the L2 regularizer used throughout the
+// evaluation. Gradients accumulate into a caller-provided buffer so that
+// batch computation does not allocate per point.
+package gradients
+
+import (
+	"fmt"
+	"math"
+
+	"ml4all/internal/data"
+	"ml4all/internal/linalg"
+)
+
+// Gradient computes per-point losses and gradient contributions.
+//
+// AddGradient accumulates ∇f_i(w) for point u into grad (which has the model
+// dimensionality). Loss returns f_i(w). Ops reports the approximate number of
+// multiply-add operations one AddGradient call performs for a point with nnz
+// stored values; the cluster simulator charges CPU time with it.
+type Gradient interface {
+	AddGradient(w linalg.Vector, u data.Unit, grad linalg.Vector)
+	Loss(w linalg.Vector, u data.Unit) float64
+	Ops(nnz int) float64
+	Name() string
+}
+
+// ForTask returns the paper's default gradient for a task (Table 3).
+func ForTask(t data.TaskKind) Gradient {
+	switch t {
+	case data.TaskSVM:
+		return Hinge{}
+	case data.TaskLogisticRegression:
+		return Logistic{}
+	case data.TaskLinearRegression:
+		return LeastSquares{}
+	default:
+		panic(fmt.Sprintf("gradients: unknown task %v", t))
+	}
+}
+
+// Hinge is the SVM gradient of Table 3:
+//
+//	g(w, x, y) = -y*x if y*wᵀx < 1, else 0.
+type Hinge struct{}
+
+// Name returns "hinge".
+func (Hinge) Name() string { return "hinge" }
+
+// AddGradient implements Gradient.
+func (Hinge) AddGradient(w linalg.Vector, u data.Unit, grad linalg.Vector) {
+	if u.Label*u.Dot(w) < 1 {
+		u.AddScaledInto(grad, -u.Label)
+	}
+}
+
+// Loss returns the hinge loss max(0, 1-y*wᵀx).
+func (Hinge) Loss(w linalg.Vector, u data.Unit) float64 {
+	m := 1 - u.Label*u.Dot(w)
+	if m < 0 {
+		return 0
+	}
+	return m
+}
+
+// Ops implements Gradient: one dot plus one axpy.
+func (Hinge) Ops(nnz int) float64 { return float64(2 * nnz) }
+
+// Logistic is the logistic-regression gradient of Table 3:
+//
+//	g(w, x, y) = (-1 / (1 + e^{y*wᵀx})) * y * x.
+type Logistic struct{}
+
+// Name returns "logistic".
+func (Logistic) Name() string { return "logistic" }
+
+// AddGradient implements Gradient.
+func (Logistic) AddGradient(w linalg.Vector, u data.Unit, grad linalg.Vector) {
+	z := u.Label * u.Dot(w)
+	coeff := -u.Label / (1 + math.Exp(z))
+	u.AddScaledInto(grad, coeff)
+}
+
+// Loss returns the log loss log(1 + e^{-y*wᵀx}), computed stably.
+func (Logistic) Loss(w linalg.Vector, u data.Unit) float64 {
+	z := -u.Label * u.Dot(w)
+	// log(1+e^z) = z + log(1+e^-z) for large z avoids overflow.
+	if z > 35 {
+		return z
+	}
+	return math.Log1p(math.Exp(z))
+}
+
+// Ops implements Gradient.
+func (Logistic) Ops(nnz int) float64 { return float64(2*nnz) + 8 }
+
+// LeastSquares is the linear-regression gradient of Table 3:
+//
+//	g(w, x, y) = 2*(wᵀx - y)*x.
+type LeastSquares struct{}
+
+// Name returns "leastsquares".
+func (LeastSquares) Name() string { return "leastsquares" }
+
+// AddGradient implements Gradient.
+func (LeastSquares) AddGradient(w linalg.Vector, u data.Unit, grad linalg.Vector) {
+	r := u.Dot(w) - u.Label
+	u.AddScaledInto(grad, 2*r)
+}
+
+// Loss returns the squared error (wᵀx - y)².
+func (LeastSquares) Loss(w linalg.Vector, u data.Unit) float64 {
+	r := u.Dot(w) - u.Label
+	return r * r
+}
+
+// Ops implements Gradient.
+func (LeastSquares) Ops(nnz int) float64 { return float64(2 * nnz) }
+
+// L2 is the squared-norm regularizer R(w) = (lambda/2)*||w||², the paper's
+// default for its classification workloads. Lambda == 0 disables it.
+type L2 struct{ Lambda float64 }
+
+// AddGradient adds lambda*w into grad (applied once per batch, not per
+// point).
+func (r L2) AddGradient(w, grad linalg.Vector) {
+	if r.Lambda == 0 {
+		return
+	}
+	grad.AddScaled(r.Lambda, w)
+}
+
+// Penalty returns (lambda/2)*||w||².
+func (r L2) Penalty(w linalg.Vector) float64 {
+	if r.Lambda == 0 {
+		return 0
+	}
+	n := w.Norm2()
+	return r.Lambda / 2 * n * n
+}
+
+// Objective evaluates the full regularized objective
+// f(w) = (1/n)·Σ loss_i(w) + R(w) over the given units. It is used by
+// backtracking line search and by tests; training itself never needs it.
+func Objective(g Gradient, reg L2, w linalg.Vector, units []data.Unit) float64 {
+	if len(units) == 0 {
+		return reg.Penalty(w)
+	}
+	var s float64
+	for _, u := range units {
+		s += g.Loss(w, u)
+	}
+	return s/float64(len(units)) + reg.Penalty(w)
+}
+
+// MeanGradient computes the regularized mean gradient over units into grad
+// (zeroing it first). It is the reference the distributed plans must agree
+// with; tests compare plan execution against it.
+func MeanGradient(g Gradient, reg L2, w linalg.Vector, units []data.Unit, grad linalg.Vector) {
+	grad.Zero()
+	for _, u := range units {
+		g.AddGradient(w, u, grad)
+	}
+	if n := len(units); n > 0 {
+		grad.Scale(1 / float64(n))
+	}
+	reg.AddGradient(w, grad)
+}

@@ -1,0 +1,143 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Stmt is any top-level statement of the language.
+type Stmt interface{ stmt() }
+
+// Source is one dataset reference with an optional column specification:
+// "input.txt:2" selects column 2, "input.txt:4-20" columns 4 through 20.
+type Source struct {
+	Path string
+	// Lo/Hi are the 1-based column range; Lo == 0 means no column spec,
+	// Lo == Hi a single column.
+	Lo, Hi int
+}
+
+// String renders the source as written.
+func (s Source) String() string {
+	switch {
+	case s.Lo == 0:
+		return s.Path
+	case s.Lo == s.Hi:
+		return fmt.Sprintf("%s:%d", s.Path, s.Lo)
+	default:
+		return fmt.Sprintf("%s:%d-%d", s.Path, s.Lo, s.Hi)
+	}
+}
+
+// Run is the central statement: run <task> on <sources> [having ...]
+// [using ...];
+type Run struct {
+	// Result is the assigned query name (Q1 in "Q1 = run ..."), empty when
+	// unassigned.
+	Result string
+	// Task is "classification", "regression", or a gradient function name
+	// such as "hinge" (written hinge() in the source).
+	Task       string
+	TaskIsFunc bool
+	Sources    []Source
+
+	// having constraints; zero values mean unspecified.
+	Time    time.Duration
+	Epsilon float64
+	MaxIter int
+
+	// using directives; empty/zero mean optimizer's choice.
+	Algorithm   string
+	Convergence string // convergence function name
+	Step        float64
+	HasStep     bool
+	Sampler     string
+}
+
+func (*Run) stmt() {}
+
+// String renders the statement canonically.
+func (r *Run) String() string {
+	var b strings.Builder
+	if r.Result != "" {
+		fmt.Fprintf(&b, "%s = ", r.Result)
+	}
+	b.WriteString("run ")
+	b.WriteString(r.Task)
+	if r.TaskIsFunc {
+		b.WriteString("()")
+	}
+	b.WriteString(" on ")
+	for i, s := range r.Sources {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(s.String())
+	}
+	var having []string
+	if r.Time > 0 {
+		having = append(having, fmt.Sprintf("time %s", r.Time))
+	}
+	if r.Epsilon > 0 {
+		having = append(having, fmt.Sprintf("epsilon %g", r.Epsilon))
+	}
+	if r.MaxIter > 0 {
+		having = append(having, fmt.Sprintf("max iter %d", r.MaxIter))
+	}
+	if len(having) > 0 {
+		b.WriteString(" having ")
+		b.WriteString(strings.Join(having, ", "))
+	}
+	var using []string
+	if r.Algorithm != "" {
+		using = append(using, "algorithm "+r.Algorithm)
+	}
+	if r.Convergence != "" {
+		using = append(using, "convergence "+r.Convergence+"()")
+	}
+	if r.HasStep {
+		using = append(using, fmt.Sprintf("step %g", r.Step))
+	}
+	if r.Sampler != "" {
+		using = append(using, "sampler "+r.Sampler+"()")
+	}
+	if len(using) > 0 {
+		b.WriteString(" using ")
+		b.WriteString(strings.Join(using, ", "))
+	}
+	b.WriteString(";")
+	return b.String()
+}
+
+// Persist stores a trained model: persist Q1 on my_model.txt;
+type Persist struct {
+	Model string // query name
+	Path  string
+}
+
+func (*Persist) stmt() {}
+
+// String renders the statement.
+func (p *Persist) String() string {
+	return fmt.Sprintf("persist %s on %s;", p.Model, p.Path)
+}
+
+// Predict applies a stored model: result = predict on test.txt with model.txt;
+type Predict struct {
+	Result string
+	Data   string
+	Model  string
+}
+
+func (*Predict) stmt() {}
+
+// String renders the statement.
+func (p *Predict) String() string {
+	var b strings.Builder
+	if p.Result != "" {
+		fmt.Fprintf(&b, "%s = ", p.Result)
+	}
+	fmt.Fprintf(&b, "predict on %s with %s;", p.Data, p.Model)
+	return b.String()
+}

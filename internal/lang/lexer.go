@@ -1,0 +1,210 @@
+package lang
+
+import (
+	"strings"
+	"unicode"
+)
+
+// lexer splits a query string into tokens. Words are greedy runs of
+// path-friendly characters (letters, digits, '.', '/', '_', '-'), so dataset
+// paths need no quoting — matching the paper's examples. A word shaped like
+// a number, duration or column range is reclassified accordingly.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+func (l *lexer) advance() byte {
+	b := l.src[l.pos]
+	l.pos++
+	if b == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return b
+}
+
+// Lex tokenizes the whole input.
+func Lex(src string) ([]Token, error) {
+	l := newLexer(src)
+	var toks []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (Token, error) {
+	for {
+		b, ok := l.peekByte()
+		if !ok {
+			return Token{Kind: TokEOF, Line: l.line, Col: l.col}, nil
+		}
+		switch {
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			l.advance()
+		case b == '#': // comment to end of line
+			for {
+				c, ok := l.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				l.advance()
+			}
+		default:
+			return l.lexToken()
+		}
+	}
+}
+
+func (l *lexer) lexToken() (Token, error) {
+	line, col := l.line, l.col
+	b := l.src[l.pos]
+	mk := func(kind TokenKind, text string) Token {
+		return Token{Kind: kind, Text: text, Line: line, Col: col}
+	}
+	switch b {
+	case ',':
+		l.advance()
+		return mk(TokComma, ","), nil
+	case ';':
+		l.advance()
+		return mk(TokSemicolon, ";"), nil
+	case '=':
+		l.advance()
+		return mk(TokAssign, "="), nil
+	case ':':
+		l.advance()
+		return mk(TokColon, ":"), nil
+	case '(':
+		l.advance()
+		return mk(TokLParen, "("), nil
+	case ')':
+		l.advance()
+		return mk(TokRParen, ")"), nil
+	}
+	if !isWordByte(b) {
+		t := mk(TokWord, string(b))
+		return t, errAt(t, "unexpected character %q", string(b))
+	}
+	var sb strings.Builder
+	for {
+		c, ok := l.peekByte()
+		if !ok || !isWordByte(c) {
+			break
+		}
+		sb.WriteByte(l.advance())
+	}
+	word := sb.String()
+	return mk(classify(word), word), nil
+}
+
+func isWordByte(b byte) bool {
+	r := rune(b)
+	return unicode.IsLetter(r) || unicode.IsDigit(r) ||
+		b == '.' || b == '/' || b == '_' || b == '-' || b == '+'
+}
+
+// classify reclassifies a word as a number, duration or column range when it
+// is shaped like one.
+func classify(w string) TokenKind {
+	switch {
+	case isNumber(w):
+		return TokNumber
+	case isDuration(w):
+		return TokDuration
+	case isRange(w):
+		return TokRange
+	default:
+		return TokWord
+	}
+}
+
+func isNumber(w string) bool {
+	dot, exp, digits := false, false, false
+	for i := 0; i < len(w); i++ {
+		c := w[i]
+		switch {
+		case c >= '0' && c <= '9':
+			digits = true
+		case c == '.' && !dot && !exp:
+			dot = true
+		case (c == 'e' || c == 'E') && digits && !exp:
+			exp = true
+			// allow a sign right after the exponent
+			if i+1 < len(w) && (w[i+1] == '+' || w[i+1] == '-') {
+				i++
+			}
+		case (c == '+' || c == '-') && i == 0:
+		default:
+			return false
+		}
+	}
+	return digits
+}
+
+// isDuration accepts the h/m/s/ms compound forms of the paper's examples
+// (1h30m, 45m, 10s) plus sub-second units accepted by time.ParseDuration.
+func isDuration(w string) bool {
+	if len(w) < 2 {
+		return false
+	}
+	digits, units := 0, 0
+	i := 0
+	for i < len(w) {
+		start := i
+		for i < len(w) && w[i] >= '0' && w[i] <= '9' {
+			i++
+		}
+		if i == start {
+			return false
+		}
+		digits++
+		switch {
+		case i < len(w) && w[i] == 'm' && i+1 < len(w) && w[i+1] == 's':
+			i += 2
+		case i < len(w) && (w[i] == 'h' || w[i] == 'm' || w[i] == 's'):
+			i++
+		default:
+			return false
+		}
+		units++
+	}
+	return digits > 0 && digits == units
+}
+
+// isRange accepts column ranges like 4-20.
+func isRange(w string) bool {
+	dash := strings.IndexByte(w, '-')
+	if dash <= 0 || dash == len(w)-1 {
+		return false
+	}
+	for i, c := range w {
+		if i == dash {
+			continue
+		}
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}

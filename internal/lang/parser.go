@@ -1,0 +1,332 @@
+package lang
+
+import (
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse parses a script of one or more statements.
+func Parse(src string) ([]Stmt, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmts []Stmt
+	for !p.at(TokEOF) {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	if len(stmts) == 0 {
+		return nil, errAt(p.cur(), "empty query")
+	}
+	return stmts, nil
+}
+
+// ParseOne parses exactly one statement.
+func ParseOne(src string) (Stmt, error) {
+	stmts, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, errAt(Token{Line: 1, Col: 1}, "expected one statement, got %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token          { return p.toks[p.pos] }
+func (p *parser) at(k TokenKind) bool { return p.cur().Kind == k }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k TokenKind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, errAt(t, "expected %s, got %s", k, t)
+	}
+	return p.next(), nil
+}
+
+// keyword checks for a case-insensitive keyword word.
+func (p *parser) keyword(kw string) bool {
+	t := p.cur()
+	if t.Kind == TokWord && strings.EqualFold(t.Text, kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.cur()
+	if !p.keyword(kw) {
+		return errAt(t, "expected %q, got %s", kw, t)
+	}
+	return nil
+}
+
+func (p *parser) statement() (Stmt, error) {
+	// Optional assignment prefix: IDENT '='.
+	result := ""
+	if p.at(TokWord) && p.pos+1 < len(p.toks) && p.toks[p.pos+1].Kind == TokAssign {
+		result = p.next().Text
+		p.next() // '='
+	}
+	t := p.cur()
+	switch {
+	case p.keyword("run"):
+		return p.runStmt(result)
+	case p.keyword("predict"):
+		return p.predictStmt(result)
+	case p.keyword("persist"):
+		if result != "" {
+			return nil, errAt(t, "persist cannot be assigned")
+		}
+		return p.persistStmt()
+	default:
+		return nil, errAt(t, "expected run, predict or persist, got %s", t)
+	}
+}
+
+func (p *parser) runStmt(result string) (Stmt, error) {
+	r := &Run{Result: result}
+	taskTok, err := p.expect(TokWord)
+	if err != nil {
+		return nil, err
+	}
+	r.Task = taskTok.Text
+	if p.at(TokLParen) {
+		p.next()
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		r.TaskIsFunc = true
+	}
+	if err := p.expectKeyword("on"); err != nil {
+		return nil, err
+	}
+	for {
+		src, err := p.source()
+		if err != nil {
+			return nil, err
+		}
+		r.Sources = append(r.Sources, src)
+		if !p.at(TokComma) {
+			break
+		}
+		p.next()
+		// The paper's own Q2 writes a trailing comma before `having`;
+		// tolerate it by ending the source list at a clause keyword.
+		if t := p.cur(); t.Kind == TokWord &&
+			(strings.EqualFold(t.Text, "having") || strings.EqualFold(t.Text, "using")) {
+			break
+		}
+	}
+	if p.keyword("having") {
+		if err := p.havingList(r); err != nil {
+			return nil, err
+		}
+	}
+	if p.keyword("using") {
+		if err := p.usingList(r); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokSemicolon); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (p *parser) source() (Source, error) {
+	t, err := p.expect(TokWord)
+	if err != nil {
+		return Source{}, err
+	}
+	src := Source{Path: t.Text}
+	if !p.at(TokColon) {
+		return src, nil
+	}
+	p.next()
+	c := p.cur()
+	switch c.Kind {
+	case TokNumber:
+		p.next()
+		n, err := strconv.Atoi(c.Text)
+		if err != nil || n < 1 {
+			return src, errAt(c, "bad column number %q", c.Text)
+		}
+		src.Lo, src.Hi = n, n
+	case TokRange:
+		p.next()
+		dash := strings.IndexByte(c.Text, '-')
+		lo, _ := strconv.Atoi(c.Text[:dash])
+		hi, _ := strconv.Atoi(c.Text[dash+1:])
+		if lo < 1 || hi < lo {
+			return src, errAt(c, "bad column range %q", c.Text)
+		}
+		src.Lo, src.Hi = lo, hi
+	default:
+		return src, errAt(c, "expected column or range after ':', got %s", c)
+	}
+	return src, nil
+}
+
+func (p *parser) havingList(r *Run) error {
+	for {
+		t := p.cur()
+		switch {
+		case p.keyword("time"):
+			d, err := p.expect(TokDuration)
+			if err != nil {
+				return err
+			}
+			dur, err := time.ParseDuration(d.Text)
+			if err != nil {
+				return errAt(d, "bad duration %q: %v", d.Text, err)
+			}
+			r.Time = dur
+		case p.keyword("epsilon"):
+			n, err := p.expect(TokNumber)
+			if err != nil {
+				return err
+			}
+			v, err := strconv.ParseFloat(n.Text, 64)
+			if err != nil || v <= 0 {
+				return errAt(n, "bad epsilon %q", n.Text)
+			}
+			r.Epsilon = v
+		case p.keyword("max"):
+			if err := p.expectKeyword("iter"); err != nil {
+				return err
+			}
+			n, err := p.expect(TokNumber)
+			if err != nil {
+				return err
+			}
+			v, err := strconv.Atoi(n.Text)
+			if err != nil || v < 1 {
+				return errAt(n, "bad max iter %q", n.Text)
+			}
+			r.MaxIter = v
+		default:
+			return errAt(t, "expected time, epsilon or max iter, got %s", t)
+		}
+		if !p.at(TokComma) {
+			return nil
+		}
+		p.next()
+	}
+}
+
+func (p *parser) usingList(r *Run) error {
+	for {
+		t := p.cur()
+		switch {
+		case p.keyword("algorithm"):
+			w, err := p.expect(TokWord)
+			if err != nil {
+				return err
+			}
+			r.Algorithm = w.Text
+		case p.keyword("convergence"):
+			name, err := p.funcName()
+			if err != nil {
+				return err
+			}
+			r.Convergence = name
+		case p.keyword("step"):
+			n, err := p.expect(TokNumber)
+			if err != nil {
+				return err
+			}
+			v, err := strconv.ParseFloat(n.Text, 64)
+			if err != nil || v <= 0 {
+				return errAt(n, "bad step %q", n.Text)
+			}
+			r.Step, r.HasStep = v, true
+		case p.keyword("sampler"):
+			name, err := p.funcName()
+			if err != nil {
+				return err
+			}
+			r.Sampler = name
+		default:
+			return errAt(t, "expected algorithm, convergence, step or sampler, got %s", t)
+		}
+		if !p.at(TokComma) {
+			return nil
+		}
+		p.next()
+	}
+}
+
+// funcName parses NAME or NAME().
+func (p *parser) funcName() (string, error) {
+	w, err := p.expect(TokWord)
+	if err != nil {
+		return "", err
+	}
+	if p.at(TokLParen) {
+		p.next()
+		if _, err := p.expect(TokRParen); err != nil {
+			return "", err
+		}
+	}
+	return w.Text, nil
+}
+
+func (p *parser) persistStmt() (Stmt, error) {
+	model, err := p.expect(TokWord)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("on"); err != nil {
+		return nil, err
+	}
+	path, err := p.expect(TokWord)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemicolon); err != nil {
+		return nil, err
+	}
+	return &Persist{Model: model.Text, Path: path.Text}, nil
+}
+
+func (p *parser) predictStmt(result string) (Stmt, error) {
+	if err := p.expectKeyword("on"); err != nil {
+		return nil, err
+	}
+	dataTok, err := p.expect(TokWord)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("with"); err != nil {
+		return nil, err
+	}
+	model, err := p.expect(TokWord)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemicolon); err != nil {
+		return nil, err
+	}
+	return &Predict{Result: result, Data: dataTok.Text, Model: model.Text}, nil
+}

@@ -1,0 +1,95 @@
+// Package lang implements the paper's declarative GD language (Appendix A):
+//
+//	Q1 = run classification on training_data.txt;
+//	Q2 = run classification on input.txt:2, input.txt:4-20
+//	     having time 1h30m, epsilon 0.01, max iter 1000;
+//	Q3 = run classification on input.txt
+//	     using algorithm SGD, convergence cnvg(), step 1, sampler my_sampler();
+//	persist Q1 on my_model.txt;
+//	result = predict on test_data.txt with my_model.txt;
+//
+// The package provides the lexer, AST and recursive-descent parser; binding
+// names to gradient functions, samplers and datasets happens in the public
+// ml4all facade.
+package lang
+
+import "fmt"
+
+// TokenKind classifies lexer output.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF      TokenKind = iota
+	TokWord               // identifiers, keywords, paths: run, SGD, data/train.txt
+	TokNumber             // 0.01, 1000, 1e-4
+	TokDuration           // 1h30m, 45m, 10s
+	TokComma
+	TokSemicolon
+	TokAssign // =
+	TokColon  // : (column spec separator)
+	TokRange  // 4-20 (column range; lexed as one token)
+	TokLParen
+	TokRParen
+)
+
+// String returns a readable kind name.
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokWord:
+		return "word"
+	case TokNumber:
+		return "number"
+	case TokDuration:
+		return "duration"
+	case TokComma:
+		return "','"
+	case TokSemicolon:
+		return "';'"
+	case TokAssign:
+		return "'='"
+	case TokColon:
+		return "':'"
+	case TokRange:
+		return "range"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	default:
+		return fmt.Sprintf("TokenKind(%d)", int(k))
+	}
+}
+
+// Token is one lexeme with its source position (1-based line and column).
+type Token struct {
+	Kind TokenKind
+	Text string
+	Line int
+	Col  int
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// SyntaxError is a parse or lex failure with its position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("lang: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(t Token, format string, args ...any) error {
+	return &SyntaxError{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}

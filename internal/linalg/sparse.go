@@ -1,0 +1,124 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sparse is a sparse vector in coordinate form: parallel slices of strictly
+// increasing zero-based indices and their values. The zero value is an empty
+// sparse vector ready to use. This mirrors the paper's sparse data unit
+// ("label, a set of indices, and a set of values", Section 4.1); the label
+// itself lives on the data unit, not here.
+type Sparse struct {
+	Indices []int32
+	Values  []float64
+}
+
+// NewSparse builds a sparse vector from index/value pairs. Indices must be
+// non-negative; they are sorted and duplicate indices are summed.
+func NewSparse(indices []int32, values []float64) (Sparse, error) {
+	if len(indices) != len(values) {
+		return Sparse{}, fmt.Errorf("linalg: NewSparse length mismatch %d vs %d", len(indices), len(values))
+	}
+	type pair struct {
+		i int32
+		v float64
+	}
+	ps := make([]pair, len(indices))
+	for k, i := range indices {
+		if i < 0 {
+			return Sparse{}, fmt.Errorf("linalg: NewSparse negative index %d", i)
+		}
+		ps[k] = pair{i, values[k]}
+	}
+	sort.Slice(ps, func(a, b int) bool { return ps[a].i < ps[b].i })
+	s := Sparse{Indices: make([]int32, 0, len(ps)), Values: make([]float64, 0, len(ps))}
+	for _, p := range ps {
+		if n := len(s.Indices); n > 0 && s.Indices[n-1] == p.i {
+			s.Values[n-1] += p.v
+			continue
+		}
+		s.Indices = append(s.Indices, p.i)
+		s.Values = append(s.Values, p.v)
+	}
+	return s, nil
+}
+
+// NNZ returns the number of stored (non-zero) entries.
+func (s Sparse) NNZ() int { return len(s.Indices) }
+
+// MaxIndex returns the largest stored index, or -1 for an empty vector.
+func (s Sparse) MaxIndex() int32 {
+	if len(s.Indices) == 0 {
+		return -1
+	}
+	return s.Indices[len(s.Indices)-1]
+}
+
+// Clone returns an independent copy of s.
+func (s Sparse) Clone() Sparse {
+	c := Sparse{Indices: make([]int32, len(s.Indices)), Values: make([]float64, len(s.Values))}
+	copy(c.Indices, s.Indices)
+	copy(c.Values, s.Values)
+	return c
+}
+
+// Dot returns the inner product of s with the dense vector w. Indices of s
+// beyond the dimension of w contribute zero, which lets callers use model
+// vectors sized from training metadata even when a stray point has a larger
+// index.
+func (s Sparse) Dot(w Vector) float64 {
+	var sum float64
+	d := int32(len(w))
+	for k, i := range s.Indices {
+		if i >= d {
+			break
+		}
+		sum += s.Values[k] * w[i]
+	}
+	return sum
+}
+
+// AddScaledInto adds alpha*s into the dense vector dst in place, ignoring
+// indices beyond dst's dimension.
+func (s Sparse) AddScaledInto(dst Vector, alpha float64) {
+	d := int32(len(dst))
+	for k, i := range s.Indices {
+		if i >= d {
+			break
+		}
+		dst[i] += alpha * s.Values[k]
+	}
+}
+
+// Norm2 returns the Euclidean norm of s.
+func (s Sparse) Norm2() float64 {
+	var sum float64
+	for _, v := range s.Values {
+		sum += v * v
+	}
+	return math.Sqrt(sum)
+}
+
+// Dense materializes s as a dense vector of dimension d. Entries with index
+// >= d are dropped.
+func (s Sparse) Dense(d int) Vector {
+	v := NewVector(d)
+	s.AddScaledInto(v, 1)
+	return v
+}
+
+// FromDense converts a dense vector into sparse form, keeping entries whose
+// absolute value exceeds eps.
+func FromDense(v Vector, eps float64) Sparse {
+	var s Sparse
+	for i, x := range v {
+		if math.Abs(x) > eps {
+			s.Indices = append(s.Indices, int32(i))
+			s.Values = append(s.Values, x)
+		}
+	}
+	return s
+}

@@ -1,0 +1,155 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func randomSparse(r *rand.Rand, dim int) Sparse {
+	nnz := r.Intn(dim + 1)
+	idx := make([]int32, 0, nnz)
+	val := make([]float64, 0, nnz)
+	seen := map[int32]bool{}
+	for len(idx) < nnz {
+		i := int32(r.Intn(dim))
+		if seen[i] {
+			continue
+		}
+		seen[i] = true
+		idx = append(idx, i)
+		val = append(val, r.NormFloat64())
+	}
+	s, err := NewSparse(idx, val)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestNewSparseSortsAndDedups(t *testing.T) {
+	s, err := NewSparse([]int32{5, 1, 5, 3}, []float64{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIdx := []int32{1, 3, 5}
+	wantVal := []float64{2, 8, 5} // duplicates at index 5 summed
+	if !reflect.DeepEqual(s.Indices, wantIdx) {
+		t.Fatalf("indices = %v, want %v", s.Indices, wantIdx)
+	}
+	if !reflect.DeepEqual(s.Values, wantVal) {
+		t.Fatalf("values = %v, want %v", s.Values, wantVal)
+	}
+	if s.NNZ() != 3 || s.MaxIndex() != 5 {
+		t.Fatalf("NNZ/MaxIndex = %d/%d, want 3/5", s.NNZ(), s.MaxIndex())
+	}
+}
+
+func TestNewSparseRejectsBadInput(t *testing.T) {
+	if _, err := NewSparse([]int32{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := NewSparse([]int32{-1}, []float64{1}); err == nil {
+		t.Fatal("negative index accepted")
+	}
+}
+
+func TestSparseDenseDotEquivalenceProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Rand:     rand.New(rand.NewSource(7)),
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			dim := 1 + r.Intn(24)
+			vals[0] = reflect.ValueOf(randomSparse(r, dim))
+			w := make(Vector, dim)
+			for i := range w {
+				w[i] = r.NormFloat64()
+			}
+			vals[1] = reflect.ValueOf(w)
+		},
+	}
+	f := func(s Sparse, w Vector) bool {
+		want := s.Dense(len(w)).Dot(w)
+		got := s.Dot(w)
+		return math.Abs(got-want) < 1e-9*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddScaledIntoMatchesDense(t *testing.T) {
+	s, _ := NewSparse([]int32{0, 2}, []float64{1.5, -2})
+	dst := Vector{1, 1, 1}
+	s.AddScaledInto(dst, 2)
+	want := Vector{4, 1, -3}
+	if !dst.Equal(want, 1e-12) {
+		t.Fatalf("AddScaledInto = %v, want %v", dst, want)
+	}
+}
+
+func TestSparseIndicesBeyondDenseDimIgnored(t *testing.T) {
+	s, _ := NewSparse([]int32{0, 10}, []float64{2, 99})
+	w := Vector{3, 3}
+	if got := s.Dot(w); got != 6 {
+		t.Fatalf("Dot with out-of-range index = %g, want 6", got)
+	}
+	dst := NewVector(2)
+	s.AddScaledInto(dst, 1)
+	if dst[0] != 2 || dst[1] != 0 {
+		t.Fatalf("AddScaledInto with out-of-range index = %v", dst)
+	}
+}
+
+func TestFromDenseRoundTripProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Rand:     rand.New(rand.NewSource(8)),
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			d := 1 + r.Intn(16)
+			v := make(Vector, d)
+			for i := range v {
+				if r.Float64() < 0.5 {
+					v[i] = r.NormFloat64()
+				}
+			}
+			vals[0] = reflect.ValueOf(v)
+		},
+	}
+	f := func(v Vector) bool {
+		s := FromDense(v, 0)
+		back := s.Dense(len(v))
+		return back.Equal(v, 1e-12)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseNorm2(t *testing.T) {
+	s, _ := NewSparse([]int32{1, 4}, []float64{3, 4})
+	if got := s.Norm2(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Norm2 = %g, want 5", got)
+	}
+}
+
+func TestSparseCloneIndependent(t *testing.T) {
+	s, _ := NewSparse([]int32{1}, []float64{2})
+	c := s.Clone()
+	c.Values[0] = 7
+	if s.Values[0] != 2 {
+		t.Fatal("Clone shares values")
+	}
+}
+
+func TestEmptySparse(t *testing.T) {
+	var s Sparse
+	if s.NNZ() != 0 || s.MaxIndex() != -1 {
+		t.Fatalf("empty sparse: NNZ=%d MaxIndex=%d", s.NNZ(), s.MaxIndex())
+	}
+	if s.Dot(Vector{1, 2}) != 0 {
+		t.Fatal("empty sparse dot != 0")
+	}
+}

@@ -1,0 +1,147 @@
+// Package linalg provides the small dense/sparse linear-algebra kernel the
+// gradient-descent operators are built on. It is deliberately minimal: the
+// paper's workloads only need dot products, scaled additions (axpy), norms and
+// elementwise updates over dense model vectors and sparse feature vectors.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a dense column vector.
+type Vector []float64
+
+// NewVector returns a zero vector of dimension d.
+func NewVector(d int) Vector { return make(Vector, d) }
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// Dim returns the dimensionality of v.
+func (v Vector) Dim() int { return len(v) }
+
+// Zero sets every component of v to 0 in place.
+func (v Vector) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Dot returns the inner product of v and w. It panics if dimensions differ.
+func (v Vector) Dot(w Vector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("linalg: Dot dimension mismatch %d vs %d", len(v), len(w)))
+	}
+	var s float64
+	for i, x := range v {
+		s += x * w[i]
+	}
+	return s
+}
+
+// AddScaled adds alpha*w to v in place (the BLAS axpy kernel).
+func (v Vector) AddScaled(alpha float64, w Vector) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("linalg: AddScaled dimension mismatch %d vs %d", len(v), len(w)))
+	}
+	for i, x := range w {
+		v[i] += alpha * x
+	}
+}
+
+// Add adds w to v in place.
+func (v Vector) Add(w Vector) { v.AddScaled(1, w) }
+
+// Sub subtracts w from v in place.
+func (v Vector) Sub(w Vector) { v.AddScaled(-1, w) }
+
+// Scale multiplies every component of v by alpha in place.
+func (v Vector) Scale(alpha float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Norm2 returns the Euclidean (L2) norm of v.
+func (v Vector) Norm2() float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Norm1 returns the L1 norm of v.
+func (v Vector) Norm1() float64 {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// NormInf returns the max-absolute-value norm of v.
+func (v Vector) NormInf() float64 {
+	var s float64
+	for _, x := range v {
+		if a := math.Abs(x); a > s {
+			s = a
+		}
+	}
+	return s
+}
+
+// DistL2 returns the Euclidean distance between v and w.
+func (v Vector) DistL2(w Vector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("linalg: DistL2 dimension mismatch %d vs %d", len(v), len(w)))
+	}
+	var s float64
+	for i, x := range v {
+		d := x - w[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// DistL1 returns the L1 distance between v and w. The paper's Converge
+// operator (Listing 5) uses exactly this delta between successive weight
+// vectors.
+func (v Vector) DistL1(w Vector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("linalg: DistL1 dimension mismatch %d vs %d", len(v), len(w)))
+	}
+	var s float64
+	for i, x := range v {
+		s += math.Abs(x - w[i])
+	}
+	return s
+}
+
+// Equal reports whether v and w are elementwise within tol of each other.
+func (v Vector) Equal(w Vector, tol float64) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i, x := range v {
+		if math.Abs(x-w[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// IsFinite reports whether every component of v is finite (no NaN/Inf).
+func (v Vector) IsFinite() bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}

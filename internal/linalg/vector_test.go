@@ -1,0 +1,154 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// qcfg bounds testing/quick vector sizes so property tests stay fast.
+func qcfg(seed int64) *quick.Config {
+	return &quick.Config{
+		MaxCount: 200,
+		Rand:     rand.New(rand.NewSource(seed)),
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			d := 1 + r.Intn(16)
+			for i := range vals {
+				v := make(Vector, d)
+				for j := range v {
+					v[j] = r.NormFloat64() * 10
+				}
+				vals[i] = reflect.ValueOf(v)
+			}
+		},
+	}
+}
+
+func TestVectorZeroValue(t *testing.T) {
+	v := NewVector(4)
+	if v.Dim() != 4 {
+		t.Fatalf("Dim = %d, want 4", v.Dim())
+	}
+	if v.Norm2() != 0 || v.Norm1() != 0 || v.NormInf() != 0 {
+		t.Fatalf("zero vector has nonzero norm: %v", v)
+	}
+}
+
+func TestDotSymmetryProperty(t *testing.T) {
+	f := func(a, b Vector) bool {
+		return math.Abs(a.Dot(b)-b.Dot(a)) < 1e-9
+	}
+	if err := quick.Check(f, qcfg(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDotSelfIsSquaredNormProperty(t *testing.T) {
+	f := func(a Vector) bool {
+		n := a.Norm2()
+		return math.Abs(a.Dot(a)-n*n) < 1e-6*(1+n*n)
+	}
+	if err := quick.Check(f, qcfg(2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddScaledLinearityProperty(t *testing.T) {
+	// (a + alpha*b)·c == a·c + alpha*(b·c)
+	f := func(a, b, c Vector) bool {
+		const alpha = 2.5
+		got := a.Clone()
+		got.AddScaled(alpha, b)
+		want := a.Dot(c) + alpha*b.Dot(c)
+		return math.Abs(got.Dot(c)-want) < 1e-6*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, qcfg(3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(a, b Vector) bool {
+		sum := a.Clone()
+		sum.Add(b)
+		return sum.Norm2() <= a.Norm2()+b.Norm2()+1e-9
+	}
+	if err := quick.Check(f, qcfg(4)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistancesAgreeWithNormsProperty(t *testing.T) {
+	f := func(a, b Vector) bool {
+		diff := a.Clone()
+		diff.Sub(b)
+		okL2 := math.Abs(a.DistL2(b)-diff.Norm2()) < 1e-9*(1+diff.Norm2())
+		okL1 := math.Abs(a.DistL1(b)-diff.Norm1()) < 1e-9*(1+diff.Norm1())
+		return okL2 && okL1
+	}
+	if err := quick.Check(f, qcfg(5)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleThenNorm(t *testing.T) {
+	v := Vector{3, -4}
+	v.Scale(2)
+	if got := v.Norm2(); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("Norm2 after scale = %g, want 10", got)
+	}
+	if got := v.Norm1(); math.Abs(got-14) > 1e-12 {
+		t.Fatalf("Norm1 after scale = %g, want 14", got)
+	}
+	if got := v.NormInf(); math.Abs(got-8) > 1e-12 {
+		t.Fatalf("NormInf after scale = %g, want 8", got)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	v := Vector{1, 2, 3}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Fatal("Clone shares backing array")
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot with mismatched dims did not panic")
+		}
+	}()
+	Vector{1}.Dot(Vector{1, 2})
+}
+
+func TestEqualAndIsFinite(t *testing.T) {
+	a := Vector{1, 2}
+	b := Vector{1, 2.0000001}
+	if !a.Equal(b, 1e-3) {
+		t.Fatal("Equal(tol=1e-3) = false")
+	}
+	if a.Equal(b, 1e-9) {
+		t.Fatal("Equal(tol=1e-9) = true")
+	}
+	if a.Equal(Vector{1}, 1) {
+		t.Fatal("Equal across dims = true")
+	}
+	if !a.IsFinite() {
+		t.Fatal("finite vector reported non-finite")
+	}
+	if (Vector{math.NaN()}).IsFinite() || (Vector{math.Inf(1)}).IsFinite() {
+		t.Fatal("non-finite vector reported finite")
+	}
+}
+
+func TestZeroInPlace(t *testing.T) {
+	v := Vector{1, 2, 3}
+	v.Zero()
+	if v.Norm1() != 0 {
+		t.Fatalf("Zero left %v", v)
+	}
+}

@@ -1,0 +1,55 @@
+// Package metrics evaluates trained models the way the paper's Section 8.5
+// does: apply the weight vector to each test example, compare the produced
+// label against ground truth, and report the mean square error (plus
+// accuracy for classification, which the paper discusses but does not plot).
+package metrics
+
+import (
+	"fmt"
+
+	"ml4all/internal/data"
+	"ml4all/internal/linalg"
+)
+
+// Predict returns the label the model assigns to one unit: the sign (±1) for
+// classification tasks, the raw score for regression.
+func Predict(task data.TaskKind, w linalg.Vector, u data.Unit) float64 {
+	score := u.Dot(w)
+	if task == data.TaskLinearRegression {
+		return score
+	}
+	if score >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// Report summarizes model quality on a test set.
+type Report struct {
+	N        int
+	MSE      float64 // mean square error of predicted vs. true labels
+	Accuracy float64 // fraction of exact label matches (classification)
+}
+
+// Evaluate scores the model on every unit of the test dataset.
+func Evaluate(task data.TaskKind, w linalg.Vector, test *data.Dataset) (Report, error) {
+	if test.N() == 0 {
+		return Report{}, fmt.Errorf("metrics: empty test set %q", test.Name)
+	}
+	var sse float64
+	var correct int
+	for _, u := range test.Units {
+		p := Predict(task, w, u)
+		d := p - u.Label
+		sse += d * d
+		if p == u.Label {
+			correct++
+		}
+	}
+	n := test.N()
+	return Report{
+		N:        n,
+		MSE:      sse / float64(n),
+		Accuracy: float64(correct) / float64(n),
+	}, nil
+}

@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"ml4all/internal/data"
+	"ml4all/internal/linalg"
+	"ml4all/internal/synth"
+)
+
+func TestPredictClassificationSign(t *testing.T) {
+	w := linalg.Vector{1, -1}
+	up := data.NewDenseUnit(1, linalg.Vector{2, 1})  // score 1 => +1
+	un := data.NewDenseUnit(-1, linalg.Vector{0, 1}) // score -1 => -1
+	if Predict(data.TaskSVM, w, up) != 1 {
+		t.Fatal("positive score misclassified")
+	}
+	if Predict(data.TaskLogisticRegression, w, un) != -1 {
+		t.Fatal("negative score misclassified")
+	}
+}
+
+func TestPredictRegressionRawScore(t *testing.T) {
+	w := linalg.Vector{0.5}
+	u := data.NewDenseUnit(0, linalg.Vector{4})
+	if got := Predict(data.TaskLinearRegression, w, u); got != 2 {
+		t.Fatalf("regression prediction = %g, want 2", got)
+	}
+}
+
+func TestEvaluatePerfectModel(t *testing.T) {
+	units := []data.Unit{
+		data.NewDenseUnit(1, linalg.Vector{1, 0}),
+		data.NewDenseUnit(-1, linalg.Vector{-1, 0}),
+	}
+	ds := data.FromUnits("t", data.TaskSVM, units)
+	rep, err := Evaluate(data.TaskSVM, linalg.Vector{1, 0}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MSE != 0 || rep.Accuracy != 1 || rep.N != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestEvaluateAllWrong(t *testing.T) {
+	units := []data.Unit{data.NewDenseUnit(1, linalg.Vector{-1})}
+	ds := data.FromUnits("t", data.TaskSVM, units)
+	rep, err := Evaluate(data.TaskSVM, linalg.Vector{1}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prediction -1 vs truth +1: squared error 4.
+	if rep.MSE != 4 || rep.Accuracy != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestEvaluateEmptyErrors(t *testing.T) {
+	ds := data.FromUnits("e", data.TaskSVM, nil)
+	if _, err := Evaluate(data.TaskSVM, linalg.Vector{1}, ds); err == nil {
+		t.Fatal("empty test set accepted")
+	}
+}
+
+func TestEvaluateOnSeparableSyntheticData(t *testing.T) {
+	// A half-decent training loop must beat coin flipping on gap data; here
+	// we cheat and use the mean of positive minus negative points as w.
+	ds := synth.MustGenerate(synth.Spec{
+		Name: "t", Task: data.TaskSVM, N: 800, D: 20, Density: 1,
+		Noise: 0, Margin: 2, Gap: 1.5, Seed: 11,
+	})
+	w := linalg.NewVector(ds.NumFeatures)
+	for _, u := range ds.Units {
+		u.AddScaledInto(w, u.Label)
+	}
+	rep, err := Evaluate(data.TaskSVM, w, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accuracy < 0.9 {
+		t.Fatalf("centroid classifier accuracy %.2f on separable data", rep.Accuracy)
+	}
+	if math.Abs(rep.MSE-4*(1-rep.Accuracy)) > 1e-9 {
+		t.Fatalf("MSE %g inconsistent with accuracy %g (labels are ±1)", rep.MSE, rep.Accuracy)
+	}
+}

@@ -1,0 +1,68 @@
+package step
+
+import "ml4all/internal/linalg"
+
+// BarzilaiBorwein is the BB1 spectral step size the paper's Appendix C lists
+// among the pluggable schedules: alpha_k = (s·s)/(s·y) with s = w_k -
+// w_{k-1} and y = g_k - g_{k-1}. Unlike the stateless schedules it needs the
+// trajectory, so callers feed it via Observe after every update; Alpha
+// returns the fallback until two observations exist, and whenever the
+// curvature estimate s·y is non-positive (non-convex step), it resets to the
+// fallback instead of going negative.
+type BarzilaiBorwein struct {
+	Fallback Size // schedule used before warm-up and on bad curvature
+
+	havePrev   bool
+	prevW      linalg.Vector
+	prevG      linalg.Vector
+	alpha      float64
+	haveAlpha  bool
+	lastIterAt int
+}
+
+// NewBarzilaiBorwein returns a BB stepper with the given fallback (Default()
+// when nil).
+func NewBarzilaiBorwein(fallback Size) *BarzilaiBorwein {
+	if fallback == nil {
+		fallback = Default()
+	}
+	return &BarzilaiBorwein{Fallback: fallback}
+}
+
+// Observe records the weights and gradient after iteration i.
+func (b *BarzilaiBorwein) Observe(i int, w, g linalg.Vector) {
+	if b.havePrev {
+		s := w.Clone()
+		s.Sub(b.prevW)
+		y := g.Clone()
+		y.Sub(b.prevG)
+		sy := s.Dot(y)
+		if sy > 1e-12 {
+			b.alpha = s.Dot(s) / sy
+			b.haveAlpha = true
+		} else {
+			b.haveAlpha = false
+		}
+	}
+	b.prevW = w.Clone()
+	b.prevG = g.Clone()
+	b.havePrev = true
+	b.lastIterAt = i
+}
+
+// Alpha implements Size.
+func (b *BarzilaiBorwein) Alpha(i int) float64 {
+	if b.haveAlpha {
+		return b.alpha
+	}
+	return b.Fallback.Alpha(i)
+}
+
+// Name implements Size.
+func (b *BarzilaiBorwein) Name() string { return "barzilai-borwein" }
+
+// Reset clears the trajectory (for reuse across runs).
+func (b *BarzilaiBorwein) Reset() {
+	b.havePrev, b.haveAlpha = false, false
+	b.prevW, b.prevG = nil, nil
+}

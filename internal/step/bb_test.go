@@ -1,0 +1,67 @@
+package step
+
+import (
+	"math"
+	"testing"
+
+	"ml4all/internal/linalg"
+)
+
+func TestBBFallsBackBeforeWarmup(t *testing.T) {
+	b := NewBarzilaiBorwein(Constant{Value: 0.25})
+	if got := b.Alpha(1); got != 0.25 {
+		t.Fatalf("pre-warmup Alpha = %g, want fallback 0.25", got)
+	}
+	b.Observe(1, linalg.Vector{0, 0}, linalg.Vector{1, 0})
+	if got := b.Alpha(2); got != 0.25 {
+		t.Fatalf("single observation Alpha = %g, want fallback", got)
+	}
+}
+
+func TestBBRecoversQuadraticCurvature(t *testing.T) {
+	// For f(w) = (c/2)||w||², gradient g = c·w, so y = c·s and the BB step
+	// is exactly 1/c regardless of the trajectory.
+	const c = 4.0
+	b := NewBarzilaiBorwein(nil)
+	w1 := linalg.Vector{1, 2}
+	w2 := linalg.Vector{0.5, 1.7}
+	g := func(w linalg.Vector) linalg.Vector {
+		out := w.Clone()
+		out.Scale(c)
+		return out
+	}
+	b.Observe(1, w1, g(w1))
+	b.Observe(2, w2, g(w2))
+	if got := b.Alpha(3); math.Abs(got-1/c) > 1e-12 {
+		t.Fatalf("BB step = %g, want %g", got, 1/c)
+	}
+}
+
+func TestBBBadCurvatureFallsBack(t *testing.T) {
+	b := NewBarzilaiBorwein(Constant{Value: 0.1})
+	// Gradient moves opposite to the weights: s·y < 0.
+	b.Observe(1, linalg.Vector{0}, linalg.Vector{1})
+	b.Observe(2, linalg.Vector{1}, linalg.Vector{0.5})
+	if got := b.Alpha(3); got != 0.1 {
+		t.Fatalf("negative-curvature Alpha = %g, want fallback", got)
+	}
+}
+
+func TestBBReset(t *testing.T) {
+	b := NewBarzilaiBorwein(Constant{Value: 0.9})
+	b.Observe(1, linalg.Vector{1}, linalg.Vector{2})
+	b.Observe(2, linalg.Vector{2}, linalg.Vector{4})
+	if b.Alpha(3) == 0.9 {
+		t.Fatal("BB did not engage before reset")
+	}
+	b.Reset()
+	if got := b.Alpha(3); got != 0.9 {
+		t.Fatalf("post-reset Alpha = %g, want fallback", got)
+	}
+}
+
+func TestBBName(t *testing.T) {
+	if NewBarzilaiBorwein(nil).Name() == "" {
+		t.Fatal("empty name")
+	}
+}

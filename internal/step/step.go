@@ -1,0 +1,57 @@
+// Package step implements step-size (learning-rate) strategies. The paper's
+// evaluation fixes the MLlib default beta/sqrt(i) across all systems and
+// algorithms; the iterations-estimator appendix additionally exercises 1/i
+// and 1/i² adaptive schedules, and Appendix C uses backtracking line search
+// (implemented as a GD plan variant in package gd).
+package step
+
+import (
+	"fmt"
+	"math"
+)
+
+// Size yields the step size alpha_i for (1-based) iteration i.
+type Size interface {
+	Alpha(i int) float64
+	Name() string
+}
+
+// Constant is a fixed step size.
+type Constant struct{ Value float64 }
+
+// Alpha implements Size.
+func (c Constant) Alpha(int) float64 { return c.Value }
+
+// Name implements Size.
+func (c Constant) Name() string { return fmt.Sprintf("const(%g)", c.Value) }
+
+// InvSqrt is beta/sqrt(i) — the step size hard-coded in MLlib and used for
+// every experiment in the paper's Section 8 (with beta = 1).
+type InvSqrt struct{ Beta float64 }
+
+// Alpha implements Size.
+func (s InvSqrt) Alpha(i int) float64 { return s.Beta / math.Sqrt(float64(i)) }
+
+// Name implements Size.
+func (s InvSqrt) Name() string { return fmt.Sprintf("%g/sqrt(i)", s.Beta) }
+
+// Inv is beta/i (Figure 15b, Figure 16).
+type Inv struct{ Beta float64 }
+
+// Alpha implements Size.
+func (s Inv) Alpha(i int) float64 { return s.Beta / float64(i) }
+
+// Name implements Size.
+func (s Inv) Name() string { return fmt.Sprintf("%g/i", s.Beta) }
+
+// InvSquare is beta/i² (Figure 15c).
+type InvSquare struct{ Beta float64 }
+
+// Alpha implements Size.
+func (s InvSquare) Alpha(i int) float64 { return s.Beta / (float64(i) * float64(i)) }
+
+// Name implements Size.
+func (s InvSquare) Name() string { return fmt.Sprintf("%g/i^2", s.Beta) }
+
+// Default returns the paper's experimental default: 1/sqrt(i).
+func Default() Size { return InvSqrt{Beta: 1} }

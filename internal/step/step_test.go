@@ -1,0 +1,59 @@
+package step
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConstant(t *testing.T) {
+	s := Constant{Value: 0.5}
+	if s.Alpha(1) != 0.5 || s.Alpha(1000) != 0.5 {
+		t.Fatal("constant step varies")
+	}
+}
+
+func TestInvSqrtMatchesMLlibFormula(t *testing.T) {
+	s := InvSqrt{Beta: 2}
+	for _, i := range []int{1, 4, 100} {
+		want := 2 / math.Sqrt(float64(i))
+		if got := s.Alpha(i); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Alpha(%d) = %g, want %g", i, got, want)
+		}
+	}
+}
+
+func TestInvAndInvSquare(t *testing.T) {
+	if got := (Inv{Beta: 3}).Alpha(6); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Inv.Alpha(6) = %g, want 0.5", got)
+	}
+	if got := (InvSquare{Beta: 8}).Alpha(4); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("InvSquare.Alpha(4) = %g, want 0.5", got)
+	}
+}
+
+func TestSchedulesDecreaseMonotonically(t *testing.T) {
+	for _, s := range []Size{InvSqrt{Beta: 1}, Inv{Beta: 1}, InvSquare{Beta: 1}} {
+		prev := math.Inf(1)
+		for i := 1; i <= 50; i++ {
+			a := s.Alpha(i)
+			if a <= 0 || a >= prev {
+				t.Fatalf("%s not strictly decreasing at i=%d: %g >= %g", s.Name(), i, a, prev)
+			}
+			prev = a
+		}
+	}
+}
+
+func TestDefaultIsUnitInvSqrt(t *testing.T) {
+	if got := Default().Alpha(4); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Default().Alpha(4) = %g, want 0.5", got)
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, s := range []Size{Constant{1}, InvSqrt{1}, Inv{1}, InvSquare{1}} {
+		if s.Name() == "" {
+			t.Fatalf("%T has empty name", s)
+		}
+	}
+}

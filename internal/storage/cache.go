@@ -1,0 +1,126 @@
+package storage
+
+// Cache is an LRU partition cache standing in for the Spark executor block
+// cache. The paper's large-dataset experiments (svm3, Figures 9–10) hinge on
+// whether the working set fits: when it does not, every iteration pays disk
+// IO again. Capacity is in bytes; inserting a partition larger than the
+// remaining space evicts least-recently-used partitions first.
+type Cache struct {
+	capacity int64
+	used     int64
+	entries  map[int]*cacheEntry // partition ID -> entry
+	head     *cacheEntry         // most recently used
+	tail     *cacheEntry         // least recently used
+
+	hits   int64
+	misses int64
+}
+
+type cacheEntry struct {
+	id         int
+	bytes      int64
+	prev, next *cacheEntry
+}
+
+// NewCache returns a cache with the given byte capacity. A non-positive
+// capacity yields a cache that never holds anything (all misses).
+func NewCache(capacity int64) *Cache {
+	return &Cache{capacity: capacity, entries: make(map[int]*cacheEntry)}
+}
+
+// Capacity returns the configured byte capacity.
+func (c *Cache) Capacity() int64 { return c.capacity }
+
+// Used returns the bytes currently resident.
+func (c *Cache) Used() int64 { return c.used }
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) { return c.hits, c.misses }
+
+// Contains reports whether partition id is resident, updating recency and
+// hit/miss counters. This is the read path: callers charge memory-page costs
+// on true and disk costs on false.
+func (c *Cache) Contains(id int) bool {
+	if e, ok := c.entries[id]; ok {
+		c.touch(e)
+		c.hits++
+		return true
+	}
+	c.misses++
+	return false
+}
+
+// Peek reports residency without updating recency or counters.
+func (c *Cache) Peek(id int) bool {
+	_, ok := c.entries[id]
+	return ok
+}
+
+// Insert makes partition id resident, evicting LRU partitions as needed.
+// Partitions larger than the whole cache are not admitted (Spark likewise
+// skips caching blocks that cannot fit).
+func (c *Cache) Insert(id int, bytes int64) {
+	if bytes > c.capacity {
+		return
+	}
+	if e, ok := c.entries[id]; ok {
+		c.touch(e)
+		return
+	}
+	for c.used+bytes > c.capacity && c.tail != nil {
+		c.evict(c.tail)
+	}
+	e := &cacheEntry{id: id, bytes: bytes}
+	c.entries[id] = e
+	c.used += bytes
+	c.pushFront(e)
+}
+
+// Reset empties the cache and clears counters.
+func (c *Cache) Reset() {
+	c.entries = make(map[int]*cacheEntry)
+	c.head, c.tail = nil, nil
+	c.used, c.hits, c.misses = 0, 0, 0
+}
+
+// Len returns the number of resident partitions.
+func (c *Cache) Len() int { return len(c.entries) }
+
+func (c *Cache) touch(e *cacheEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *Cache) evict(e *cacheEntry) {
+	c.unlink(e)
+	delete(c.entries, e.id)
+	c.used -= e.bytes
+}
+
+func (c *Cache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) pushFront(e *cacheEntry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}

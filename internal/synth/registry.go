@@ -1,0 +1,103 @@
+package synth
+
+import (
+	"fmt"
+
+	"ml4all/internal/data"
+)
+
+// The suite below reproduces the paper's Table 2 at the repository's global
+// 1/64 simulation scale. Cardinalities are chosen so each stand-in keeps its
+// original's *relationships* on the 1/64 cluster (2 MB partitions, 64 MB
+// cache): adult and covtype stay single-partition, yearpred/rcv1/higgs/svm1
+// span partitions but fit the cache, svm2 fits snugly, svm3 overflows it.
+// Feature counts, densities and tasks match Table 2 exactly (rcv1's feature
+// space is cut 1/64 too, keeping its extreme-dimensionality role); margins
+// and noise are tuned so relative convergence difficulty follows the paper's
+// Table 4 iteration counts.
+
+// DefaultScale is the reference cardinality divisor documented above.
+const DefaultScale = 64
+
+// Table2 returns the paper's dataset suite. scale != DefaultScale rescales
+// every cardinality proportionally (floored at 300 points); pass 0 for the
+// default.
+func Table2(scale int) []Spec {
+	if scale <= 0 {
+		scale = DefaultScale
+	}
+	n := func(atDefault int) int {
+		v := atDefault * DefaultScale / scale
+		if v < 300 {
+			v = 300
+		}
+		return v
+	}
+	return []Spec{
+		// Logistic rows carry label noise (the real datasets are not
+		// separable); the dense SVM suite is generated separable with a
+		// margin gap, which is what yields the paper's signature pattern of
+		// SGD converging in a handful of draws while MGD rides its sampling
+		// noise to the iteration cap.
+		{Name: "adult", Task: data.TaskLogisticRegression, N: n(1575), D: 123, Density: 0.11, Noise: 0.10, Margin: 1.0, Gap: 1.0, Binary: true, Seed: 11},
+		{Name: "covtype", Task: data.TaskLogisticRegression, N: n(9078), D: 54, Density: 0.22, Noise: 0.20, Margin: 0.6, Gap: 0.8, Binary: true, Seed: 12},
+		{Name: "yearpred", Task: data.TaskLinearRegression, N: n(7245), D: 90, Density: 1.0, Noise: 0.05, Margin: 2.0, Seed: 13},
+		{Name: "rcv1", Task: data.TaskLogisticRegression, N: n(10584), D: 738, Density: 0.096, Noise: 0.05, Skew: 0.6, Margin: 0.8, Gap: 0.8, Seed: 14},
+		{Name: "higgs", Task: data.TaskSVM, N: n(171875), D: 28, Density: 0.92, Noise: 0, Margin: 3.0, Gap: 2.0, Seed: 15},
+		{Name: "svm1", Task: data.TaskSVM, N: n(25000), D: 100, Density: 1.0, Noise: 0, Margin: 3.0, Gap: 2.0, Seed: 16},
+		{Name: "svm2", Task: data.TaskSVM, N: n(75000), D: 100, Density: 1.0, Noise: 0, Margin: 3.0, Gap: 2.0, Seed: 17},
+		{Name: "svm3", Task: data.TaskSVM, N: n(250000), D: 100, Density: 1.0, Noise: 0, Margin: 3.0, Gap: 2.0, Seed: 18},
+	}
+}
+
+// ByName returns the Table 2 spec with the given name.
+func ByName(name string, scale int) (Spec, error) {
+	for _, s := range Table2(scale) {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("synth: unknown dataset %q", name)
+}
+
+// SVMA returns one point of the paper's SVM A family (Figure 10a: sweeping
+// the number of points at 100 features, 2.7M-88M in the paper). points is
+// the *paper* cardinality; the generated cardinality follows the same
+// bytes-to-cache calibration as svm1-svm3 (at the default scale, 25 000
+// generated points stand for 5.5M paper points). scale <= 0 uses
+// DefaultScale.
+func SVMA(points, scale int) Spec {
+	if scale <= 0 {
+		scale = DefaultScale
+	}
+	n := int(float64(points) * 25000.0 / 5516800.0 * float64(DefaultScale) / float64(scale))
+	if n < 300 {
+		n = 300
+	}
+	return Spec{
+		Name: fmt.Sprintf("svmA-%.1fM", float64(points)/1e6), Task: data.TaskSVM,
+		N: n, D: 100, Density: 1.0, Noise: 0, Margin: 3.0, Gap: 2.0, Seed: 19,
+	}
+}
+
+// SVMB returns one point of the paper's SVM B family (Figure 10b: sweeping
+// the number of features, 1K-500K at 10K points). features is the paper
+// feature count, scaled like rcv1's; the cardinality is the paper's 10K
+// shrunk by the same factor beyond the default scale.
+func SVMB(features, scale int) Spec {
+	if scale <= 0 {
+		scale = DefaultScale
+	}
+	d := features / scale
+	if d < 15 {
+		d = 15
+	}
+	n := 10000 * DefaultScale / scale
+	if n < 1000 {
+		n = 1000
+	}
+	return Spec{
+		Name: fmt.Sprintf("svmB-%dk", features/1000), Task: data.TaskSVM,
+		N: n, D: d, Density: 1.0, Noise: 0, Margin: 3.0, Gap: 2.0, Seed: 20,
+	}
+}

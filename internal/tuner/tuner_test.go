@@ -1,0 +1,107 @@
+package tuner
+
+import (
+	"testing"
+
+	"ml4all/internal/gd"
+	"ml4all/internal/gradients"
+	"ml4all/internal/step"
+	"ml4all/internal/storage"
+	"ml4all/internal/synth"
+)
+
+func fixture(t *testing.T) (*storage.Store, gd.Plan) {
+	t.Helper()
+	spec, err := synth.ByName("covtype", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.N = 3000
+	ds := synth.MustGenerate(spec)
+	st, err := storage.Build(ds, storage.DefaultLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := gd.Params{Task: ds.Task, Format: ds.Format, Tolerance: 0.01, MaxIter: 1000, Lambda: 0.01}
+	return st, gd.NewBGD(p)
+}
+
+func TestTuneRanksDivergentLast(t *testing.T) {
+	st, plan := fixture(t)
+	cands := []Candidate{
+		{Step: step.InvSqrt{Beta: 1}},
+		{Step: step.Constant{Value: 1e6}}, // guaranteed to explode
+	}
+	trials, err := Tune(plan, st, gradients.Logistic{}, gradients.L2{Lambda: 0.01}, cands, Config{SampleSize: 400, Budget: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) != 2 {
+		t.Fatalf("trials = %d", len(trials))
+	}
+	if trials[0].Diverged {
+		t.Fatal("divergent candidate ranked first")
+	}
+	last := trials[len(trials)-1]
+	if !last.Diverged {
+		t.Fatal("exploding step did not diverge (suspicious)")
+	}
+}
+
+func TestTunePrefersFasterConvergence(t *testing.T) {
+	st, plan := fixture(t)
+	// A tiny beta crawls; a moderate one converges to 0.01 quickly.
+	cands := []Candidate{
+		{Step: step.InvSqrt{Beta: 0.001}},
+		{Step: step.InvSqrt{Beta: 1}},
+	}
+	trials, err := Tune(plan, st, gradients.Logistic{}, gradients.L2{Lambda: 0.01}, cands, Config{SampleSize: 400, Budget: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	winner := trials[0].Candidate.Step.Name()
+	if winner != (step.InvSqrt{Beta: 1}).Name() {
+		t.Fatalf("winner = %s, want beta=1", winner)
+	}
+	if trials[0].FinalObjective >= trials[1].FinalObjective {
+		t.Fatalf("ranking inconsistent: objectives %g vs %g",
+			trials[0].FinalObjective, trials[1].FinalObjective)
+	}
+}
+
+func TestTuneDefaultGrid(t *testing.T) {
+	st, plan := fixture(t)
+	trials, err := Tune(plan, st, gradients.Logistic{}, gradients.L2{Lambda: 0.01}, nil, Config{SampleSize: 300, Budget: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) != len(DefaultGrid()) {
+		t.Fatalf("trials = %d, want %d", len(trials), len(DefaultGrid()))
+	}
+	for _, tr := range trials {
+		if tr.SpecTime <= 0 {
+			t.Fatalf("trial %s consumed no time", tr.Candidate.Step.Name())
+		}
+	}
+}
+
+func TestBestReturnsUsableStep(t *testing.T) {
+	st, plan := fixture(t)
+	s, trials, err := Best(plan, st, gradients.Logistic{}, gradients.L2{Lambda: 0.01}, Config{SampleSize: 300, Budget: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil || len(trials) == 0 {
+		t.Fatal("no winner")
+	}
+	if s.Alpha(10) <= 0 {
+		t.Fatalf("winner yields non-positive step: %g", s.Alpha(10))
+	}
+}
+
+func TestTuneRejectsNilStep(t *testing.T) {
+	st, plan := fixture(t)
+	if _, err := Tune(plan, st, gradients.Logistic{}, gradients.L2{}, []Candidate{{}}, Config{}); err == nil {
+		t.Fatal("nil step accepted")
+	}
+}

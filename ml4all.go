@@ -1,0 +1,556 @@
+// Package ml4all is the public face of the library: a cost-based optimizer
+// for gradient-descent optimization, reproducing Kaoudi et al., SIGMOD 2017.
+//
+// A System holds the simulated cluster configuration and a catalog of
+// datasets and models. Users either submit declarative queries:
+//
+//	sys := ml4all.NewSystem()
+//	sys.RegisterDataset("train.txt", ds)
+//	out, err := sys.Exec(`run classification on train.txt having epsilon 0.01, max iter 1000;`)
+//
+// or drive the optimizer programmatically:
+//
+//	dec, err := sys.Optimize(ds, gd.Params{Task: ds.Task, Tolerance: 0.01})
+//	res, err := sys.Execute(ds, dec.Best.Plan)
+//
+// Training time is simulated cluster time (the substrate is a deterministic
+// cluster simulator; see DESIGN.md); convergence, iteration counts and model
+// accuracy are real.
+package ml4all
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ml4all/internal/cluster"
+	"ml4all/internal/data"
+	"ml4all/internal/engine"
+	"ml4all/internal/estimator"
+	"ml4all/internal/gd"
+	"ml4all/internal/gradients"
+	"ml4all/internal/lang"
+	"ml4all/internal/linalg"
+	"ml4all/internal/metrics"
+	"ml4all/internal/planner"
+	"ml4all/internal/step"
+	"ml4all/internal/storage"
+)
+
+// Re-exported aliases so callers need only this package for common use.
+type (
+	// Dataset is a parsed dataset handle.
+	Dataset = data.Dataset
+	// Params are the task-level training knobs.
+	Params = gd.Params
+	// Plan is one physical GD plan.
+	Plan = gd.Plan
+	// Decision is the optimizer's costed choice.
+	Decision = planner.Decision
+	// Result is one plan execution's outcome.
+	Result = engine.Result
+	// Report is a test-set evaluation.
+	Report = metrics.Report
+	// Seconds is simulated cluster time.
+	Seconds = cluster.Seconds
+)
+
+// System is a configured ML4all instance: cluster + storage layout +
+// estimator settings + catalogs.
+type System struct {
+	Cluster   cluster.Config
+	Layout    storage.Layout
+	Estimator estimator.Config
+
+	datasets map[string]*data.Dataset
+	models   map[string]*Model
+}
+
+// NewSystem returns a System on the default simulated cluster.
+func NewSystem() *System {
+	return &System{
+		Cluster:  cluster.Default(),
+		Layout:   storage.DefaultLayout(),
+		datasets: map[string]*data.Dataset{},
+		models:   map[string]*Model{},
+	}
+}
+
+// Model is a trained model plus its provenance.
+type Model struct {
+	Name       string
+	Task       data.TaskKind
+	Weights    linalg.Vector
+	PlanName   string
+	Iterations int
+	TrainTime  Seconds
+	Converged  bool
+}
+
+// RegisterDataset makes ds addressable by name/path in queries.
+func (s *System) RegisterDataset(name string, ds *data.Dataset) {
+	s.datasets[name] = ds
+}
+
+// Dataset returns a registered dataset.
+func (s *System) Dataset(name string) (*data.Dataset, bool) {
+	ds, ok := s.datasets[name]
+	return ds, ok
+}
+
+// Model returns a trained model by query name.
+func (s *System) Model(name string) (*Model, bool) {
+	m, ok := s.models[name]
+	return m, ok
+}
+
+// LoadDataset reads a dataset file from disk, registers it under its path
+// and returns it. Format is guessed from content unless forced via spec.
+func (s *System) LoadDataset(path string, task data.TaskKind) (*data.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	format, err := sniffFormat(path)
+	if err != nil {
+		return nil, err
+	}
+	units, err := data.ReadAll(f, format)
+	if err != nil {
+		return nil, fmt.Errorf("ml4all: loading %s: %w", path, err)
+	}
+	ds := data.FromUnits(path, task, units)
+	ds.Format = format
+	s.RegisterDataset(path, ds)
+	return ds, nil
+}
+
+// sniffFormat decides LIBSVM vs CSV from the first non-blank line.
+func sniffFormat(path string) (data.Format, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return data.FormatLIBSVM, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.ContainsRune(line, ':') {
+			return data.FormatLIBSVM, nil
+		}
+		return data.FormatCSV, nil
+	}
+	return data.FormatLIBSVM, sc.Err()
+}
+
+// Optimize runs the cost-based optimizer (speculation + costing of the
+// eleven-plan space) and returns its decision. The returned decision's
+// SpecTime is the simulated optimization overhead.
+func (s *System) Optimize(ds *data.Dataset, p Params) (*Decision, error) {
+	sim := cluster.New(s.Cluster)
+	return s.optimizeOn(sim, ds, p)
+}
+
+func (s *System) optimizeOn(sim *cluster.Sim, ds *data.Dataset, p Params) (*Decision, error) {
+	st, err := storage.Build(ds, s.Layout)
+	if err != nil {
+		return nil, err
+	}
+	return planner.Choose(sim, st, p, planner.Options{Estimator: s.Estimator})
+}
+
+// Execute runs one plan to completion and returns its result.
+func (s *System) Execute(ds *data.Dataset, plan Plan) (*Result, error) {
+	sim := cluster.New(s.Cluster)
+	st, err := storage.Build(ds, s.Layout)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Run(sim, st, &plan, engine.Options{Seed: s.Cluster.Seed})
+}
+
+// Train optimizes and executes in one timeline: the returned result's Time
+// includes the optimizer's speculation overhead, matching how Figure 8
+// accounts for it.
+func (s *System) Train(ds *data.Dataset, p Params) (*Result, *Decision, error) {
+	sim := cluster.New(s.Cluster)
+	dec, err := s.optimizeOn(sim, ds, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := storage.Build(ds, s.Layout)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan := dec.Best.Plan
+	res, err := engine.Run(sim, st, &plan, engine.Options{Seed: s.Cluster.Seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	res.Time = sim.Now() // optimization + training on one clock
+	return res, dec, nil
+}
+
+// Evaluate scores a model on a test dataset.
+func (s *System) Evaluate(m *Model, test *data.Dataset) (Report, error) {
+	return metrics.Evaluate(m.Task, m.Weights, test)
+}
+
+// Output is what one executed statement produced.
+type Output struct {
+	Stmt   lang.Stmt
+	Model  *Model  // run statements
+	Report *Report // predict statements
+	Path   string  // persist statements
+}
+
+// Exec parses and executes a script of declarative statements against the
+// system's catalogs.
+func (s *System) Exec(script string) ([]Output, error) {
+	stmts, err := lang.Parse(script)
+	if err != nil {
+		return nil, err
+	}
+	var outs []Output
+	for _, st := range stmts {
+		out, err := s.execStmt(st)
+		if err != nil {
+			return outs, err
+		}
+		outs = append(outs, out)
+	}
+	return outs, nil
+}
+
+func (s *System) execStmt(st lang.Stmt) (Output, error) {
+	switch q := st.(type) {
+	case *lang.Run:
+		m, err := s.runQuery(q)
+		if err != nil {
+			return Output{}, err
+		}
+		return Output{Stmt: st, Model: m}, nil
+	case *lang.Persist:
+		m, ok := s.models[q.Model]
+		if !ok {
+			return Output{}, fmt.Errorf("ml4all: persist: unknown model %q", q.Model)
+		}
+		if err := SaveModel(q.Path, m); err != nil {
+			return Output{}, err
+		}
+		return Output{Stmt: st, Path: q.Path}, nil
+	case *lang.Predict:
+		rep, err := s.predictQuery(q)
+		if err != nil {
+			return Output{}, err
+		}
+		return Output{Stmt: st, Report: &rep}, nil
+	default:
+		return Output{}, fmt.Errorf("ml4all: unsupported statement %T", st)
+	}
+}
+
+// runQuery binds a parsed run statement to datasets/operators and trains.
+func (s *System) runQuery(q *lang.Run) (*Model, error) {
+	if len(q.Sources) == 0 {
+		return nil, fmt.Errorf("ml4all: run without a data source")
+	}
+	ds, err := s.resolveSource(q)
+	if err != nil {
+		return nil, err
+	}
+	p, err := bindParams(q, ds)
+	if err != nil {
+		return nil, err
+	}
+
+	sim := cluster.New(s.Cluster)
+	stn, err := storage.Build(ds, s.Layout)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := planner.Choose(sim, stn, p, planner.Options{Estimator: s.Estimator})
+	if err != nil {
+		return nil, err
+	}
+
+	choice, err := applyUsing(dec, q)
+	if err != nil {
+		return nil, err
+	}
+	if q.Time > 0 {
+		budget := Seconds(q.Time.Seconds())
+		if choice.Cost > budget {
+			return nil, fmt.Errorf(
+				"ml4all: cannot satisfy time constraint %s: best plan %s needs an estimated %.1fs; revisit the time constraint",
+				q.Time, choice.Plan.Name(), float64(choice.Cost))
+		}
+	}
+
+	plan := choice.Plan
+	res, err := engine.Run(sim, stn, &plan, engine.Options{Seed: s.Cluster.Seed})
+	if err != nil {
+		return nil, err
+	}
+
+	name := q.Result
+	if name == "" {
+		name = fmt.Sprintf("q%d", len(s.models)+1)
+	}
+	m := &Model{
+		Name:       name,
+		Task:       ds.Task,
+		Weights:    res.Weights,
+		PlanName:   plan.Name(),
+		Iterations: res.Iterations,
+		TrainTime:  sim.Now(),
+		Converged:  res.Converged,
+	}
+	s.models[name] = m
+	return m, nil
+}
+
+// resolveSource loads/returns the dataset a run statement references,
+// applying any column specification.
+func (s *System) resolveSource(q *lang.Run) (*data.Dataset, error) {
+	path := q.Sources[0].Path
+	ds, ok := s.datasets[path]
+	if !ok {
+		loaded, err := s.LoadDataset(path, taskKind(q, data.TaskSVM))
+		if err != nil {
+			return nil, fmt.Errorf("ml4all: dataset %q not registered and not loadable: %w", path, err)
+		}
+		ds = loaded
+	}
+	// A column specification re-parses the raw lines under the spec.
+	if q.Sources[0].Lo != 0 {
+		spec := data.ColumnSpec{LabelCol: q.Sources[0].Lo}
+		if len(q.Sources) > 1 {
+			spec.FeatLo, spec.FeatHi = q.Sources[1].Lo, q.Sources[1].Hi
+		}
+		units := make([]data.Unit, 0, ds.N())
+		for i, raw := range ds.Raw {
+			u, ok, err := data.ParseCSVColumns(raw, spec)
+			if err != nil {
+				return nil, fmt.Errorf("ml4all: %s line %d: %w", path, i+1, err)
+			}
+			if ok {
+				units = append(units, u)
+			}
+		}
+		cds := data.FromUnits(ds.Name+specString(spec), ds.Task, units)
+		cds.Format = data.FormatCSV
+		return cds, nil
+	}
+	return ds, nil
+}
+
+// String renders the spec as a cache-key suffix.
+func specString(c data.ColumnSpec) string {
+	return fmt.Sprintf("#%d:%d-%d", c.LabelCol, c.FeatLo, c.FeatHi)
+}
+
+// taskKind maps the query's task word onto a TaskKind, defaulting to the
+// dataset's own task when the word is generic.
+func taskKind(q *lang.Run, fallback data.TaskKind) data.TaskKind {
+	switch strings.ToLower(q.Task) {
+	case "regression", "leastsquares", "linear", "linreg":
+		return data.TaskLinearRegression
+	case "logistic", "logr":
+		return data.TaskLogisticRegression
+	case "svm", "hinge":
+		return data.TaskSVM
+	default:
+		return fallback
+	}
+}
+
+// bindParams translates the parsed statement into gd.Params.
+func bindParams(q *lang.Run, ds *data.Dataset) (Params, error) {
+	p := Params{Task: ds.Task, Format: ds.Format}
+	switch strings.ToLower(q.Task) {
+	case "classification":
+		p.Task = ds.Task
+		if ds.Task == data.TaskLinearRegression {
+			p.Task = data.TaskSVM
+		}
+	case "regression":
+		p.Task = data.TaskLinearRegression
+	case "svm", "hinge":
+		p.Task = data.TaskSVM
+		p.Gradient = gradients.Hinge{}
+	case "logistic", "logr":
+		p.Task = data.TaskLogisticRegression
+		p.Gradient = gradients.Logistic{}
+	case "leastsquares", "linear", "linreg":
+		p.Task = data.TaskLinearRegression
+		p.Gradient = gradients.LeastSquares{}
+	default:
+		return p, fmt.Errorf("ml4all: unknown task or gradient function %q", q.Task)
+	}
+	if q.Epsilon > 0 {
+		p.Tolerance = q.Epsilon
+	}
+	if q.MaxIter > 0 {
+		p.MaxIter = q.MaxIter
+	}
+	if q.HasStep {
+		p.Step = step.InvSqrt{Beta: q.Step}
+	}
+	switch strings.ToLower(q.Convergence) {
+	case "":
+	case "l1", "cnvg":
+		p.Converger = gd.L1Converger{}
+	case "l2":
+		p.Converger = gd.L2Converger{}
+	default:
+		return p, fmt.Errorf("ml4all: unknown convergence function %q", q.Convergence)
+	}
+	return p, nil
+}
+
+// applyUsing narrows the optimizer's decision by the statement's using
+// directives (algorithm, sampler): the optimizer still picks the cheapest
+// plan inside the narrowed space, which is how Section 8.4 uses ML4all to
+// pick the best physical plan for a fixed algorithm.
+func applyUsing(dec *Decision, q *lang.Run) (planner.Choice, error) {
+	wantAlgo := strings.ToUpper(q.Algorithm)
+	wantSampler := strings.ToLower(q.Sampler)
+	matches := func(c planner.Choice) bool {
+		if wantAlgo != "" && c.Plan.Algorithm.String() != wantAlgo {
+			return false
+		}
+		switch wantSampler {
+		case "", "my_sampler":
+			return true
+		case "bernoulli":
+			return c.Plan.Sampling == gd.Bernoulli
+		case "random", "random-partition":
+			return c.Plan.Sampling == gd.RandomPartition
+		case "shuffle", "shuffled-partition":
+			return c.Plan.Sampling == gd.ShuffledPartition
+		default:
+			return false
+		}
+	}
+	for _, c := range dec.Ranked {
+		if matches(c) {
+			return c, nil
+		}
+	}
+	return planner.Choice{}, fmt.Errorf("ml4all: no plan matches using algorithm=%q sampler=%q", q.Algorithm, q.Sampler)
+}
+
+func (s *System) predictQuery(q *lang.Predict) (Report, error) {
+	m, ok := s.models[q.Model]
+	if !ok {
+		loaded, err := LoadModel(q.Model)
+		if err != nil {
+			return Report{}, fmt.Errorf("ml4all: predict: model %q neither trained nor loadable: %w", q.Model, err)
+		}
+		m = loaded
+	}
+	test, ok := s.datasets[q.Data]
+	if !ok {
+		loaded, err := s.LoadDataset(q.Data, m.Task)
+		if err != nil {
+			return Report{}, fmt.Errorf("ml4all: predict: dataset %q: %w", q.Data, err)
+		}
+		test = loaded
+	}
+	return metrics.Evaluate(m.Task, m.Weights, test)
+}
+
+// SaveModel persists a model as a small text file: a header with provenance
+// and one weight per line.
+func SaveModel(path string, m *Model) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "# ml4all model %s task=%s plan=%s iterations=%d\n",
+		m.Name, m.Task, m.PlanName, m.Iterations)
+	for _, v := range m.Weights {
+		fmt.Fprintf(w, "%.17g\n", v)
+	}
+	return w.Flush()
+}
+
+// LoadModel reads a model persisted by SaveModel.
+func LoadModel(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m := &Model{Name: path}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			for _, field := range strings.Fields(line) {
+				if v, ok := strings.CutPrefix(field, "task="); ok {
+					switch v {
+					case data.TaskSVM.String():
+						m.Task = data.TaskSVM
+					case data.TaskLogisticRegression.String():
+						m.Task = data.TaskLogisticRegression
+					case data.TaskLinearRegression.String():
+						m.Task = data.TaskLinearRegression
+					}
+				}
+				if v, ok := strings.CutPrefix(field, "plan="); ok {
+					m.PlanName = v
+				}
+			}
+			continue
+		}
+		v, err := strconv.ParseFloat(line, 64)
+		if err != nil {
+			return nil, fmt.Errorf("ml4all: bad weight %q in %s: %w", line, path, err)
+		}
+		m.Weights = append(m.Weights, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(m.Weights) == 0 {
+		return nil, fmt.Errorf("ml4all: model file %s holds no weights", path)
+	}
+	return m, nil
+}
+
+// RankedPlanNames returns the decision's plans cheapest-first — a debugging
+// helper used by the CLI's explain output.
+func RankedPlanNames(dec *Decision) []string {
+	names := make([]string, len(dec.Ranked))
+	for i, c := range dec.Ranked {
+		names[i] = fmt.Sprintf("%s (T=%d, est %.2fs)", c.Plan.Name(), c.Iterations, float64(c.Cost))
+	}
+	return names
+}
+
+// SortChoicesByName orders a copy of the choices alphabetically; reports use
+// it for stable output.
+func SortChoicesByName(cs []planner.Choice) []planner.Choice {
+	out := make([]planner.Choice, len(cs))
+	copy(out, cs)
+	sort.Slice(out, func(i, j int) bool { return out[i].Plan.Name() < out[j].Plan.Name() })
+	return out
+}
+
+// Infinity is a convenience for callers comparing against unbounded costs.
+const Infinity = Seconds(math.MaxFloat64)

@@ -1,0 +1,248 @@
+package ml4all
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ml4all/internal/data"
+	"ml4all/internal/synth"
+)
+
+func testSystem() *System {
+	sys := NewSystem()
+	// Tame the estimator so facade tests stay fast.
+	sys.Estimator.SampleSize = 300
+	sys.Estimator.TimeBudget = 2
+	sys.Estimator.Seed = 1
+	return sys
+}
+
+func testDataset(t *testing.T, name string, n int) *data.Dataset {
+	t.Helper()
+	spec, err := synth.ByName(name, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > 0 {
+		spec.N = n
+	}
+	return synth.MustGenerate(spec)
+}
+
+func TestOptimizeAndExecute(t *testing.T) {
+	sys := testSystem()
+	ds := testDataset(t, "covtype", 2000)
+	p := Params{Task: ds.Task, Format: ds.Format, Tolerance: 0.01, MaxIter: 300, Lambda: 0.01}
+
+	dec, err := sys.Optimize(ds, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Ranked) != 11 {
+		t.Fatalf("ranked %d plans, want 11", len(dec.Ranked))
+	}
+	res, err := sys.Execute(ds, dec.Best.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations == 0 || !res.Weights.IsFinite() {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+}
+
+func TestTrainIncludesOptimizerOverhead(t *testing.T) {
+	sys := testSystem()
+	ds := testDataset(t, "covtype", 2000)
+	p := Params{Task: ds.Task, Format: ds.Format, Tolerance: 0.01, MaxIter: 100, Lambda: 0.01}
+
+	res, dec, err := sys.Train(ds, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.SpecTime <= 0 {
+		t.Fatal("no speculation time recorded")
+	}
+	if res.Time <= dec.SpecTime {
+		t.Fatalf("total %.2fs does not include speculation %.2fs plus training", res.Time, dec.SpecTime)
+	}
+}
+
+func TestExecEndToEnd(t *testing.T) {
+	sys := testSystem()
+	ds := testDataset(t, "adult", 0)
+	train, test := ds.Split(0.8, 1)
+	sys.RegisterDataset("train.txt", train)
+	sys.RegisterDataset("test.txt", test)
+
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "model.txt")
+
+	outs, err := sys.Exec(`
+		Q1 = run logistic() on train.txt having epsilon 0.01, max iter 200;
+		persist Q1 on ` + modelPath + `;
+		r = predict on test.txt with ` + modelPath + `;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 3 {
+		t.Fatalf("outputs = %d, want 3", len(outs))
+	}
+	m := outs[0].Model
+	if m == nil || m.Name != "Q1" || len(m.Weights) != ds.NumFeatures {
+		t.Fatalf("model = %+v", m)
+	}
+	if outs[1].Path != modelPath {
+		t.Fatalf("persist path = %q", outs[1].Path)
+	}
+	rep := outs[2].Report
+	if rep == nil || rep.N != test.N() {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Accuracy < 0.5 {
+		t.Fatalf("trained model no better than chance: accuracy %.3f", rep.Accuracy)
+	}
+}
+
+func TestExecUsingClausePinsAlgorithm(t *testing.T) {
+	sys := testSystem()
+	ds := testDataset(t, "covtype", 1500)
+	sys.RegisterDataset("d", ds)
+	outs, err := sys.Exec(`run logistic() on d having max iter 50 using algorithm BGD;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := outs[0].Model.PlanName; got != "BGD" {
+		t.Fatalf("plan = %q, want BGD", got)
+	}
+	// Sampler pinning.
+	outs, err = sys.Exec(`run logistic() on d having max iter 50 using algorithm MGD, sampler bernoulli();`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := outs[0].Model.PlanName; !strings.Contains(got, "bernoulli") {
+		t.Fatalf("plan = %q, want a bernoulli plan", got)
+	}
+}
+
+func TestExecTimeConstraintViolation(t *testing.T) {
+	sys := testSystem()
+	ds := testDataset(t, "covtype", 2000)
+	sys.RegisterDataset("d", ds)
+	// One simulated millisecond is never enough; the optimizer must refuse
+	// and tell the user which constraint to revisit.
+	_, err := sys.Exec(`run logistic() on d having time 1ms, epsilon 0.01;`)
+	if err == nil || !strings.Contains(err.Error(), "time constraint") {
+		t.Fatalf("err = %v, want time-constraint refusal", err)
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	sys := testSystem()
+	cases := []string{
+		`run classification on missing_file.txt;`,  // unknown dataset
+		`persist nope on m.txt;`,                   // unknown model
+		`r = predict on x.txt with missing.model;`, // unknown model file
+		`run wibble() on d;`,                       // unknown gradient
+	}
+	for _, q := range cases {
+		if _, err := sys.Exec(q); err == nil {
+			t.Errorf("no error for %q", q)
+		}
+	}
+}
+
+func TestSaveLoadModelRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.txt")
+	m := &Model{
+		Name: "Q1", Task: data.TaskLogisticRegression,
+		Weights: []float64{0.25, -1.5, 3e-7}, PlanName: "SGD-lazy-shuffle", Iterations: 42,
+	}
+	if err := SaveModel(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Task != m.Task || got.PlanName != m.PlanName {
+		t.Fatalf("metadata lost: %+v", got)
+	}
+	if len(got.Weights) != 3 {
+		t.Fatalf("weights = %v", got.Weights)
+	}
+	for i := range m.Weights {
+		if got.Weights[i] != m.Weights[i] {
+			t.Fatalf("weight %d: %g != %g", i, got.Weights[i], m.Weights[i])
+		}
+	}
+}
+
+func TestLoadModelErrors(t *testing.T) {
+	if _, err := LoadModel("/nonexistent/model.txt"); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(empty, []byte("# header only\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(empty); err == nil {
+		t.Error("weightless file accepted")
+	}
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("not-a-number\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(bad); err == nil {
+		t.Error("garbage weights accepted")
+	}
+}
+
+func TestLoadDatasetSniffsFormat(t *testing.T) {
+	dir := t.TempDir()
+	libsvm := filepath.Join(dir, "a.libsvm")
+	if err := os.WriteFile(libsvm, []byte("1 1:0.5 2:0.25\n-1 3:1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	csv := filepath.Join(dir, "b.csv")
+	if err := os.WriteFile(csv, []byte("1,0.5,0.25\n-1,0,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sys := testSystem()
+	dsA, err := sys.LoadDataset(libsvm, data.TaskSVM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dsA.Format != data.FormatLIBSVM || dsA.N() != 2 {
+		t.Fatalf("libsvm load: %+v", dsA.Stats())
+	}
+	dsB, err := sys.LoadDataset(csv, data.TaskSVM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dsB.Format != data.FormatCSV || dsB.NumFeatures != 2 {
+		t.Fatalf("csv load: %+v", dsB.Stats())
+	}
+}
+
+func TestColumnSpecQueries(t *testing.T) {
+	dir := t.TempDir()
+	// Columns: junk, label, junk, f1, f2 (1-based: label=2, features 4-5).
+	path := filepath.Join(dir, "cols.csv")
+	content := "9,1,8,0.5,1.5\n9,-1,8,-0.5,-1.5\n9,1,8,0.25,0.75\n9,-1,8,-0.25,-0.75\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sys := testSystem()
+	outs, err := sys.Exec(`Q = run svm() on ` + path + `:2, ` + path + `:4-5 having max iter 50;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(outs[0].Model.Weights); got != 2 {
+		t.Fatalf("model dimensionality = %d, want 2 (columns 4-5)", got)
+	}
+}
