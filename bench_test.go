@@ -11,9 +11,17 @@ package ml4all
 // what the paper's figures plot).
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
+	"ml4all/internal/cluster"
+	"ml4all/internal/data"
+	"ml4all/internal/engine"
 	"ml4all/internal/experiments"
+	"ml4all/internal/gd"
+	"ml4all/internal/storage"
+	"ml4all/internal/synth"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -51,3 +59,80 @@ func BenchmarkTable4ChosenPlans(b *testing.B)     { benchExperiment(b, "table4")
 func BenchmarkAblationSpeculationBudget(b *testing.B) { benchExperiment(b, "ablation-speculation") }
 func BenchmarkAblationPlacement(b *testing.B)         { benchExperiment(b, "ablation-placement") }
 func BenchmarkAblationTuner(b *testing.B)             { benchExperiment(b, "ablation-tuner") }
+
+// --- Compute hot path: serial vs parallel ---
+//
+// These benchmarks measure the real (wall-clock) cost of the per-iteration
+// Compute phase on the partitioned executor at different worker counts, over
+// a dataset large enough (100k units) for the pool to matter. Results are
+// bit-identical across the sweep — see DESIGN.md — so the only thing moving
+// is the wall time; the speedup from workers=1 to workers=N is the number
+// the parallel-executor refactor exists for. Run with
+// `go test -bench=ComputePhase -benchtime=3x` for a quick read.
+
+var (
+	benchDatasets sync.Map // kind -> *data.Dataset
+	benchWorkers  = []int{1, 2, 4, 8}
+)
+
+func computeBenchDataset(b *testing.B, kind string) *data.Dataset {
+	b.Helper()
+	if ds, ok := benchDatasets.Load(kind); ok {
+		return ds.(*data.Dataset)
+	}
+	spec := synth.Spec{
+		Name: "bench-" + kind, Task: data.TaskLogisticRegression,
+		N: 100_000, Noise: 0.1, Margin: 1, Seed: 42,
+	}
+	switch kind {
+	case "dense":
+		spec.D, spec.Density = 50, 1
+	case "sparse":
+		spec.D, spec.Density = 1000, 0.05
+	default:
+		b.Fatalf("unknown bench dataset kind %q", kind)
+	}
+	ds, err := synth.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDatasets.Store(kind, ds)
+	return ds
+}
+
+func benchComputePhase(b *testing.B, kind string, workers int) {
+	ds := computeBenchDataset(b, kind)
+	st, err := storage.Build(ds, storage.DefaultLayout())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := gd.Params{Task: ds.Task, Format: ds.Format, Tolerance: 1e-12, MaxIter: 3, Lambda: 0.05}
+	plan := gd.NewBGD(p)
+	plan.Looper = gd.FixedIterLooper{} // exactly MaxIter full Compute passes
+	cfg := cluster.Default()
+	cfg.JitterFrac = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim := cluster.New(cfg)
+		res, err := engine.Run(sim, st, &plan, engine.Options{Seed: 1, Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Iterations != p.MaxIter {
+			b.Fatalf("expected %d iterations, got %d", p.MaxIter, res.Iterations)
+		}
+	}
+	b.ReportMetric(float64(p.MaxIter*ds.N()*b.N)/b.Elapsed().Seconds(), "units/s")
+}
+
+func BenchmarkComputePhaseDense(b *testing.B) {
+	for _, w := range benchWorkers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchComputePhase(b, "dense", w) })
+	}
+}
+
+func BenchmarkComputePhaseSparse(b *testing.B) {
+	for _, w := range benchWorkers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchComputePhase(b, "sparse", w) })
+	}
+}

@@ -24,6 +24,7 @@ func main() {
 	scale := flag.Int("scale", experiments.DefaultScale, "dataset scale divisor (64 = paper-magnitude times)")
 	quick := flag.Bool("quick", false, "restrict sweeps to a representative subset")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS, 1 = serial; results are identical, only wall time changes)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -35,7 +36,7 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Scale: *scale, Quick: *quick, Seed: *seed}
+	cfg := experiments.Config{Scale: *scale, Quick: *quick, Seed: *seed, Workers: *workers}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.IDs()

@@ -1,0 +1,3 @@
+module ml4all
+
+go 1.24

@@ -44,6 +44,9 @@ type Result struct {
 type Options struct {
 	Layout storage.Layout // zero value => storage.DefaultLayout()
 	Seed   int64
+	// Workers sizes the engine's worker pool (0 = GOMAXPROCS, 1 = serial);
+	// it changes wall-clock speed only, never the baseline's numbers.
+	Workers int
 }
 
 func (o Options) layout() storage.Layout {
@@ -108,7 +111,7 @@ func RunMLlib(cfg cluster.Config, ds *data.Dataset, p gd.Params, algo gd.Algo, m
 	if err != nil {
 		return nil, err
 	}
-	res, err := engine.Run(sim, st, &plan, engine.Options{Seed: opts.Seed})
+	res, err := engine.Run(sim, st, &plan, engine.Options{Seed: opts.Seed, Workers: opts.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -212,7 +215,7 @@ func RunSystemML(cfg cluster.Config, ds *data.Dataset, p gd.Params, algo gd.Algo
 	if local {
 		plan.Mode = gd.CentralizedMode
 	}
-	res, err := engine.Run(sim, st, &plan, engine.Options{Seed: opts.Seed})
+	res, err := engine.Run(sim, st, &plan, engine.Options{Seed: opts.Seed, Workers: opts.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -277,7 +280,7 @@ func RunBismarck(cfg cluster.Config, ds *data.Dataset, p gd.Params, algo gd.Algo
 	if err != nil {
 		return nil, err
 	}
-	res, err := engine.Run(sim, st, &plan, engine.Options{Seed: opts.Seed})
+	res, err := engine.Run(sim, st, &plan, engine.Options{Seed: opts.Seed, Workers: opts.Workers})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,373 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ml4all/internal/cluster"
+	"ml4all/internal/data"
+	"ml4all/internal/gd"
+	"ml4all/internal/linalg"
+)
+
+// This file holds the two execution paths of the numeric phases. The split
+// the whole design hangs on: real work (parsing, gradient math, loss sums)
+// fans out over the worker pool, while every sim.Cost*/Run*/Transfer call
+// stays on the driver goroutine in a fixed order. The serial path is the
+// parallel path with one worker — same shards, same per-shard partials, same
+// ordered tree reduction — so Workers changes wall-clock time and nothing
+// else.
+
+// eagerTransform parses the whole dataset upfront — the real parsing fans out
+// over the worker pool, one task per shard writing a disjoint slice of the
+// unit memo — then charges the simulated cost one distributed task per
+// partition (or locally when the dataset is a single partition), exactly as a
+// serial execution would.
+func (ex *executor) eagerTransform() error {
+	ds := ex.store.Dataset
+	if ex.stockTransformer() {
+		ex.units = ds.Units
+	} else {
+		ex.units = make([]data.Unit, ds.N())
+		guard := ex.ctx.Guard()
+		err := ex.runTasks(len(ex.shards), func(task int) error {
+			sh := ex.shards[task]
+			for i := sh.Lo; i < sh.Hi; i++ {
+				u, err := ex.plan.Transformer.Transform(ds.Raw[i], ex.ctx)
+				if err != nil {
+					return fmt.Errorf("engine: transform unit %d: %w", i, err)
+				}
+				ex.units[i] = u
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if err := guard.Check(ex.ctx); err != nil {
+			return err
+		}
+	}
+	costs := make([]cluster.Seconds, 0, ex.store.NumPartitions())
+	for _, p := range ex.store.Partitions {
+		c := ex.sim.CostReadPartition(p, ex.store.Layout)
+		c += ex.sim.CostParse(p.Units(), p.Bytes)
+		costs = append(costs, c)
+	}
+	mode := ex.plan.Mode
+	if ex.plan.TransformMode != gd.AutoMode {
+		mode = ex.plan.TransformMode
+	}
+	if ex.distributedInputMode(ex.store.TotalBytes, mode) {
+		ex.sim.RunWaves(costs)
+	} else {
+		var sum cluster.Seconds
+		for _, c := range costs {
+			sum += c
+		}
+		ex.sim.RunLocal(sum)
+	}
+	return nil
+}
+
+// ensureLazyBuffers initializes the lazy-transformation memo once, on the
+// driver, before any parallel region touches it. With the stock transformer
+// the pre-parsed units are reused (re-parsing Raw would reproduce them
+// bit-for-bit; the per-touch parse cost is still charged); otherwise units
+// are parsed on first touch and memoized.
+func (ex *executor) ensureLazyBuffers() {
+	if ex.units != nil {
+		return
+	}
+	if ex.stockTransformer() {
+		ex.units = ex.store.Dataset.Units
+		ex.lazy = nil
+	} else {
+		n := ex.store.Dataset.N()
+		ex.units = make([]data.Unit, n)
+		ex.lazy = make([]bool, n)
+	}
+}
+
+// transformUnit parses unit i under lazy transformation if it has not been
+// parsed yet. Callers hand distinct goroutines disjoint index sets, so the
+// memo writes are race-free; transformUnit itself performs no sim calls.
+func (ex *executor) transformUnit(i int) error {
+	if ex.lazy == nil || ex.lazy[i] {
+		return nil
+	}
+	u, err := ex.plan.Transformer.Transform(ex.store.Dataset.Raw[i], ex.ctx)
+	if err != nil {
+		return fmt.Errorf("engine: lazy transform unit %d: %w", i, err)
+	}
+	ex.units[i] = u
+	ex.lazy[i] = true
+	return nil
+}
+
+// parseCost returns the simulated CPU cost of (re-)parsing unit i, charged
+// per touch under lazy transformation regardless of memoization — lazy
+// physically re-parses every sampled unit each time it is drawn.
+func (ex *executor) parseCost(i int) cluster.Seconds {
+	return ex.sim.CostParse(1, int64(len(ex.store.Dataset.Raw[i]))+1)
+}
+
+// computePass is the shared heart of both compute paths: it runs the plan's
+// Computer over len(spans) pool tasks, each position mapped to a dataset unit
+// by unitIndex, each task accumulating into its own pooled buffer, and folds
+// the partials into acc with an ordered tree reduction. When transform is
+// set (lazy full scans) workers parse-and-memoize on the fly; spans must then
+// address disjoint unit ranges. The context guard enforces the gd.Computer
+// contract around the whole pass.
+func (ex *executor) computePass(acc linalg.Vector, spans []span, unitIndex func(pos int) int, transform bool) error {
+	if len(spans) == 0 {
+		return nil
+	}
+	plan, ctx := ex.plan, ex.ctx
+	rc, randomized := plan.Computer.(gd.RandomizedComputer)
+	guard := ctx.Guard()
+	iter := ctx.Iter
+	partials := make([]linalg.Vector, len(spans))
+	err := ex.runTasks(len(spans), func(task int) error {
+		part := ex.bufs.Get(len(acc))
+		partials[task] = part
+		var rng *rand.Rand
+		if randomized {
+			rng = ex.shardRNG(iter, task)
+		}
+		sp := spans[task]
+		for pos := sp.lo; pos < sp.hi; pos++ {
+			i := unitIndex(pos)
+			if transform {
+				if err := ex.transformUnit(i); err != nil {
+					return err
+				}
+			}
+			if randomized {
+				rc.ComputeRand(ex.units[i], ctx, part, rng)
+			} else {
+				plan.Computer.Compute(ex.units[i], ctx, part)
+			}
+		}
+		return nil
+	})
+	if err == nil {
+		err = guard.Check(ctx)
+	}
+	if err == nil {
+		acc.Add(linalg.ReduceTree(partials))
+	}
+	for _, p := range partials {
+		ex.bufs.Put(p)
+	}
+	return err
+}
+
+// iteration runs Sample (optional) + Transform (if lazy) + Compute for one
+// iteration and returns the aggregated accumulator UC.
+func (ex *executor) iteration() (linalg.Vector, error) {
+	plan, ctx := ex.plan, ex.ctx
+	d := ctx.NumFeatures
+	acc := linalg.NewVector(plan.Computer.AccDim(d))
+
+	fullBatch := plan.Sampling == gd.NoSampling
+	if plan.Algorithm == gd.SVRG && plan.UpdateFrequency > 0 && ctx.Iter%plan.UpdateFrequency == 1 {
+		fullBatch = true // SVRG snapshot iteration sweeps everything
+	}
+
+	if fullBatch {
+		ctx.BatchSize = ctx.NumPoints
+		return acc, ex.computeFull(acc)
+	}
+
+	ctx.BatchSize = plan.BatchSize
+	idx, err := ex.sampler.Draw(ex.senv, plan.BatchSize)
+	if err != nil {
+		return nil, err
+	}
+	if plan.Algorithm != gd.SVRG {
+		// Bernoulli returns a binomially-distributed count; Update takes
+		// the mean over what was actually drawn.
+		ctx.BatchSize = len(idx)
+	}
+	return acc, ex.computeBatch(idx, acc)
+}
+
+// computeFull runs Compute over every unit. The numeric work fans out one
+// pool task per shard; the simulated cost is then charged one task per
+// partition (reads plus per-unit parse under lazy plus CPU), in partition
+// order — the identical sim call sequence a serial run issues.
+func (ex *executor) computeFull(acc linalg.Vector) error {
+	plan := ex.plan
+	lazy := plan.Transform == gd.Lazy
+	if lazy {
+		ex.ensureLazyBuffers()
+	}
+	spans := make([]span, len(ex.shards))
+	for s, sh := range ex.shards {
+		spans[s] = span{lo: sh.Lo, hi: sh.Hi}
+	}
+	if err := ex.computePass(acc, spans, func(pos int) int { return pos }, lazy); err != nil {
+		return err
+	}
+
+	// Ops is a pure function of a unit's nnz and a full pass leaves every
+	// unit parsed, so the per-partition ops sums are iteration-invariant:
+	// compute them once on the first full pass and reuse them after,
+	// keeping the driver's per-iteration cost loop O(partitions) instead of
+	// O(units) for eager plans. (Lazy plans still charge the per-touch
+	// parse cost every pass — that is the point of lazy costing.)
+	cacheOps := ex.opsByPart == nil
+	if cacheOps {
+		ex.opsByPart = make([]float64, len(ex.store.Partitions))
+	}
+	costs := make([]cluster.Seconds, 0, ex.store.NumPartitions())
+	for pi, p := range ex.store.Partitions {
+		c := ex.sim.CostReadPartition(p, ex.store.Layout)
+		if lazy {
+			for i := p.Lo; i < p.Hi; i++ {
+				c += ex.parseCost(i)
+			}
+		}
+		if cacheOps {
+			var ops float64
+			for i := p.Lo; i < p.Hi; i++ {
+				ops += plan.Computer.Ops(ex.units[i].NNZ())
+			}
+			ex.opsByPart[pi] = ops
+		}
+		c += ex.sim.CostCPU(p.Units(), ex.opsByPart[pi])
+		costs = append(costs, c)
+	}
+	if ex.distributedInput(ex.store.TotalBytes) {
+		ex.sim.RunWaves(costs)
+		// Partial aggregates (one per executor) reduce to the driver.
+		execs := ex.sim.Cfg.Executors()
+		ex.sim.Transfer(int64(execs*len(acc))*8, 1)
+	} else {
+		var sum cluster.Seconds
+		for _, c := range costs {
+			sum += c
+		}
+		ex.sim.RunLocal(sum)
+	}
+	return nil
+}
+
+// parseBatch memoizes every not-yet-parsed unit a sampled batch touches,
+// fanning the parsing out over the pool. Deduplication keeps the parallel
+// writes disjoint: a batch may draw the same unit twice (random-partition
+// sampling does), and two tasks must not both write its memo slot.
+func (ex *executor) parseBatch(idx []int) error {
+	if ex.lazy == nil {
+		return nil // stock transformer: pre-parsed units are reused
+	}
+	var need []int
+	seen := make(map[int]struct{}, len(idx))
+	for _, i := range idx {
+		if ex.lazy[i] {
+			continue
+		}
+		if _, dup := seen[i]; dup {
+			continue
+		}
+		seen[i] = struct{}{}
+		need = append(need, i)
+	}
+	if len(need) == 0 {
+		return nil
+	}
+	guard := ex.ctx.Guard()
+	spans := chunkSpans(len(need), batchChunkTarget)
+	err := ex.runTasks(len(spans), func(task int) error {
+		sp := spans[task]
+		for pos := sp.lo; pos < sp.hi; pos++ {
+			if err := ex.transformUnit(need[pos]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return guard.Check(ex.ctx)
+}
+
+// computeBatch runs Compute over the sampled unit indices: lazy parsing
+// first (deduplicated, pooled), then the numeric pass over stable chunks of
+// the batch, then cost charging. Placement follows the batch's byte size:
+// small batches run on the driver (after shipping the sampled units there),
+// large ones run as distributed tasks grouped by partition.
+func (ex *executor) computeBatch(idx []int, acc linalg.Vector) error {
+	plan := ex.plan
+	lazy := plan.Transform == gd.Lazy
+	if lazy {
+		ex.ensureLazyBuffers()
+		if err := ex.parseBatch(idx); err != nil {
+			return err
+		}
+	}
+	spans := chunkSpans(len(idx), batchChunkTarget)
+	if err := ex.computePass(acc, spans, func(pos int) int { return idx[pos] }, false); err != nil {
+		return err
+	}
+
+	var batchBytes int64
+	for _, i := range idx {
+		batchBytes += int64(len(ex.store.Dataset.Raw[i])) + 1
+	}
+	if !ex.distributedInput(batchBytes) {
+		// Centralized: sampled units travel to the driver, then one task.
+		ex.sim.Transfer(batchBytes, 1)
+		var cpu cluster.Seconds
+		var ops float64
+		for _, i := range idx {
+			if lazy {
+				cpu += ex.parseCost(i)
+			}
+			ops += plan.Computer.Ops(ex.units[i].NNZ())
+		}
+		cpu += ex.sim.CostCPU(len(idx), ops)
+		ex.sim.RunLocal(cpu)
+		return nil
+	}
+
+	// Distributed: group the batch by partition, one task per partition,
+	// walked in ascending partition order so the jitter stream (and with it
+	// the simulated makespan) is reproducible run-to-run.
+	byPart := map[int][]int{}
+	for _, i := range idx {
+		p, err := ex.store.PartitionOf(i)
+		if err != nil {
+			return err
+		}
+		byPart[p.ID] = append(byPart[p.ID], i)
+	}
+	order := make([]int, 0, len(byPart))
+	for pid := range byPart {
+		order = append(order, pid)
+	}
+	sort.Ints(order)
+	costs := make([]cluster.Seconds, 0, len(byPart))
+	for _, pid := range order {
+		var c cluster.Seconds
+		var ops float64
+		for _, i := range byPart[pid] {
+			if lazy {
+				c += ex.parseCost(i)
+			}
+			ops += plan.Computer.Ops(ex.units[i].NNZ())
+		}
+		c += ex.sim.CostCPU(len(byPart[pid]), ops)
+		costs = append(costs, c)
+	}
+	ex.sim.RunWaves(costs)
+	execs := ex.sim.Cfg.Executors()
+	if len(byPart) < execs {
+		execs = len(byPart)
+	}
+	ex.sim.Transfer(int64(execs*len(acc))*8, 1)
+	return nil
+}

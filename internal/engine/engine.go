@@ -5,11 +5,22 @@
 // whether its input fits in a single data partition — so a plan can and
 // usually does execute as a mix of both. The numeric work (parsing,
 // gradients, updates) is performed for real; only time is simulated.
+//
+// Since the parallel-executor refactor the numeric work is also physically
+// parallel: the Compute phase (including the line-search loss passes and SVRG
+// snapshot sweeps, which are Compute passes) and the eager Transform phase
+// run on a worker pool (Options.Workers, default GOMAXPROCS) over stable
+// shards of the dataset, each shard into its own accumulator, reduced with an
+// ordered tree. Cost charging stays on the driver goroutine in a fixed order,
+// so the simulated clock, accounting and all numeric results are bit-identical
+// for every worker count — Workers only changes wall-clock speed. See
+// DESIGN.md for the full simulated-time vs real-work split.
 package engine
 
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	"ml4all/internal/cluster"
 	"ml4all/internal/data"
@@ -32,6 +43,18 @@ type Options struct {
 	// CollectWeightsTrace, when true, snapshots the weight vector after
 	// every iteration (used by curve-fit figures; costs memory).
 	CollectWeightsTrace bool
+
+	// Workers sizes the real worker pool the Compute and eager-Transform
+	// phases execute on (line-search loss passes are Compute passes; model
+	// evaluation in package metrics is outside the engine and stays
+	// serial). 0 (the default) means runtime.GOMAXPROCS(0);
+	// 1 forces the serial path. The engine guarantees bit-identical results
+	// (weights, iteration counts, deltas, simulated time, accounting) for
+	// every worker count: shard boundaries never depend on Workers and
+	// partials reduce in a fixed order, so only wall-clock time changes.
+	// Custom Transformer/Computer UDFs must honor the concurrency contract
+	// documented on gd.Computer when Workers != 1.
+	Workers int
 }
 
 // Result reports one plan execution.
@@ -65,6 +88,10 @@ func Run(sim *cluster.Sim, store *storage.Store, plan *gd.Plan, opts Options) (*
 	if seed == 0 {
 		seed = 1
 	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	rng := rand.New(rand.NewSource(seed))
 	start := sim.Now()
 
@@ -78,7 +105,13 @@ func Run(sim *cluster.Sim, store *storage.Store, plan *gd.Plan, opts Options) (*
 		ctx.BatchSize = n
 	}
 
-	ex := &executor{sim: sim, store: store, plan: plan, ctx: ctx, rng: rng}
+	ex := &executor{
+		sim: sim, store: store, plan: plan, ctx: ctx, rng: rng,
+		seed:    seed,
+		workers: workers,
+		shards:  store.Shards(shardUnitTarget),
+		bufs:    linalg.NewBufferPool(),
+	}
 
 	sim.JobInit()
 	if err := ex.stage(); err != nil {
@@ -155,6 +188,14 @@ type executor struct {
 	plan  *gd.Plan
 	ctx   *gd.Context
 	rng   *rand.Rand
+	seed  int64
+
+	// workers is the effective pool size; shards is the stable partitioned
+	// view the numeric phases fan out over; bufs recycles per-shard
+	// accumulators across iterations.
+	workers int
+	shards  []storage.Shard
+	bufs    *linalg.BufferPool
 
 	sampler sampling.Sampler
 	senv    *sampling.Env
@@ -164,6 +205,10 @@ type executor struct {
 	// transformation (parsed on first touch, every iteration charged).
 	units []data.Unit
 	lazy  []bool // under lazy transform: which indices are parsed already
+
+	// opsByPart caches the per-partition Ops sums after the first full
+	// pass; see computeFull.
+	opsByPart []float64
 }
 
 // stage runs the Stage operator on the driver, optionally feeding it a small
@@ -199,75 +244,6 @@ func (ex *executor) stockTransformer() bool {
 	return ok && ft.Format == ex.store.Dataset.Format
 }
 
-// eagerTransform parses the whole dataset upfront, one distributed task per
-// partition (or locally when the dataset is a single partition).
-func (ex *executor) eagerTransform() error {
-	ds := ex.store.Dataset
-	if ex.stockTransformer() {
-		ex.units = ds.Units
-	} else {
-		ex.units = make([]data.Unit, ds.N())
-		for i, raw := range ds.Raw {
-			u, err := ex.plan.Transformer.Transform(raw, ex.ctx)
-			if err != nil {
-				return fmt.Errorf("engine: transform unit %d: %w", i, err)
-			}
-			ex.units[i] = u
-		}
-	}
-	costs := make([]cluster.Seconds, 0, ex.store.NumPartitions())
-	for _, p := range ex.store.Partitions {
-		c := ex.sim.CostReadPartition(p, ex.store.Layout)
-		c += ex.sim.CostParse(p.Units(), p.Bytes)
-		costs = append(costs, c)
-	}
-	mode := ex.plan.Mode
-	if ex.plan.TransformMode != gd.AutoMode {
-		mode = ex.plan.TransformMode
-	}
-	if ex.distributedInputMode(ex.store.TotalBytes, mode) {
-		ex.sim.RunWaves(costs)
-	} else {
-		var sum cluster.Seconds
-		for _, c := range costs {
-			sum += c
-		}
-		ex.sim.RunLocal(sum)
-	}
-	return nil
-}
-
-// unit returns transformed unit i, parsing (and charging) lazily when the
-// plan defers transformation.
-func (ex *executor) unit(i int) (data.Unit, cluster.Seconds, error) {
-	if ex.plan.Transform == gd.Eager {
-		return ex.units[i], 0, nil
-	}
-	raw := ex.store.Dataset.Raw[i]
-	cost := ex.sim.CostParse(1, int64(len(raw))+1)
-	if ex.units == nil {
-		if ex.stockTransformer() {
-			// Reuse the pre-parsed units but still charge parse cost per
-			// touch: lazy transformation re-parses every sampled unit each
-			// time it is drawn.
-			ex.units = ex.store.Dataset.Units
-			ex.lazy = nil
-		} else {
-			ex.units = make([]data.Unit, ex.store.Dataset.N())
-			ex.lazy = make([]bool, ex.store.Dataset.N())
-		}
-	}
-	if ex.lazy != nil && !ex.lazy[i] {
-		u, err := ex.plan.Transformer.Transform(raw, ex.ctx)
-		if err != nil {
-			return data.Unit{}, 0, fmt.Errorf("engine: lazy transform unit %d: %w", i, err)
-		}
-		ex.units[i] = u
-		ex.lazy[i] = true
-	}
-	return ex.units[i], cost, nil
-}
-
 // distributedInput applies the Appendix D placement rule: distribute iff the
 // operator's input does not fit in a single data partition (unless the plan
 // pins a mode).
@@ -284,132 +260,4 @@ func (ex *executor) distributedInputMode(bytes int64, mode gd.ExecMode) bool {
 	default:
 		return bytes > ex.store.Layout.PartitionBytes
 	}
-}
-
-// iteration runs Sample (optional) + Transform (if lazy) + Compute for one
-// iteration and returns the aggregated accumulator UC.
-func (ex *executor) iteration() (linalg.Vector, error) {
-	plan, ctx := ex.plan, ex.ctx
-	d := ctx.NumFeatures
-	acc := linalg.NewVector(plan.Computer.AccDim(d))
-
-	fullBatch := plan.Sampling == gd.NoSampling
-	if plan.Algorithm == gd.SVRG && plan.UpdateFrequency > 0 && ctx.Iter%plan.UpdateFrequency == 1 {
-		fullBatch = true // SVRG snapshot iteration sweeps everything
-	}
-
-	if fullBatch {
-		ctx.BatchSize = ctx.NumPoints
-		return acc, ex.computeFull(acc)
-	}
-
-	ctx.BatchSize = plan.BatchSize
-	idx, err := ex.sampler.Draw(ex.senv, plan.BatchSize)
-	if err != nil {
-		return nil, err
-	}
-	if plan.Algorithm != gd.SVRG {
-		// Bernoulli returns a binomially-distributed count; Update takes
-		// the mean over what was actually drawn.
-		ctx.BatchSize = len(idx)
-	}
-	return acc, ex.computeBatch(idx, acc)
-}
-
-// computeFull runs Compute over every unit, one task per partition when
-// distributed, charging each task its partition read plus CPU.
-func (ex *executor) computeFull(acc linalg.Vector) error {
-	plan, ctx := ex.plan, ex.ctx
-	costs := make([]cluster.Seconds, 0, ex.store.NumPartitions())
-	for _, p := range ex.store.Partitions {
-		c := ex.sim.CostReadPartition(p, ex.store.Layout)
-		var ops float64
-		for i := p.Lo; i < p.Hi; i++ {
-			u, parseCost, err := ex.unit(i)
-			if err != nil {
-				return err
-			}
-			c += parseCost
-			plan.Computer.Compute(u, ctx, acc)
-			ops += plan.Computer.Ops(u.NNZ())
-		}
-		c += ex.sim.CostCPU(p.Units(), ops)
-		costs = append(costs, c)
-	}
-	if ex.distributedInput(ex.store.TotalBytes) {
-		ex.sim.RunWaves(costs)
-		// Partial aggregates (one per executor) reduce to the driver.
-		execs := ex.sim.Cfg.Executors()
-		ex.sim.Transfer(int64(execs*len(acc))*8, 1)
-	} else {
-		var sum cluster.Seconds
-		for _, c := range costs {
-			sum += c
-		}
-		ex.sim.RunLocal(sum)
-	}
-	return nil
-}
-
-// computeBatch runs Compute over the sampled unit indices. Placement follows
-// the batch's byte size: small batches run on the driver (after shipping the
-// sampled units there), large ones run as distributed tasks grouped by
-// partition.
-func (ex *executor) computeBatch(idx []int, acc linalg.Vector) error {
-	plan, ctx := ex.plan, ex.ctx
-	var batchBytes int64
-	for _, i := range idx {
-		batchBytes += int64(len(ex.store.Dataset.Raw[i])) + 1
-	}
-	if !ex.distributedInput(batchBytes) {
-		// Centralized: sampled units travel to the driver, then one task.
-		ex.sim.Transfer(batchBytes, 1)
-		var cpu cluster.Seconds
-		var ops float64
-		for _, i := range idx {
-			u, parseCost, err := ex.unit(i)
-			if err != nil {
-				return err
-			}
-			cpu += parseCost
-			plan.Computer.Compute(u, ctx, acc)
-			ops += plan.Computer.Ops(u.NNZ())
-		}
-		cpu += ex.sim.CostCPU(len(idx), ops)
-		ex.sim.RunLocal(cpu)
-		return nil
-	}
-
-	// Distributed: group the batch by partition, one task per partition.
-	byPart := map[int][]int{}
-	for _, i := range idx {
-		p, err := ex.store.PartitionOf(i)
-		if err != nil {
-			return err
-		}
-		byPart[p.ID] = append(byPart[p.ID], i)
-	}
-	costs := make([]cluster.Seconds, 0, len(byPart))
-	for _, members := range byPart {
-		var c cluster.Seconds
-		var ops float64
-		for _, i := range members {
-			u, parseCost, err := ex.unit(i)
-			if err != nil {
-				return err
-			}
-			c += parseCost
-			plan.Computer.Compute(u, ctx, acc)
-			ops += plan.Computer.Ops(u.NNZ())
-		}
-		c += ex.sim.CostCPU(len(members), ops)
-		costs = append(costs, c)
-	}
-	ex.sim.RunWaves(costs)
-	execs := ex.sim.Cfg.Executors()
-	if len(byPart) < execs {
-		execs = len(byPart)
-	}
-	ex.sim.Transfer(int64(execs*len(acc))*8, 1)
-	return nil
 }

@@ -16,7 +16,11 @@ import (
 // Failure-injection tests: the engine must surface operator failures as
 // errors (with context) and never mask divergence as convergence.
 
-// failingTransformer errors on every nth line.
+// failingTransformer errors on every nth line. It counts calls, which is
+// mutable state the parallel transform contract forbids — so the tests using
+// it pin Workers: 1 (the serial path, where call order is defined). The
+// parallel-path equivalents with a stateless transformer live in
+// parallel_test.go.
 type failingTransformer struct {
 	inner gd.Transformer
 	n     int
@@ -37,7 +41,7 @@ func TestEagerTransformSurfacesParseErrors(t *testing.T) {
 	plan := gd.NewBGD(testParams(ds))
 	plan.Transformer = &failingTransformer{inner: gd.FormatTransformer{Format: ds.Format}, n: 50}
 	sim := cluster.New(noJitterCfg())
-	_, err := Run(sim, st, &plan, Options{Seed: 1})
+	_, err := Run(sim, st, &plan, Options{Seed: 1, Workers: 1})
 	if err == nil || !strings.Contains(err.Error(), "injected parse failure") {
 		t.Fatalf("err = %v, want injected failure surfaced", err)
 	}
@@ -50,7 +54,7 @@ func TestLazyTransformSurfacesParseErrors(t *testing.T) {
 	plan := gd.NewMGD(p, gd.Lazy, gd.ShuffledPartition)
 	plan.Transformer = &failingTransformer{inner: gd.FormatTransformer{Format: ds.Format}, n: 10}
 	sim := cluster.New(noJitterCfg())
-	_, err := Run(sim, st, &plan, Options{Seed: 1})
+	_, err := Run(sim, st, &plan, Options{Seed: 1, Workers: 1})
 	if err == nil || !strings.Contains(err.Error(), "injected parse failure") {
 		t.Fatalf("err = %v, want injected failure surfaced", err)
 	}

@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"ml4all/internal/storage"
+)
+
+// shardUnitTarget caps how many data units one shard (one worker-pool task)
+// holds. Shards are carved from storage partitions by Store.Shards, so the
+// boundaries depend only on the dataset layout — never on the worker count —
+// which is what keeps the partial-sum structure, and therefore every
+// floating-point result, identical between Workers=1 and Workers=N. The value
+// trades scheduling granularity against per-task overhead: 4096 units keeps a
+// paper-scale 2 MB partition at a handful of tasks while giving an 8-way pool
+// enough slack to balance.
+const shardUnitTarget = 4096
+
+// batchChunkTarget plays the same role for sampled batches: a drawn index
+// list is cut into contiguous chunks of at most this many positions. Chunk
+// boundaries depend only on the batch length, keeping MGD/SGD results
+// worker-count independent too.
+const batchChunkTarget = 1024
+
+// span is a half-open range of positions [lo, hi) processed as one pool task.
+type span struct{ lo, hi int }
+
+// chunkSpans cuts [0, n) into near-equal contiguous spans of at most max
+// positions, via the same storage.SplitEven boundary rule shards use. It is
+// deterministic in n and max only.
+func chunkSpans(n, max int) []span {
+	var spans []span
+	storage.SplitEven(0, n, max, func(lo, hi int) {
+		spans = append(spans, span{lo: lo, hi: hi})
+	})
+	return spans
+}
+
+// runTasks executes fn(task) for every task in [0, n), fanning out over the
+// executor's worker pool, and returns the error of the lowest-numbered
+// failing task — exactly what a serial in-order execution surfaces first.
+// With one effective worker (Workers: 1, or fewer tasks than workers would
+// help) it degenerates to an inline ordered loop — the serial path.
+//
+// Workers pull task indices from a shared counter, so scheduling is dynamic,
+// but tasks must write only task-private state (per-shard accumulators,
+// disjoint unit ranges); the caller merges results in task order afterwards,
+// which is what makes scheduling invisible to the numerics. Once a task
+// fails, higher-numbered pending tasks are skipped — they cannot change the
+// winning error — so a failure cancels the bulk of the remaining work, while
+// lower-numbered tasks still run to keep the selected error independent of
+// scheduling.
+func (ex *executor) runTasks(n int, fn func(task int) error) error {
+	workers := ex.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var minFailed atomic.Int64
+	minFailed.Store(int64(n))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if int64(i) >= minFailed.Load() {
+					continue
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					for {
+						cur := minFailed.Load()
+						if int64(i) >= cur || minFailed.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstError(errs)
+}
+
+// splitSeed derives an independent RNG seed from the run seed and a task key
+// using a splitmix64-style finalizer, so per-shard streams are decorrelated
+// without sharing any state with the driver's sampling RNG.
+func splitSeed(seed int64, key uint64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(key+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// shardRNG returns the deterministic RNG for one shard of one compute pass.
+// The stream is keyed by (run seed, iteration, shard) — never by worker — so
+// a RandomizedComputer sees the same randomness for a given data unit no
+// matter how many workers execute the pass or which worker picks the shard
+// up.
+func (ex *executor) shardRNG(iter, shard int) *rand.Rand {
+	key := uint64(iter)<<32 | uint64(uint32(shard))
+	return rand.New(rand.NewSource(splitSeed(ex.seed, key)))
+}
+
+// firstError returns the error of the lowest-numbered task, matching what a
+// serial in-order execution would have surfaced first.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -23,6 +23,12 @@ type Config struct {
 	SpecTolerance float64         // εs; paper default 0.05 (0.1 in Section 8)
 	TimeBudget    cluster.Seconds // B; paper default 1 min (10 s in Section 8)
 	Seed          int64
+	// Workers sizes the engine's worker pool for speculation runs (0 =
+	// GOMAXPROCS, 1 = serial). It never changes the estimate — speculation
+	// is worker-count invariant like any engine run — but callers pinning
+	// Workers: 1 for stateful UDFs must pin it here too, which the public
+	// System does automatically.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -144,6 +150,7 @@ func Speculate(plan gd.Plan, store *storage.Store, cfg Config) (Estimate, error)
 	res, err := engine.Run(sim, sampleStore, &specPlan, engine.Options{
 		TimeBudget: cfg.TimeBudget,
 		Seed:       cfg.Seed,
+		Workers:    cfg.Workers,
 	})
 	if err != nil {
 		return est, err

@@ -42,7 +42,7 @@ func AblationTuner(cfg Config) (*Report, error) {
 		reg := gradients.L2{Lambda: p.Lambda}
 
 		best, trials, err := tuner.Best(plan, st, g, reg, tuner.Config{
-			SampleSize: 500, Budget: 5, Seed: cfg.Seed,
+			SampleSize: 500, Budget: 5, Seed: cfg.Seed, Workers: cfg.Workers,
 		})
 		if err != nil {
 			return nil, err

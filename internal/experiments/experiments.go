@@ -41,6 +41,10 @@ type Config struct {
 	Quick bool
 	// Seed drives all sampling; 0 means 1.
 	Seed int64
+	// Workers sizes the engine's real worker pool (0 = GOMAXPROCS, 1 =
+	// serial). Results and simulated times are identical for every value;
+	// only the wall-clock the harness reports changes.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {

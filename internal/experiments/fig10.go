@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-
 	"ml4all/internal/baselines"
 	"ml4all/internal/engine"
 	"ml4all/internal/gd"
@@ -40,7 +38,7 @@ func Fig10(cfg Config) (*Report, error) {
 
 		ml := runBaselineCell(func() (*baselines.Result, error) {
 			return baselines.RunMLlib(ClusterFor(cfg.Scale), ds, p, gd.SGD,
-				baselines.DefaultMLlib(), baselines.Options{Layout: LayoutFor(cfg.Scale), Seed: cfg.Seed})
+				baselines.DefaultMLlib(), cfg.baselineOpts(cfg.Seed))
 		})
 
 		st, err := cfg.store(ds)
@@ -48,12 +46,12 @@ func Fig10(cfg Config) (*Report, error) {
 			return err
 		}
 		eagerRandom := gd.NewSGD(p, gd.Eager, gd.RandomPartition)
-		er, err := engine.Run(cfg.sim(), st, &eagerRandom, engine.Options{Seed: cfg.Seed})
+		er, err := engine.Run(cfg.sim(), st, &eagerRandom, cfg.engineOpts(0))
 		if err != nil {
 			return err
 		}
 		lazyShuffle := gd.NewSGD(p, gd.Lazy, gd.ShuffledPartition)
-		ls, err := engine.Run(cfg.sim(), st, &lazyShuffle, engine.Options{Seed: cfg.Seed})
+		ls, err := engine.Run(cfg.sim(), st, &lazyShuffle, cfg.engineOpts(0))
 		if err != nil {
 			return err
 		}
@@ -79,6 +77,6 @@ func Fig10(cfg Config) (*Report, error) {
 		}
 	}
 	r.Note("both ML4all plans beat MLlib on %d/%d cells", wins, cells)
-	r.Note(fmt.Sprintf("sweeps scaled 1/%d; see EXPERIMENTS.md for the mapping to paper sizes", cfg.Scale))
+	r.Note("sweeps scaled 1/%d; see EXPERIMENTS.md for the mapping to paper sizes", cfg.Scale)
 	return r, nil
 }

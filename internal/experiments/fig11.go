@@ -63,18 +63,18 @@ func Fig11(cfg Config) (*Report, error) {
 			// "Hand-coded Spark": the identical physical plan executed
 			// directly, different jitter stream (a different hand-rolled
 			// program would not schedule identically).
-			hand, err := engine.Run(cfg.sim(), st, &plan, engine.Options{Seed: cfg.Seed + 100})
+			hand, err := engine.Run(cfg.sim(), st, &plan, cfg.engineOpts(100))
 			if err != nil {
 				return nil, err
 			}
 			// ML4all: the plan as the optimizer's executor runs it.
-			ml, err := engine.Run(cfg.sim(), st, &plan, engine.Options{Seed: cfg.Seed})
+			ml, err := engine.Run(cfg.sim(), st, &plan, cfg.engineOpts(0))
 			if err != nil {
 				return nil, err
 			}
 			bis := runBaselineCell(func() (*baselines.Result, error) {
 				return baselines.RunBismarck(ClusterFor(cfg.Scale), ds, p, c.algo,
-					BismarckFor(cfg.Scale), baselines.Options{Layout: LayoutFor(cfg.Scale), Seed: cfg.Seed})
+					BismarckFor(cfg.Scale), cfg.baselineOpts(cfg.Seed))
 			})
 			if !bis.ok {
 				bismarckFailures = append(bismarckFailures, name+"/"+c.label)

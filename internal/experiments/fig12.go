@@ -62,11 +62,11 @@ func Fig12(cfg Config) (*Report, error) {
 
 			mllibMSE, mllibCell := evalBaseline(func(seed int64) (*baselines.Result, error) {
 				return baselines.RunMLlib(ClusterFor(cfg.Scale), train, p, algo,
-					baselines.DefaultMLlib(), baselines.Options{Layout: LayoutFor(cfg.Scale), Seed: seed})
+					baselines.DefaultMLlib(), cfg.baselineOpts(seed))
 			})
 			_, sysmlCell := evalBaseline(func(seed int64) (*baselines.Result, error) {
 				return baselines.RunSystemML(ClusterFor(cfg.Scale), train, p, algo,
-					SystemMLFor(cfg.Scale), baselines.Options{Layout: LayoutFor(cfg.Scale), Seed: seed})
+					SystemMLFor(cfg.Scale), cfg.baselineOpts(seed))
 			})
 
 			mse, planName, err := cfg.ml4allMSEForAlgo(train, test, p, algo)
@@ -100,7 +100,7 @@ func (c Config) ml4allMSEForAlgo(train, test *data.Dataset, p gd.Params, algo gd
 	if err != nil {
 		return 0, "", err
 	}
-	dec, err := planner.Choose(c.sim(), st, p, planner.Options{Estimator: EstimatorFor(c.Seed)})
+	dec, err := planner.Choose(c.sim(), st, p, planner.Options{Estimator: c.estimatorFor()})
 	if err != nil {
 		return 0, "", err
 	}
@@ -112,7 +112,7 @@ func (c Config) ml4allMSEForAlgo(train, test *data.Dataset, p gd.Params, algo gd
 		var sum float64
 		const seeds = 3
 		for s := int64(0); s < seeds; s++ {
-			res, err := engine.Run(c.sim(), st, &plan, engine.Options{Seed: c.Seed + s})
+			res, err := engine.Run(c.sim(), st, &plan, c.engineOpts(s))
 			if err != nil {
 				return 0, "", err
 			}

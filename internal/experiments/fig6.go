@@ -59,7 +59,7 @@ func Fig6(cfg Config) (*Report, error) {
 				if err != nil {
 					return nil, err
 				}
-				est, err := estimator.Speculate(plan, st, EstimatorFor(cfg.Seed))
+				est, err := estimator.Speculate(plan, st, cfg.estimatorFor())
 				if err != nil {
 					return nil, err
 				}

@@ -46,7 +46,7 @@ func Fig7a(cfg Config) (*Report, error) {
 		plan := dec.Best.Plan
 		plan.Looper = gd.FixedIterLooper{}
 
-		res, err := engine.Run(cfg.sim(), st, &plan, engine.Options{Seed: cfg.Seed})
+		res, err := engine.Run(cfg.sim(), st, &plan, cfg.engineOpts(0))
 		if err != nil {
 			return nil, err
 		}
@@ -97,12 +97,12 @@ func Fig7b(cfg Config) (*Report, error) {
 		}
 		p := ParamsFor(ds, row.tol, row.maxIter)
 		sim := cfg.sim()
-		dec, err := planner.Choose(sim, st, p, planner.Options{Estimator: EstimatorFor(cfg.Seed)})
+		dec, err := planner.Choose(sim, st, p, planner.Options{Estimator: cfg.estimatorFor()})
 		if err != nil {
 			return nil, err
 		}
 		plan := dec.Best.Plan
-		res, err := engine.Run(cfg.sim(), st, &plan, engine.Options{Seed: cfg.Seed})
+		res, err := engine.Run(cfg.sim(), st, &plan, cfg.engineOpts(0))
 		if err != nil {
 			return nil, err
 		}

@@ -41,7 +41,7 @@ func Fig8(cfg Config) (*Report, error) {
 		var minT, maxT cluster.Seconds
 		var bestPlan string
 		for i, plan := range planner.Space(p) {
-			res, err := engine.Run(cfg.sim(), st, &plan, engine.Options{Seed: cfg.Seed})
+			res, err := engine.Run(cfg.sim(), st, &plan, cfg.engineOpts(0))
 			if err != nil {
 				return nil, err
 			}
@@ -55,13 +55,13 @@ func Fig8(cfg Config) (*Report, error) {
 
 		// Optimizer + chosen plan on one clock.
 		sim := cfg.sim()
-		dec, err := planner.Choose(sim, st, p, planner.Options{Estimator: EstimatorFor(cfg.Seed)})
+		dec, err := planner.Choose(sim, st, p, planner.Options{Estimator: cfg.estimatorFor()})
 		if err != nil {
 			return nil, err
 		}
 		specEnd := sim.Now()
 		plan := dec.Best.Plan
-		if _, err := engine.Run(sim, st, &plan, engine.Options{Seed: cfg.Seed}); err != nil {
+		if _, err := engine.Run(sim, st, &plan, cfg.engineOpts(0)); err != nil {
 			return nil, err
 		}
 		total := sim.Now()

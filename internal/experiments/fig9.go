@@ -43,11 +43,11 @@ func Fig9(cfg Config) (*Report, error) {
 
 			mllib := runBaselineCell(func() (*baselines.Result, error) {
 				return baselines.RunMLlib(ClusterFor(cfg.Scale), ds, p, algo,
-					baselines.DefaultMLlib(), baselines.Options{Layout: LayoutFor(cfg.Scale), Seed: cfg.Seed})
+					baselines.DefaultMLlib(), cfg.baselineOpts(cfg.Seed))
 			})
 			sysml := runBaselineCell(func() (*baselines.Result, error) {
 				return baselines.RunSystemML(ClusterFor(cfg.Scale), ds, p, algo,
-					SystemMLFor(cfg.Scale), baselines.Options{Layout: LayoutFor(cfg.Scale), Seed: cfg.Seed})
+					SystemMLFor(cfg.Scale), cfg.baselineOpts(cfg.Seed))
 			})
 
 			ml4allTime, planName, err := cfg.ml4allBestForAlgo(ds, p, algo)
@@ -78,7 +78,7 @@ func (c Config) ml4allBestForAlgo(ds *data.Dataset, p gd.Params, algo gd.Algo) (
 		return 0, "", err
 	}
 	sim := c.sim()
-	dec, err := planner.Choose(sim, st, p, planner.Options{Estimator: EstimatorFor(c.Seed)})
+	dec, err := planner.Choose(sim, st, p, planner.Options{Estimator: c.estimatorFor()})
 	if err != nil {
 		return 0, "", err
 	}
@@ -87,7 +87,7 @@ func (c Config) ml4allBestForAlgo(ds *data.Dataset, p gd.Params, algo gd.Algo) (
 			continue
 		}
 		plan := choice.Plan
-		res, err := engine.Run(c.sim(), st, &plan, engine.Options{Seed: c.Seed})
+		res, err := engine.Run(c.sim(), st, &plan, c.engineOpts(0))
 		if err != nil {
 			return 0, "", err
 		}

@@ -63,7 +63,7 @@ func Table4(cfg Config) (*Report, error) {
 			return nil, err
 		}
 		p := ParamsFor(ds, 0.001, 1000)
-		dec, err := planner.Choose(cfg.sim(), st, p, planner.Options{Estimator: EstimatorFor(cfg.Seed)})
+		dec, err := planner.Choose(cfg.sim(), st, p, planner.Options{Estimator: cfg.estimatorFor()})
 		if err != nil {
 			return nil, err
 		}
@@ -76,7 +76,7 @@ func Table4(cfg Config) (*Report, error) {
 					continue
 				}
 				plan := choice.Plan
-				res, err := engine.Run(cfg.sim(), st, &plan, engine.Options{Seed: cfg.Seed})
+				res, err := engine.Run(cfg.sim(), st, &plan, cfg.engineOpts(0))
 				if err != nil {
 					return nil, err
 				}

@@ -66,3 +66,52 @@ func (c *Context) GetVector(key string) (linalg.Vector, error) {
 	}
 	return v, nil
 }
+
+// Guard snapshots the context state a Computer must not touch during the
+// compute phase (see the Computer concurrency contract). The engine captures
+// one before each compute pass and checks it afterwards; a violation aborts
+// the run instead of silently corrupting a parallel execution. The check is
+// O(1) by design — it detects structural mutation (reassigned weights, new
+// context variables, bumped counters), while data races on vector contents
+// are the race detector's job in tests.
+type Guard struct {
+	weightsHead *float64
+	weightsLen  int
+	numVars     int
+	iter        int
+	step        float64
+	batch       int
+}
+
+// Guard captures the current compute-phase invariants of c.
+func (c *Context) Guard() Guard {
+	g := Guard{
+		weightsLen: len(c.Weights),
+		numVars:    len(c.Vars),
+		iter:       c.Iter,
+		step:       c.Step,
+		batch:      c.BatchSize,
+	}
+	if len(c.Weights) > 0 {
+		g.weightsHead = &c.Weights[0]
+	}
+	return g
+}
+
+// Check reports the first contract violation a Computer committed against c
+// since the guard was captured, or nil.
+func (g Guard) Check(c *Context) error {
+	var head *float64
+	if len(c.Weights) > 0 {
+		head = &c.Weights[0]
+	}
+	switch {
+	case len(c.Weights) != g.weightsLen || head != g.weightsHead:
+		return fmt.Errorf("gd: Computer violated the compute contract: ctx.Weights was reassigned during the compute phase")
+	case len(c.Vars) != g.numVars:
+		return fmt.Errorf("gd: Computer violated the compute contract: context variables changed during the compute phase (%d -> %d)", g.numVars, len(c.Vars))
+	case c.Iter != g.iter || c.Step != g.step || c.BatchSize != g.batch:
+		return fmt.Errorf("gd: Computer violated the compute contract: iteration state mutated during the compute phase")
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package gd
 
 import (
 	"fmt"
+	"math/rand"
 
 	"ml4all/internal/data"
 	"ml4all/internal/gradients"
@@ -13,6 +14,12 @@ import (
 
 // Transformer is operator (1), Transform(U) -> UT: it parses one raw data
 // unit into a typed unit.
+//
+// Like Compute, Transform runs on the engine's worker pool (eager transforms
+// and lazy full scans fan out over shards), so with engine Workers != 1 a
+// Transformer must be safe for concurrent calls and must not mutate shared
+// state or ctx — parse the line, return the unit. Stateful transformers are
+// only legal on the serial path (Workers: 1).
 type Transformer interface {
 	Transform(raw string, ctx *Context) (data.Unit, error)
 }
@@ -29,11 +36,40 @@ type Stager interface {
 // is the UC handed to Update ("UC is the sum of all data units"). AccDim
 // returns the accumulator dimensionality (d for plain gradients; variants
 // like line search use d+1). Ops estimates multiply-adds per unit with nnz
-// stored values for cost charging.
+// stored values for cost charging; it must be a pure function of nnz (the
+// engine caches per-partition Ops sums across iterations).
+//
+// Concurrency contract (enforced by the engine): the engine runs Compute on a
+// worker pool, many goroutines at once, each with its own acc buffer. A
+// Computer therefore must
+//
+//   - treat ctx as read-only for the whole compute phase (the engine checks a
+//     context guard after every pass and fails the run on a violation);
+//   - write only to acc — no shared mutable state, no fields mutated by
+//     Compute;
+//   - be deterministic given (u, ctx): randomness belongs in
+//     RandomizedComputer, which receives an engine-managed RNG.
+//
+// The stock Computers (GradientComputer, SVRGComputer, LineSearchComputer)
+// all satisfy this: they read ctx.Weights and context vectors set before the
+// pass and accumulate into acc only.
 type Computer interface {
 	Compute(u data.Unit, ctx *Context, acc linalg.Vector)
 	AccDim(d int) int
 	Ops(nnz int) float64
+}
+
+// RandomizedComputer is an optional extension for stochastic compute UDFs
+// (dropout-style corruption, randomized smoothing, ...). When a plan's
+// Computer implements it, the engine calls ComputeRand instead of Compute and
+// supplies a deterministic RNG split from the run seed per (iteration, shard)
+// — never per worker — so the stream a data unit sees does not depend on the
+// worker count or on scheduling, keeping runs bit-identical for any Workers
+// setting. The contract of Computer applies unchanged; rng is the only
+// allowed source of randomness.
+type RandomizedComputer interface {
+	Computer
+	ComputeRand(u data.Unit, ctx *Context, acc linalg.Vector, rng *rand.Rand)
 }
 
 // Updater is operator (4), Update(UC) -> UU: it folds the aggregated

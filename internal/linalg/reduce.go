@@ -1,0 +1,65 @@
+package linalg
+
+import "sync"
+
+// ReduceTree merges the given partial vectors into parts[0] with an ordered
+// binary tree reduction: pass 1 folds parts[1] into parts[0], parts[3] into
+// parts[2], ...; pass 2 folds parts[2] into parts[0], parts[6] into parts[4];
+// and so on until one vector remains. The merge order depends only on
+// len(parts), never on timing, so for a fixed partitioning the result is
+// bit-identical run-to-run and independent of how many goroutines produced
+// the partials. It returns parts[0] (nil for an empty slice).
+//
+// The engine's parallel executor reduces per-shard gradient accumulators with
+// exactly this shape; the serial path reduces the same shard partials the
+// same way, which is what makes Workers=1 and Workers=N bitwise equal.
+func ReduceTree(parts []Vector) Vector {
+	if len(parts) == 0 {
+		return nil
+	}
+	for stride := 1; stride < len(parts); stride *= 2 {
+		for i := 0; i+stride < len(parts); i += 2 * stride {
+			parts[i].Add(parts[i+stride])
+		}
+	}
+	return parts[0]
+}
+
+// BufferPool recycles zeroed vectors keyed by dimension so per-shard
+// accumulators do not allocate every iteration. It is safe for concurrent
+// use; Get returns a zeroed vector and Put recycles one (the pool zeroes it
+// on the way back in, keeping Get cheap on the hot path).
+type BufferPool struct {
+	mu   sync.Mutex
+	free map[int][]Vector
+}
+
+// NewBufferPool returns an empty pool.
+func NewBufferPool() *BufferPool {
+	return &BufferPool{free: map[int][]Vector{}}
+}
+
+// Get returns a zeroed vector of dimension d.
+func (p *BufferPool) Get(d int) Vector {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	list := p.free[d]
+	if n := len(list); n > 0 {
+		v := list[n-1]
+		p.free[d] = list[:n-1]
+		return v
+	}
+	return NewVector(d)
+}
+
+// Put recycles v for a future Get of the same dimension. Putting nil is a
+// no-op.
+func (p *BufferPool) Put(v Vector) {
+	if v == nil {
+		return
+	}
+	v.Zero()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free[len(v)] = append(p.free[len(v)], v)
+}

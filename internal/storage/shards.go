@@ -1,0 +1,58 @@
+package storage
+
+// Shard is a stable sub-range of one partition, the unit of intra-node
+// parallelism: the engine's worker pool processes one shard per task, each
+// into its own accumulator. Shard boundaries derive only from the dataset's
+// partition layout and the requested maximum shard size — never from the
+// worker count — so the partial-sum structure (and therefore the
+// floating-point result of the ordered reduction over shards) is identical
+// whether one worker or sixteen execute them.
+type Shard struct {
+	ID   int       // dense shard index over the whole store
+	Part Partition // owning storage partition
+	Lo   int       // first unit index (inclusive)
+	Hi   int       // last unit index (exclusive)
+}
+
+// Units returns the number of data units in the shard.
+func (s Shard) Units() int { return s.Hi - s.Lo }
+
+// SplitEven cuts [lo, hi) into ceil((hi-lo)/max) contiguous near-equal
+// ranges (a single range when max <= 0) and calls fn for each, in order.
+// Both Shards and the engine's batch chunking route through it, so the
+// boundary rule the bit-identical-results guarantee depends on lives in
+// exactly one place.
+func SplitEven(lo, hi, max int, fn func(lo, hi int)) {
+	units := hi - lo
+	if units <= 0 {
+		return
+	}
+	chunks := 1
+	if max > 0 {
+		chunks = (units + max - 1) / max
+	}
+	for c := 0; c < chunks; c++ {
+		clo := lo + c*units/chunks
+		chi := lo + (c+1)*units/chunks
+		if clo < chi {
+			fn(clo, chi)
+		}
+	}
+}
+
+// Shards returns a stable partitioned view of the store for intra-node
+// parallel execution: every storage partition split into contiguous chunks of
+// at most maxUnits data units (one chunk when the partition is smaller).
+// Shards never straddle partition boundaries, so per-partition cost
+// accounting can still walk partitions while the numeric work walks shards.
+// maxUnits <= 0 yields one shard per partition.
+func (s *Store) Shards(maxUnits int) []Shard {
+	var shards []Shard
+	for _, p := range s.Partitions {
+		part := p
+		SplitEven(p.Lo, p.Hi, maxUnits, func(lo, hi int) {
+			shards = append(shards, Shard{ID: len(shards), Part: part, Lo: lo, Hi: hi})
+		})
+	}
+	return shards
+}

@@ -1,0 +1,86 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+
+	"ml4all/internal/data"
+)
+
+func shardTestStore(t *testing.T, n int, partBytes int64) *Store {
+	t.Helper()
+	units := make([]data.Unit, n)
+	raws := make([]string, n)
+	for i := range units {
+		units[i] = data.NewDenseUnit(1, []float64{float64(i), 2, 3})
+		raws[i] = fmt.Sprintf("1,%d,2,3", i)
+	}
+	ds := data.FromUnits("shards", data.TaskSVM, units)
+	ds.Raw = raws
+	st, err := Build(ds, Layout{PartitionBytes: partBytes, PageBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestShardsCoverStoreExactly: shards tile the unit range with no gaps,
+// overlaps, or partition straddling.
+func TestShardsCoverStoreExactly(t *testing.T) {
+	st := shardTestStore(t, 500, 512)
+	if st.NumPartitions() < 2 {
+		t.Fatalf("want several partitions, got %d", st.NumPartitions())
+	}
+	for _, maxUnits := range []int{0, 1, 7, 64, 10000} {
+		shards := st.Shards(maxUnits)
+		next := 0
+		for i, sh := range shards {
+			if sh.ID != i {
+				t.Fatalf("maxUnits=%d: shard %d has ID %d", maxUnits, i, sh.ID)
+			}
+			if sh.Lo != next {
+				t.Fatalf("maxUnits=%d: shard %d starts at %d, want %d", maxUnits, i, sh.Lo, next)
+			}
+			if sh.Units() <= 0 {
+				t.Fatalf("maxUnits=%d: empty shard %d", maxUnits, i)
+			}
+			if maxUnits > 0 && sh.Units() > maxUnits {
+				t.Fatalf("maxUnits=%d: shard %d holds %d units", maxUnits, i, sh.Units())
+			}
+			if sh.Lo < sh.Part.Lo || sh.Hi > sh.Part.Hi {
+				t.Fatalf("maxUnits=%d: shard %d [%d,%d) straddles partition [%d,%d)",
+					maxUnits, i, sh.Lo, sh.Hi, sh.Part.Lo, sh.Part.Hi)
+			}
+			next = sh.Hi
+		}
+		if next != st.Dataset.N() {
+			t.Fatalf("maxUnits=%d: shards cover %d of %d units", maxUnits, next, st.Dataset.N())
+		}
+	}
+}
+
+// TestShardsStable: the same store and chunk size always produce the same
+// boundaries — the property the engine's determinism guarantee rests on.
+func TestShardsStable(t *testing.T) {
+	st := shardTestStore(t, 300, 512)
+	a, b := st.Shards(16), st.Shards(16)
+	if len(a) != len(b) {
+		t.Fatalf("shard counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("shard %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestShardsEmptyStore(t *testing.T) {
+	ds := data.FromUnits("empty", data.TaskSVM, nil)
+	st, err := Build(ds, DefaultLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Shards(8); len(got) != 0 {
+		t.Fatalf("empty store produced %d shards", len(got))
+	}
+}

@@ -60,6 +60,9 @@ type Config struct {
 	// plan's own tolerance.
 	ScoreTolerance float64
 	Seed           int64
+	// Workers sizes the engine's worker pool for trial runs (0 =
+	// GOMAXPROCS, 1 = serial); trial outcomes are worker-count invariant.
+	Workers int
 }
 
 func (c Config) withDefaults(plan gd.Plan) Config {
@@ -128,6 +131,7 @@ func Tune(plan gd.Plan, store *storage.Store, g gradients.Gradient, reg gradient
 		res, err := engine.Run(sim, sampleStore, &specPlan, engine.Options{
 			TimeBudget: cfg.Budget,
 			Seed:       cfg.Seed,
+			Workers:    cfg.Workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("tuner: speculating %s: %w", cand.Step.Name(), err)

@@ -66,6 +66,15 @@ type System struct {
 	Layout    storage.Layout
 	Estimator estimator.Config
 
+	// Workers sizes the engine's real worker pool for the numeric training
+	// phases (Compute — including line-search loss passes — and eager
+	// Transform); it also covers the optimizer's speculation runs unless
+	// Estimator.Workers pins its own. Evaluate stays serial. 0 means
+	// GOMAXPROCS; 1 forces serial execution. Training results are
+	// bit-identical for every value — only wall-clock speed changes;
+	// simulated cluster time is charged the same either way. See DESIGN.md.
+	Workers int
+
 	datasets map[string]*data.Dataset
 	models   map[string]*Model
 }
@@ -164,7 +173,18 @@ func (s *System) optimizeOn(sim *cluster.Sim, ds *data.Dataset, p Params) (*Deci
 	if err != nil {
 		return nil, err
 	}
-	return planner.Choose(sim, st, p, planner.Options{Estimator: s.Estimator})
+	return planner.Choose(sim, st, p, planner.Options{Estimator: s.estimatorConfig()})
+}
+
+// estimatorConfig returns the estimator settings with the system's worker
+// pool applied when the estimator does not pin its own, so a Workers: 1
+// escape hatch (stateful UDFs) covers speculation runs too.
+func (s *System) estimatorConfig() estimator.Config {
+	cfg := s.Estimator
+	if cfg.Workers == 0 {
+		cfg.Workers = s.Workers
+	}
+	return cfg
 }
 
 // Execute runs one plan to completion and returns its result.
@@ -174,7 +194,7 @@ func (s *System) Execute(ds *data.Dataset, plan Plan) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return engine.Run(sim, st, &plan, engine.Options{Seed: s.Cluster.Seed})
+	return engine.Run(sim, st, &plan, engine.Options{Seed: s.Cluster.Seed, Workers: s.Workers})
 }
 
 // Train optimizes and executes in one timeline: the returned result's Time
@@ -191,7 +211,7 @@ func (s *System) Train(ds *data.Dataset, p Params) (*Result, *Decision, error) {
 		return nil, nil, err
 	}
 	plan := dec.Best.Plan
-	res, err := engine.Run(sim, st, &plan, engine.Options{Seed: s.Cluster.Seed})
+	res, err := engine.Run(sim, st, &plan, engine.Options{Seed: s.Cluster.Seed, Workers: s.Workers})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -277,7 +297,7 @@ func (s *System) runQuery(q *lang.Run) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	dec, err := planner.Choose(sim, stn, p, planner.Options{Estimator: s.Estimator})
+	dec, err := planner.Choose(sim, stn, p, planner.Options{Estimator: s.estimatorConfig()})
 	if err != nil {
 		return nil, err
 	}
@@ -296,7 +316,7 @@ func (s *System) runQuery(q *lang.Run) (*Model, error) {
 	}
 
 	plan := choice.Plan
-	res, err := engine.Run(sim, stn, &plan, engine.Options{Seed: s.Cluster.Seed})
+	res, err := engine.Run(sim, stn, &plan, engine.Options{Seed: s.Cluster.Seed, Workers: s.Workers})
 	if err != nil {
 		return nil, err
 	}
