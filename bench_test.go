@@ -18,8 +18,10 @@ import (
 	"ml4all/internal/cluster"
 	"ml4all/internal/data"
 	"ml4all/internal/engine"
+	"ml4all/internal/estimator"
 	"ml4all/internal/experiments"
 	"ml4all/internal/gd"
+	"ml4all/internal/planner"
 	"ml4all/internal/storage"
 	"ml4all/internal/synth"
 )
@@ -124,6 +126,133 @@ func benchComputePhase(b *testing.B, kind string, workers int) {
 	}
 	b.ReportMetric(float64(p.MaxIter*ds.N()*b.N)/b.Elapsed().Seconds(), "units/s")
 }
+
+// --- Trainer lifecycle ---
+
+// BenchmarkTrainerStep measures the per-Step cost of the resumable trainer
+// on a sampled plan (MGD eager+shuffle, batch 1000): one Sample + Compute +
+// Update + Converge round trip per op, steady state. This is the loop the
+// adaptive controller drives, so Step overhead is pure controller tax.
+func BenchmarkTrainerStep(b *testing.B) {
+	ds := computeBenchDataset(b, "dense")
+	st, err := storage.Build(ds, storage.DefaultLayout())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := gd.Params{Task: ds.Task, Format: ds.Format, Tolerance: 1e-12, MaxIter: 1 << 30, Lambda: 0.05}
+	plan := gd.NewMGD(p, gd.Eager, gd.ShuffledPartition)
+	plan.Looper = gd.FixedIterLooper{} // never stops inside the timed loop
+	cfg := cluster.Default()
+	cfg.JitterFrac = 0
+	tr, err := engine.NewTrainer(cluster.New(cfg), st, &plan, engine.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/s")
+}
+
+// BenchmarkTrainerCheckpoint measures a Checkpoint + Encode round trip taken
+// mid-run — the cost of making a training run durable.
+func BenchmarkTrainerCheckpoint(b *testing.B) {
+	ds := computeBenchDataset(b, "dense")
+	st, err := storage.Build(ds, storage.DefaultLayout())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := gd.Params{Task: ds.Task, Format: ds.Format, Tolerance: 1e-12, MaxIter: 1 << 30, Lambda: 0.05}
+	plan := gd.NewMGD(p, gd.Eager, gd.ShuffledPartition)
+	plan.Looper = gd.FixedIterLooper{}
+	cfg := cluster.Default()
+	cfg.JitterFrac = 0
+	tr, err := engine.NewTrainer(cluster.New(cfg), st, &plan, engine.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := tr.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	var bytes int
+	for i := 0; i < b.N; i++ {
+		cp, err := tr.Checkpoint()
+		if err != nil {
+			b.Fatal(err)
+		}
+		enc, err := cp.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes = len(enc)
+	}
+	b.ReportMetric(float64(bytes), "state_bytes")
+}
+
+// BenchmarkAdaptiveVsStatic is the end-to-end comparison under the skewed
+// speculation scenario (see internal/experiments/adaptive.go): "static" runs
+// the optimizer's chosen plan uninterrupted, "adaptive" runs the same choice
+// under the mid-flight re-optimization controller. The sim_s metric is the
+// simulated training time — the quantity the adaptive controller exists to
+// cut; at this benchmark's quick scale the statically-chosen plan misses the
+// tolerance entirely while the adaptive run converges.
+func BenchmarkAdaptiveVsStatic(b *testing.B) {
+	spec := synth.Spec{
+		Name: "bench-adaptive", Task: data.TaskLogisticRegression,
+		N: 19531, D: 40, Density: 0.6, Noise: 0.6, Margin: 0.5, Seed: 1,
+	}
+	ds, err := synth.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := storage.Build(ds, storage.DefaultLayout())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := gd.Params{Task: ds.Task, Format: ds.Format, Lambda: 0.01, Tolerance: 2e-4, MaxIter: 4000}
+	est := estimator.Config{SampleSize: 1000, SpecTolerance: 0.1, TimeBudget: 3, Seed: 1}
+
+	b.Run("static", func(b *testing.B) {
+		var sim cluster.Seconds
+		for i := 0; i < b.N; i++ {
+			cl := cluster.New(cluster.Default())
+			dec, err := planner.Choose(cl, st, p, planner.Options{Estimator: est})
+			if err != nil {
+				b.Fatal(err)
+			}
+			plan := dec.Best.Plan
+			if _, err := engine.Run(cl, st, &plan, engine.Options{Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+			sim = cl.Now()
+		}
+		b.ReportMetric(float64(sim), "sim_s")
+	})
+	b.Run("adaptive", func(b *testing.B) {
+		var sim cluster.Seconds
+		for i := 0; i < b.N; i++ {
+			cl := cluster.New(cluster.Default())
+			ar, err := planner.RunAdaptive(cl, st, p, planner.Options{Estimator: est},
+				planner.AdaptiveConfig{Every: 50, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ar.Result.Converged {
+				b.Fatal("adaptive run missed tolerance")
+			}
+			sim = cl.Now()
+		}
+		b.ReportMetric(float64(sim), "sim_s")
+	})
+}
+
+func BenchmarkAdaptiveReoptimization(b *testing.B) { benchExperiment(b, "adaptive") }
 
 func BenchmarkComputePhaseDense(b *testing.B) {
 	for _, w := range benchWorkers {

@@ -25,6 +25,7 @@ func main() {
 	quick := flag.Bool("quick", false, "restrict sweeps to a representative subset")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS, 1 = serial; results are identical, only wall time changes)")
+	adaptive := flag.Bool("adaptive", false, "train the optimizer's chosen plan with mid-flight re-optimization where experiments support it (fig8; the 'adaptive' experiment always adapts)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -36,7 +37,7 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Scale: *scale, Quick: *quick, Seed: *seed, Workers: *workers}
+	cfg := experiments.Config{Scale: *scale, Quick: *quick, Seed: *seed, Workers: *workers, Adaptive: *adaptive}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.IDs()

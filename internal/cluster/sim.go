@@ -34,6 +34,7 @@ type Sim struct {
 	Acct  Accounting
 
 	clock Seconds
+	src   *CountingSource
 	rng   *rand.Rand
 }
 
@@ -43,10 +44,12 @@ func New(cfg Config) *Sim {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	src := NewCountingSource(cfg.Seed)
 	return &Sim{
 		Cfg:   cfg,
 		Cache: storage.NewCache(cfg.CacheBytes),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		src:   src,
+		rng:   rand.New(src),
 	}
 }
 
@@ -59,7 +62,49 @@ func (s *Sim) Reset() {
 	s.clock = 0
 	s.Cache.Reset()
 	s.Acct = Accounting{}
-	s.rng = rand.New(rand.NewSource(s.Cfg.Seed))
+	s.src = NewCountingSource(s.Cfg.Seed)
+	s.rng = rand.New(s.src)
+}
+
+// SimState is a serializable snapshot of a Sim mid-run: the clock, the
+// accumulated accounting, the jitter stream position and the block-cache
+// contents. Together with the (comparable) Config it pins the simulator
+// exactly — a fresh Sim built from the same Config and Restore'd from the
+// state continues bit-identically.
+type SimState struct {
+	Cfg      Config
+	Clock    Seconds
+	Acct     Accounting
+	RNGDraws uint64
+	Cache    storage.CacheState
+}
+
+// Snapshot captures the simulator's full dynamic state.
+func (s *Sim) Snapshot() SimState {
+	return SimState{
+		Cfg:      s.Cfg,
+		Clock:    s.clock,
+		Acct:     s.Acct,
+		RNGDraws: s.src.Draws(),
+		Cache:    s.Cache.Snapshot(),
+	}
+}
+
+// Restore rewinds the simulator to a snapshot taken from a Sim with the same
+// configuration (clock, accounting, jitter position, cache residency). It
+// errors when the configurations differ — a restored run on a different
+// cluster would silently diverge.
+func (s *Sim) Restore(st SimState) error {
+	if s.Cfg != st.Cfg {
+		return fmt.Errorf("cluster: restoring snapshot onto a differently-configured sim")
+	}
+	s.clock = st.Clock
+	s.Acct = st.Acct
+	s.src = NewCountingSource(s.Cfg.Seed)
+	s.src.Skip(st.RNGDraws)
+	s.rng = rand.New(s.src)
+	s.Cache.Restore(st.Cache)
+	return nil
 }
 
 // Advance moves the clock forward by d (which must be non-negative).

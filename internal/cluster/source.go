@@ -1,0 +1,49 @@
+package cluster
+
+import "math/rand"
+
+// CountingSource wraps the standard PRNG source and counts how many raw
+// draws have been consumed. The count is the whole serialized identity of
+// the stream: a source re-created from the same seed and skipped forward by
+// the same number of draws continues bit-identically, which is what lets a
+// training checkpoint capture "the RNG position" without copying opaque
+// generator internals. Both Int63 and Uint64 advance the underlying
+// generator by exactly one step, so Skip replays with either.
+type CountingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+// NewCountingSource returns a counting source seeded like rand.NewSource.
+func NewCountingSource(seed int64) *CountingSource {
+	return &CountingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+// Int63 implements rand.Source.
+func (c *CountingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (c *CountingSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+// Seed implements rand.Source, resetting the draw count with the stream.
+func (c *CountingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.draws = 0
+}
+
+// Draws returns how many raw values have been consumed since seeding.
+func (c *CountingSource) Draws() uint64 { return c.draws }
+
+// Skip fast-forwards the stream by n draws (counted like any other draw).
+func (c *CountingSource) Skip(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		c.src.Uint64()
+	}
+	c.draws += n
+}

@@ -20,7 +20,6 @@ package engine
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 
 	"ml4all/internal/cluster"
 	"ml4all/internal/data"
@@ -55,6 +54,18 @@ type Options struct {
 	// Custom Transformer/Computer UDFs must honor the concurrency contract
 	// documented on gd.Computer when Workers != 1.
 	Workers int
+
+	// InitWeights, when non-nil, overrides the weights the plan's Stage
+	// operator produced, warm-starting the run. The adaptive controller
+	// uses it to carry the model across a mid-flight plan switch; the
+	// vector is cloned, so callers keep ownership.
+	InitWeights linalg.Vector
+
+	// InitIter, when positive, starts the iteration counter there instead
+	// of 0, so step-size schedules (alpha_i) continue across a plan switch
+	// instead of restarting hot. The first executed iteration is then
+	// InitIter+1. MaxIter still bounds the counter's absolute value.
+	InitIter int
 }
 
 // Result reports one plan execution.
@@ -74,111 +85,20 @@ type Result struct {
 
 // Run executes plan against the dataset in store on sim, advancing sim's
 // clock. The caller owns sim; Run neither resets it nor assumes a zero clock,
-// so speculation and execution can share one timeline.
+// so speculation and execution can share one timeline. Run is a thin loop
+// over the resumable Trainer (see trainer.go) and is bit-identical to the
+// pre-Trainer monolithic loop for every plan and worker count.
 func Run(sim *cluster.Sim, store *storage.Store, plan *gd.Plan, opts Options) (*Result, error) {
-	if err := plan.Validate(); err != nil {
+	t, err := NewTrainer(sim, store, plan, opts)
+	if err != nil {
 		return nil, err
 	}
-	ds := store.Dataset
-	n := ds.N()
-	if n == 0 {
-		return nil, fmt.Errorf("engine: empty dataset %q", ds.Name)
-	}
-	seed := opts.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	rng := rand.New(rand.NewSource(seed))
-	start := sim.Now()
-
-	ctx := gd.NewContext()
-	ctx.NumFeatures = ds.NumFeatures
-	ctx.NumPoints = n
-	ctx.Tolerance = plan.Tolerance
-	ctx.MaxIter = plan.MaxIter
-	ctx.BatchSize = plan.BatchSize
-	if plan.Algorithm == gd.BGD || plan.Algorithm == gd.LineSearchBGD {
-		ctx.BatchSize = n
-	}
-
-	ex := &executor{
-		sim: sim, store: store, plan: plan, ctx: ctx, rng: rng,
-		seed:    seed,
-		workers: workers,
-		shards:  store.Shards(shardUnitTarget),
-		bufs:    linalg.NewBufferPool(),
-	}
-
-	sim.JobInit()
-	if err := ex.stage(); err != nil {
-		return nil, err
-	}
-	if plan.Transform == gd.Eager {
-		if err := ex.eagerTransform(); err != nil {
+	for !t.Done() {
+		if err := t.Step(); err != nil {
 			return nil, err
 		}
 	}
-	if plan.Sampling != gd.NoSampling {
-		s, err := sampling.New(plan.Sampling)
-		if err != nil {
-			return nil, err
-		}
-		ex.sampler = s
-		ex.senv = &sampling.Env{Sim: sim, Store: store, RNG: rng}
-	}
-
-	res := &Result{PlanName: plan.Name()}
-	prev := ctx.Weights.Clone()
-	for {
-		ctx.Iter++
-		ctx.Step = plan.Step.Alpha(ctx.Iter)
-		sim.Advance(sim.Cfg.DriverIterSec)
-
-		acc, err := ex.iteration()
-		if err != nil {
-			return nil, err
-		}
-
-		// Update on the driver.
-		sim.RunLocal(sim.CostCPU(1, float64(2*ctx.NumFeatures)))
-		wNew, err := plan.Updater.Update(acc, ctx)
-		if err != nil {
-			return nil, err
-		}
-
-		// Converge + Loop on the driver.
-		sim.RunLocal(sim.CostCPU(1, float64(ctx.NumFeatures)))
-		delta := plan.Converger.Converge(wNew, prev, ctx)
-		res.Deltas = append(res.Deltas, delta)
-		if opts.CollectWeightsTrace {
-			res.Trace = append(res.Trace, wNew.Clone())
-		}
-		copy(prev, wNew)
-		res.FinalDelta = delta
-
-		if !wNew.IsFinite() {
-			res.Diverged = true
-			break
-		}
-		if !plan.Looper.Loop(delta, ctx) {
-			res.Converged = delta < plan.Tolerance
-			break
-		}
-		if opts.TimeBudget > 0 && sim.Now()-start >= opts.TimeBudget {
-			res.Budgeted = true
-			break
-		}
-	}
-
-	res.Weights = ctx.Weights.Clone()
-	res.Iterations = ctx.Iter
-	res.Time = sim.Now() - start
-	res.Acct = sim.Acct
-	return res, nil
+	return t.Finish(), nil
 }
 
 // executor carries the per-run state shared by the phases.

@@ -1,0 +1,221 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+
+	"ml4all/internal/cluster"
+	"ml4all/internal/gd"
+	"ml4all/internal/linalg"
+	"ml4all/internal/sampling"
+	"ml4all/internal/storage"
+)
+
+// Trainer is the resumable form of a plan execution: an explicit lifecycle
+//
+//	New → Step* → (Checkpoint → Resume → Step*)* → Finish
+//
+// where NewTrainer performs everything up to the first iteration (job init,
+// Stage, eager Transform, sampler construction), each Step executes exactly
+// one plan iteration, and Finish assembles the Result. Run is a thin loop
+// over Step, so a Trainer driven to completion is bit-identical to the
+// monolithic loop it replaced — same weights, deltas, simulated time and
+// accounting for every plan and worker count.
+//
+// All per-run state lives either in the simulator (clock, cache, jitter
+// stream, accounting — captured by cluster.Sim.Snapshot) or in the fields
+// Checkpoint serializes into a TrainState: weights and operator context
+// variables, the iteration counter, the sampling RNG position (a draw count
+// over a seeded stream), the lazy-transform memo, the per-partition op-cost
+// cache, the delta history and the clock offset the run started at.
+type Trainer struct {
+	sim   *cluster.Sim
+	store *storage.Store
+	plan  *gd.Plan
+	opts  Options
+
+	ex    *executor
+	src   *cluster.CountingSource // the sampling RNG's underlying stream
+	res   *Result
+	prev  linalg.Vector
+	start cluster.Seconds // sim clock when the run (segment) began
+	done  bool
+}
+
+// NewTrainer validates the plan and performs the pre-loop phases on sim:
+// job init, Stage (optionally warm-started via Options.InitWeights), eager
+// Transform, and sampler construction. The returned Trainer is ready for
+// Step.
+func NewTrainer(sim *cluster.Sim, store *storage.Store, plan *gd.Plan, opts Options) (*Trainer, error) {
+	t, err := newTrainerShell(sim, store, plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	ex := t.ex
+
+	sim.JobInit()
+	if err := ex.stage(); err != nil {
+		return nil, err
+	}
+	if opts.InitWeights != nil {
+		if len(opts.InitWeights) != ex.ctx.NumFeatures {
+			return nil, fmt.Errorf("engine: InitWeights has %d features, dataset has %d",
+				len(opts.InitWeights), ex.ctx.NumFeatures)
+		}
+		ex.ctx.Weights = opts.InitWeights.Clone()
+	}
+	if opts.InitIter > 0 {
+		ex.ctx.Iter = opts.InitIter
+	}
+	if plan.Transform == gd.Eager {
+		if err := ex.eagerTransform(); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.initSampler(); err != nil {
+		return nil, err
+	}
+
+	t.res = &Result{PlanName: plan.Name()}
+	t.prev = ex.ctx.Weights.Clone()
+	return t, nil
+}
+
+// newTrainerShell builds the trainer and executor skeleton shared by
+// NewTrainer and Resume: defaults, context, shards, RNG stream — everything
+// that involves no simulated work.
+func newTrainerShell(sim *cluster.Sim, store *storage.Store, plan *gd.Plan, opts Options) (*Trainer, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	ds := store.Dataset
+	n := ds.N()
+	if n == 0 {
+		return nil, fmt.Errorf("engine: empty dataset %q", ds.Name)
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	src := cluster.NewCountingSource(seed)
+	rng := rand.New(src)
+
+	ctx := gd.NewContext()
+	ctx.NumFeatures = ds.NumFeatures
+	ctx.NumPoints = n
+	ctx.Tolerance = plan.Tolerance
+	ctx.MaxIter = plan.MaxIter
+	ctx.BatchSize = plan.BatchSize
+	if plan.Algorithm == gd.BGD || plan.Algorithm == gd.LineSearchBGD {
+		ctx.BatchSize = n
+	}
+
+	ex := &executor{
+		sim: sim, store: store, plan: plan, ctx: ctx, rng: rng,
+		seed:    seed,
+		workers: workers,
+		shards:  store.Shards(shardUnitTarget),
+		bufs:    linalg.NewBufferPool(),
+	}
+	return &Trainer{
+		sim: sim, store: store, plan: plan, opts: opts,
+		ex: ex, src: src, start: sim.Now(),
+	}, nil
+}
+
+// initSampler constructs the plan's sampler, sharing the trainer's RNG.
+func (t *Trainer) initSampler() error {
+	if t.plan.Sampling == gd.NoSampling {
+		return nil
+	}
+	s, err := sampling.New(t.plan.Sampling)
+	if err != nil {
+		return err
+	}
+	t.ex.sampler = s
+	t.ex.senv = &sampling.Env{Sim: t.sim, Store: t.store, RNG: t.ex.rng}
+	return nil
+}
+
+// Done reports whether the run has terminated (converged, budget exhausted,
+// iteration cap hit, or diverged).
+func (t *Trainer) Done() bool { return t.done }
+
+// Iteration returns the 1-based count of iterations executed so far (the
+// context's counter; it starts at Options.InitIter for warm-started runs).
+func (t *Trainer) Iteration() int { return t.ex.ctx.Iter }
+
+// Deltas returns the per-iteration convergence deltas observed so far. The
+// slice is live — callers must not modify it.
+func (t *Trainer) Deltas() []float64 { return t.res.Deltas }
+
+// Weights returns the current model vector (live; callers must not modify).
+func (t *Trainer) Weights() linalg.Vector { return t.ex.ctx.Weights }
+
+// Step executes exactly one plan iteration: Sample (optional) + Transform
+// (if lazy) + Compute fan-out, then Update, Converge and Loop on the driver,
+// charging simulated costs in the same fixed order the monolithic loop did.
+// After a terminating iteration, Done reports true and further Steps fail.
+func (t *Trainer) Step() error {
+	if t.done {
+		return fmt.Errorf("engine: Step on a finished trainer (plan %s)", t.plan.Name())
+	}
+	sim, plan, ctx, res := t.sim, t.plan, t.ex.ctx, t.res
+
+	ctx.Iter++
+	ctx.Step = plan.Step.Alpha(ctx.Iter)
+	sim.Advance(sim.Cfg.DriverIterSec)
+
+	acc, err := t.ex.iteration()
+	if err != nil {
+		return err
+	}
+
+	// Update on the driver.
+	sim.RunLocal(sim.CostCPU(1, float64(2*ctx.NumFeatures)))
+	wNew, err := plan.Updater.Update(acc, ctx)
+	if err != nil {
+		return err
+	}
+
+	// Converge + Loop on the driver.
+	sim.RunLocal(sim.CostCPU(1, float64(ctx.NumFeatures)))
+	delta := plan.Converger.Converge(wNew, t.prev, ctx)
+	res.Deltas = append(res.Deltas, delta)
+	if t.opts.CollectWeightsTrace {
+		res.Trace = append(res.Trace, wNew.Clone())
+	}
+	copy(t.prev, wNew)
+	res.FinalDelta = delta
+
+	switch {
+	case !wNew.IsFinite():
+		res.Diverged = true
+		t.done = true
+	case !plan.Looper.Loop(delta, ctx):
+		res.Converged = delta < plan.Tolerance
+		t.done = true
+	case t.opts.TimeBudget > 0 && sim.Now()-t.start >= t.opts.TimeBudget:
+		res.Budgeted = true
+		t.done = true
+	}
+	return nil
+}
+
+// Finish assembles and returns the Result as of the current state: final
+// weights, iteration count, elapsed simulated time since the trainer
+// started, and the simulator's accounting. It may be called mid-run (for
+// progress inspection) or after Done; the Trainer remains usable.
+func (t *Trainer) Finish() *Result {
+	res := t.res
+	res.Weights = t.ex.ctx.Weights.Clone()
+	res.Iterations = t.ex.ctx.Iter
+	res.Time = t.sim.Now() - t.start
+	res.Acct = t.sim.Acct
+	return res
+}

@@ -45,6 +45,11 @@ type Config struct {
 	// serial). Results and simulated times are identical for every value;
 	// only the wall-clock the harness reports changes.
 	Workers int
+	// Adaptive executes the optimizer's chosen plan with mid-flight
+	// re-optimization wherever an experiment trains through the optimizer
+	// (currently fig8's chosen-plan leg; the dedicated `adaptive`
+	// experiment always adapts).
+	Adaptive bool
 }
 
 func (c Config) withDefaults() Config {

@@ -18,7 +18,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "fig6", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11",
 		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
 		"table2", "table4", "ablation-speculation", "ablation-placement",
-		"ablation-tuner",
+		"ablation-tuner", "adaptive",
 	}
 	for _, id := range want {
 		if _, ok := All[id]; !ok {

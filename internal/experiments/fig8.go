@@ -53,25 +53,41 @@ func Fig8(cfg Config) (*Report, error) {
 			}
 		}
 
-		// Optimizer + chosen plan on one clock.
+		// Optimizer + chosen plan on one clock. With cfg.Adaptive the
+		// chosen plan additionally re-optimizes mid-flight.
 		sim := cfg.sim()
-		dec, err := planner.Choose(sim, st, p, planner.Options{Estimator: cfg.estimatorFor()})
-		if err != nil {
-			return nil, err
-		}
-		specEnd := sim.Now()
-		plan := dec.Best.Plan
-		if _, err := engine.Run(sim, st, &plan, cfg.engineOpts(0)); err != nil {
-			return nil, err
+		var specEnd cluster.Seconds
+		var planName string
+		if cfg.Adaptive {
+			ar, err := planner.RunAdaptive(sim, st, p, planner.Options{Estimator: cfg.estimatorFor()},
+				planner.AdaptiveConfig{Seed: cfg.Seed, Workers: cfg.Workers})
+			if err != nil {
+				return nil, err
+			}
+			// Result.Time covers training only, so this recovers the same
+			// post-optimization clock point the static branch records.
+			specEnd = sim.Now() - ar.Result.Time
+			planName = ar.Result.PlanName
+		} else {
+			dec, err := planner.Choose(sim, st, p, planner.Options{Estimator: cfg.estimatorFor()})
+			if err != nil {
+				return nil, err
+			}
+			specEnd = sim.Now()
+			plan := dec.Best.Plan
+			planName = plan.Name()
+			if _, err := engine.Run(sim, st, &plan, cfg.engineOpts(0)); err != nil {
+				return nil, err
+			}
 		}
 		total := sim.Now()
 
 		// "Near-best": within 2x of the exhaustive minimum including the
 		// optimization overhead.
-		if total <= 2*minT || plan.Name() == bestPlan {
+		if total <= 2*minT || planName == bestPlan {
 			nearBest++
 		}
-		r.Add(name, bestPlan, minT, maxT, plan.Name(), total, specEnd)
+		r.Add(name, bestPlan, minT, maxT, planName, total, specEnd)
 	}
 	r.Note("chosen plan near-best on %d/%d datasets", nearBest, len(datasets))
 	return r, nil

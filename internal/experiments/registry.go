@@ -31,6 +31,7 @@ var All = map[string]Runner{
 	"ablation-speculation": AblationSpeculation,
 	"ablation-placement":   AblationPlacement,
 	"ablation-tuner":       AblationTuner,
+	"adaptive":             Adaptive,
 }
 
 // IDs returns the experiment identifiers in stable order.

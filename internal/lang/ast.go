@@ -46,6 +46,10 @@ type Run struct {
 	Time    time.Duration
 	Epsilon float64
 	MaxIter int
+	// Adaptive enables mid-flight re-optimization: the system may switch
+	// GD plans while training when observed convergence contradicts the
+	// speculation the initial choice was based on.
+	Adaptive bool
 
 	// using directives; empty/zero mean optimizer's choice.
 	Algorithm   string
@@ -84,6 +88,9 @@ func (r *Run) String() string {
 	}
 	if r.MaxIter > 0 {
 		having = append(having, fmt.Sprintf("max iter %d", r.MaxIter))
+	}
+	if r.Adaptive {
+		having = append(having, "adaptive")
 	}
 	if len(having) > 0 {
 		b.WriteString(" having ")

@@ -147,6 +147,27 @@ func TestParseErrorsCarryPositions(t *testing.T) {
 	}
 }
 
+func TestParseAdaptiveKnob(t *testing.T) {
+	st, err := ParseOne("run classification on train.txt having epsilon 0.01, adaptive;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := st.(*Run)
+	if !r.Adaptive {
+		t.Fatal("adaptive knob not parsed")
+	}
+	if r.Epsilon != 0.01 {
+		t.Fatalf("epsilon = %g alongside adaptive", r.Epsilon)
+	}
+	st, err = ParseOne("run classification on train.txt;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.(*Run).Adaptive {
+		t.Fatal("adaptive defaulted on")
+	}
+}
+
 func TestSyntaxErrorFormat(t *testing.T) {
 	_, err := Parse("run classification on a.txt having bogus 1;")
 	if err == nil {
@@ -168,6 +189,7 @@ func TestRunStringRoundTrips(t *testing.T) {
 	srcs := []string{
 		"Q1 = run classification on train.txt;",
 		"Q2 = run classification on in.txt:2, in.txt:4-20 having time 1h30m0s, epsilon 0.01, max iter 1000;",
+		"Q3 = run classification on train.txt having epsilon 0.01, adaptive;",
 		"run regression on d.csv using algorithm BGD, step 0.5;",
 		"persist Q1 on m.txt;",
 		"r = predict on t.txt with m.txt;",

@@ -225,8 +225,10 @@ func (p *parser) havingList(r *Run) error {
 				return errAt(n, "bad max iter %q", n.Text)
 			}
 			r.MaxIter = v
+		case p.keyword("adaptive"):
+			r.Adaptive = true
 		default:
-			return errAt(t, "expected time, epsilon or max iter, got %s", t)
+			return errAt(t, "expected time, epsilon, max iter or adaptive, got %s", t)
 		}
 		if !p.at(TokComma) {
 			return nil

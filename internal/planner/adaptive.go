@@ -1,0 +1,381 @@
+package planner
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ml4all/internal/cluster"
+	"ml4all/internal/costmodel"
+	"ml4all/internal/engine"
+	"ml4all/internal/estimator"
+	"ml4all/internal/gd"
+	"ml4all/internal/storage"
+)
+
+// This file implements mid-flight re-optimization: the optimizer's
+// speculative machinery reused at runtime, as the paper's conclusion
+// suggests and as adaptive query processors do (cf. Delta's mixed
+// cost-based re-costing in PAPERS.md — observed costs for the running plan,
+// estimated costs for the alternatives).
+//
+// The controller trains through the resumable engine.Trainer. Every K
+// iterations it re-fits the estimator's T(ε) = a/ε curve on the *observed*
+// delta sequence of the running segment (estimator.MonotoneSequence +
+// FitInverse — the exact functions speculation uses, now fed real-run data
+// instead of sample data), re-costs the remaining work for the incumbent
+// with the re-fitted curve and for every other plan of the eleven-plan space
+// with its speculative estimate, and switches when an alternative's
+// projected remaining cost — including its full switch overhead: job init,
+// Stage and (eager) Transform, exactly what starting a new Trainer charges
+// the simulator — undercuts the incumbent's by the hysteresis margin.
+// Weights and the iteration counter carry across the switch, so step-size
+// schedules continue and the model keeps its progress.
+
+// AdaptiveConfig tunes the mid-flight re-optimization controller. Zero
+// values take defaults.
+type AdaptiveConfig struct {
+	// Every is the re-optimization period: a check runs after every
+	// Every-th iteration. 0 means 25.
+	Every int
+	// Hysteresis is the relative margin an alternative's projected
+	// remaining cost must undercut the incumbent's by before the
+	// controller switches (guarding against estimate noise and plan
+	// oscillation). 0 means 0.2; negative disables the margin.
+	Hysteresis float64
+	// MaxSwitches caps how many times the controller may switch plans.
+	// 0 means 3.
+	MaxSwitches int
+	// MinPoints is the minimum number of monotone error observations the
+	// running segment must have produced before a check may act. 0 means 3.
+	MinPoints int
+	// DeviationFactor gates re-optimization on demonstrated
+	// mis-estimation: the controller considers switching only when the
+	// re-fitted a exceeds DeviationFactor times the speculative a for the
+	// incumbent's algorithm — while speculation is tracking reality, the
+	// up-front optimizer decision stands. The default 4 sits above the
+	// natural sample-vs-full drift a sound speculation shows (~2-3x) and
+	// below the blow-ups genuine mis-estimation produces. 0 means 4;
+	// negative disables the gate (every check may switch).
+	DeviationFactor float64
+	// Seed and Workers are the engine options the training segments run
+	// with (same semantics as engine.Options).
+	Seed    int64
+	Workers int
+}
+
+func (c AdaptiveConfig) withDefaults() AdaptiveConfig {
+	if c.Every <= 0 {
+		c.Every = 25
+	}
+	if c.Hysteresis == 0 {
+		c.Hysteresis = 0.2
+	}
+	if c.Hysteresis < 0 {
+		c.Hysteresis = 0 // negative means "no margin", not an inverted one
+	}
+	if c.MaxSwitches <= 0 {
+		c.MaxSwitches = 3
+	}
+	if c.MinPoints <= 0 {
+		c.MinPoints = 3
+	}
+	if c.DeviationFactor == 0 {
+		c.DeviationFactor = 4
+	}
+	return c
+}
+
+// SwitchEvent records one executed plan switch and the re-fitted estimate
+// that triggered it.
+type SwitchEvent struct {
+	Iter  int             // global iteration the switch happened after
+	Clock cluster.Seconds // sim clock at the switch
+	From  string
+	To    string
+	// FittedA is the re-fitted coefficient of T(ε) = a/ε over the
+	// incumbent segment's observed deltas; SpecA is what speculation had
+	// predicted for the same algorithm. Their gap is the mis-estimation
+	// the switch corrects.
+	FittedA float64
+	SpecA   float64
+	// Epsilon is the best (smallest) observed delta at switch time — the
+	// error level the successor plan inherits.
+	Epsilon float64
+	// IncumbentRemaining and AltRemaining are the projected remaining
+	// costs that were compared (AltRemaining includes switch overhead).
+	IncumbentRemaining cluster.Seconds
+	AltRemaining       cluster.Seconds
+}
+
+// AdaptiveResult is the outcome of an adaptive training run.
+type AdaptiveResult struct {
+	// Result merges the training segments: concatenated deltas, the final
+	// weights and termination flags, total training time (excluding the
+	// initial speculation, like engine.Run) and final accounting. PlanName
+	// chains the executed plans, e.g. "MGD-lazy-shuffle→BGD".
+	Result *engine.Result
+	// Decision is the up-front optimizer decision the run started from.
+	Decision *Decision
+	// Plans lists the executed plan names in order.
+	Plans []string
+	// Switches records every executed switch.
+	Switches []SwitchEvent
+	// Checks counts how many re-optimization checks ran.
+	Checks int
+	// Log is the human-readable decision log: one line per check, showing
+	// the re-fitted estimate and the costs compared.
+	Log []string
+}
+
+// remainingIters projects how many more iterations a T(ε) = a/ε process
+// needs to go from error level now to target eps. Going from scratch the
+// head of the curve is cheap and the tail expensive, so the projection is
+// a·(1/eps − 1/now) — the iterations the successor plan saves by inheriting
+// the incumbent's progress are exactly the a/now head it skips.
+func remainingIters(a, eps, now float64) float64 {
+	if eps <= 0 {
+		return math.Inf(1)
+	}
+	if math.IsInf(a, 0) || a <= 0 {
+		if a <= 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	rem := a / eps
+	if now > 0 && !math.IsInf(now, 0) {
+		rem -= a / now
+	}
+	if rem < 1 {
+		rem = 1
+	}
+	return math.Ceil(rem)
+}
+
+// segmentCost prices rem iterations of a plan's steady-state loop.
+func segmentCost(br costmodel.Breakdown, rem float64) cluster.Seconds {
+	if math.IsInf(rem, 0) {
+		return cluster.Seconds(math.Inf(1))
+	}
+	return cluster.Seconds(rem) * br.Iteration
+}
+
+// switchCost is the one-time overhead of standing a new plan up mid-run:
+// the job init, Stage and (eager) Transform a fresh Trainer charges.
+func switchCost(br costmodel.Breakdown) cluster.Seconds {
+	return br.JobInit + br.Stage + br.Transform
+}
+
+// RunAdaptive optimizes, then trains with mid-flight re-optimization: the
+// optimizer's chosen plan starts, and every cfg.Every iterations the
+// controller re-fits the iteration estimate on observed deltas and switches
+// to a cheaper plan when the re-costing says so, carrying weights and the
+// iteration counter (and thus the step-size schedule) across the switch. The
+// switch overhead — job init, staging, eager transform of the new plan — is
+// charged to sim like any fresh plan start. Speculation time is on sim's
+// clock, exactly as Choose charges it; Result.Time covers training only.
+func RunAdaptive(sim *cluster.Sim, store *storage.Store, p gd.Params, opts Options, cfg AdaptiveConfig) (*AdaptiveResult, error) {
+	cfg = cfg.withDefaults()
+	dec, err := Choose(sim, store, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	model := costmodel.New(store, sim.Cfg)
+	eopts := engine.Options{Seed: cfg.Seed, Workers: cfg.Workers}
+
+	incumbent := dec.Best.Plan
+	out := &AdaptiveResult{Decision: dec, Plans: []string{incumbent.Name()}}
+	merged := &engine.Result{}
+
+	// observedA ratchets the re-fitted curve coefficient per algorithm: an
+	// algorithm whose observed curve was ever worse than its speculative
+	// one is never trusted at the speculative estimate again. disqualified
+	// marks algorithms abandoned for demonstrated mis-estimation: their
+	// speculative curve is known-wrong and their observed curve never
+	// covered the target regime, so re-entering on either extrapolation
+	// would repeat the very mistake the controller exists to correct. The
+	// two are the one-sided memory that keeps re-optimization from
+	// oscillating.
+	observedA := map[gd.Algo]float64{}
+	disqualified := map[gd.Algo]bool{}
+
+	trainStart := sim.Now()
+	tr, err := engine.NewTrainer(sim, store, &incumbent, eopts)
+	if err != nil {
+		return nil, err
+	}
+	segStartIter := 0
+	capLogged := false
+
+	for !tr.Done() {
+		if err := tr.Step(); err != nil {
+			return nil, err
+		}
+		if tr.Done() || tr.Iteration()%cfg.Every != 0 {
+			continue
+		}
+		if len(out.Switches) >= cfg.MaxSwitches {
+			// The switch budget is spent: further re-fits could change
+			// nothing, so ride the incumbent out (logged once).
+			if !capLogged {
+				out.Log = append(out.Log, fmt.Sprintf(
+					"iter %d: switch budget (%d) exhausted — riding out %s",
+					tr.Iteration(), cfg.MaxSwitches, incumbent.Name()))
+				capLogged = true
+			}
+			continue
+		}
+
+		// --- re-optimization check ---
+		out.Checks++
+		globalIter := tr.Iteration()
+		segIters := globalIter - segStartIter
+		seq := estimator.MonotoneSequence(tr.Deltas())
+		if len(seq) < cfg.MinPoints {
+			out.Log = append(out.Log, fmt.Sprintf("iter %d: %d monotone points, too few to refit", globalIter, len(seq)))
+			continue
+		}
+		epsNow := seq[len(seq)-1].Err
+		if epsNow <= incumbent.Tolerance {
+			continue // converging as we speak
+		}
+		// Append the current position (segIters, epsNow) before fitting:
+		// the monotone sequence records only improvements, so a stalled
+		// plan would otherwise keep its optimistic early fit forever. The
+		// appended point drags the fitted a up exactly when progress has
+		// stopped — the signal the whole controller exists to catch.
+		obs := append(append([]estimator.Point(nil), seq...), estimator.Point{Iter: segIters, Err: epsNow})
+		aObs, ferr := estimator.FitInverse(obs)
+		if ferr != nil {
+			aObs = math.Inf(1)
+		}
+		specA := math.Inf(1)
+		if est, ok := dec.Estimates[incumbent.Algorithm]; ok {
+			specA = est.A
+		}
+		if !math.IsInf(aObs, 0) && aObs > observedA[incumbent.Algorithm] {
+			observedA[incumbent.Algorithm] = aObs
+		}
+
+		// Deviation gate: while the observed curve tracks the speculative
+		// one, the up-front decision stands — no switch chatter.
+		if cfg.DeviationFactor > 0 && !math.IsInf(specA, 0) && aObs <= cfg.DeviationFactor*specA {
+			out.Log = append(out.Log, fmt.Sprintf(
+				"iter %d: refit a=%.4g within %.2gx of spec a=%.4g — speculation on track, keep %s",
+				globalIter, aObs, cfg.DeviationFactor, specA, incumbent.Name()))
+			continue
+		}
+
+		brInc := model.Breakdown(incumbent)
+		remInc := remainingIters(aObs, incumbent.Tolerance, epsNow)
+		costInc := segmentCost(brInc, remInc)
+
+		// Endgame guard: when the incumbent is projected to finish within
+		// one check period, a switch could never be re-evaluated before
+		// the incumbent would have converged anyway — ride it out.
+		if remInc <= float64(cfg.Every) {
+			out.Log = append(out.Log, fmt.Sprintf(
+				"iter %d: %s projected to finish in %.0f iters — ride it out",
+				globalIter, incumbent.Name(), remInc))
+			continue
+		}
+
+		// Re-cost the rest of the space: observed curve for the
+		// incumbent's algorithm, speculative curves for the others (the
+		// mixed re-costing). All candidates inherit the current error
+		// level, so their remaining-iteration projections skip the curve
+		// head the incumbent already descended.
+		bestCost := cluster.Seconds(math.Inf(1))
+		var bestPlan gd.Plan
+		found := false
+		for _, cand := range Space(p) {
+			if cand.Name() == incumbent.Name() {
+				continue
+			}
+			a := aObs
+			if cand.Algorithm != incumbent.Algorithm {
+				if disqualified[cand.Algorithm] {
+					continue
+				}
+				est, ok := dec.Estimates[cand.Algorithm]
+				if !ok {
+					continue // no estimate (e.g. FixedIterations): cannot re-cost
+				}
+				a = est.A
+				// Trust past observation over the speculation whenever an
+				// earlier segment already ran this algorithm and refit a
+				// worse curve.
+				if ratchet, seen := observedA[cand.Algorithm]; seen && ratchet > a {
+					a = ratchet
+				}
+			}
+			rem := remainingIters(a, cand.Tolerance, epsNow)
+			// A candidate whose projection does not fit the remaining
+			// iteration budget cannot reach the tolerance at all —
+			// switching to it would trade a slow plan for a hopeless one.
+			if budget := float64(cand.MaxIter - globalIter); cand.MaxIter > 0 && rem > budget {
+				continue
+			}
+			br := model.Breakdown(cand)
+			cost := switchCost(br) + segmentCost(br, rem)
+			if cost < bestCost {
+				bestCost, bestPlan, found = cost, cand, true
+			}
+		}
+		if !found {
+			out.Log = append(out.Log, fmt.Sprintf("iter %d: no alternative can be re-costed", globalIter))
+			continue
+		}
+
+		line := fmt.Sprintf(
+			"iter %d: refit a=%.4g (spec a=%.4g), eps=%.4g; %s remaining %.4gs; best alt %s remaining %.4gs incl switch",
+			globalIter, aObs, specA, epsNow,
+			incumbent.Name(), float64(costInc), bestPlan.Name(), float64(bestCost))
+
+		if !(float64(bestCost) < float64(costInc)*(1-cfg.Hysteresis)) {
+			out.Log = append(out.Log, line+" -> keep")
+			continue
+		}
+
+		// --- switch: close the segment, carry weights and counter ---
+		out.Log = append(out.Log, line+" -> switch")
+		out.Switches = append(out.Switches, SwitchEvent{
+			Iter: globalIter, Clock: sim.Now(),
+			From: incumbent.Name(), To: bestPlan.Name(),
+			FittedA: aObs, SpecA: specA, Epsilon: epsNow,
+			IncumbentRemaining: costInc, AltRemaining: bestCost,
+		})
+		seg := tr.Finish()
+		merged.Deltas = append(merged.Deltas, seg.Deltas...)
+		if bestPlan.Algorithm != incumbent.Algorithm {
+			disqualified[incumbent.Algorithm] = true
+		}
+
+		next := bestPlan
+		segOpts := eopts
+		segOpts.InitWeights = tr.Weights().Clone()
+		segOpts.InitIter = globalIter
+		incumbent = next
+		out.Plans = append(out.Plans, incumbent.Name())
+		tr, err = engine.NewTrainer(sim, store, &incumbent, segOpts)
+		if err != nil {
+			return nil, err
+		}
+		segStartIter = globalIter
+	}
+
+	last := tr.Finish()
+	merged.PlanName = strings.Join(out.Plans, "→")
+	merged.Deltas = append(merged.Deltas, last.Deltas...)
+	merged.Weights = last.Weights
+	merged.Iterations = last.Iterations
+	merged.Converged = last.Converged
+	merged.Budgeted = last.Budgeted
+	merged.Diverged = last.Diverged
+	merged.FinalDelta = last.FinalDelta
+	merged.Time = sim.Now() - trainStart
+	merged.Acct = sim.Acct
+	out.Result = merged
+	return out, nil
+}

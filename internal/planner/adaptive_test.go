@@ -1,0 +1,137 @@
+package planner
+
+import (
+	"strings"
+	"testing"
+
+	"ml4all/internal/cluster"
+	"ml4all/internal/data"
+	"ml4all/internal/engine"
+	"ml4all/internal/estimator"
+	"ml4all/internal/gd"
+	"ml4all/internal/storage"
+	"ml4all/internal/synth"
+)
+
+func adaptiveStore(t testing.TB, n int) *storage.Store {
+	t.Helper()
+	ds, err := synth.Generate(synth.Spec{
+		Name: "adaptive-test", Task: data.TaskLogisticRegression,
+		N: n, D: 40, Density: 0.6, Noise: 0.6, Margin: 0.5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := storage.Build(ds, storage.DefaultLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestAdaptiveNoChecksMatchesStatic pins the "adaptation disabled ⇒ the
+// refactor is invisible" criterion at the controller level: with the check
+// period beyond MaxIter the controller never fires, and the run must be
+// bit-identical to Choose followed by a plain engine.Run of the chosen plan.
+func TestAdaptiveNoChecksMatchesStatic(t *testing.T) {
+	st := adaptiveStore(t, 3000)
+	p := gd.Params{Task: st.Dataset.Task, Format: st.Dataset.Format, Lambda: 0.01, Tolerance: 1e-3, MaxIter: 400}
+	est := estimator.Config{SampleSize: 500, SpecTolerance: 0.1, TimeBudget: 5, Seed: 1}
+
+	for _, workers := range []int{1, 2, 8} {
+		acfg := AdaptiveConfig{Every: 1 << 20, Seed: 3, Workers: workers}
+		sim := cluster.New(cluster.Default())
+		ar, err := RunAdaptive(sim, st, p, Options{Estimator: est}, acfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ar.Checks != 0 || len(ar.Switches) != 0 {
+			t.Fatalf("workers=%d: controller fired (%d checks, %d switches) with Every > MaxIter",
+				workers, ar.Checks, len(ar.Switches))
+		}
+
+		ref := cluster.New(cluster.Default())
+		dec, err := Choose(ref, st, p, Options{Estimator: est})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := dec.Best.Plan
+		res, err := engine.Run(ref, st, &plan, engine.Options{Seed: 3, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ar.Result.PlanName != plan.Name() {
+			t.Fatalf("workers=%d: adaptive ran %s, static chose %s", workers, ar.Result.PlanName, plan.Name())
+		}
+		if !ar.Result.Weights.Equal(res.Weights, 0) {
+			t.Fatalf("workers=%d: weights differ from static run", workers)
+		}
+		if ar.Result.Iterations != res.Iterations || ar.Result.FinalDelta != res.FinalDelta {
+			t.Fatalf("workers=%d: iterations/delta differ: %d/%g vs %d/%g", workers,
+				ar.Result.Iterations, ar.Result.FinalDelta, res.Iterations, res.FinalDelta)
+		}
+		if len(ar.Result.Deltas) != len(res.Deltas) {
+			t.Fatalf("workers=%d: delta history %d vs %d", workers, len(ar.Result.Deltas), len(res.Deltas))
+		}
+		for i := range res.Deltas {
+			if ar.Result.Deltas[i] != res.Deltas[i] {
+				t.Fatalf("workers=%d: delta[%d] %g != %g", workers, i, ar.Result.Deltas[i], res.Deltas[i])
+			}
+		}
+		if ar.Result.Time != res.Time {
+			t.Fatalf("workers=%d: training time %v != %v", workers, ar.Result.Time, res.Time)
+		}
+	}
+}
+
+// TestAdaptiveRescuesMisestimatedPlan is the mis-estimation scenario at test
+// scale: speculation on a 1000-point sample makes batch-1000 MGD look
+// near-deterministic, the optimizer commits to it, and on the full noisy
+// dataset the plan stalls above the tolerance. The controller must detect
+// the deviation from the re-fitted curve, switch, and converge — where the
+// statically-chosen plan misses tolerance entirely.
+func TestAdaptiveRescuesMisestimatedPlan(t *testing.T) {
+	st := adaptiveStore(t, 19531)
+	p := gd.Params{Task: st.Dataset.Task, Format: st.Dataset.Format, Lambda: 0.01, Tolerance: 2e-4, MaxIter: 4000}
+	est := estimator.Config{SampleSize: 1000, SpecTolerance: 0.1, TimeBudget: 3, Seed: 1}
+
+	sim := cluster.New(cluster.Default())
+	ar, err := RunAdaptive(sim, st, p, Options{Estimator: est}, AdaptiveConfig{Every: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if ar.Decision.Best.Plan.Algorithm == gd.BGD {
+		t.Fatalf("scenario lost its skew: optimizer chose %s up front", ar.Decision.Best.Plan.Name())
+	}
+	if len(ar.Switches) == 0 {
+		t.Fatal("controller never switched despite mis-estimation")
+	}
+	sw := ar.Switches[0]
+	if sw.FittedA <= sw.SpecA {
+		t.Fatalf("switch not driven by a worse re-fit: a=%g vs spec %g", sw.FittedA, sw.SpecA)
+	}
+	if !ar.Result.Converged {
+		t.Fatalf("adaptive run missed tolerance: final delta %g after %d iters", ar.Result.FinalDelta, ar.Result.Iterations)
+	}
+	if len(ar.Result.Deltas) != ar.Result.Iterations {
+		t.Fatalf("merged delta history %d != %d iterations", len(ar.Result.Deltas), ar.Result.Iterations)
+	}
+	if !strings.Contains(strings.Join(ar.Log, "\n"), "refit") {
+		t.Fatal("decision log missing the re-fitted estimate")
+	}
+	if !strings.Contains(ar.Result.PlanName, "→") {
+		t.Fatalf("merged plan name %q does not chain segments", ar.Result.PlanName)
+	}
+
+	// The statically-chosen plan, run uninterrupted, misses the tolerance —
+	// the run adaptation rescued.
+	chosen := ar.Decision.Best.Plan
+	static, err := engine.Run(cluster.New(cluster.Default()), st, &chosen, engine.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.Converged {
+		t.Fatalf("scenario lost its sting: static %s converged in %d iters", chosen.Name(), static.Iterations)
+	}
+}

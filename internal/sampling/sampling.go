@@ -39,6 +39,17 @@ type Sampler interface {
 	Draw(env *Env, b int) ([]int, error)
 }
 
+// Stateful is implemented by samplers that carry state between draws (only
+// the shuffled-partition strategy does: its not-yet-served queue). The
+// engine's checkpoint captures the state and restores it on resume so a
+// resumed run serves exactly the units the uninterrupted run would have.
+type Stateful interface {
+	// StateSnapshot returns a copy of the sampler's internal state.
+	StateSnapshot() []int
+	// StateRestore replaces the internal state with a snapshot.
+	StateRestore(state []int)
+}
+
 // New returns a sampler for the given strategy kind.
 func New(kind gd.SamplingKind) (Sampler, error) {
 	switch kind {
@@ -132,6 +143,25 @@ type ShuffledPartitionSampler struct {
 
 // Kind implements Sampler.
 func (*ShuffledPartitionSampler) Kind() gd.SamplingKind { return gd.ShuffledPartition }
+
+// StateSnapshot implements Stateful: a copy of the pending queue.
+func (s *ShuffledPartitionSampler) StateSnapshot() []int {
+	if s.queue == nil {
+		return nil
+	}
+	out := make([]int, len(s.queue))
+	copy(out, s.queue)
+	return out
+}
+
+// StateRestore implements Stateful.
+func (s *ShuffledPartitionSampler) StateRestore(state []int) {
+	s.queue = nil
+	if len(state) > 0 {
+		s.queue = make([]int, len(state))
+		copy(s.queue, state)
+	}
+}
 
 // Draw implements Sampler. Cost: on refill, one partition read plus a
 // shuffle pass over its units; per draw, only the sequential pages covering

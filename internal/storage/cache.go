@@ -83,6 +83,41 @@ func (c *Cache) Reset() {
 	c.used, c.hits, c.misses = 0, 0, 0
 }
 
+// CacheState is a serializable snapshot of a Cache: the resident partitions
+// in recency order (most recently used first) plus the counters. Capacity is
+// not part of the state — it belongs to the configuration a cache is rebuilt
+// from.
+type CacheState struct {
+	IDs    []int
+	Bytes  []int64
+	Hits   int64
+	Misses int64
+}
+
+// Snapshot captures the cache's resident set and counters without touching
+// recency.
+func (c *Cache) Snapshot() CacheState {
+	st := CacheState{Hits: c.hits, Misses: c.misses}
+	for e := c.head; e != nil; e = e.next {
+		st.IDs = append(st.IDs, e.id)
+		st.Bytes = append(st.Bytes, e.bytes)
+	}
+	return st
+}
+
+// Restore replaces the cache contents with a snapshot taken from a cache of
+// the same capacity, reproducing residency, recency order and counters
+// bit-identically.
+func (c *Cache) Restore(st CacheState) {
+	c.Reset()
+	// Insert in reverse recency order so the snapshot's head ends up most
+	// recently used again.
+	for i := len(st.IDs) - 1; i >= 0; i-- {
+		c.Insert(st.IDs[i], st.Bytes[i])
+	}
+	c.hits, c.misses = st.Hits, st.Misses
+}
+
 // Len returns the number of resident partitions.
 func (c *Cache) Len() int { return len(c.entries) }
 

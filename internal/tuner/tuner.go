@@ -12,7 +12,10 @@ package tuner
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"ml4all/internal/cluster"
 	"ml4all/internal/engine"
@@ -63,6 +66,12 @@ type Config struct {
 	// Workers sizes the engine's worker pool for trial runs (0 =
 	// GOMAXPROCS, 1 = serial); trial outcomes are worker-count invariant.
 	Workers int
+	// TrialWorkers bounds how many candidate trials run concurrently.
+	// Every trial owns an independent simulator and a private result slot,
+	// and the final ranking sorts by (index-stable) scores, so results and
+	// order are bit-identical to a serial sweep for any value. 0 means
+	// GOMAXPROCS; 1 forces the serial sweep.
+	TrialWorkers int
 }
 
 func (c Config) withDefaults(plan gd.Plan) Config {
@@ -114,11 +123,21 @@ func Tune(plan gd.Plan, store *storage.Store, g gradients.Gradient, reg gradient
 		return nil, err
 	}
 
-	trials := make([]Trial, 0, len(cands))
 	for _, cand := range cands {
 		if cand.Step == nil {
 			return nil, fmt.Errorf("tuner: candidate without a step size")
 		}
+	}
+
+	// Trials are independent — each owns a fresh simulator over the shared
+	// read-only sample store — so they fan out over a worker pool. Each
+	// worker writes only its own index's slot and the ranking below is a
+	// stable sort over those slots, keeping results and order bit-identical
+	// to the serial sweep for any TrialWorkers value.
+	trials := make([]Trial, len(cands))
+	errs := make([]error, len(cands))
+	runTrial := func(i int) {
+		cand := cands[i]
 		specPlan := plan
 		specPlan.Step = cand.Step
 		specPlan.Tolerance = cfg.ScoreTolerance
@@ -134,7 +153,8 @@ func Tune(plan gd.Plan, store *storage.Store, g gradients.Gradient, reg gradient
 			Workers:    cfg.Workers,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("tuner: speculating %s: %w", cand.Step.Name(), err)
+			errs[i] = fmt.Errorf("tuner: speculating %s: %w", cand.Step.Name(), err)
+			return
 		}
 
 		tr := Trial{
@@ -162,7 +182,43 @@ func Tune(plan gd.Plan, store *storage.Store, g gradients.Gradient, reg gradient
 		} else {
 			tr.EstimatedA = math.Inf(1)
 		}
-		trials = append(trials, tr)
+		trials[i] = tr
+	}
+
+	workers := cfg.TrialWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		for i := range cands {
+			runTrial(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(cands) {
+						return
+					}
+					runTrial(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	// Surface the lowest-index failure, like the serial sweep would have.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	sort.SliceStable(trials, func(i, j int) bool {

@@ -26,6 +26,46 @@ func fixture(t *testing.T) (*storage.Store, gd.Plan) {
 	return st, gd.NewBGD(p)
 }
 
+// TestTuneParallelTrialsBitIdentical pins the trial-pool guarantee: for any
+// TrialWorkers value the trials and their ranking are bit-identical to the
+// serial sweep.
+func TestTuneParallelTrialsBitIdentical(t *testing.T) {
+	st, plan := fixture(t)
+	cfg := Config{SampleSize: 400, Budget: 3, Seed: 2}
+	g, reg := gradients.Logistic{}, gradients.L2{Lambda: 0.01}
+
+	cfg.TrialWorkers = 1
+	serial, err := Tune(plan, st, g, reg, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(DefaultGrid()) {
+		t.Fatalf("serial trials = %d", len(serial))
+	}
+	for _, workers := range []int{2, 8} {
+		cfg.TrialWorkers = workers
+		par, err := Tune(plan, st, g, reg, nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d trials != %d", workers, len(par), len(serial))
+		}
+		for i := range serial {
+			a, b := serial[i], par[i]
+			if a.Candidate.Step.Name() != b.Candidate.Step.Name() {
+				t.Fatalf("workers=%d: rank %d is %s, serial had %s", workers, i,
+					b.Candidate.Step.Name(), a.Candidate.Step.Name())
+			}
+			if a.FinalObjective != b.FinalObjective || a.BestError != b.BestError ||
+				a.IterationsTo != b.IterationsTo || a.EstimatedA != b.EstimatedA ||
+				a.Diverged != b.Diverged || a.SpecTime != b.SpecTime {
+				t.Fatalf("workers=%d: trial %d differs:\n got %+v\nwant %+v", workers, i, b, a)
+			}
+		}
+	}
+}
+
 func TestTuneRanksDivergentLast(t *testing.T) {
 	st, plan := fixture(t)
 	cands := []Candidate{

@@ -57,6 +57,10 @@ type (
 	Report = metrics.Report
 	// Seconds is simulated cluster time.
 	Seconds = cluster.Seconds
+	// AdaptiveConfig tunes mid-flight re-optimization (TrainAdaptive).
+	AdaptiveConfig = planner.AdaptiveConfig
+	// AdaptiveResult is an adaptive training run's outcome.
+	AdaptiveResult = planner.AdaptiveResult
 )
 
 // System is a configured ML4all instance: cluster + storage layout +
@@ -165,10 +169,6 @@ func sniffFormat(path string) (data.Format, error) {
 // SpecTime is the simulated optimization overhead.
 func (s *System) Optimize(ds *data.Dataset, p Params) (*Decision, error) {
 	sim := cluster.New(s.Cluster)
-	return s.optimizeOn(sim, ds, p)
-}
-
-func (s *System) optimizeOn(sim *cluster.Sim, ds *data.Dataset, p Params) (*Decision, error) {
 	st, err := storage.Build(ds, s.Layout)
 	if err != nil {
 		return nil, err
@@ -199,14 +199,15 @@ func (s *System) Execute(ds *data.Dataset, plan Plan) (*Result, error) {
 
 // Train optimizes and executes in one timeline: the returned result's Time
 // includes the optimizer's speculation overhead, matching how Figure 8
-// accounts for it.
+// accounts for it. The store is laid out once and shared by optimization and
+// execution — same dataset, same layout, one Build.
 func (s *System) Train(ds *data.Dataset, p Params) (*Result, *Decision, error) {
 	sim := cluster.New(s.Cluster)
-	dec, err := s.optimizeOn(sim, ds, p)
+	st, err := storage.Build(ds, s.Layout)
 	if err != nil {
 		return nil, nil, err
 	}
-	st, err := storage.Build(ds, s.Layout)
+	dec, err := planner.Choose(sim, st, p, planner.Options{Estimator: s.estimatorConfig()})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -217,6 +218,33 @@ func (s *System) Train(ds *data.Dataset, p Params) (*Result, *Decision, error) {
 	}
 	res.Time = sim.Now() // optimization + training on one clock
 	return res, dec, nil
+}
+
+// TrainAdaptive is Train with mid-flight re-optimization: the optimizer's
+// chosen plan starts, and every AdaptiveConfig.Every iterations the
+// controller re-fits the iteration estimate on the observed convergence
+// deltas and switches plans when the re-costing projects the remaining work
+// to be cheaper elsewhere (weights and step-size schedule carry across; the
+// switch overhead is charged to the simulated clock like a fresh job init).
+// The returned Result.Time includes the speculation overhead, like Train.
+func (s *System) TrainAdaptive(ds *data.Dataset, p Params, cfg AdaptiveConfig) (*AdaptiveResult, error) {
+	sim := cluster.New(s.Cluster)
+	st, err := storage.Build(ds, s.Layout)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = s.Cluster.Seed
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = s.Workers
+	}
+	ar, err := planner.RunAdaptive(sim, st, p, planner.Options{Estimator: s.estimatorConfig()}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ar.Result.Time = sim.Now() // optimization + training on one clock
+	return ar, nil
 }
 
 // Evaluate scores a model on a test dataset.
@@ -297,6 +325,11 @@ func (s *System) runQuery(q *lang.Run) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	if q.Adaptive {
+		return s.runAdaptiveQuery(q, ds, sim, stn, p)
+	}
+
 	dec, err := planner.Choose(sim, stn, p, planner.Options{Estimator: s.estimatorConfig()})
 	if err != nil {
 		return nil, err
@@ -333,6 +366,39 @@ func (s *System) runQuery(q *lang.Run) (*Model, error) {
 		Iterations: res.Iterations,
 		TrainTime:  sim.Now(),
 		Converged:  res.Converged,
+	}
+	s.models[name] = m
+	return m, nil
+}
+
+// runAdaptiveQuery executes a run statement under mid-flight
+// re-optimization. The adaptive controller owns plan selection for the whole
+// run, so using-directives that pin the physical plan and up-front time
+// constraints (which gate on a single static estimate) are rejected.
+func (s *System) runAdaptiveQuery(q *lang.Run, ds *data.Dataset, sim *cluster.Sim, stn *storage.Store, p Params) (*Model, error) {
+	if q.Algorithm != "" || q.Sampler != "" {
+		return nil, fmt.Errorf("ml4all: adaptive cannot be combined with using algorithm/sampler — the controller picks plans at runtime")
+	}
+	if q.Time > 0 {
+		return nil, fmt.Errorf("ml4all: adaptive cannot be combined with a time constraint")
+	}
+	cfg := AdaptiveConfig{Seed: s.Cluster.Seed, Workers: s.Workers}
+	ar, err := planner.RunAdaptive(sim, stn, p, planner.Options{Estimator: s.estimatorConfig()}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	name := q.Result
+	if name == "" {
+		name = fmt.Sprintf("q%d", len(s.models)+1)
+	}
+	m := &Model{
+		Name:       name,
+		Task:       ds.Task,
+		Weights:    ar.Result.Weights,
+		PlanName:   ar.Result.PlanName,
+		Iterations: ar.Result.Iterations,
+		TrainTime:  sim.Now(),
+		Converged:  ar.Result.Converged,
 	}
 	s.models[name] = m
 	return m, nil

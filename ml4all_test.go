@@ -69,6 +69,57 @@ func TestTrainIncludesOptimizerOverhead(t *testing.T) {
 	}
 }
 
+func TestTrainAdaptive(t *testing.T) {
+	sys := testSystem()
+	ds := testDataset(t, "covtype", 2000)
+	p := Params{Task: ds.Task, Format: ds.Format, Tolerance: 0.01, MaxIter: 300, Lambda: 0.01}
+
+	ar, err := sys.TrainAdaptive(ds, p, AdaptiveConfig{Every: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.Result == nil || ar.Decision == nil {
+		t.Fatalf("incomplete adaptive outcome: %+v", ar)
+	}
+	if ar.Result.Iterations == 0 || !ar.Result.Weights.IsFinite() {
+		t.Fatalf("bad adaptive result: %+v", ar.Result)
+	}
+	if len(ar.Plans) == 0 || ar.Plans[0] != ar.Decision.Best.Plan.Name() {
+		t.Fatalf("plan chain %v does not start at the optimizer's choice %s",
+			ar.Plans, ar.Decision.Best.Plan.Name())
+	}
+	if ar.Result.Time <= ar.Decision.SpecTime {
+		t.Fatalf("total %.2fs does not include speculation %.2fs plus training",
+			ar.Result.Time, ar.Decision.SpecTime)
+	}
+}
+
+func TestExecAdaptiveKnob(t *testing.T) {
+	sys := testSystem()
+	ds := testDataset(t, "covtype", 2000)
+	sys.RegisterDataset("train.txt", ds)
+
+	outs, err := sys.Exec(`Q1 = run classification on train.txt having epsilon 0.01, max iter 200, adaptive;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := outs[0].Model
+	if m == nil || m.Name != "Q1" || len(m.Weights) != ds.NumFeatures {
+		t.Fatalf("model = %+v", m)
+	}
+	if m.Iterations == 0 || m.TrainTime <= 0 {
+		t.Fatalf("adaptive run produced no training: %+v", m)
+	}
+
+	// Adaptive rejects directives that pin the physical plan.
+	if _, err := sys.Exec(`run classification on train.txt having adaptive using algorithm SGD;`); err == nil {
+		t.Fatal("adaptive + using algorithm accepted")
+	}
+	if _, err := sys.Exec(`run classification on train.txt having time 1h, adaptive;`); err == nil {
+		t.Fatal("adaptive + time constraint accepted")
+	}
+}
+
 func TestExecEndToEnd(t *testing.T) {
 	sys := testSystem()
 	ds := testDataset(t, "adult", 0)
