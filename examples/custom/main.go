@@ -36,7 +36,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("%s: %v", label, err)
 		}
-		obj := gradients.Objective(gradients.LeastSquares{}, gradients.L2{}, res.Weights, ds.Units)
+		obj := gradients.Objective(gradients.LeastSquares{}, gradients.L2{}, res.Weights, ds.Rows())
 		fmt.Printf("%-22s iterations=%4d converged=%-5v objective=%.5f time=%6.1fs\n",
 			label, res.Iterations, res.Converged, obj, float64(res.Time))
 		return res
@@ -58,9 +58,8 @@ func main() {
 	// ...and a fully custom Compute operator: Huber-loss gradient, robust to
 	// the outliers we inject below. Expert users override exactly one
 	// operator; everything else (sampling, placement, costing) is reused.
-	outliers := ds.Units
-	for i := 0; i < len(outliers); i += 97 {
-		outliers[i].Label += 50 // corrupt ~1% of labels
+	for i := 0; i < ds.N(); i += 97 {
+		ds.Mat.SetLabel(i, ds.Mat.Label(i)+50) // corrupt ~1% of labels
 	}
 	huberPlan := gd.NewBGD(p)
 	huberPlan.Computer = huberComputer{delta: 1.0}
@@ -80,7 +79,7 @@ func main() {
 type huberComputer struct{ delta float64 }
 
 // Compute implements gd.Computer: the Huber gradient.
-func (h huberComputer) Compute(u data.Unit, ctx *gd.Context, acc linalg.Vector) {
+func (h huberComputer) Compute(u data.Row, ctx *gd.Context, acc linalg.Vector) {
 	r := u.Dot(ctx.Weights) - u.Label
 	switch {
 	case math.Abs(r) <= h.delta:
@@ -108,7 +107,7 @@ func cleanFit(ds *data.Dataset) linalg.Vector {
 	w := linalg.NewVector(clean.NumFeatures)
 	grad := linalg.NewVector(clean.NumFeatures)
 	for i := 1; i <= 300; i++ {
-		gradients.MeanGradient(gradients.LeastSquares{}, gradients.L2{}, w, clean.Units, grad)
+		gradients.MeanGradient(gradients.LeastSquares{}, gradients.L2{}, w, clean.Rows(), grad)
 		w.AddScaled(-1/math.Sqrt(float64(i)), grad)
 	}
 	return w

@@ -37,7 +37,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := data.WriteAll(f, d.Units); err != nil {
+		if err := data.WriteMatrix(f, d.Mat); err != nil {
 			log.Fatal(err)
 		}
 		f.Close()

@@ -46,11 +46,11 @@ func main() {
 
 	// Residual analysis on held-out data.
 	var sse, sst, mean float64
-	for _, u := range test.Units {
+	for _, u := range test.Rows() {
 		mean += u.Label
 	}
 	mean /= float64(test.N())
-	for _, u := range test.Units {
+	for _, u := range test.Rows() {
 		pred := metrics.Predict(train.Task, res.Weights, u)
 		sse += (pred - u.Label) * (pred - u.Label)
 		sst += (u.Label - mean) * (u.Label - mean)

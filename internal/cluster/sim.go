@@ -3,7 +3,7 @@ package cluster
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"ml4all/internal/storage"
 )
@@ -36,6 +36,11 @@ type Sim struct {
 	clock Seconds
 	src   *CountingSource
 	rng   *rand.Rand
+
+	// Reusable wave-scheduling scratch (RunWaves); content never outlives a
+	// call, so reuse is invisible to results.
+	waveBuf []Seconds
+	coreBuf []Seconds
 }
 
 // New returns a Sim for cfg. It panics on an invalid configuration, which is
@@ -201,13 +206,31 @@ func (s *Sim) RunWaves(taskCosts []Seconds) Seconds {
 		return 0
 	}
 	cap := s.Cfg.Cap()
-	jittered := make([]Seconds, len(taskCosts))
+	if len(taskCosts) > len(s.waveBuf) || cap > len(s.coreBuf) {
+		buf := make([]Seconds, len(taskCosts)+cap)
+		s.waveBuf, s.coreBuf = buf[:len(taskCosts)], buf[len(taskCosts):]
+	}
+	jittered := s.waveBuf[:len(taskCosts)]
 	for i, t := range taskCosts {
 		jittered[i] = t * Seconds(s.jitter())
 	}
-	sort.Slice(jittered, func(a, b int) bool { return jittered[a] > jittered[b] })
+	// Descending sort; a different sort algorithm cannot change the sorted
+	// value sequence (ties collapse), so the schedule is unaffected.
+	slices.SortFunc(jittered, func(a, b Seconds) int {
+		switch {
+		case a > b:
+			return -1
+		case a < b:
+			return 1
+		default:
+			return 0
+		}
+	})
 	// Greedy LPT assignment onto cap cores.
-	cores := make([]Seconds, cap)
+	cores := s.coreBuf[:cap]
+	for i := range cores {
+		cores[i] = 0
+	}
 	for _, t := range jittered {
 		// Find least-loaded core.
 		min := 0

@@ -48,11 +48,7 @@ func StatsOf(st *storage.Store, cfg cluster.Config) DataStats {
 	}
 	if s.N > 0 {
 		s.AvgUnitBytes = float64(s.Bytes) / float64(s.N)
-		var nnz int
-		for _, u := range ds.Units {
-			nnz += u.NNZ()
-		}
-		s.AvgNNZ = float64(nnz) / float64(s.N)
+		s.AvgNNZ = float64(ds.Mat.NNZ()) / float64(s.N)
 	}
 	return s
 }

@@ -8,8 +8,9 @@ import (
 // Dataset is an in-memory handle to a parsed dataset plus its descriptive
 // metadata. In the real ML4all the raw bytes live in HDFS and parsing happens
 // inside the plan's Transform operator; here the Dataset carries both the raw
-// text lines (for plans that transform lazily) and the parsed units so that
-// the simulator can charge parse CPU where the plan actually performs it.
+// text lines (for plans that transform lazily) and the parsed columnar arena
+// so that the simulator can charge parse CPU where the plan actually performs
+// it.
 type Dataset struct {
 	Name   string
 	Task   TaskKind
@@ -19,8 +20,9 @@ type Dataset struct {
 	// lazy transformation read from Raw and parse on demand.
 	Raw []string
 
-	// Units holds the parsed data units, index-aligned with Raw.
-	Units []Unit
+	// Mat holds the parsed data in columnar arena form, index-aligned with
+	// Raw. Split/Sample subsets share the arena through zero-copy views.
+	Mat *Matrix
 
 	// NumFeatures is the model dimensionality d (max feature index + 1,
 	// or as declared by the generator).
@@ -54,11 +56,42 @@ func (t TaskKind) String() string {
 	}
 }
 
-// FromUnits builds a Dataset from already-parsed units, synthesizing the raw
-// text lines so lazy-transform plans have something to parse. All-dense unit
-// sets render as CSV (the paper's dense convention); anything else as LIBSVM.
+// FromMatrix builds a Dataset over a columnar arena, synthesizing the raw
+// text lines so lazy-transform plans have something to parse: dense matrices
+// render as CSV (the paper's dense convention), sparse ones as LIBSVM.
+func FromMatrix(name string, task TaskKind, m *Matrix) *Dataset {
+	ds := &Dataset{Name: name, Task: task, Format: FormatLIBSVM, Mat: m}
+	if m.IsDense() {
+		ds.Format = FormatCSV
+	}
+	ds.Raw = make([]string, m.NumRows())
+	for i := range ds.Raw {
+		r := m.Row(i)
+		if m.IsDense() {
+			ds.Raw[i] = r.CSVString()
+		} else {
+			ds.Raw[i] = r.String()
+		}
+	}
+	ds.NumFeatures = m.MaxIndex() + 1
+	ds.computeDensity()
+	return ds
+}
+
+// FromUnits builds a Dataset from individually-materialized units — the
+// compatibility constructor: the units are packed into a fresh arena (see
+// matrixOfUnits) and the raw text lines are rendered from the units
+// themselves, so mixed sparse/dense unit sets keep their exact legacy text
+// form. All-dense unit sets render as CSV (the paper's dense convention);
+// anything else as LIBSVM.
 func FromUnits(name string, task TaskKind, units []Unit) *Dataset {
-	ds := &Dataset{Name: name, Task: task, Format: FormatLIBSVM, Units: units}
+	m, err := matrixOfUnits(units)
+	if err != nil {
+		// Unit sets that cannot pack (length-mismatched sparse slices) were
+		// never constructible through the public constructors; fail loudly.
+		panic(fmt.Sprintf("data: FromUnits: %v", err))
+	}
+	ds := &Dataset{Name: name, Task: task, Format: FormatLIBSVM, Mat: m}
 	allDense := len(units) > 0
 	for _, u := range units {
 		if u.IsSparse() {
@@ -70,7 +103,6 @@ func FromUnits(name string, task TaskKind, units []Unit) *Dataset {
 		ds.Format = FormatCSV
 	}
 	ds.Raw = make([]string, len(units))
-	var nnz, total int
 	for i, u := range units {
 		if allDense {
 			ds.Raw[i] = u.CSVString()
@@ -80,17 +112,37 @@ func FromUnits(name string, task TaskKind, units []Unit) *Dataset {
 		if mi := u.MaxIndex(); mi+1 > ds.NumFeatures {
 			ds.NumFeatures = mi + 1
 		}
-		nnz += u.NNZ()
 	}
-	total = len(units) * ds.NumFeatures
-	if total > 0 {
-		ds.Density = float64(nnz) / float64(total)
-	}
+	ds.computeDensity()
 	return ds
 }
 
+// computeDensity refreshes Density from the arena and NumFeatures.
+func (ds *Dataset) computeDensity() {
+	ds.Density = 0
+	if total := ds.N() * ds.NumFeatures; total > 0 {
+		ds.Density = float64(ds.Mat.NNZ()) / float64(total)
+	}
+}
+
 // N returns the number of data points.
-func (ds *Dataset) N() int { return len(ds.Units) }
+func (ds *Dataset) N() int {
+	if ds.Mat == nil {
+		return 0
+	}
+	return ds.Mat.NumRows()
+}
+
+// Row returns the zero-copy view of data unit i.
+func (ds *Dataset) Row(i int) Row { return ds.Mat.Row(i) }
+
+// Rows materializes all row views (see Matrix.Rows — cold paths only).
+func (ds *Dataset) Rows() []Row {
+	if ds.Mat == nil {
+		return nil
+	}
+	return ds.Mat.Rows()
+}
 
 // SizeBytes returns the approximate on-disk size of the dataset in bytes
 // (raw text length), which is what the storage layer partitions.
@@ -105,62 +157,67 @@ func (ds *Dataset) SizeBytes() int64 {
 // Validate checks internal consistency and returns a descriptive error for
 // the first violation found.
 func (ds *Dataset) Validate() error {
-	if len(ds.Raw) != len(ds.Units) {
-		return fmt.Errorf("data: dataset %s has %d raw lines but %d units", ds.Name, len(ds.Raw), len(ds.Units))
+	if len(ds.Raw) != ds.N() {
+		return fmt.Errorf("data: dataset %s has %d raw lines but %d rows", ds.Name, len(ds.Raw), ds.N())
 	}
-	for i, u := range ds.Units {
-		if u.MaxIndex() >= ds.NumFeatures {
+	for i := 0; i < ds.N(); i++ {
+		if mi := ds.Mat.Row(i).MaxIndex(); mi >= ds.NumFeatures {
 			return fmt.Errorf("data: dataset %s unit %d has feature index %d >= NumFeatures %d",
-				ds.Name, i, u.MaxIndex(), ds.NumFeatures)
+				ds.Name, i, mi, ds.NumFeatures)
 		}
 	}
 	return nil
 }
 
+// subset builds a Dataset over a zero-copy view of the given row indices:
+// the arena is shared with the parent and the raw lines are shared string
+// headers — no row data is copied.
+func (ds *Dataset) subset(name string, rows []int) *Dataset {
+	sub := &Dataset{Name: name, Task: ds.Task, Format: ds.Format, Mat: ds.Mat.Gather(rows)}
+	sub.Raw = make([]string, len(rows))
+	for k, i := range rows {
+		sub.Raw[k] = ds.Raw[i]
+	}
+	// Density is relative to the subset's own max feature index (matching
+	// what rebuilding the subset from scratch reports); the dimensionality
+	// is then raised to the parent's so a subset that lost the highest-index
+	// feature stays consistent with it.
+	sub.NumFeatures = sub.Mat.MaxIndex() + 1
+	sub.computeDensity()
+	if ds.NumFeatures > sub.NumFeatures {
+		sub.NumFeatures = ds.NumFeatures
+	}
+	return sub
+}
+
 // Split partitions the dataset into train and test subsets, assigning each
-// point to train with probability trainFrac using the given seed. The paper
-// uses an 80/20 split when no test set is published.
+// point to train with probability trainFrac using the given seed. Both sides
+// are zero-copy index views over the parent's arena. The paper uses an 80/20
+// split when no test set is published.
 func (ds *Dataset) Split(trainFrac float64, seed int64) (train, test *Dataset) {
 	rng := rand.New(rand.NewSource(seed))
-	var trainUnits, testUnits []Unit
-	for _, u := range ds.Units {
+	var trainRows, testRows []int
+	for i := 0; i < ds.N(); i++ {
 		if rng.Float64() < trainFrac {
-			trainUnits = append(trainUnits, u)
+			trainRows = append(trainRows, i)
 		} else {
-			testUnits = append(testUnits, u)
+			testRows = append(testRows, i)
 		}
 	}
-	train = FromUnits(ds.Name+"-train", ds.Task, trainUnits)
-	test = FromUnits(ds.Name+"-test", ds.Task, testUnits)
-	// Keep the dimensionality consistent across the split even if one side
-	// lost the highest-index feature.
-	if ds.NumFeatures > train.NumFeatures {
-		train.NumFeatures = ds.NumFeatures
-	}
-	if ds.NumFeatures > test.NumFeatures {
-		test.NumFeatures = ds.NumFeatures
-	}
-	return train, test
+	return ds.subset(ds.Name+"-train", trainRows), ds.subset(ds.Name+"-test", testRows)
 }
 
 // Sample returns m units drawn uniformly without replacement (or all units if
-// m >= N), using the given seed. The iterations estimator speculates on such
-// a sample (Algorithm 1, line 1).
+// m >= N), as a zero-copy view over the dataset's arena, using the given
+// seed. The iterations estimator speculates on such a sample (Algorithm 1,
+// line 1).
 func (ds *Dataset) Sample(m int, seed int64) *Dataset {
 	if m >= ds.N() {
 		m = ds.N()
 	}
 	rng := rand.New(rand.NewSource(seed))
 	perm := rng.Perm(ds.N())
-	units := make([]Unit, m)
-	for i := 0; i < m; i++ {
-		units[i] = ds.Units[perm[i]]
-	}
-	s := FromUnits(ds.Name+"-sample", ds.Task, units)
-	if ds.NumFeatures > s.NumFeatures {
-		s.NumFeatures = ds.NumFeatures
-	}
-	return s
+	return ds.subset(ds.Name+"-sample", perm[:m])
 }
 
 // Stats summarizes a dataset in the shape of the paper's Table 2.

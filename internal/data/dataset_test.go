@@ -107,7 +107,7 @@ func TestSampleWithoutReplacement(t *testing.T) {
 		t.Fatalf("sample size = %d, want 20", s.N())
 	}
 	seen := map[float64]bool{}
-	for _, u := range s.Units {
+	for _, u := range s.Rows() {
 		if seen[u.Label] {
 			t.Fatalf("duplicate sample %g", u.Label)
 		}

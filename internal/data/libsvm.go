@@ -4,51 +4,131 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
 	"ml4all/internal/linalg"
 )
 
-// ParseLIBSVMLine parses one line of LIBSVM text: "label idx:val idx:val ...".
-// Indices in the text are 1-based (the LIBSVM convention) and stored 0-based.
-// Empty lines and lines starting with '#' yield ok=false with no error.
-func ParseLIBSVMLine(line string) (u Unit, ok bool, err error) {
+// asciiSpace reports whether c is an ASCII whitespace byte (what
+// strings.Fields separates on for ASCII input; LIBSVM text is ASCII).
+func asciiSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r'
+}
+
+// nextField returns the [start, end) bounds of the next whitespace-separated
+// field of s at or after pos, or ok=false when none remains. It allocates
+// nothing — the arena bulk-load path tokenizes every line in place.
+func nextField(s string, pos int) (start, end int, ok bool) {
+	for pos < len(s) && asciiSpace(s[pos]) {
+		pos++
+	}
+	if pos >= len(s) {
+		return 0, 0, false
+	}
+	start = pos
+	for pos < len(s) && !asciiSpace(s[pos]) {
+		pos++
+	}
+	return start, pos, true
+}
+
+// parseLIBSVMInto parses one LIBSVM line, appending the features to idx/vals
+// (returned re-sliced, so callers can reuse scratch across lines — the arena
+// build path performs no per-row allocation, tokenizing in place). Indices in
+// the text are 1-based (the LIBSVM convention) and stored 0-based, unsorted
+// and undeduplicated — normalization (SortDedup) happens where the row is
+// materialized.
+func parseLIBSVMInto(line string, idx []int32, vals []float64) (label float64, oidx []int32, ovals []float64, ok bool, err error) {
 	line = strings.TrimSpace(line)
 	if line == "" || strings.HasPrefix(line, "#") {
-		return Unit{}, false, nil
+		return 0, idx, vals, false, nil
 	}
-	fields := strings.Fields(line)
-	label, err := strconv.ParseFloat(fields[0], 64)
+	start, end, _ := nextField(line, 0) // non-empty after TrimSpace
+	label, err = strconv.ParseFloat(line[start:end], 64)
 	if err != nil {
-		return Unit{}, false, fmt.Errorf("data: bad LIBSVM label %q: %w", fields[0], err)
+		return 0, idx, vals, false, fmt.Errorf("data: bad LIBSVM label %q: %w", line[start:end], err)
 	}
-	idx := make([]int32, 0, len(fields)-1)
-	val := make([]float64, 0, len(fields)-1)
-	for _, f := range fields[1:] {
+	for pos := end; ; pos = end {
+		start, end, ok = nextField(line, pos)
+		if !ok {
+			break
+		}
+		f := line[start:end]
 		colon := strings.IndexByte(f, ':')
 		if colon <= 0 {
-			return Unit{}, false, fmt.Errorf("data: bad LIBSVM feature %q", f)
+			return 0, idx, vals, false, fmt.Errorf("data: bad LIBSVM feature %q", f)
 		}
 		i, err := strconv.Atoi(f[:colon])
 		if err != nil {
-			return Unit{}, false, fmt.Errorf("data: bad LIBSVM index %q: %w", f[:colon], err)
+			return 0, idx, vals, false, fmt.Errorf("data: bad LIBSVM index %q: %w", f[:colon], err)
 		}
-		if i < 1 {
-			return Unit{}, false, fmt.Errorf("data: LIBSVM index %d out of range (must be >= 1)", i)
+		// The columnar arena stores indices as int32; reject anything the
+		// layout cannot hold instead of silently wrapping.
+		if i < 1 || i-1 > math.MaxInt32 {
+			return 0, idx, vals, false, fmt.Errorf("data: LIBSVM index %d out of range (must be in [1, 2^31])", i)
 		}
 		v, err := strconv.ParseFloat(f[colon+1:], 64)
 		if err != nil {
-			return Unit{}, false, fmt.Errorf("data: bad LIBSVM value %q: %w", f[colon+1:], err)
+			return 0, idx, vals, false, fmt.Errorf("data: bad LIBSVM value %q: %w", f[colon+1:], err)
 		}
 		idx = append(idx, int32(i-1))
-		val = append(val, v)
+		vals = append(vals, v)
 	}
-	s, err := linalg.NewSparse(idx, val)
+	return label, idx, vals, true, nil
+}
+
+// ParseLIBSVMLine parses one line of LIBSVM text: "label idx:val idx:val ...".
+// Empty lines and lines starting with '#' yield ok=false with no error.
+func ParseLIBSVMLine(line string) (u Unit, ok bool, err error) {
+	label, idx, vals, ok, err := parseLIBSVMInto(line, nil, nil)
+	if err != nil || !ok {
+		return Unit{}, false, err
+	}
+	s, err := linalg.NewSparse(idx, vals)
 	if err != nil {
 		return Unit{}, false, err
 	}
 	return NewSparseUnit(label, s), true, nil
+}
+
+// parseCSVInto parses one dense comma-separated line, appending the features
+// to vals (returned re-sliced for scratch reuse). labelCol selects the
+// 0-based column holding the label; all remaining columns are features in
+// order.
+func parseCSVInto(line string, labelCol int, vals []float64) (label float64, ovals []float64, ok bool, err error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return 0, vals, false, nil
+	}
+	cols := strings.Count(line, ",") + 1
+	if labelCol < 0 || labelCol >= cols {
+		return 0, vals, false, fmt.Errorf("data: label column %d out of range for %d columns", labelCol, cols)
+	}
+	// Walk the comma-separated fields in place — no []string materialized.
+	pos := 0
+	for i := 0; i < cols; i++ {
+		end := len(line)
+		if c := strings.IndexByte(line[pos:], ','); c >= 0 {
+			end = pos + c
+		}
+		p := strings.TrimSpace(line[pos:end])
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			if i == labelCol {
+				return 0, vals, false, fmt.Errorf("data: bad CSV label %q: %w", p, err)
+			}
+			return 0, vals, false, fmt.Errorf("data: bad CSV value %q: %w", p, err)
+		}
+		if i == labelCol {
+			label = v
+		} else {
+			vals = append(vals, v)
+		}
+		pos = end + 1
+	}
+	return label, vals, true, nil
 }
 
 // ParseCSVLine parses one dense comma-separated line. labelCol selects the
@@ -56,30 +136,11 @@ func ParseLIBSVMLine(line string) (u Unit, ok bool, err error) {
 // order. This matches the paper's default of "first column as the label and
 // the remaining columns as the features".
 func ParseCSVLine(line string, labelCol int) (u Unit, ok bool, err error) {
-	line = strings.TrimSpace(line)
-	if line == "" || strings.HasPrefix(line, "#") {
-		return Unit{}, false, nil
+	label, vals, ok, err := parseCSVInto(line, labelCol, nil)
+	if err != nil || !ok {
+		return Unit{}, false, err
 	}
-	parts := strings.Split(line, ",")
-	if labelCol < 0 || labelCol >= len(parts) {
-		return Unit{}, false, fmt.Errorf("data: label column %d out of range for %d columns", labelCol, len(parts))
-	}
-	label, err := strconv.ParseFloat(strings.TrimSpace(parts[labelCol]), 64)
-	if err != nil {
-		return Unit{}, false, fmt.Errorf("data: bad CSV label %q: %w", parts[labelCol], err)
-	}
-	feats := make(linalg.Vector, 0, len(parts)-1)
-	for i, p := range parts {
-		if i == labelCol {
-			continue
-		}
-		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
-		if err != nil {
-			return Unit{}, false, fmt.Errorf("data: bad CSV value %q: %w", p, err)
-		}
-		feats = append(feats, v)
-	}
-	return NewDenseUnit(label, feats), true, nil
+	return NewDenseUnit(label, vals), true, nil
 }
 
 // Format identifies an input text format.
@@ -115,7 +176,87 @@ func (f Format) ParseLine(line string) (Unit, bool, error) {
 	}
 }
 
-// ReadAll parses every record in r using format f.
+// scanLines reads every text record from r.
+func scanLines(r io.Reader) ([]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	return lines, sc.Err()
+}
+
+// ParseMatrix parses every record of lines under format f straight into a
+// columnar arena, two-pass: the first pass counts rows and (an upper bound
+// on) stored values to size the arena, the second parses each line into
+// reused scratch and appends it — no intermediate per-row allocation.
+//
+// CSV input must be rectangular: the first record fixes the dense stride and
+// a line with a different column count fails the parse. (The legacy per-unit
+// loader accepted ragged CSV and produced datasets that later panicked in
+// the engine on the dimension mismatch; the arena rejects them up front.)
+func ParseMatrix(lines []string, f Format) (*Matrix, error) {
+	if f != FormatLIBSVM && f != FormatCSV {
+		return nil, fmt.Errorf("data: unknown format %v", f)
+	}
+	rows, nnz := 0, 0
+	for _, line := range lines {
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "#") {
+			continue
+		}
+		rows++
+		if f == FormatLIBSVM {
+			nnz += strings.Count(t, ":")
+		} else if rows == 1 {
+			nnz = strings.Count(t, ",") // dense stride of the first record
+		}
+	}
+	var b *MatrixBuilder
+	if f == FormatCSV {
+		b = NewDenseMatrixBuilder(rows, nnz)
+	} else {
+		b = NewMatrixBuilder(rows, nnz)
+	}
+	var idx []int32
+	var vals []float64
+	lineNo := 0
+	for _, line := range lines {
+		lineNo++
+		var label float64
+		var ok bool
+		var err error
+		if f == FormatLIBSVM {
+			label, idx, vals, ok, err = parseLIBSVMInto(line, idx[:0], vals[:0])
+		} else {
+			label, vals, ok, err = parseCSVInto(line, 0, vals[:0])
+		}
+		if err == nil && ok {
+			if f == FormatLIBSVM {
+				err = b.AppendSparse(label, idx, vals)
+			} else {
+				err = b.AppendDense(label, vals)
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("data: line %d: %w", lineNo, err)
+		}
+	}
+	return b.Build(), nil
+}
+
+// ReadMatrix parses every record in r using format f into a columnar arena.
+func ReadMatrix(r io.Reader, f Format) (*Matrix, error) {
+	lines, err := scanLines(r)
+	if err != nil {
+		return nil, err
+	}
+	return ParseMatrix(lines, f)
+}
+
+// ReadAll parses every record in r using format f into standalone units —
+// the compatibility path; bulk loading should use ReadMatrix.
 func ReadAll(r io.Reader, f Format) ([]Unit, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
@@ -142,6 +283,21 @@ func WriteAll(w io.Writer, units []Unit) error {
 	bw := bufio.NewWriter(w)
 	for _, u := range units {
 		if _, err := bw.WriteString(u.String()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteMatrix writes every row of m to w in LIBSVM text form, one record per
+// line.
+func WriteMatrix(w io.Writer, m *Matrix) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < m.NumRows(); i++ {
+		if _, err := bw.WriteString(m.Row(i).String()); err != nil {
 			return err
 		}
 		if err := bw.WriteByte('\n'); err != nil {

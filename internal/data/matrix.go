@@ -1,0 +1,457 @@
+package data
+
+import (
+	"fmt"
+	"math"
+
+	"ml4all/internal/linalg"
+)
+
+// Matrix is the columnar arena the whole compute stack reads from: instead of
+// one heap object per data unit (a Unit with its own Indices/Values/Dense
+// slices), the entire dataset lives in a handful of flat arrays. Sparse data
+// is CSR — one indices array, one values array, one rowOffsets array — and
+// dense data is a single strided values array; labels are a column of their
+// own. Rows are handed out as cheap value-type views (Row) that alias the
+// arena: no copying, no per-row allocation, and sequential scans walk
+// contiguous memory instead of chasing pointers.
+//
+// A Matrix is immutable after Build. Views produced by Slice and Gather share
+// the arena and add only a row-index indirection, so train/test splits and
+// speculation samples are zero-copy too.
+type Matrix struct {
+	n      int  // row count (of the view, when rowIDs is set)
+	dense  bool // strided dense layout (stride features per row) vs CSR
+	stride int  // dense: features per row
+
+	labels  []float64 // per base row
+	offsets []int64   // sparse: len baseRows+1, offsets[i]..offsets[i+1] spans row i
+	indices []int32   // sparse: column indices, sorted ascending within a row
+	values  []float64 // sparse: nnz values; dense: baseRows*stride values
+
+	rowIDs []int32 // nil => identity view over the base arena
+}
+
+// Row is a zero-copy view of one matrix row: the label plus the row's slice
+// of the arena. It is the value type the operators, gradients and kernels
+// take in place of Unit. For sparse rows Idx holds the (ascending) column
+// indices of Vals; for dense rows Idx is nil and Vals is the full feature
+// vector.
+type Row struct {
+	Label float64
+	Idx   []int32
+	Vals  []float64
+
+	sparse bool
+}
+
+// NewSparseRow builds a standalone sparse row view over the given slices.
+// Indices must be sorted ascending with duplicates summed (the SortDedup
+// normalization); parsers and NewSparse guarantee this.
+func NewSparseRow(label float64, idx []int32, vals []float64) Row {
+	return Row{Label: label, Idx: idx, Vals: vals, sparse: true}
+}
+
+// NewDenseRow builds a standalone dense row view over the given values.
+func NewDenseRow(label float64, vals []float64) Row {
+	return Row{Label: label, Vals: vals}
+}
+
+// IsSparse reports whether the row stores its features sparsely.
+func (r Row) IsSparse() bool { return r.sparse }
+
+// NNZ returns the number of stored feature values.
+func (r Row) NNZ() int { return len(r.Vals) }
+
+// Dot returns the inner product of the row's features with w.
+func (r Row) Dot(w linalg.Vector) float64 {
+	if r.sparse {
+		return linalg.SparseDot(r.Idx, r.Vals, w)
+	}
+	return linalg.Vector(r.Vals).Dot(w)
+}
+
+// AddScaledInto accumulates alpha * features into dst.
+func (r Row) AddScaledInto(dst linalg.Vector, alpha float64) {
+	if r.sparse {
+		linalg.SparseAddScaledInto(dst, alpha, r.Idx, r.Vals)
+		return
+	}
+	dst.AddScaled(alpha, r.Vals)
+}
+
+// Norm2 returns the Euclidean norm of the row's features.
+func (r Row) Norm2() float64 { return linalg.SparseNorm2(r.Vals) }
+
+// MaxIndex returns the largest feature index present (0-based), or -1 when
+// the row has no features.
+func (r Row) MaxIndex() int {
+	if r.sparse {
+		if len(r.Idx) == 0 {
+			return -1
+		}
+		return int(r.Idx[len(r.Idx)-1])
+	}
+	return len(r.Vals) - 1
+}
+
+// ApproxBytes estimates the in-memory footprint of the row in bytes, matching
+// the accounting a columnar record reader does (8 bytes per value, 4 per
+// sparse index, 8 for the label).
+func (r Row) ApproxBytes() int {
+	if r.sparse {
+		return 8 + 12*len(r.Vals)
+	}
+	return 8 + 8*len(r.Vals)
+}
+
+// Unit materializes the row as a standalone compatibility Unit. The slices
+// are shared, not copied — treat the result as read-only.
+func (r Row) Unit() Unit {
+	if r.sparse {
+		return NewSparseUnit(r.Label, linalg.Sparse{Indices: r.Idx, Values: r.Vals})
+	}
+	return NewDenseUnit(r.Label, r.Vals)
+}
+
+// emptyIdx backs the Idx slice of empty sparse rows so IsSparse-by-shape
+// stays distinguishable from dense even for rows with no stored features.
+var emptyIdx = make([]int32, 0)
+
+// NumRows returns the number of rows in the matrix (view).
+func (m *Matrix) NumRows() int { return m.n }
+
+// IsDense reports whether the matrix stores rows in the strided dense layout.
+func (m *Matrix) IsDense() bool { return m.dense }
+
+// Stride returns the dense feature count per row (0 for sparse matrices).
+func (m *Matrix) Stride() int { return m.stride }
+
+// baseRow maps a view row index to its base arena row.
+func (m *Matrix) baseRow(i int) int {
+	if m.rowIDs != nil {
+		return int(m.rowIDs[i])
+	}
+	return i
+}
+
+// Row returns the zero-copy view of row i.
+func (m *Matrix) Row(i int) Row {
+	j := m.baseRow(i)
+	if m.dense {
+		return Row{Label: m.labels[j], Vals: m.values[j*m.stride : (j+1)*m.stride]}
+	}
+	lo, hi := m.offsets[j], m.offsets[j+1]
+	// m.indices is never nil after Build, so the subslice is non-nil even
+	// for empty rows and IsSparse stays truthful.
+	return Row{Label: m.labels[j], Idx: m.indices[lo:hi], Vals: m.values[lo:hi], sparse: true}
+}
+
+// Label returns the label of row i without materializing the row view.
+func (m *Matrix) Label(i int) float64 { return m.labels[m.baseRow(i)] }
+
+// SetLabel overwrites the label of row i — the one sanctioned mutation
+// (label-noise injection, relabeling workflows). The feature arena stays
+// immutable. Views share the labels column with their base, so the write is
+// visible through every view of the same arena — including Split/Sample
+// subsets, which under the legacy []Unit layout held their own Unit copies
+// and did NOT see later label writes. Corrupt labels before splitting, or
+// accept that held-out views observe the write; the view tests pin this
+// aliasing as intentional.
+func (m *Matrix) SetLabel(i int, v float64) { m.labels[m.baseRow(i)] = v }
+
+// RowNNZ returns the number of stored values of row i — an O(1) offsets
+// lookup, used by per-unit cost accounting.
+func (m *Matrix) RowNNZ(i int) int {
+	if m.dense {
+		return m.stride
+	}
+	j := m.baseRow(i)
+	return int(m.offsets[j+1] - m.offsets[j])
+}
+
+// NNZ returns the total number of stored values across all rows of the view.
+func (m *Matrix) NNZ() int {
+	if m.dense {
+		return m.n * m.stride
+	}
+	if m.rowIDs == nil {
+		return len(m.values)
+	}
+	var nnz int64
+	for i := 0; i < m.n; i++ {
+		j := int(m.rowIDs[i])
+		nnz += m.offsets[j+1] - m.offsets[j]
+	}
+	return int(nnz)
+}
+
+// MaxIndex returns the largest feature index present in the view, or -1 when
+// no row stores a feature.
+func (m *Matrix) MaxIndex() int {
+	max := -1
+	for i := 0; i < m.n; i++ {
+		if mi := m.Row(i).MaxIndex(); mi > max {
+			max = mi
+		}
+	}
+	return max
+}
+
+// Rows materializes every row view of the matrix. It allocates only the
+// []Row header slice — each element still aliases the arena. Intended for
+// cold paths (tests, reference objectives, evaluation helpers); hot loops
+// should index Row(i) directly.
+func (m *Matrix) Rows() []Row {
+	rows := make([]Row, m.n)
+	for i := range rows {
+		rows[i] = m.Row(i)
+	}
+	return rows
+}
+
+// Slice returns the zero-copy view of rows [lo, hi) — the arena stays
+// shared; only a row-index indirection is added. Panics on an invalid range,
+// like a slice expression.
+func (m *Matrix) Slice(lo, hi int) *Matrix {
+	if lo < 0 || hi < lo || hi > m.n {
+		panic(fmt.Sprintf("data: Matrix.Slice [%d:%d) out of range for %d rows", lo, hi, m.n))
+	}
+	ids := make([]int32, hi-lo)
+	for i := range ids {
+		ids[i] = int32(m.baseRow(lo + i))
+	}
+	return m.view(ids)
+}
+
+// Gather returns the zero-copy view selecting the given row indices of m, in
+// order (duplicates allowed). Panics on an out-of-range index.
+func (m *Matrix) Gather(rows []int) *Matrix {
+	ids := make([]int32, len(rows))
+	for k, i := range rows {
+		if i < 0 || i >= m.n {
+			panic(fmt.Sprintf("data: Matrix.Gather row %d out of range for %d rows", i, m.n))
+		}
+		ids[k] = int32(m.baseRow(i))
+	}
+	return m.view(ids)
+}
+
+// view wraps base-row ids into a Matrix sharing m's arena.
+func (m *Matrix) view(ids []int32) *Matrix {
+	return &Matrix{
+		n: len(ids), dense: m.dense, stride: m.stride,
+		labels: m.labels, offsets: m.offsets, indices: m.indices, values: m.values,
+		rowIDs: ids,
+	}
+}
+
+// MatrixBuilder assembles a Matrix row by row, writing straight into the
+// arena: AppendSparse normalizes (sorts, sums duplicates of) each row in
+// place at the arena tail, so building a dataset performs no intermediate
+// per-row allocation. Pre-size with the rows/nnz capacity hints when a
+// counting pass ran first; the builder grows amortized otherwise.
+type MatrixBuilder struct {
+	m     Matrix
+	dense bool
+	set   bool // layout fixed by the first append (or the constructor)
+}
+
+// NewMatrixBuilder returns a builder whose layout (sparse or dense) is fixed
+// by the first appended row. rows and nnz are capacity hints; zero is fine.
+func NewMatrixBuilder(rows, nnz int) *MatrixBuilder {
+	b := &MatrixBuilder{}
+	if rows > 0 {
+		b.m.labels = make([]float64, 0, rows)
+	}
+	if nnz > 0 {
+		b.m.indices = make([]int32, 0, nnz)
+		b.m.values = make([]float64, 0, nnz)
+	}
+	return b
+}
+
+// NewDenseMatrixBuilder returns a builder for a dense matrix with the given
+// stride (features per row). rows is a capacity hint.
+func NewDenseMatrixBuilder(rows, stride int) *MatrixBuilder {
+	b := &MatrixBuilder{dense: true, set: true}
+	b.m.dense = true
+	b.m.stride = stride
+	if rows > 0 {
+		b.m.labels = make([]float64, 0, rows)
+		b.m.values = make([]float64, 0, rows*stride)
+	}
+	return b
+}
+
+// Len returns the number of rows appended so far.
+func (b *MatrixBuilder) Len() int { return len(b.m.labels) }
+
+// AppendSparse appends one sparse row, copying (idx, vals) into the arena and
+// normalizing the copy in place (sorted ascending, duplicate indices summed —
+// the same SortDedup rule NewSparse applies, so arena rows are bitwise
+// identical to Unit construction). The caller keeps ownership of idx/vals and
+// may reuse them across calls.
+func (b *MatrixBuilder) AppendSparse(label float64, idx []int32, vals []float64) error {
+	if b.set && b.dense {
+		return fmt.Errorf("data: AppendSparse on a dense matrix builder")
+	}
+	b.set = true
+	if len(idx) != len(vals) {
+		return fmt.Errorf("data: sparse row length mismatch %d vs %d", len(idx), len(vals))
+	}
+	if b.m.offsets == nil {
+		b.m.offsets = append(make([]int64, 0, cap(b.m.labels)+1), 0)
+	}
+	lo := len(b.m.indices)
+	b.m.indices = append(b.m.indices, idx...)
+	b.m.values = append(b.m.values, vals...)
+	n, err := linalg.SortDedup(b.m.indices[lo:], b.m.values[lo:])
+	if err != nil {
+		b.m.indices = b.m.indices[:lo]
+		b.m.values = b.m.values[:lo]
+		return err
+	}
+	b.m.indices = b.m.indices[:lo+n]
+	b.m.values = b.m.values[:lo+n]
+	b.m.offsets = append(b.m.offsets, int64(lo+n))
+	b.m.labels = append(b.m.labels, label)
+	return nil
+}
+
+// AppendDense appends one dense row, copying vals into the strided arena.
+// Every row must match the builder's stride (fixed by the constructor or the
+// first appended row).
+func (b *MatrixBuilder) AppendDense(label float64, vals []float64) error {
+	if b.set && !b.dense {
+		return fmt.Errorf("data: AppendDense on a sparse matrix builder")
+	}
+	if !b.set {
+		b.set, b.dense = true, true
+		b.m.dense = true
+		b.m.stride = len(vals)
+	}
+	if len(vals) != b.m.stride {
+		return fmt.Errorf("data: dense row has %d features, matrix stride is %d", len(vals), b.m.stride)
+	}
+	b.m.values = append(b.m.values, vals...)
+	b.m.labels = append(b.m.labels, label)
+	return nil
+}
+
+// DenseRowBuffer returns a writable slice for the next dense row, appended in
+// place: generators fill it directly instead of staging a separate vector.
+// The row is committed with the given label; the returned slice is only valid
+// until the next append.
+func (b *MatrixBuilder) DenseRowBuffer() (linalg.Vector, error) {
+	if !b.set || !b.dense || b.m.stride == 0 {
+		return nil, fmt.Errorf("data: DenseRowBuffer needs a stride — use NewDenseMatrixBuilder")
+	}
+	lo := len(b.m.values)
+	for i := 0; i < b.m.stride; i++ {
+		b.m.values = append(b.m.values, 0)
+	}
+	return b.m.values[lo:], nil
+}
+
+// CommitDenseRow finalizes the row last handed out by DenseRowBuffer.
+func (b *MatrixBuilder) CommitDenseRow(label float64) {
+	b.m.labels = append(b.m.labels, label)
+}
+
+// Build finalizes and returns the matrix. The builder must not be used
+// afterwards.
+func (b *MatrixBuilder) Build() *Matrix {
+	m := b.m
+	m.n = len(m.labels)
+	if !m.dense {
+		if m.offsets == nil {
+			m.offsets = []int64{0}
+		}
+		if m.indices == nil {
+			m.indices = emptyIdx
+		}
+	}
+	b.m = Matrix{}
+	return &m
+}
+
+// matrixOfUnits converts already-materialized units into an arena — the
+// compatibility path FromUnits rides on. All-dense unit sets with a uniform
+// dimensionality become a strided dense matrix; anything else (sparse or
+// ragged) becomes CSR, with dense units expanded to explicit entries 0..k-1,
+// which preserves every numeric result (same values visited in the same
+// order) and every NNZ count.
+func matrixOfUnits(units []Unit) (*Matrix, error) {
+	dense := len(units) > 0
+	stride := -1
+	var nnz int
+	for _, u := range units {
+		nnz += u.NNZ()
+		if !u.IsSparse() {
+			if stride == -1 {
+				stride = len(u.Dense)
+			} else if stride != len(u.Dense) {
+				dense = false
+			}
+		} else {
+			dense = false
+		}
+	}
+	if dense && stride >= 0 {
+		b := NewDenseMatrixBuilder(len(units), stride)
+		for _, u := range units {
+			if err := b.AppendDense(u.Label, u.Dense); err != nil {
+				return nil, err
+			}
+		}
+		return b.Build(), nil
+	}
+	b := NewMatrixBuilder(len(units), nnz)
+	var scratchIdx []int32
+	for _, u := range units {
+		idx, vals := u.Sparse.Indices, u.Sparse.Values
+		if !u.IsSparse() {
+			if cap(scratchIdx) < len(u.Dense) {
+				scratchIdx = make([]int32, len(u.Dense))
+			}
+			idx = scratchIdx[:len(u.Dense)]
+			for i := range idx {
+				idx[i] = int32(i)
+			}
+			vals = u.Dense
+		}
+		if err := b.AppendSparse(u.Label, idx, vals); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// String renders the row in LIBSVM text form (1-based indices), the format
+// used throughout the paper's examples.
+func (r Row) String() string { return r.Unit().String() }
+
+// CSVString renders the row as a dense comma-separated line with the label in
+// the first column — the paper's dense input convention.
+func (r Row) CSVString() string { return r.Unit().CSVString() }
+
+// RowsEqual reports whether two rows are bitwise-identical views: same label,
+// same representation, same indices and values (NaN-safe bit comparison).
+func RowsEqual(a, b Row) bool {
+	if a.sparse != b.sparse || len(a.Vals) != len(b.Vals) {
+		return false
+	}
+	if math.Float64bits(a.Label) != math.Float64bits(b.Label) {
+		return false
+	}
+	for k := range a.Vals {
+		if a.sparse && a.Idx[k] != b.Idx[k] {
+			return false
+		}
+		if math.Float64bits(a.Vals[k]) != math.Float64bits(b.Vals[k]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,257 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ml4all/internal/linalg"
+)
+
+// randomUnits generates a mixed bag of legacy units: sparse for LIBSVM-style
+// datasets (with occasional duplicate indices, which NewSparse sums), dense
+// otherwise.
+func randomUnits(t *testing.T, r *rand.Rand, n, d int, sparse bool) []Unit {
+	t.Helper()
+	units := make([]Unit, n)
+	for i := range units {
+		label := float64(r.Intn(5)) - 2
+		if sparse {
+			nnz := r.Intn(d/2 + 1)
+			idx := make([]int32, 0, nnz+1)
+			val := make([]float64, 0, nnz+1)
+			for k := 0; k < nnz; k++ {
+				idx = append(idx, int32(r.Intn(d)))
+				val = append(val, math.Round(r.NormFloat64()*1e4)/1e4)
+			}
+			s, err := linalg.NewSparse(idx, val)
+			if err != nil {
+				t.Fatal(err)
+			}
+			units[i] = NewSparseUnit(label, s)
+			continue
+		}
+		v := make(linalg.Vector, d)
+		for j := range v {
+			v[j] = math.Round(r.NormFloat64()*1e4) / 1e4
+		}
+		units[i] = NewDenseUnit(label, v)
+	}
+	return units
+}
+
+// TestArenaRowsMatchUnitConstruction is the bitwise-equivalence property at
+// the heart of the columnar refactor: for sparse and dense data alike, a
+// dataset packed into the arena must hand out rows identical — labels,
+// indices and values to the last bit — to the standalone units it was built
+// from, and identical to re-parsing its own raw text through the arena
+// builder (the path the engine's stock transformer rides).
+func TestArenaRowsMatchUnitConstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for _, task := range []TaskKind{TaskSVM, TaskLogisticRegression, TaskLinearRegression} {
+		for _, sparse := range []bool{true, false} {
+			units := randomUnits(t, r, 120, 25, sparse)
+			ds := FromUnits("t", task, units)
+			if ds.N() != len(units) {
+				t.Fatalf("%v sparse=%v: N=%d want %d", task, sparse, ds.N(), len(units))
+			}
+			for i, u := range units {
+				if !RowsEqual(u.Row(), ds.Row(i)) {
+					t.Fatalf("%v sparse=%v row %d: unit %v != arena %v", task, sparse, i, u.Row(), ds.Row(i))
+				}
+				if u.NNZ() != ds.Mat.RowNNZ(i) || u.MaxIndex() != ds.Row(i).MaxIndex() {
+					t.Fatalf("%v sparse=%v row %d: NNZ/MaxIndex diverge", task, sparse, i)
+				}
+			}
+			// Kernel results must agree bit-for-bit too.
+			w := make(linalg.Vector, ds.NumFeatures)
+			for j := range w {
+				w[j] = r.NormFloat64()
+			}
+			grad1 := linalg.NewVector(ds.NumFeatures)
+			grad2 := linalg.NewVector(ds.NumFeatures)
+			for i, u := range units {
+				row := ds.Row(i)
+				if a, b := u.Dot(w), row.Dot(w); a != b {
+					t.Fatalf("%v sparse=%v row %d: Dot %g != %g", task, sparse, i, a, b)
+				}
+				u.AddScaledInto(grad1, 0.5)
+				row.AddScaledInto(grad2, 0.5)
+			}
+			for j := range grad1 {
+				if math.Float64bits(grad1[j]) != math.Float64bits(grad2[j]) {
+					t.Fatalf("%v sparse=%v: accumulated gradient diverges at %d", task, sparse, j)
+				}
+			}
+			// Re-parsing the rendered raw text through the arena builder
+			// must reproduce the arena (the stock-transformer invariant).
+			m2, err := ParseMatrix(ds.Raw, ds.Format)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < ds.N(); i++ {
+				if !RowsEqual(ds.Row(i), m2.Row(i)) {
+					t.Fatalf("%v sparse=%v row %d: reparse diverges", task, sparse, i)
+				}
+			}
+		}
+	}
+}
+
+func TestMatrixSliceAndGatherAreViews(t *testing.T) {
+	units := randomUnits(t, rand.New(rand.NewSource(3)), 40, 10, true)
+	ds := FromUnits("t", TaskSVM, units)
+	sl := ds.Mat.Slice(10, 25)
+	if sl.NumRows() != 15 {
+		t.Fatalf("slice rows = %d", sl.NumRows())
+	}
+	for i := 0; i < sl.NumRows(); i++ {
+		if !RowsEqual(sl.Row(i), ds.Row(10+i)) {
+			t.Fatalf("slice row %d diverges", i)
+		}
+	}
+	g := ds.Mat.Gather([]int{5, 5, 39, 0})
+	want := []int{5, 5, 39, 0}
+	for i, j := range want {
+		if !RowsEqual(g.Row(i), ds.Row(j)) {
+			t.Fatalf("gather row %d != base row %d", i, j)
+		}
+	}
+	// Views of views compose against the base.
+	gg := g.Gather([]int{2, 0})
+	if !RowsEqual(gg.Row(0), ds.Row(39)) || !RowsEqual(gg.Row(1), ds.Row(5)) {
+		t.Fatal("nested view rows diverge")
+	}
+	// Zero-copy: a label write through the base is visible in every view.
+	ds.Mat.SetLabel(39, 123)
+	if g.Row(2).Label != 123 {
+		t.Fatal("view did not observe base label write — views are copies, not aliases")
+	}
+}
+
+func TestSplitProducesSharedArenaViews(t *testing.T) {
+	units := randomUnits(t, rand.New(rand.NewSource(5)), 300, 12, true)
+	ds := FromUnits("t", TaskSVM, units)
+	train, test := ds.Split(0.8, 9)
+	if train.N()+test.N() != ds.N() {
+		t.Fatalf("split lost rows: %d+%d != %d", train.N(), test.N(), ds.N())
+	}
+	// Raw strings are shared headers, not re-rendered copies.
+	seen := 0
+	for k := 0; k < train.N(); k++ {
+		for i := 0; i < ds.N() && seen == k; i++ {
+			if ds.Raw[i] == train.Raw[k] && RowsEqual(ds.Row(i), train.Row(k)) {
+				seen++
+			}
+		}
+	}
+	if seen != train.N() {
+		t.Fatalf("only %d of %d train rows trace back to the parent", seen, train.N())
+	}
+	// Aliasing proof: the split shares the parent's arena.
+	ds.Mat.SetLabel(0, 777)
+	found := false
+	for k := 0; k < train.N() && !found; k++ {
+		found = train.Row(k).Label == 777
+	}
+	for k := 0; k < test.N() && !found; k++ {
+		found = test.Row(k).Label == 777
+	}
+	if !found {
+		t.Fatal("no split side observed the parent label write — arena was copied")
+	}
+}
+
+// TestSplitSeedStability pins the exact row assignment of Split for a fixed
+// seed: index-sliced views must keep reproducing the same membership across
+// releases, since stored experiment seeds depend on it.
+func TestSplitSeedStability(t *testing.T) {
+	units := make([]Unit, 20)
+	for i := range units {
+		s, err := linalg.NewSparse([]int32{int32(i)}, []float64{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		units[i] = NewSparseUnit(float64(i), s)
+	}
+	ds := FromUnits("t", TaskSVM, units)
+	train, test := ds.Split(0.5, 42)
+	var gotTrain, gotTest []int
+	for i := 0; i < train.N(); i++ {
+		gotTrain = append(gotTrain, int(train.Row(i).Label))
+	}
+	for i := 0; i < test.N(); i++ {
+		gotTest = append(gotTest, int(test.Row(i).Label))
+	}
+	// The membership below is the output of rand.NewSource(42) Float64
+	// draws against 0.5 — frozen on purpose; a change here is a breaking
+	// change to every stored split seed.
+	wantTrain := []int{0, 1, 3, 4, 5, 7, 8, 11, 12, 13, 15}
+	wantTest := []int{2, 6, 9, 10, 14, 16, 17, 18, 19}
+	if len(gotTrain) != len(wantTrain) || len(gotTest) != len(wantTest) {
+		t.Fatalf("split sizes %d/%d, want %d/%d — seed stability broken",
+			len(gotTrain), len(gotTest), len(wantTrain), len(wantTest))
+	}
+	for i := range wantTrain {
+		if gotTrain[i] != wantTrain[i] {
+			t.Fatalf("train[%d] = %d, want %d — seed stability broken", i, gotTrain[i], wantTrain[i])
+		}
+	}
+	for i := range wantTest {
+		if gotTest[i] != wantTest[i] {
+			t.Fatalf("test[%d] = %d, want %d — seed stability broken", i, gotTest[i], wantTest[i])
+		}
+	}
+}
+
+func TestSampleIsSharedArenaView(t *testing.T) {
+	units := randomUnits(t, rand.New(rand.NewSource(8)), 60, 8, false)
+	ds := FromUnits("t", TaskLinearRegression, units)
+	s := ds.Sample(25, 7)
+	if s.N() != 25 {
+		t.Fatalf("sample size %d", s.N())
+	}
+	ds.Mat.SetLabel(0, 555)
+	hit := false
+	for i := 0; i < s.N() && !hit; i++ {
+		hit = s.Row(i).Label == 555
+	}
+	// Row 0 may or may not be in the sample; assert aliasing only when it is.
+	inSample := false
+	for i := 0; i < s.N(); i++ {
+		if s.Raw[i] == ds.Raw[0] {
+			inSample = true
+		}
+	}
+	if inSample && !hit {
+		t.Fatal("sampled row did not observe parent label write")
+	}
+}
+
+func TestMatrixBuilderErrors(t *testing.T) {
+	b := NewDenseMatrixBuilder(2, 3)
+	if err := b.AppendDense(1, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendDense(1, []float64{1, 2}); err == nil {
+		t.Fatal("ragged dense row accepted")
+	}
+	if err := b.AppendSparse(1, []int32{0}, []float64{1}); err == nil {
+		t.Fatal("sparse append on dense builder accepted")
+	}
+	sb := NewMatrixBuilder(0, 0)
+	if err := sb.AppendSparse(1, []int32{0, 1}, []float64{1}); err == nil {
+		t.Fatal("length-mismatched sparse row accepted")
+	}
+	if err := sb.AppendSparse(1, []int32{-1}, []float64{1}); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if err := sb.AppendSparse(1, []int32{3, 1, 3}, []float64{1, 2, 4}); err != nil {
+		t.Fatal(err)
+	}
+	m := sb.Build()
+	r := m.Row(0)
+	if len(r.Idx) != 2 || r.Idx[0] != 1 || r.Idx[1] != 3 || r.Vals[1] != 5 {
+		t.Fatalf("dup-sum normalization wrong: %v %v", r.Idx, r.Vals)
+	}
+}

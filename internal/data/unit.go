@@ -1,10 +1,10 @@
-// Package data defines the data units that flow through GD plans, plus
-// parsers for the two input formats the paper exercises (sparse LIBSVM and
-// dense comma-separated), dataset handles, train/test splitting and global
-// statistics.
+// Package data defines the columnar data layer that flows through GD plans —
+// the Matrix arena and its Row views — plus parsers for the two input formats
+// the paper exercises (sparse LIBSVM and dense comma-separated), dataset
+// handles, train/test splitting and global statistics.
 //
 // Terminology follows the paper: a raw "data unit" is one input record (a text
-// line); Transform turns it into a parsed, typed unit (label + features).
+// line); Transform turns it into a parsed, typed row (label + features).
 package data
 
 import (
@@ -14,9 +14,12 @@ import (
 	"ml4all/internal/linalg"
 )
 
-// Unit is a parsed data unit: a labeled feature vector. Sparse points carry
-// their features in coordinate form; dense points use the Dense slice. Exactly
-// one of the two representations is populated, reported by IsSparse.
+// Unit is the standalone (non-arena) form of one parsed data unit: a labeled
+// feature vector that owns its slices. Since the columnar-arena refactor the
+// hot paths run on Row views into a Matrix; Unit survives as the thin
+// compatibility constructor for call sites that materialize individual
+// records — per-line parsers, custom Transform UDFs, tests — and converts to
+// a Row with no copying via Row().
 type Unit struct {
 	Label  float64
 	Sparse linalg.Sparse
@@ -34,6 +37,19 @@ func NewDenseUnit(label float64, v linalg.Vector) Unit {
 	return Unit{Label: label, Dense: v}
 }
 
+// Row returns the zero-copy row view of the unit: the slices are shared, not
+// copied.
+func (u Unit) Row() Row {
+	if u.sparse {
+		idx := u.Sparse.Indices
+		if idx == nil {
+			idx = emptyIdx
+		}
+		return Row{Label: u.Label, Idx: idx, Vals: u.Sparse.Values, sparse: true}
+	}
+	return Row{Label: u.Label, Vals: u.Dense}
+}
+
 // IsSparse reports whether the unit stores its features sparsely.
 func (u Unit) IsSparse() bool { return u.sparse }
 
@@ -46,30 +62,16 @@ func (u Unit) NNZ() int {
 }
 
 // Dot returns the inner product of the unit's features with w.
-func (u Unit) Dot(w linalg.Vector) float64 {
-	if u.sparse {
-		return u.Sparse.Dot(w)
-	}
-	return u.Dense.Dot(w)
-}
+func (u Unit) Dot(w linalg.Vector) float64 { return u.Row().Dot(w) }
 
 // AddScaledInto accumulates alpha * features into dst.
 func (u Unit) AddScaledInto(dst linalg.Vector, alpha float64) {
-	if u.sparse {
-		u.Sparse.AddScaledInto(dst, alpha)
-		return
-	}
-	dst.AddScaled(alpha, u.Dense)
+	u.Row().AddScaledInto(dst, alpha)
 }
 
 // MaxIndex returns the largest feature index present (0-based), or -1 when
 // the unit has no features.
-func (u Unit) MaxIndex() int {
-	if u.sparse {
-		return int(u.Sparse.MaxIndex())
-	}
-	return len(u.Dense) - 1
-}
+func (u Unit) MaxIndex() int { return u.Row().MaxIndex() }
 
 // String renders the unit in LIBSVM text form (1-based indices), the format
 // used throughout the paper's examples.
@@ -113,9 +115,4 @@ func (u Unit) CSVString() string {
 // storage layer uses it to lay units out on simulated pages; it intentionally
 // matches the accounting a columnar record reader would do (8 bytes per value,
 // 4 per sparse index, 8 for the label).
-func (u Unit) ApproxBytes() int {
-	if u.sparse {
-		return 8 + 12*u.Sparse.NNZ()
-	}
-	return 8 + 8*len(u.Dense)
-}
+func (u Unit) ApproxBytes() int { return u.Row().ApproxBytes() }

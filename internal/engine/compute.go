@@ -18,27 +18,35 @@ import (
 // parallel path with one worker — same shards, same per-shard partials, same
 // ordered tree reduction — so Workers changes wall-clock time and nothing
 // else.
+//
+// Since the columnar-arena refactor the stock-transformer paths never
+// materialize per-row objects at all: workers index the dataset's Matrix
+// directly (ex.row is a zero-copy view) and the per-task accumulators are
+// carved from one flat arena, so a steady-state compute pass performs no
+// heap allocation.
 
-// eagerTransform parses the whole dataset upfront — the real parsing fans out
-// over the worker pool, one task per shard writing a disjoint slice of the
-// unit memo — then charges the simulated cost one distributed task per
-// partition (or locally when the dataset is a single partition), exactly as a
-// serial execution would.
+// eagerTransform parses the whole dataset upfront — with a stock transformer
+// the engine adopts the dataset's columnar arena as-is (re-parsing would
+// reproduce it bit-for-bit); custom UDFs fan the real parsing out over the
+// worker pool, one task per shard writing a disjoint slice of the row memo.
+// Either way the simulated cost is charged one distributed task per partition
+// (or locally when the dataset is a single partition), exactly as a serial
+// execution would.
 func (ex *executor) eagerTransform() error {
 	ds := ex.store.Dataset
 	if ex.stockTransformer() {
-		ex.units = ds.Units
+		ex.mat = ds.Mat
 	} else {
-		ex.units = make([]data.Unit, ds.N())
+		ex.rows = make([]data.Row, ds.N())
 		guard := ex.ctx.Guard()
 		err := ex.runTasks(len(ex.shards), func(task int) error {
 			sh := ex.shards[task]
 			for i := sh.Lo; i < sh.Hi; i++ {
-				u, err := ex.plan.Transformer.Transform(ds.Raw[i], ex.ctx)
+				r, err := ex.plan.Transformer.Transform(ds.Raw[i], ex.ctx)
 				if err != nil {
 					return fmt.Errorf("engine: transform unit %d: %w", i, err)
 				}
-				ex.units[i] = u
+				ex.rows[i] = r
 			}
 			return nil
 		})
@@ -49,12 +57,13 @@ func (ex *executor) eagerTransform() error {
 			return err
 		}
 	}
-	costs := make([]cluster.Seconds, 0, ex.store.NumPartitions())
+	costs := ex.costBuf[:0]
 	for _, p := range ex.store.Partitions {
 		c := ex.sim.CostReadPartition(p, ex.store.Layout)
 		c += ex.sim.CostParse(p.Units(), p.Bytes)
 		costs = append(costs, c)
 	}
+	ex.costBuf = costs
 	mode := ex.plan.Mode
 	if ex.plan.TransformMode != gd.AutoMode {
 		mode = ex.plan.TransformMode
@@ -73,35 +82,35 @@ func (ex *executor) eagerTransform() error {
 
 // ensureLazyBuffers initializes the lazy-transformation memo once, on the
 // driver, before any parallel region touches it. With the stock transformer
-// the pre-parsed units are reused (re-parsing Raw would reproduce them
-// bit-for-bit; the per-touch parse cost is still charged); otherwise units
-// are parsed on first touch and memoized.
+// the dataset's arena is read directly (re-parsing Raw would reproduce it
+// bit-for-bit; the per-touch parse cost is still charged); otherwise rows are
+// parsed on first touch and memoized.
 func (ex *executor) ensureLazyBuffers() {
-	if ex.units != nil {
+	if ex.mat != nil || ex.rows != nil {
 		return
 	}
 	if ex.stockTransformer() {
-		ex.units = ex.store.Dataset.Units
+		ex.mat = ex.store.Dataset.Mat
 		ex.lazy = nil
 	} else {
 		n := ex.store.Dataset.N()
-		ex.units = make([]data.Unit, n)
+		ex.rows = make([]data.Row, n)
 		ex.lazy = make([]bool, n)
 	}
 }
 
-// transformUnit parses unit i under lazy transformation if it has not been
+// transformRow parses unit i under lazy transformation if it has not been
 // parsed yet. Callers hand distinct goroutines disjoint index sets, so the
-// memo writes are race-free; transformUnit itself performs no sim calls.
-func (ex *executor) transformUnit(i int) error {
+// memo writes are race-free; transformRow itself performs no sim calls.
+func (ex *executor) transformRow(i int) error {
 	if ex.lazy == nil || ex.lazy[i] {
 		return nil
 	}
-	u, err := ex.plan.Transformer.Transform(ex.store.Dataset.Raw[i], ex.ctx)
+	r, err := ex.plan.Transformer.Transform(ex.store.Dataset.Raw[i], ex.ctx)
 	if err != nil {
 		return fmt.Errorf("engine: lazy transform unit %d: %w", i, err)
 	}
-	ex.units[i] = u
+	ex.rows[i] = r
 	ex.lazy[i] = true
 	return nil
 }
@@ -113,63 +122,115 @@ func (ex *executor) parseCost(i int) cluster.Seconds {
 	return ex.sim.CostParse(1, int64(len(ex.store.Dataset.Raw[i]))+1)
 }
 
+// passPartials carves len(spans) zeroed accumulators of dimension dim out of
+// the executor's flat arena, reusing the backing array across passes: one
+// (amortized-zero) allocation per pass instead of one pooled buffer per
+// shard. The partials reduce in span order, so the result is bit-identical
+// to individually-allocated buffers.
+func (ex *executor) passPartials(nspans, dim int) []linalg.Vector {
+	need := nspans * dim
+	if cap(ex.accArena) < need {
+		ex.accArena = make([]float64, need)
+	}
+	arena := ex.accArena[:need]
+	for i := range arena {
+		arena[i] = 0
+	}
+	if cap(ex.partials) < nspans {
+		ex.partials = make([]linalg.Vector, nspans)
+	}
+	partials := ex.partials[:nspans]
+	for t := 0; t < nspans; t++ {
+		partials[t] = arena[t*dim : (t+1)*dim]
+	}
+	return partials
+}
+
 // computePass is the shared heart of both compute paths: it runs the plan's
 // Computer over len(spans) pool tasks, each position mapped to a dataset unit
-// by unitIndex, each task accumulating into its own pooled buffer, and folds
-// the partials into acc with an ordered tree reduction. When transform is
-// set (lazy full scans) workers parse-and-memoize on the fly; spans must then
-// address disjoint unit ranges. The context guard enforces the gd.Computer
-// contract around the whole pass.
+// by unitIndex, each task accumulating into its own slice of the accumulator
+// arena, and folds the partials into acc with an ordered tree reduction. When
+// transform is set (lazy full scans) workers parse-and-memoize on the fly;
+// spans must then address disjoint unit ranges. The context guard enforces
+// the gd.Computer contract around the whole pass.
 func (ex *executor) computePass(acc linalg.Vector, spans []span, unitIndex func(pos int) int, transform bool) error {
 	if len(spans) == 0 {
 		return nil
 	}
-	plan, ctx := ex.plan, ex.ctx
-	rc, randomized := plan.Computer.(gd.RandomizedComputer)
+	ctx := ex.ctx
 	guard := ctx.Guard()
-	iter := ctx.Iter
-	partials := make([]linalg.Vector, len(spans))
-	err := ex.runTasks(len(spans), func(task int) error {
-		part := ex.bufs.Get(len(acc))
-		partials[task] = part
-		var rng *rand.Rand
-		if randomized {
-			rng = ex.shardRNG(iter, task)
-		}
-		sp := spans[task]
-		for pos := sp.lo; pos < sp.hi; pos++ {
-			i := unitIndex(pos)
-			if transform {
-				if err := ex.transformUnit(i); err != nil {
-					return err
-				}
-			}
-			if randomized {
-				rc.ComputeRand(ex.units[i], ctx, part, rng)
-			} else {
-				plan.Computer.Compute(ex.units[i], ctx, part)
+	partials := ex.passPartials(len(spans), len(acc))
+
+	var err error
+	if ex.workers <= 1 || len(spans) == 1 {
+		// Serial fast path: same spans, same partials, same reduction — no
+		// task closure, no pool.
+		for task := 0; task < len(spans); task++ {
+			if err = ex.computeSpan(task, spans, partials, unitIndex, transform); err != nil {
+				break
 			}
 		}
-		return nil
-	})
+	} else {
+		err = ex.runTasks(len(spans), func(task int) error {
+			return ex.computeSpan(task, spans, partials, unitIndex, transform)
+		})
+	}
 	if err == nil {
 		err = guard.Check(ctx)
 	}
 	if err == nil {
 		acc.Add(linalg.ReduceTree(partials))
 	}
-	for _, p := range partials {
-		ex.bufs.Put(p)
-	}
 	return err
 }
 
+// computeSpan executes one compute-pass task: the plan's Computer over every
+// position of spans[task], accumulating into partials[task].
+func (ex *executor) computeSpan(task int, spans []span, partials []linalg.Vector, unitIndex func(pos int) int, transform bool) error {
+	plan, ctx := ex.plan, ex.ctx
+	part := partials[task]
+	rc, randomized := plan.Computer.(gd.RandomizedComputer)
+	var rng *rand.Rand
+	if randomized {
+		rng = ex.shardRNG(ctx.Iter, task)
+	}
+	sp := spans[task]
+	if mat := ex.mat; mat != nil && !transform && !randomized {
+		// Hot stock path: straight arena scan, no per-unit memo/RNG branch.
+		for pos := sp.lo; pos < sp.hi; pos++ {
+			plan.Computer.Compute(mat.Row(unitIndex(pos)), ctx, part)
+		}
+		return nil
+	}
+	for pos := sp.lo; pos < sp.hi; pos++ {
+		i := unitIndex(pos)
+		if transform {
+			if err := ex.transformRow(i); err != nil {
+				return err
+			}
+		}
+		if randomized {
+			rc.ComputeRand(ex.row(i), ctx, part, rng)
+		} else {
+			plan.Computer.Compute(ex.row(i), ctx, part)
+		}
+	}
+	return nil
+}
+
 // iteration runs Sample (optional) + Transform (if lazy) + Compute for one
-// iteration and returns the aggregated accumulator UC.
+// iteration and returns the aggregated accumulator UC. The accumulator is
+// engine-owned scratch reused across iterations (Updaters must copy whatever
+// they keep — the stock ones all clone).
 func (ex *executor) iteration() (linalg.Vector, error) {
 	plan, ctx := ex.plan, ex.ctx
 	d := ctx.NumFeatures
-	acc := linalg.NewVector(plan.Computer.AccDim(d))
+	dim := plan.Computer.AccDim(d)
+	if cap(ex.accBuf) < dim {
+		ex.accBuf = linalg.NewVector(dim)
+	}
+	acc := ex.accBuf[:dim]
+	acc.Zero()
 
 	fullBatch := plan.Sampling == gd.NoSampling
 	if plan.Algorithm == gd.SVRG && plan.UpdateFrequency > 0 && ctx.Iter%plan.UpdateFrequency == 1 {
@@ -204,11 +265,13 @@ func (ex *executor) computeFull(acc linalg.Vector) error {
 	if lazy {
 		ex.ensureLazyBuffers()
 	}
-	spans := make([]span, len(ex.shards))
-	for s, sh := range ex.shards {
-		spans[s] = span{lo: sh.Lo, hi: sh.Hi}
+	if ex.fullSpans == nil {
+		ex.fullSpans = make([]span, len(ex.shards))
+		for s, sh := range ex.shards {
+			ex.fullSpans[s] = span{lo: sh.Lo, hi: sh.Hi}
+		}
 	}
-	if err := ex.computePass(acc, spans, func(pos int) int { return pos }, lazy); err != nil {
+	if err := ex.computePass(acc, ex.fullSpans, func(pos int) int { return pos }, lazy); err != nil {
 		return err
 	}
 
@@ -222,7 +285,7 @@ func (ex *executor) computeFull(acc linalg.Vector) error {
 	if cacheOps {
 		ex.opsByPart = make([]float64, len(ex.store.Partitions))
 	}
-	costs := make([]cluster.Seconds, 0, ex.store.NumPartitions())
+	costs := ex.costBuf[:0]
 	for pi, p := range ex.store.Partitions {
 		c := ex.sim.CostReadPartition(p, ex.store.Layout)
 		if lazy {
@@ -233,13 +296,14 @@ func (ex *executor) computeFull(acc linalg.Vector) error {
 		if cacheOps {
 			var ops float64
 			for i := p.Lo; i < p.Hi; i++ {
-				ops += plan.Computer.Ops(ex.units[i].NNZ())
+				ops += plan.Computer.Ops(ex.rowNNZ(i))
 			}
 			ex.opsByPart[pi] = ops
 		}
 		c += ex.sim.CostCPU(p.Units(), ex.opsByPart[pi])
 		costs = append(costs, c)
 	}
+	ex.costBuf = costs
 	if ex.distributedInput(ex.store.TotalBytes) {
 		ex.sim.RunWaves(costs)
 		// Partial aggregates (one per executor) reduce to the driver.
@@ -261,7 +325,7 @@ func (ex *executor) computeFull(acc linalg.Vector) error {
 // sampling does), and two tasks must not both write its memo slot.
 func (ex *executor) parseBatch(idx []int) error {
 	if ex.lazy == nil {
-		return nil // stock transformer: pre-parsed units are reused
+		return nil // stock transformer: the dataset arena is read directly
 	}
 	var need []int
 	seen := make(map[int]struct{}, len(idx))
@@ -279,11 +343,11 @@ func (ex *executor) parseBatch(idx []int) error {
 		return nil
 	}
 	guard := ex.ctx.Guard()
-	spans := chunkSpans(len(need), batchChunkTarget)
+	spans := ex.chunkSpans(len(need), batchChunkTarget)
 	err := ex.runTasks(len(spans), func(task int) error {
 		sp := spans[task]
 		for pos := sp.lo; pos < sp.hi; pos++ {
-			if err := ex.transformUnit(need[pos]); err != nil {
+			if err := ex.transformRow(need[pos]); err != nil {
 				return err
 			}
 		}
@@ -309,7 +373,7 @@ func (ex *executor) computeBatch(idx []int, acc linalg.Vector) error {
 			return err
 		}
 	}
-	spans := chunkSpans(len(idx), batchChunkTarget)
+	spans := ex.chunkSpans(len(idx), batchChunkTarget)
 	if err := ex.computePass(acc, spans, func(pos int) int { return idx[pos] }, false); err != nil {
 		return err
 	}
@@ -327,7 +391,7 @@ func (ex *executor) computeBatch(idx []int, acc linalg.Vector) error {
 			if lazy {
 				cpu += ex.parseCost(i)
 			}
-			ops += plan.Computer.Ops(ex.units[i].NNZ())
+			ops += plan.Computer.Ops(ex.rowNNZ(i))
 		}
 		cpu += ex.sim.CostCPU(len(idx), ops)
 		ex.sim.RunLocal(cpu)
@@ -350,7 +414,7 @@ func (ex *executor) computeBatch(idx []int, acc linalg.Vector) error {
 		order = append(order, pid)
 	}
 	sort.Ints(order)
-	costs := make([]cluster.Seconds, 0, len(byPart))
+	costs := ex.costBuf[:0]
 	for _, pid := range order {
 		var c cluster.Seconds
 		var ops float64
@@ -358,11 +422,12 @@ func (ex *executor) computeBatch(idx []int, acc linalg.Vector) error {
 			if lazy {
 				c += ex.parseCost(i)
 			}
-			ops += plan.Computer.Ops(ex.units[i].NNZ())
+			ops += plan.Computer.Ops(ex.rowNNZ(i))
 		}
 		c += ex.sim.CostCPU(len(byPart[pid]), ops)
 		costs = append(costs, c)
 	}
+	ex.costBuf = costs
 	ex.sim.RunWaves(costs)
 	execs := ex.sim.Cfg.Executors()
 	if len(byPart) < execs {

@@ -20,6 +20,8 @@ package engine
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"ml4all/internal/cluster"
 	"ml4all/internal/data"
@@ -111,35 +113,75 @@ type executor struct {
 	seed  int64
 
 	// workers is the effective pool size; shards is the stable partitioned
-	// view the numeric phases fan out over; bufs recycles per-shard
-	// accumulators across iterations.
+	// view the numeric phases fan out over.
 	workers int
 	shards  []storage.Shard
-	bufs    *linalg.BufferPool
 
 	sampler sampling.Sampler
 	senv    *sampling.Env
 
-	// units holds the transformed data units the processing phase reads:
-	// all of them after an eager transform, or a growing memo under lazy
-	// transformation (parsed on first touch, every iteration charged).
-	units []data.Unit
-	lazy  []bool // under lazy transform: which indices are parsed already
+	// The transformed data the processing phase reads. With a stock
+	// transformer the engine reads the dataset's columnar arena directly
+	// (mat) — zero copies, zero per-row objects. Custom Transform UDFs
+	// materialize standalone rows into the rows memo instead: all of them
+	// after an eager transform, or on first touch under lazy transformation
+	// (every iteration charged).
+	mat  *data.Matrix
+	rows []data.Row
+	lazy []bool // under lazy transform: which indices are parsed already
 
 	// opsByPart caches the per-partition Ops sums after the first full
 	// pass; see computeFull.
 	opsByPart []float64
+
+	// Reusable per-pass scratch, all content-deterministic: the flat
+	// accumulator arena the per-task partials are carved from (one
+	// allocation instead of one buffer per shard), the partial-vector
+	// headers, the iteration accumulator, the span list of full passes
+	// (fixed per run), and the span/cost buffers rebuilt each pass.
+	accArena  []float64
+	partials  []linalg.Vector
+	accBuf    linalg.Vector
+	fullSpans []span
+	spanBuf   []span
+	costBuf   []cluster.Seconds
+
+	// Worker-pool scaffolding reused across parallel passes (see runTasks).
+	errBuf        []error
+	taskFn        func(int) error
+	taskN         int
+	taskNext      atomic.Int64
+	taskMinFailed atomic.Int64
+	taskWG        sync.WaitGroup
+	workFn        func()
+}
+
+// row returns the transformed data unit i as a zero-copy row view.
+func (ex *executor) row(i int) data.Row {
+	if ex.mat != nil {
+		return ex.mat.Row(i)
+	}
+	return ex.rows[i]
+}
+
+// rowNNZ returns the stored-value count of unit i (an O(1) offsets lookup on
+// the arena path), used by per-unit cost accounting.
+func (ex *executor) rowNNZ(i int) int {
+	if ex.mat != nil {
+		return ex.mat.RowNNZ(i)
+	}
+	return ex.rows[i].NNZ()
 }
 
 // stage runs the Stage operator on the driver, optionally feeding it a small
 // sample of (parsed) units per Figure 3(b).
 func (ex *executor) stage() error {
-	var sample []data.Unit
+	var sample []data.Row
 	if m := ex.plan.StageSampleSize; m > 0 {
 		if m > ex.store.Dataset.N() {
 			m = ex.store.Dataset.N()
 		}
-		sample = make([]data.Unit, 0, m)
+		sample = make([]data.Row, 0, m)
 		var bytes int64
 		for i := 0; i < m; i++ {
 			u, err := ex.plan.Transformer.Transform(ex.store.Dataset.Raw[i], ex.ctx)
@@ -157,8 +199,8 @@ func (ex *executor) stage() error {
 
 // stockTransformer reports whether the plan uses the unmodified format
 // transformer for the dataset's own format, in which case re-parsing Raw is
-// guaranteed to reproduce Dataset.Units and the engine reuses them (cost is
-// charged identically either way).
+// guaranteed to reproduce the dataset's columnar arena and the engine reads
+// it directly (cost is charged identically either way).
 func (ex *executor) stockTransformer() bool {
 	ft, ok := ex.plan.Transformer.(gd.FormatTransformer)
 	return ok && ft.Format == ex.store.Dataset.Format

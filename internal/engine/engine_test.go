@@ -73,7 +73,7 @@ func TestBGDMatchesReferenceLoop(t *testing.T) {
 	var iters int
 	for i := 1; i <= p.MaxIter; i++ {
 		iters = i
-		gradients.MeanGradient(g, reg, w, ds.Units, grad)
+		gradients.MeanGradient(g, reg, w, ds.Rows(), grad)
 		prev := w.Clone()
 		w.AddScaled(-st2.Alpha(i), grad)
 		if w.DistL1(prev) < p.Tolerance {
@@ -250,7 +250,7 @@ func TestSVRGRunsAndConverges(t *testing.T) {
 	g := gradients.Logistic{}
 	reg := gradients.L2{Lambda: p.Lambda}
 	zero := linalg.NewVector(ds.NumFeatures)
-	if gradients.Objective(g, reg, res.Weights, ds.Units) >= gradients.Objective(g, reg, zero, ds.Units) {
+	if gradients.Objective(g, reg, res.Weights, ds.Rows()) >= gradients.Objective(g, reg, zero, ds.Rows()) {
 		t.Fatal("SVRG did not improve the objective")
 	}
 }
@@ -270,14 +270,14 @@ func TestLineSearchImprovesObjectiveMonotonically(t *testing.T) {
 	reg := gradients.L2{Lambda: p.Lambda}
 	prev := math.Inf(1)
 	for i, w := range res.Trace {
-		obj := gradients.Objective(g, reg, w, ds.Units)
+		obj := gradients.Objective(g, reg, w, ds.Rows())
 		if obj > prev+1e-12 {
 			t.Fatalf("objective increased at pass %d: %g -> %g", i, prev, obj)
 		}
 		prev = obj
 	}
 	zero := linalg.NewVector(ds.NumFeatures)
-	if prev >= gradients.Objective(g, reg, zero, ds.Units) {
+	if prev >= gradients.Objective(g, reg, zero, ds.Rows()) {
 		t.Fatal("line search did not improve over zero weights")
 	}
 }

@@ -27,10 +27,10 @@ type failingTransformer struct {
 	count int
 }
 
-func (f *failingTransformer) Transform(raw string, ctx *gd.Context) (data.Unit, error) {
+func (f *failingTransformer) Transform(raw string, ctx *gd.Context) (data.Row, error) {
 	f.count++
 	if f.count%f.n == 0 {
-		return data.Unit{}, fmt.Errorf("injected parse failure at record %d", f.count)
+		return data.Row{}, fmt.Errorf("injected parse failure at record %d", f.count)
 	}
 	return f.inner.Transform(raw, ctx)
 }
@@ -122,7 +122,7 @@ func TestUpdateErrorsPropagate(t *testing.T) {
 // staleStager returns an error immediately.
 type staleStager struct{}
 
-func (staleStager) Stage(_ []data.Unit, _ *gd.Context) error {
+func (staleStager) Stage(_ []data.Row, _ *gd.Context) error {
 	return errors.New("injected stage failure")
 }
 
@@ -142,7 +142,7 @@ func TestStageErrorsPropagate(t *testing.T) {
 // a non-stock transformer must be invoked for real, not bypassed.
 type doublingTransformer struct{ inner gd.Transformer }
 
-func (d doublingTransformer) Transform(raw string, ctx *gd.Context) (data.Unit, error) {
+func (d doublingTransformer) Transform(raw string, ctx *gd.Context) (data.Row, error) {
 	u, err := d.inner.Transform(raw, ctx)
 	if err != nil {
 		return u, err

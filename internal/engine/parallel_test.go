@@ -117,9 +117,9 @@ type indexFailingTransformer struct {
 	raw   string
 }
 
-func (f indexFailingTransformer) Transform(raw string, ctx *gd.Context) (data.Unit, error) {
+func (f indexFailingTransformer) Transform(raw string, ctx *gd.Context) (data.Row, error) {
 	if raw == f.raw {
-		return data.Unit{}, fmt.Errorf("injected parallel parse failure")
+		return data.Row{}, fmt.Errorf("injected parallel parse failure")
 	}
 	return f.inner.Transform(raw, ctx)
 }
@@ -151,12 +151,12 @@ type noisyComputer struct {
 	inner gd.Computer
 }
 
-func (c noisyComputer) Compute(u data.Unit, ctx *gd.Context, acc linalg.Vector) {
+func (c noisyComputer) Compute(u data.Row, ctx *gd.Context, acc linalg.Vector) {
 	c.inner.Compute(u, ctx, acc)
 }
 func (c noisyComputer) AccDim(d int) int    { return c.inner.AccDim(d) }
 func (c noisyComputer) Ops(nnz int) float64 { return c.inner.Ops(nnz) }
-func (c noisyComputer) ComputeRand(u data.Unit, ctx *gd.Context, acc linalg.Vector, rng *rand.Rand) {
+func (c noisyComputer) ComputeRand(u data.Row, ctx *gd.Context, acc linalg.Vector, rng *rand.Rand) {
 	c.inner.Compute(u, ctx, acc)
 	acc[0] += 1e-6 * rng.NormFloat64()
 }
@@ -188,7 +188,7 @@ type contractBreakingComputer struct {
 	inner gd.Computer
 }
 
-func (c contractBreakingComputer) Compute(u data.Unit, ctx *gd.Context, acc linalg.Vector) {
+func (c contractBreakingComputer) Compute(u data.Row, ctx *gd.Context, acc linalg.Vector) {
 	c.inner.Compute(u, ctx, acc)
 	ctx.Put("illegal", 1)
 }

@@ -2,8 +2,6 @@ package engine
 
 import (
 	"math/rand"
-	"sync"
-	"sync/atomic"
 
 	"ml4all/internal/storage"
 )
@@ -29,12 +27,14 @@ type span struct{ lo, hi int }
 
 // chunkSpans cuts [0, n) into near-equal contiguous spans of at most max
 // positions, via the same storage.SplitEven boundary rule shards use. It is
-// deterministic in n and max only.
-func chunkSpans(n, max int) []span {
-	var spans []span
+// deterministic in n and max only. The returned slice reuses the executor's
+// span scratch and is only valid until the next call.
+func (ex *executor) chunkSpans(n, max int) []span {
+	spans := ex.spanBuf[:0]
 	storage.SplitEven(0, n, max, func(lo, hi int) {
 		spans = append(spans, span{lo: lo, hi: hi})
 	})
+	ex.spanBuf = spans
 	return spans
 }
 
@@ -65,36 +65,52 @@ func (ex *executor) runTasks(n int, fn func(task int) error) error {
 		}
 		return nil
 	}
-	errs := make([]error, n)
-	var minFailed atomic.Int64
-	minFailed.Store(int64(n))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
+	if cap(ex.errBuf) < n {
+		ex.errBuf = make([]error, n)
+	}
+	errs := ex.errBuf[:n]
+	for i := range errs {
+		errs[i] = nil
+	}
+	// The pool scaffolding (shared worker closure, counters, wait group)
+	// lives on the executor and is reused across passes, so a parallel pass
+	// costs one goroutine spawn per worker and no per-pass control-state
+	// allocation. All fields are written before the spawns and read after
+	// Wait, so reuse is race-free.
+	ex.taskFn = fn
+	ex.taskN = n
+	ex.taskNext.Store(0)
+	ex.taskMinFailed.Store(int64(n))
+	if ex.workFn == nil {
+		ex.workFn = func() {
+			defer ex.taskWG.Done()
+			n := ex.taskN
 			for {
-				i := int(next.Add(1)) - 1
+				i := int(ex.taskNext.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				if int64(i) >= minFailed.Load() {
+				if int64(i) >= ex.taskMinFailed.Load() {
 					continue
 				}
-				if err := fn(i); err != nil {
-					errs[i] = err
+				if err := ex.taskFn(i); err != nil {
+					ex.errBuf[i] = err
 					for {
-						cur := minFailed.Load()
-						if int64(i) >= cur || minFailed.CompareAndSwap(cur, int64(i)) {
+						cur := ex.taskMinFailed.Load()
+						if int64(i) >= cur || ex.taskMinFailed.CompareAndSwap(cur, int64(i)) {
 							break
 						}
 					}
 				}
 			}
-		}()
+		}
 	}
-	wg.Wait()
+	ex.taskWG.Add(workers)
+	for w := 0; w < workers; w++ {
+		go ex.workFn()
+	}
+	ex.taskWG.Wait()
+	ex.taskFn = nil
 	return firstError(errs)
 }
 

@@ -47,7 +47,7 @@ func resumeDataset(t testing.TB, task data.TaskKind) *storage.Store {
 // transformer reuses the dataset's pre-parsed units instead).
 type wrapTransformer struct{ inner gd.Transformer }
 
-func (w wrapTransformer) Transform(raw string, ctx *gd.Context) (data.Unit, error) {
+func (w wrapTransformer) Transform(raw string, ctx *gd.Context) (data.Row, error) {
 	return w.inner.Transform(raw, ctx)
 }
 

@@ -109,8 +109,8 @@ func (t *Trainer) Checkpoint() (*TrainState, error) {
 		Budgeted:   t.res.Budgeted,
 		Diverged:   t.res.Diverged,
 		Done:       t.done,
-		RNGDraws:   t.src.Draws(),
-		UnitsReady: t.ex.units != nil,
+		RNGDraws:   t.rngDraws(),
+		UnitsReady: t.ex.mat != nil || t.ex.rows != nil,
 		Lazy:       append([]bool(nil), t.ex.lazy...),
 		OpsByPart:  append([]float64(nil), t.ex.opsByPart...),
 		StartClock: t.start,
@@ -154,7 +154,6 @@ func Resume(sim *cluster.Sim, store *storage.Store, plan *gd.Plan, opts Options,
 		return nil, err
 	}
 	t.start = st.StartClock
-	t.src.Skip(st.RNGDraws)
 
 	ctx := t.ex.ctx
 	ctx.Iter = st.Iter
@@ -166,13 +165,16 @@ func Resume(sim *cluster.Sim, store *storage.Store, plan *gd.Plan, opts Options,
 		ctx.Vars = map[string]any{}
 	}
 
-	if err := t.ex.rebuildUnits(st); err != nil {
+	if err := t.ex.rebuildRows(st); err != nil {
 		return nil, err
 	}
 	t.ex.opsByPart = append([]float64(nil), st.OpsByPart...)
 
 	if err := t.initSampler(); err != nil {
 		return nil, err
+	}
+	if t.src != nil {
+		t.src.Skip(st.RNGDraws)
 	}
 	if sp, ok := t.ex.sampler.(sampling.Stateful); ok {
 		sp.StateRestore(st.Sampler)
@@ -194,21 +196,23 @@ func Resume(sim *cluster.Sim, store *storage.Store, plan *gd.Plan, opts Options,
 	return t, nil
 }
 
-// rebuildUnits reproduces the executor's unit memo from a checkpoint: the
-// physical parsing re-runs (Transform UDFs are required to be deterministic
-// functions of the raw unit), but no simulated cost is charged — the
-// restored clock already paid for every parse the original run performed.
-func (ex *executor) rebuildUnits(st *TrainState) error {
+// rebuildRows reproduces the executor's transformed data from a checkpoint:
+// with a stock transformer the dataset's columnar arena is adopted directly
+// (nothing to re-parse); custom UDFs physically re-run (Transform UDFs are
+// required to be deterministic functions of the raw unit). No simulated cost
+// is charged either way — the restored clock already paid for every parse
+// the original run performed.
+func (ex *executor) rebuildRows(st *TrainState) error {
 	if !st.UnitsReady {
 		return nil // checkpoint predates any transform; lazy init will run
 	}
 	if ex.stockTransformer() {
-		ex.units = ex.store.Dataset.Units
+		ex.mat = ex.store.Dataset.Mat
 		ex.lazy = append([]bool(nil), st.Lazy...)
 		return nil
 	}
 	ds := ex.store.Dataset
-	ex.units = make([]data.Unit, ds.N())
+	ex.rows = make([]data.Row, ds.N())
 	ex.lazy = append([]bool(nil), st.Lazy...)
 	guard := ex.ctx.Guard()
 	parsed := func(i int) bool { return ex.lazy == nil || ex.lazy[i] }
@@ -218,11 +222,11 @@ func (ex *executor) rebuildUnits(st *TrainState) error {
 			if !parsed(i) {
 				continue
 			}
-			u, err := ex.plan.Transformer.Transform(ds.Raw[i], ex.ctx)
+			r, err := ex.plan.Transformer.Transform(ds.Raw[i], ex.ctx)
 			if err != nil {
 				return fmt.Errorf("engine: rebuilding unit %d: %w", i, err)
 			}
-			ex.units[i] = u
+			ex.rows[i] = r
 		}
 		return nil
 	})

@@ -35,7 +35,7 @@ type Trainer struct {
 	plan  *gd.Plan
 	opts  Options
 
-	ex    *executor
+	ex    executor
 	src   *cluster.CountingSource // the sampling RNG's underlying stream
 	res   *Result
 	prev  linalg.Vector
@@ -52,7 +52,7 @@ func NewTrainer(sim *cluster.Sim, store *storage.Store, plan *gd.Plan, opts Opti
 	if err != nil {
 		return nil, err
 	}
-	ex := t.ex
+	ex := &t.ex
 
 	sim.JobInit()
 	if err := ex.stage(); err != nil {
@@ -77,7 +77,7 @@ func NewTrainer(sim *cluster.Sim, store *storage.Store, plan *gd.Plan, opts Opti
 		return nil, err
 	}
 
-	t.res = &Result{PlanName: plan.Name()}
+	t.res = &Result{PlanName: plan.Name(), Deltas: make([]float64, 0, 16)}
 	t.prev = ex.ctx.Weights.Clone()
 	return t, nil
 }
@@ -102,8 +102,6 @@ func newTrainerShell(sim *cluster.Sim, store *storage.Store, plan *gd.Plan, opts
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	src := cluster.NewCountingSource(seed)
-	rng := rand.New(src)
 
 	ctx := gd.NewContext()
 	ctx.NumFeatures = ds.NumFeatures
@@ -115,20 +113,23 @@ func newTrainerShell(sim *cluster.Sim, store *storage.Store, plan *gd.Plan, opts
 		ctx.BatchSize = n
 	}
 
-	ex := &executor{
-		sim: sim, store: store, plan: plan, ctx: ctx, rng: rng,
+	t := &Trainer{
+		sim: sim, store: store, plan: plan, opts: opts,
+		start: sim.Now(),
+	}
+	t.ex = executor{
+		sim: sim, store: store, plan: plan, ctx: ctx,
 		seed:    seed,
 		workers: workers,
 		shards:  store.Shards(shardUnitTarget),
-		bufs:    linalg.NewBufferPool(),
+		costBuf: make([]cluster.Seconds, 0, store.NumPartitions()),
 	}
-	return &Trainer{
-		sim: sim, store: store, plan: plan, opts: opts,
-		ex: ex, src: src, start: sim.Now(),
-	}, nil
+	return t, nil
 }
 
-// initSampler constructs the plan's sampler, sharing the trainer's RNG.
+// initSampler constructs the plan's sampler and, with it, the trainer's
+// sampling RNG stream (plans without a Sample operator never create one, so
+// their checkpoints record zero draws exactly as before).
 func (t *Trainer) initSampler() error {
 	if t.plan.Sampling == gd.NoSampling {
 		return nil
@@ -137,9 +138,20 @@ func (t *Trainer) initSampler() error {
 	if err != nil {
 		return err
 	}
+	t.src = cluster.NewCountingSource(t.ex.seed)
+	t.ex.rng = rand.New(t.src)
 	t.ex.sampler = s
 	t.ex.senv = &sampling.Env{Sim: t.sim, Store: t.store, RNG: t.ex.rng}
 	return nil
+}
+
+// rngDraws returns the sampling-stream position, zero when the plan has no
+// Sample operator (the stream is created with the sampler).
+func (t *Trainer) rngDraws() uint64 {
+	if t.src == nil {
+		return 0
+	}
+	return t.src.Draws()
 }
 
 // Done reports whether the run has terminated (converged, budget exhausted,
@@ -178,6 +190,7 @@ func (t *Trainer) Step() error {
 
 	// Update on the driver.
 	sim.RunLocal(sim.CostCPU(1, float64(2*ctx.NumFeatures)))
+	wOld := ctx.Weights
 	wNew, err := plan.Updater.Update(acc, ctx)
 	if err != nil {
 		return err
@@ -192,6 +205,12 @@ func (t *Trainer) Step() error {
 	}
 	copy(t.prev, wNew)
 	res.FinalDelta = delta
+	if len(wOld) > 0 && len(wNew) > 0 && &wOld[0] != &wNew[0] {
+		// The replaced weights vector is dead once the delta history and
+		// prev copy are taken (operators keep clones, per the Checkpoint
+		// contract); recycle it for the next update.
+		ctx.PutSpare(wOld)
+	}
 
 	switch {
 	case !wNew.IsFinite():

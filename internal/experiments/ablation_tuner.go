@@ -66,8 +66,9 @@ func AblationTuner(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		objTuned := gradients.Objective(g, reg, resTuned.Weights, ds.Units)
-		objDef := gradients.Objective(g, reg, resDef.Weights, ds.Units)
+		rows := ds.Rows()
+		objTuned := gradients.Objective(g, reg, resTuned.Weights, rows)
+		objDef := gradients.Objective(g, reg, resDef.Weights, rows)
 		improvement := (objDef - objTuned) / math.Max(objDef, 1e-12)
 		if objTuned <= objDef*1.02 {
 			wins++

@@ -47,16 +47,44 @@ type Context struct {
 
 	// Vars holds algorithm-specific extension state.
 	Vars map[string]any
+
+	// spare recycles one dead weight vector between iterations (see
+	// TakeSpare); engine-managed, never serialized.
+	spare linalg.Vector
 }
 
-// NewContext returns a Context with an empty extension map.
-func NewContext() *Context { return &Context{Vars: map[string]any{}} }
+// TakeSpare returns a weight-sized scratch vector for the next weights value:
+// the recycled vector from the previous iteration when one is available and
+// correctly sized, or a fresh allocation. Contents are unspecified — callers
+// must overwrite every element (the stock updaters do).
+func (c *Context) TakeSpare(d int) linalg.Vector {
+	if v := c.spare; len(v) == d {
+		c.spare = nil
+		return v
+	}
+	return linalg.NewVector(d)
+}
+
+// PutSpare offers a dead vector for recycling by the next TakeSpare. The
+// engine calls it with the weights vector an Update replaced, once the
+// trainer has finished reading it; operators that keep weight history across
+// iterations must store clones (the Checkpoint contract already requires
+// this), never the live ctx.Weights value.
+func (c *Context) PutSpare(v linalg.Vector) { c.spare = v }
+
+// NewContext returns a Context; the extension map is created on first Put.
+func NewContext() *Context { return &Context{} }
 
 // Get returns the extension variable under key, or nil.
 func (c *Context) Get(key string) any { return c.Vars[key] }
 
 // Put stores an extension variable.
-func (c *Context) Put(key string, v any) { c.Vars[key] = v }
+func (c *Context) Put(key string, v any) {
+	if c.Vars == nil {
+		c.Vars = map[string]any{}
+	}
+	c.Vars[key] = v
+}
 
 // GetVector returns the named extension vector, or an error naming the key.
 func (c *Context) GetVector(key string) (linalg.Vector, error) {

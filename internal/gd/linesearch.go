@@ -48,7 +48,7 @@ type LineSearchComputer struct {
 }
 
 // Compute implements Computer.
-func (c LineSearchComputer) Compute(u data.Unit, ctx *Context, acc linalg.Vector) {
+func (c LineSearchComputer) Compute(u data.Row, ctx *Context, acc linalg.Vector) {
 	if phase, _ := ctx.Get(lsPhaseKey).(string); phase == lsPhaseProbe {
 		trial, err := ctx.GetVector(lsTrialKey)
 		if err != nil {
@@ -142,7 +142,7 @@ func (up LineSearchUpdater) Update(acc linalg.Vector, ctx *Context) (linalg.Vect
 type lineSearchStager struct{}
 
 // Stage implements Stager.
-func (lineSearchStager) Stage(_ []data.Unit, ctx *Context) error {
+func (lineSearchStager) Stage(_ []data.Row, ctx *Context) error {
 	ctx.Weights = linalg.NewVector(ctx.NumFeatures)
 	ctx.Iter = 0
 	ctx.Put(lsPhaseKey, lsPhaseGrad)

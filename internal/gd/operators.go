@@ -13,7 +13,7 @@ import (
 // signature given there; costs are charged by the engine, not here.
 
 // Transformer is operator (1), Transform(U) -> UT: it parses one raw data
-// unit into a typed unit.
+// unit into a typed row.
 //
 // Like Compute, Transform runs on the engine's worker pool (eager transforms
 // and lazy full scans fan out over shards), so with engine Workers != 1 a
@@ -21,14 +21,14 @@ import (
 // state or ctx — parse the line, return the unit. Stateful transformers are
 // only legal on the serial path (Workers: 1).
 type Transformer interface {
-	Transform(raw string, ctx *Context) (data.Unit, error)
+	Transform(raw string, ctx *Context) (data.Row, error)
 }
 
 // Stager is operator (2), Stage: it initializes the algorithm's global
 // variables. It may inspect a (possibly empty) list of sample units, matching
 // Stage(∅ | UT | list<UT>).
 type Stager interface {
-	Stage(sample []data.Unit, ctx *Context) error
+	Stage(sample []data.Row, ctx *Context) error
 }
 
 // Computer is operator (3), Compute(UT) -> UC: the core per-unit computation.
@@ -54,7 +54,7 @@ type Stager interface {
 // all satisfy this: they read ctx.Weights and context vectors set before the
 // pass and accumulate into acc only.
 type Computer interface {
-	Compute(u data.Unit, ctx *Context, acc linalg.Vector)
+	Compute(u data.Row, ctx *Context, acc linalg.Vector)
 	AccDim(d int) int
 	Ops(nnz int) float64
 }
@@ -69,11 +69,14 @@ type Computer interface {
 // allowed source of randomness.
 type RandomizedComputer interface {
 	Computer
-	ComputeRand(u data.Unit, ctx *Context, acc linalg.Vector, rng *rand.Rand)
+	ComputeRand(u data.Row, ctx *Context, acc linalg.Vector, rng *rand.Rand)
 }
 
 // Updater is operator (4), Update(UC) -> UU: it folds the aggregated
-// accumulator into the global variables and returns the new weights.
+// accumulator into the global variables and returns the new weights. The
+// accumulator is engine-owned scratch reused across iterations: an Updater
+// must not retain acc (or a sub-slice of it) past the call — clone whatever
+// it keeps, as the stock implementations do.
 type Updater interface {
 	Update(acc linalg.Vector, ctx *Context) (linalg.Vector, error)
 }
@@ -100,15 +103,15 @@ type Looper interface {
 type FormatTransformer struct{ Format data.Format }
 
 // Transform implements Transformer.
-func (t FormatTransformer) Transform(raw string, _ *Context) (data.Unit, error) {
+func (t FormatTransformer) Transform(raw string, _ *Context) (data.Row, error) {
 	u, ok, err := t.Format.ParseLine(raw)
 	if err != nil {
-		return data.Unit{}, err
+		return data.Row{}, err
 	}
 	if !ok {
-		return data.Unit{}, fmt.Errorf("gd: blank data unit")
+		return data.Row{}, fmt.Errorf("gd: blank data unit")
 	}
-	return u, nil
+	return u.Row(), nil
 }
 
 // ZeroStager is the paper's Listing 4: weights to zero, step to its initial
@@ -116,7 +119,7 @@ func (t FormatTransformer) Transform(raw string, _ *Context) (data.Unit, error) 
 type ZeroStager struct{}
 
 // Stage implements Stager.
-func (ZeroStager) Stage(_ []data.Unit, ctx *Context) error {
+func (ZeroStager) Stage(_ []data.Row, ctx *Context) error {
 	ctx.Weights = linalg.NewVector(ctx.NumFeatures)
 	ctx.Iter = 0
 	return nil
@@ -128,7 +131,7 @@ func (ZeroStager) Stage(_ []data.Unit, ctx *Context) error {
 type SampleMeanStager struct{ Scale float64 }
 
 // Stage implements Stager.
-func (s SampleMeanStager) Stage(sample []data.Unit, ctx *Context) error {
+func (s SampleMeanStager) Stage(sample []data.Row, ctx *Context) error {
 	w := linalg.NewVector(ctx.NumFeatures)
 	if len(sample) > 0 {
 		for _, u := range sample {
@@ -145,7 +148,7 @@ func (s SampleMeanStager) Stage(sample []data.Unit, ctx *Context) error {
 type GradientComputer struct{ Gradient gradients.Gradient }
 
 // Compute implements Computer.
-func (c GradientComputer) Compute(u data.Unit, ctx *Context, acc linalg.Vector) {
+func (c GradientComputer) Compute(u data.Row, ctx *Context, acc linalg.Vector) {
 	c.Gradient.AddGradient(ctx.Weights, u, acc)
 }
 
@@ -164,17 +167,24 @@ type GradientUpdater struct {
 	Reg gradients.L2
 }
 
-// Update implements Updater.
+// Update implements Updater. The loop is the fused single-pass form of
+// grad := acc/n; grad += λw; w -= step*grad — identical operations on each
+// component in the same order, one allocation instead of two clones.
 func (up GradientUpdater) Update(acc linalg.Vector, ctx *Context) (linalg.Vector, error) {
 	n := ctx.BatchSize
 	if n <= 0 {
 		return nil, fmt.Errorf("gd: GradientUpdater with batch size %d", n)
 	}
-	grad := acc.Clone()
-	grad.Scale(1 / float64(n))
-	up.Reg.AddGradient(ctx.Weights, grad)
-	w := ctx.Weights.Clone()
-	w.AddScaled(-ctx.Step, grad)
+	inv := 1 / float64(n)
+	old := ctx.Weights
+	w := ctx.TakeSpare(len(old))
+	for i := range w {
+		g := acc[i] * inv
+		if up.Reg.Lambda != 0 {
+			g += up.Reg.Lambda * old[i]
+		}
+		w[i] = old[i] + (-ctx.Step)*g
+	}
 	ctx.Weights = w
 	return w, nil
 }

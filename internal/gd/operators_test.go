@@ -67,9 +67,9 @@ func TestZeroStager(t *testing.T) {
 
 func TestSampleMeanStager(t *testing.T) {
 	ctx := newCtx(2)
-	sample := []data.Unit{
-		data.NewDenseUnit(1, linalg.Vector{2, 0}),
-		data.NewDenseUnit(1, linalg.Vector{0, 4}),
+	sample := []data.Row{
+		data.NewDenseRow(1, linalg.Vector{2, 0}),
+		data.NewDenseRow(1, linalg.Vector{0, 4}),
 	}
 	if err := (SampleMeanStager{Scale: 1}).Stage(sample, ctx); err != nil {
 		t.Fatal(err)
@@ -92,7 +92,7 @@ func TestGradientComputerAccumulates(t *testing.T) {
 	ctx.Weights = linalg.Vector{0, 0}
 	c := GradientComputer{Gradient: gradients.LeastSquares{}}
 	acc := linalg.NewVector(c.AccDim(2))
-	u := data.NewDenseUnit(1, linalg.Vector{1, 0}) // grad = 2(0-1)x = [-2, 0]
+	u := data.NewDenseRow(1, linalg.Vector{1, 0}) // grad = 2(0-1)x = [-2, 0]
 	c.Compute(u, ctx, acc)
 	c.Compute(u, ctx, acc)
 	if !acc.Equal(linalg.Vector{-4, 0}, 1e-12) {

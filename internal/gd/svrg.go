@@ -35,7 +35,7 @@ type SVRGComputer struct {
 }
 
 // Compute implements Computer.
-func (c SVRGComputer) Compute(u data.Unit, ctx *Context, acc linalg.Vector) {
+func (c SVRGComputer) Compute(u data.Row, ctx *Context, acc linalg.Vector) {
 	d := ctx.NumFeatures
 	if svrgFullIteration(ctx.Iter, c.M) {
 		c.Gradient.AddGradient(ctx.Weights, u, acc[:d])
@@ -100,7 +100,7 @@ func (up SVRGUpdater) Update(acc linalg.Vector, ctx *Context) (linalg.Vector, er
 type svrgStager struct{}
 
 // Stage implements Stager.
-func (svrgStager) Stage(_ []data.Unit, ctx *Context) error {
+func (svrgStager) Stage(_ []data.Row, ctx *Context) error {
 	ctx.Weights = linalg.NewVector(ctx.NumFeatures)
 	ctx.Iter = 0
 	ctx.Put(svrgBarKey, ctx.Weights.Clone())

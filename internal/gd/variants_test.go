@@ -99,7 +99,7 @@ func TestSVRGComputerPacksBothGradients(t *testing.T) {
 
 	c := SVRGComputer{Gradient: gradients.LeastSquares{}, M: 5}
 	acc := linalg.NewVector(c.AccDim(2))
-	u := data.NewDenseUnit(1, linalg.Vector{1, 1})
+	u := data.NewDenseRow(1, linalg.Vector{1, 1})
 	c.Compute(u, ctx, acc)
 	// grad(w): 2(w·x - y)x = 2(1-1)x = 0; grad(wBar): 2(0-1)x = [-2,-2].
 	if !acc.Equal(linalg.Vector{0, 0, -2, -2}, 1e-12) {

@@ -20,8 +20,8 @@ import (
 // multiply-add operations one AddGradient call performs for a point with nnz
 // stored values; the cluster simulator charges CPU time with it.
 type Gradient interface {
-	AddGradient(w linalg.Vector, u data.Unit, grad linalg.Vector)
-	Loss(w linalg.Vector, u data.Unit) float64
+	AddGradient(w linalg.Vector, u data.Row, grad linalg.Vector)
+	Loss(w linalg.Vector, u data.Row) float64
 	Ops(nnz int) float64
 	Name() string
 }
@@ -49,14 +49,14 @@ type Hinge struct{}
 func (Hinge) Name() string { return "hinge" }
 
 // AddGradient implements Gradient.
-func (Hinge) AddGradient(w linalg.Vector, u data.Unit, grad linalg.Vector) {
+func (Hinge) AddGradient(w linalg.Vector, u data.Row, grad linalg.Vector) {
 	if u.Label*u.Dot(w) < 1 {
 		u.AddScaledInto(grad, -u.Label)
 	}
 }
 
 // Loss returns the hinge loss max(0, 1-y*wᵀx).
-func (Hinge) Loss(w linalg.Vector, u data.Unit) float64 {
+func (Hinge) Loss(w linalg.Vector, u data.Row) float64 {
 	m := 1 - u.Label*u.Dot(w)
 	if m < 0 {
 		return 0
@@ -76,14 +76,14 @@ type Logistic struct{}
 func (Logistic) Name() string { return "logistic" }
 
 // AddGradient implements Gradient.
-func (Logistic) AddGradient(w linalg.Vector, u data.Unit, grad linalg.Vector) {
+func (Logistic) AddGradient(w linalg.Vector, u data.Row, grad linalg.Vector) {
 	z := u.Label * u.Dot(w)
 	coeff := -u.Label / (1 + math.Exp(z))
 	u.AddScaledInto(grad, coeff)
 }
 
 // Loss returns the log loss log(1 + e^{-y*wᵀx}), computed stably.
-func (Logistic) Loss(w linalg.Vector, u data.Unit) float64 {
+func (Logistic) Loss(w linalg.Vector, u data.Row) float64 {
 	z := -u.Label * u.Dot(w)
 	// log(1+e^z) = z + log(1+e^-z) for large z avoids overflow.
 	if z > 35 {
@@ -104,13 +104,13 @@ type LeastSquares struct{}
 func (LeastSquares) Name() string { return "leastsquares" }
 
 // AddGradient implements Gradient.
-func (LeastSquares) AddGradient(w linalg.Vector, u data.Unit, grad linalg.Vector) {
+func (LeastSquares) AddGradient(w linalg.Vector, u data.Row, grad linalg.Vector) {
 	r := u.Dot(w) - u.Label
 	u.AddScaledInto(grad, 2*r)
 }
 
 // Loss returns the squared error (wᵀx - y)².
-func (LeastSquares) Loss(w linalg.Vector, u data.Unit) float64 {
+func (LeastSquares) Loss(w linalg.Vector, u data.Row) float64 {
 	r := u.Dot(w) - u.Label
 	return r * r
 }
@@ -141,28 +141,28 @@ func (r L2) Penalty(w linalg.Vector) float64 {
 }
 
 // Objective evaluates the full regularized objective
-// f(w) = (1/n)·Σ loss_i(w) + R(w) over the given units. It is used by
+// f(w) = (1/n)·Σ loss_i(w) + R(w) over the given rows. It is used by
 // backtracking line search and by tests; training itself never needs it.
-func Objective(g Gradient, reg L2, w linalg.Vector, units []data.Unit) float64 {
-	if len(units) == 0 {
+func Objective(g Gradient, reg L2, w linalg.Vector, rows []data.Row) float64 {
+	if len(rows) == 0 {
 		return reg.Penalty(w)
 	}
 	var s float64
-	for _, u := range units {
+	for _, u := range rows {
 		s += g.Loss(w, u)
 	}
-	return s/float64(len(units)) + reg.Penalty(w)
+	return s/float64(len(rows)) + reg.Penalty(w)
 }
 
-// MeanGradient computes the regularized mean gradient over units into grad
+// MeanGradient computes the regularized mean gradient over rows into grad
 // (zeroing it first). It is the reference the distributed plans must agree
 // with; tests compare plan execution against it.
-func MeanGradient(g Gradient, reg L2, w linalg.Vector, units []data.Unit, grad linalg.Vector) {
+func MeanGradient(g Gradient, reg L2, w linalg.Vector, rows []data.Row, grad linalg.Vector) {
 	grad.Zero()
-	for _, u := range units {
+	for _, u := range rows {
 		g.AddGradient(w, u, grad)
 	}
-	if n := len(units); n > 0 {
+	if n := len(rows); n > 0 {
 		grad.Scale(1 / float64(n))
 	}
 	reg.AddGradient(w, grad)

@@ -11,7 +11,7 @@ import (
 
 // numericalGradient approximates ∇f(w) for the per-point loss by central
 // differences, the ground truth the analytic gradients must match.
-func numericalGradient(g Gradient, w linalg.Vector, u data.Unit) linalg.Vector {
+func numericalGradient(g Gradient, w linalg.Vector, u data.Row) linalg.Vector {
 	const h = 1e-6
 	grad := linalg.NewVector(len(w))
 	for j := range w {
@@ -23,12 +23,12 @@ func numericalGradient(g Gradient, w linalg.Vector, u data.Unit) linalg.Vector {
 	return grad
 }
 
-func randomDenseUnit(r *rand.Rand, d int, label float64) data.Unit {
+func randomDenseUnit(r *rand.Rand, d int, label float64) data.Row {
 	v := make(linalg.Vector, d)
 	for i := range v {
 		v[i] = r.NormFloat64()
 	}
-	return data.NewDenseUnit(label, v)
+	return data.NewDenseRow(label, v)
 }
 
 func checkGradientMatchesLoss(t *testing.T, g Gradient, smoothOnly bool) {
@@ -67,7 +67,7 @@ func TestLeastSquaresGradientMatchesLoss(t *testing.T) {
 }
 
 func TestHingeInactiveRegionHasZeroGradient(t *testing.T) {
-	u := data.NewDenseUnit(1, linalg.Vector{2, 0})
+	u := data.NewDenseRow(1, linalg.Vector{2, 0})
 	w := linalg.Vector{1, 0} // margin = 2 >= 1
 	grad := linalg.NewVector(2)
 	Hinge{}.AddGradient(w, u, grad)
@@ -80,7 +80,7 @@ func TestHingeInactiveRegionHasZeroGradient(t *testing.T) {
 }
 
 func TestLogisticLossStableForLargeMargins(t *testing.T) {
-	u := data.NewDenseUnit(-1, linalg.Vector{1})
+	u := data.NewDenseRow(-1, linalg.Vector{1})
 	w := linalg.Vector{100}
 	got := Logistic{}.Loss(w, u) // -y*wx = 100 => loss ~ 100
 	if math.IsInf(got, 0) || math.IsNaN(got) {
@@ -128,7 +128,7 @@ func TestL2Regularizer(t *testing.T) {
 
 func TestMeanGradientMatchesManualSum(t *testing.T) {
 	r := rand.New(rand.NewSource(3))
-	units := make([]data.Unit, 10)
+	units := make([]data.Row, 10)
 	for i := range units {
 		label := 1.0
 		if i%2 == 0 {
@@ -156,7 +156,7 @@ func TestMeanGradientMatchesManualSum(t *testing.T) {
 
 func TestObjectiveDecreasesAlongNegativeGradient(t *testing.T) {
 	r := rand.New(rand.NewSource(9))
-	units := make([]data.Unit, 50)
+	units := make([]data.Row, 50)
 	for i := range units {
 		label := 1.0
 		if r.Float64() < 0.5 {
@@ -193,8 +193,8 @@ func TestSparseGradientMatchesDense(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	su := data.NewSparseUnit(1, s)
-	du := data.NewDenseUnit(1, s.Dense(5))
+	su := data.NewSparseUnit(1, s).Row()
+	du := data.NewDenseUnit(1, s.Dense(5)).Row()
 	w := linalg.Vector{0.1, 0.2, 0.3, -0.4, 0.5}
 	for _, g := range []Gradient{Hinge{}, Logistic{}, LeastSquares{}} {
 		gs, gd := linalg.NewVector(5), linalg.NewVector(5)

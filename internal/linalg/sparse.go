@@ -3,7 +3,6 @@ package linalg
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // Sparse is a sparse vector in coordinate form: parallel slices of strictly
@@ -17,33 +16,21 @@ type Sparse struct {
 }
 
 // NewSparse builds a sparse vector from index/value pairs. Indices must be
-// non-negative; they are sorted and duplicate indices are summed.
+// non-negative; they are sorted and duplicate indices are summed (the
+// SortDedup normalization rule, shared with the columnar arena builder).
 func NewSparse(indices []int32, values []float64) (Sparse, error) {
 	if len(indices) != len(values) {
 		return Sparse{}, fmt.Errorf("linalg: NewSparse length mismatch %d vs %d", len(indices), len(values))
 	}
-	type pair struct {
-		i int32
-		v float64
+	idx := make([]int32, len(indices))
+	vals := make([]float64, len(values))
+	copy(idx, indices)
+	copy(vals, values)
+	n, err := SortDedup(idx, vals)
+	if err != nil {
+		return Sparse{}, err
 	}
-	ps := make([]pair, len(indices))
-	for k, i := range indices {
-		if i < 0 {
-			return Sparse{}, fmt.Errorf("linalg: NewSparse negative index %d", i)
-		}
-		ps[k] = pair{i, values[k]}
-	}
-	sort.Slice(ps, func(a, b int) bool { return ps[a].i < ps[b].i })
-	s := Sparse{Indices: make([]int32, 0, len(ps)), Values: make([]float64, 0, len(ps))}
-	for _, p := range ps {
-		if n := len(s.Indices); n > 0 && s.Indices[n-1] == p.i {
-			s.Values[n-1] += p.v
-			continue
-		}
-		s.Indices = append(s.Indices, p.i)
-		s.Values = append(s.Values, p.v)
-	}
-	return s, nil
+	return Sparse{Indices: idx[:n], Values: vals[:n]}, nil
 }
 
 // NNZ returns the number of stored (non-zero) entries.
@@ -70,36 +57,18 @@ func (s Sparse) Clone() Sparse {
 // vectors sized from training metadata even when a stray point has a larger
 // index.
 func (s Sparse) Dot(w Vector) float64 {
-	var sum float64
-	d := int32(len(w))
-	for k, i := range s.Indices {
-		if i >= d {
-			break
-		}
-		sum += s.Values[k] * w[i]
-	}
-	return sum
+	return SparseDot(s.Indices, s.Values, w)
 }
 
 // AddScaledInto adds alpha*s into the dense vector dst in place, ignoring
 // indices beyond dst's dimension.
 func (s Sparse) AddScaledInto(dst Vector, alpha float64) {
-	d := int32(len(dst))
-	for k, i := range s.Indices {
-		if i >= d {
-			break
-		}
-		dst[i] += alpha * s.Values[k]
-	}
+	SparseAddScaledInto(dst, alpha, s.Indices, s.Values)
 }
 
 // Norm2 returns the Euclidean norm of s.
 func (s Sparse) Norm2() float64 {
-	var sum float64
-	for _, v := range s.Values {
-		sum += v * v
-	}
-	return math.Sqrt(sum)
+	return SparseNorm2(s.Values)
 }
 
 // Dense materializes s as a dense vector of dimension d. Entries with index

@@ -13,7 +13,7 @@ import (
 
 // Predict returns the label the model assigns to one unit: the sign (±1) for
 // classification tasks, the raw score for regression.
-func Predict(task data.TaskKind, w linalg.Vector, u data.Unit) float64 {
+func Predict(task data.TaskKind, w linalg.Vector, u data.Row) float64 {
 	score := u.Dot(w)
 	if task == data.TaskLinearRegression {
 		return score
@@ -38,7 +38,8 @@ func Evaluate(task data.TaskKind, w linalg.Vector, test *data.Dataset) (Report, 
 	}
 	var sse float64
 	var correct int
-	for _, u := range test.Units {
+	for i := 0; i < test.N(); i++ {
+		u := test.Row(i)
 		p := Predict(task, w, u)
 		d := p - u.Label
 		sse += d * d

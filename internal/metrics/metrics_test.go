@@ -11,8 +11,8 @@ import (
 
 func TestPredictClassificationSign(t *testing.T) {
 	w := linalg.Vector{1, -1}
-	up := data.NewDenseUnit(1, linalg.Vector{2, 1})  // score 1 => +1
-	un := data.NewDenseUnit(-1, linalg.Vector{0, 1}) // score -1 => -1
+	up := data.NewDenseRow(1, linalg.Vector{2, 1})  // score 1 => +1
+	un := data.NewDenseRow(-1, linalg.Vector{0, 1}) // score -1 => -1
 	if Predict(data.TaskSVM, w, up) != 1 {
 		t.Fatal("positive score misclassified")
 	}
@@ -23,7 +23,7 @@ func TestPredictClassificationSign(t *testing.T) {
 
 func TestPredictRegressionRawScore(t *testing.T) {
 	w := linalg.Vector{0.5}
-	u := data.NewDenseUnit(0, linalg.Vector{4})
+	u := data.NewDenseRow(0, linalg.Vector{4})
 	if got := Predict(data.TaskLinearRegression, w, u); got != 2 {
 		t.Fatalf("regression prediction = %g, want 2", got)
 	}
@@ -72,7 +72,7 @@ func TestEvaluateOnSeparableSyntheticData(t *testing.T) {
 		Noise: 0, Margin: 2, Gap: 1.5, Seed: 11,
 	})
 	w := linalg.NewVector(ds.NumFeatures)
-	for _, u := range ds.Units {
+	for _, u := range ds.Rows() {
 		u.AddScaledInto(w, u.Label)
 	}
 	rep, err := Evaluate(data.TaskSVM, w, ds)

@@ -14,6 +14,12 @@ type Cache struct {
 
 	hits   int64
 	misses int64
+
+	// Entry storage: entries are carved from chunked blocks and recycled
+	// through a free list on eviction, so steady-state cache churn performs
+	// no per-entry allocation.
+	chunk    []cacheEntry
+	freeList *cacheEntry
 }
 
 type cacheEntry struct {
@@ -25,7 +31,7 @@ type cacheEntry struct {
 // NewCache returns a cache with the given byte capacity. A non-positive
 // capacity yields a cache that never holds anything (all misses).
 func NewCache(capacity int64) *Cache {
-	return &Cache{capacity: capacity, entries: make(map[int]*cacheEntry)}
+	return &Cache{capacity: capacity, entries: make(map[int]*cacheEntry, 32)}
 }
 
 // Capacity returns the configured byte capacity.
@@ -70,7 +76,8 @@ func (c *Cache) Insert(id int, bytes int64) {
 	for c.used+bytes > c.capacity && c.tail != nil {
 		c.evict(c.tail)
 	}
-	e := &cacheEntry{id: id, bytes: bytes}
+	e := c.alloc()
+	e.id, e.bytes = id, bytes
 	c.entries[id] = e
 	c.used += bytes
 	c.pushFront(e)
@@ -78,9 +85,26 @@ func (c *Cache) Insert(id int, bytes int64) {
 
 // Reset empties the cache and clears counters.
 func (c *Cache) Reset() {
-	c.entries = make(map[int]*cacheEntry)
+	c.entries = make(map[int]*cacheEntry, 32)
 	c.head, c.tail = nil, nil
 	c.used, c.hits, c.misses = 0, 0, 0
+	c.chunk, c.freeList = nil, nil
+}
+
+// alloc returns a zero-linked entry from the free list or the current chunk,
+// growing by fixed-size blocks so N inserts cost O(N/64) allocations.
+func (c *Cache) alloc() *cacheEntry {
+	if e := c.freeList; e != nil {
+		c.freeList = e.next
+		e.next = nil
+		return e
+	}
+	if len(c.chunk) == 0 {
+		c.chunk = make([]cacheEntry, 64)
+	}
+	e := &c.chunk[0]
+	c.chunk = c.chunk[1:]
+	return e
 }
 
 // CacheState is a serializable snapshot of a Cache: the resident partitions
@@ -133,6 +157,8 @@ func (c *Cache) evict(e *cacheEntry) {
 	c.unlink(e)
 	delete(c.entries, e.id)
 	c.used -= e.bytes
+	e.next = c.freeList
+	c.freeList = e
 }
 
 func (c *Cache) unlink(e *cacheEntry) {

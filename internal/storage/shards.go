@@ -1,5 +1,7 @@
 package storage
 
+import "ml4all/internal/data"
+
 // Shard is a stable sub-range of one partition, the unit of intra-node
 // parallelism: the engine's worker pool processes one shard per task, each
 // into its own accumulator. Shard boundaries derive only from the dataset's
@@ -16,6 +18,10 @@ type Shard struct {
 
 // Units returns the number of data units in the shard.
 func (s Shard) Units() int { return s.Hi - s.Lo }
+
+// Rows returns the zero-copy arena view of the shard's [Lo, Hi) range over
+// the given dataset matrix — what a worker-pool task scans.
+func (s Shard) Rows(m *data.Matrix) *data.Matrix { return m.Slice(s.Lo, s.Hi) }
 
 // SplitEven cuts [lo, hi) into ceil((hi-lo)/max) contiguous near-equal
 // ranges (a single range when max <= 0) and calls fn for each, in order.
@@ -45,14 +51,29 @@ func SplitEven(lo, hi, max int, fn func(lo, hi int)) {
 // at most maxUnits data units (one chunk when the partition is smaller).
 // Shards never straddle partition boundaries, so per-partition cost
 // accounting can still walk partitions while the numeric work walks shards.
-// maxUnits <= 0 yields one shard per partition.
+// maxUnits <= 0 yields one shard per partition. The shard list is a pure
+// function of the immutable layout, so it is memoized per maxUnits and the
+// returned slice is shared — callers must treat it as read-only.
 func (s *Store) Shards(maxUnits int) []Shard {
-	var shards []Shard
+	s.shardMu.Lock()
+	defer s.shardMu.Unlock()
+	if cached, ok := s.shardCache[maxUnits]; ok {
+		return cached
+	}
+	n := 0
+	for _, p := range s.Partitions {
+		SplitEven(p.Lo, p.Hi, maxUnits, func(_, _ int) { n++ })
+	}
+	shards := make([]Shard, 0, n)
 	for _, p := range s.Partitions {
 		part := p
 		SplitEven(p.Lo, p.Hi, maxUnits, func(lo, hi int) {
 			shards = append(shards, Shard{ID: len(shards), Part: part, Lo: lo, Hi: hi})
 		})
 	}
+	if s.shardCache == nil {
+		s.shardCache = map[int][]Shard{}
+	}
+	s.shardCache[maxUnits] = shards
 	return shards
 }

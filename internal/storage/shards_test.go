@@ -84,3 +84,38 @@ func TestShardsEmptyStore(t *testing.T) {
 		t.Fatalf("empty store produced %d shards", len(got))
 	}
 }
+
+// TestShardAndPartitionRowViews pins the zero-copy arena handout: the rows a
+// partition or shard view serves must be bitwise-identical to indexing the
+// dataset matrix directly, with no copying (a base label write is visible
+// through the view).
+func TestShardAndPartitionRowViews(t *testing.T) {
+	st := shardTestStore(t, 500, 2<<10)
+	ds := st.Dataset
+	for _, p := range st.Partitions {
+		rows := st.Rows(p)
+		if rows.NumRows() != p.Units() {
+			t.Fatalf("partition %d view has %d rows, want %d", p.ID, rows.NumRows(), p.Units())
+		}
+		for k := 0; k < rows.NumRows(); k++ {
+			if !data.RowsEqual(rows.Row(k), ds.Row(p.Lo+k)) {
+				t.Fatalf("partition %d row %d diverges from base", p.ID, k)
+			}
+		}
+	}
+	for _, sh := range st.Shards(64) {
+		rows := sh.Rows(ds.Mat)
+		if rows.NumRows() != sh.Units() {
+			t.Fatalf("shard %d view has %d rows, want %d", sh.ID, rows.NumRows(), sh.Units())
+		}
+		if !data.RowsEqual(rows.Row(0), ds.Row(sh.Lo)) {
+			t.Fatalf("shard %d first row diverges from base", sh.ID)
+		}
+	}
+	// Zero-copy: the views alias the arena, they do not hold copies.
+	view := st.Rows(st.Partitions[0])
+	ds.Mat.SetLabel(st.Partitions[0].Lo, 424242)
+	if view.Row(0).Label != 424242 {
+		t.Fatal("partition view did not observe base label write — rows were copied")
+	}
+}

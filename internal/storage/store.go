@@ -8,6 +8,7 @@ package storage
 
 import (
 	"fmt"
+	"sync"
 
 	"ml4all/internal/data"
 )
@@ -44,12 +45,16 @@ func (p Partition) Pages(l Layout) int64 {
 	return (p.Bytes + l.PageBytes - 1) / l.PageBytes
 }
 
-// Store is a dataset laid out into partitions. It is immutable after Build.
+// Store is a dataset laid out into partitions. It is immutable after Build
+// (the shard memo is internal and lock-protected).
 type Store struct {
 	Dataset    *data.Dataset
 	Layout     Layout
 	Partitions []Partition
 	TotalBytes int64
+
+	shardMu    sync.Mutex
+	shardCache map[int][]Shard
 }
 
 // Build lays ds out into partitions under l. Partition boundaries respect
@@ -65,7 +70,7 @@ func Build(ds *data.Dataset, l Layout) (*Store, error) {
 	s := &Store{Dataset: ds, Layout: l}
 	var cur Partition
 	cur.Lo = 0
-	for i := range ds.Units {
+	for i := 0; i < ds.N(); i++ {
 		b := int64(len(ds.Raw[i])) + 1
 		if cur.Bytes > 0 && cur.Bytes+b > l.PartitionBytes {
 			cur.Hi = i
@@ -76,10 +81,17 @@ func Build(ds *data.Dataset, l Layout) (*Store, error) {
 		s.TotalBytes += b
 	}
 	if cur.Bytes > 0 || len(s.Partitions) == 0 {
-		cur.Hi = len(ds.Units)
+		cur.Hi = ds.N()
 		s.Partitions = append(s.Partitions, cur)
 	}
 	return s, nil
+}
+
+// Rows returns the zero-copy arena view of the partition's data units — the
+// contiguous [Lo, Hi) slice of the dataset's columnar matrix. No row data is
+// copied; the view shares the store's arena.
+func (s *Store) Rows(p Partition) *data.Matrix {
+	return s.Dataset.Mat.Slice(p.Lo, p.Hi)
 }
 
 // NumPartitions returns p(D), the partition count.

@@ -85,6 +85,19 @@ func Generate(s Spec) (*data.Dataset, error) {
 	// Normalize non-binary feature values so E‖x‖₂ ≈ 1.
 	valScale := 1 / math.Sqrt(float64(nnzPer))
 
+	// Points are generated straight into the columnar arena: dense rows fill
+	// the strided values buffer in place, sparse rows go through reused
+	// index/value scratch — no per-point allocation either way.
+	var b *data.MatrixBuilder
+	if dense {
+		b = data.NewDenseMatrixBuilder(s.N, s.D)
+	} else {
+		b = data.NewMatrixBuilder(s.N, s.N*nnzPer)
+	}
+	scratchIdx := make([]int32, 0, nnzPer)
+	scratchVal := make([]float64, 0, nnzPer)
+	seen := make(map[int32]bool, nnzPer)
+
 	genVal := func(drift float64) float64 {
 		if s.Binary {
 			return 1
@@ -102,7 +115,6 @@ func Generate(s Spec) (*data.Dataset, error) {
 	}
 	gapThreshold := s.Gap * marginSigma
 
-	units := make([]data.Unit, s.N)
 	for i := 0; i < s.N; i++ {
 		// Skew shifts which features fire and the label prior as a
 		// function of position in the file.
@@ -110,21 +122,28 @@ func Generate(s Spec) (*data.Dataset, error) {
 		if s.Skew > 0 {
 			drift = s.Skew * (float64(i)/float64(s.N) - 0.5) * 2
 		}
-		var u data.Unit
+		var denseRow linalg.Vector
+		if dense {
+			// One strided arena row, reserved once and refilled in place on
+			// gap-rejection retries.
+			row, err := b.DenseRowBuffer()
+			if err != nil {
+				return nil, err
+			}
+			denseRow = row
+		}
 		var margin float64
 		attempts := 0
 	regenerate:
 		attempts++
 		if dense {
-			v := make(linalg.Vector, s.D)
-			for j := range v {
-				v[j] = genVal(drift)
+			for j := range denseRow {
+				denseRow[j] = genVal(drift)
 			}
-			margin = v.Dot(truth)
-			u = data.NewDenseUnit(0, v)
+			margin = denseRow.Dot(truth)
 		} else {
-			idx := make([]int32, 0, nnzPer)
-			val := make([]float64, 0, nnzPer)
+			scratchIdx = scratchIdx[:0]
+			scratchVal = scratchVal[:0]
 			// Skewed datasets concentrate early points on low feature
 			// indices and late points on high ones.
 			base := 0
@@ -133,46 +152,52 @@ func Generate(s Spec) (*data.Dataset, error) {
 				span = int(float64(s.D) * (1 - s.Skew/2))
 				base = int(float64(s.D-span) * float64(i) / float64(s.N))
 			}
-			seen := map[int32]bool{}
-			for len(idx) < nnzPer {
+			clear(seen)
+			for len(scratchIdx) < nnzPer {
 				j := int32(base + rng.Intn(span))
 				if seen[j] {
 					continue
 				}
 				seen[j] = true
-				idx = append(idx, j)
-				val = append(val, genVal(drift))
+				scratchIdx = append(scratchIdx, j)
+				scratchVal = append(scratchVal, genVal(drift))
 			}
-			sp, err := linalg.NewSparse(idx, val)
+			// Normalize the scratch row exactly the way NewSparse would
+			// (indices are distinct by construction, so this only sorts).
+			n, err := linalg.SortDedup(scratchIdx, scratchVal)
 			if err != nil {
 				return nil, err
 			}
-			margin = sp.Dot(truth)
-			u = data.NewSparseUnit(0, sp)
+			scratchIdx, scratchVal = scratchIdx[:n], scratchVal[:n]
+			margin = linalg.SparseDot(scratchIdx, scratchVal, truth)
 		}
 
+		var label float64
 		switch s.Task {
 		case data.TaskLinearRegression:
-			u.Label = roundVal(margin + s.Noise*rng.NormFloat64())
+			label = roundVal(margin + s.Noise*rng.NormFloat64())
 		default: // classification: SVM or logistic
 			// Cap rejection attempts so a mis-specified Gap degrades into
 			// extra boundary points instead of an endless loop.
 			if gapThreshold > 0 && math.Abs(margin) < gapThreshold && attempts < 200 {
 				goto regenerate
 			}
-			label := 1.0
+			label = 1.0
 			if margin < 0 {
 				label = -1
 			}
 			if s.Noise > 0 && rng.Float64() < s.Noise {
 				label = -label
 			}
-			u.Label = label
 		}
-		units[i] = u
+		if dense {
+			b.CommitDenseRow(label)
+		} else if err := b.AppendSparse(label, scratchIdx, scratchVal); err != nil {
+			return nil, err
+		}
 	}
 
-	ds := data.FromUnits(s.Name, s.Task, units)
+	ds := data.FromMatrix(s.Name, s.Task, b.Build())
 	if ds.NumFeatures < s.D {
 		ds.NumFeatures = s.D
 	}

@@ -23,7 +23,7 @@ func TestGenerateShapeMatchesSpec(t *testing.T) {
 	if err := ds.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	for _, u := range ds.Units {
+	for _, u := range ds.Rows() {
 		if u.Label != 1 && u.Label != -1 {
 			t.Fatalf("classification label %g", u.Label)
 		}
@@ -33,7 +33,7 @@ func TestGenerateShapeMatchesSpec(t *testing.T) {
 func TestGenerateDeterministic(t *testing.T) {
 	spec := Spec{Name: "t", Task: data.TaskSVM, N: 100, D: 10, Density: 1, Margin: 1, Seed: 9}
 	a, b := MustGenerate(spec), MustGenerate(spec)
-	for i := range a.Units {
+	for i := 0; i < a.N(); i++ {
 		if a.Raw[i] != b.Raw[i] {
 			t.Fatalf("unit %d differs across same-seed generations", i)
 		}
@@ -61,11 +61,11 @@ func TestRegressionLabelsTrackTruth(t *testing.T) {
 	spec := Spec{Name: "t", Task: data.TaskLinearRegression, N: 2000, D: 20, Density: 1, Noise: 0.01, Margin: 2, Seed: 3}
 	ds := MustGenerate(spec)
 	var mean, varSum float64
-	for _, u := range ds.Units {
+	for _, u := range ds.Rows() {
 		mean += u.Label
 	}
 	mean /= float64(ds.N())
-	for _, u := range ds.Units {
+	for _, u := range ds.Rows() {
 		varSum += (u.Label - mean) * (u.Label - mean)
 	}
 	if varSum/float64(ds.N()) < 0.1 {
@@ -76,8 +76,8 @@ func TestRegressionLabelsTrackTruth(t *testing.T) {
 func TestBinaryFeaturesAreOnes(t *testing.T) {
 	spec := Spec{Name: "t", Task: data.TaskLogisticRegression, N: 200, D: 50, Density: 0.2, Binary: true, Margin: 1, Seed: 4}
 	ds := MustGenerate(spec)
-	for _, u := range ds.Units {
-		for _, v := range u.Sparse.Values {
+	for _, u := range ds.Rows() {
+		for _, v := range u.Vals {
 			if v != 1 {
 				t.Fatalf("binary dataset has value %g", v)
 			}
@@ -94,7 +94,7 @@ func TestGapSeparatesClasses(t *testing.T) {
 	spec := Spec{Name: "t", Task: data.TaskSVM, N: 300, D: 30, Density: 1, Noise: 0, Margin: 2, Gap: 1.5, Seed: 5}
 	ds := MustGenerate(spec)
 	pos, neg := 0, 0
-	for _, u := range ds.Units {
+	for _, u := range ds.Rows() {
 		if u.Label > 0 {
 			pos++
 		} else {
@@ -109,7 +109,7 @@ func TestGapSeparatesClasses(t *testing.T) {
 func TestSkewShiftsLabelPrior(t *testing.T) {
 	spec := Spec{Name: "t", Task: data.TaskLogisticRegression, N: 4000, D: 50, Density: 0.3, Skew: 0.8, Margin: 1, Seed: 6}
 	ds := MustGenerate(spec)
-	frac := func(units []data.Unit) float64 {
+	frac := func(units []data.Row) float64 {
 		p := 0
 		for _, u := range units {
 			if u.Label > 0 {
@@ -118,8 +118,8 @@ func TestSkewShiftsLabelPrior(t *testing.T) {
 		}
 		return float64(p) / float64(len(units))
 	}
-	first := frac(ds.Units[:1000])
-	last := frac(ds.Units[3000:])
+	first := frac(ds.Rows()[:1000])
+	last := frac(ds.Rows()[3000:])
 	if math.Abs(first-last) < 0.05 {
 		t.Fatalf("skewed dataset has uniform label prior: %.2f vs %.2f", first, last)
 	}
@@ -138,14 +138,14 @@ func TestRawParsesBackToUnits(t *testing.T) {
 			if err != nil || !ok {
 				t.Fatalf("%s line %d: %v", spec.Name, i, err)
 			}
-			if u.Label != ds.Units[i].Label {
-				t.Fatalf("%s unit %d label %g != %g", spec.Name, i, u.Label, ds.Units[i].Label)
+			if u.Label != ds.Row(i).Label {
+				t.Fatalf("%s unit %d label %g != %g", spec.Name, i, u.Label, ds.Row(i).Label)
 			}
 			w := linalg.NewVector(ds.NumFeatures)
 			for j := range w {
 				w[j] = float64(j%5) - 2
 			}
-			if a, b := u.Dot(w), ds.Units[i].Dot(w); math.Abs(a-b) > 1e-12 {
+			if a, b := u.Dot(w), ds.Row(i).Dot(w); math.Abs(a-b) > 1e-12 {
 				t.Fatalf("%s unit %d features differ: dot %g != %g", spec.Name, i, a, b)
 			}
 		}

@@ -165,7 +165,7 @@ func Tune(plan gd.Plan, store *storage.Store, g gradients.Gradient, reg gradient
 			SpecTime:       res.Time,
 		}
 		if !res.Diverged {
-			tr.FinalObjective = gradients.Objective(g, reg, res.Weights, sample.Units)
+			tr.FinalObjective = gradients.Objective(g, reg, res.Weights, sample.Rows())
 		}
 		tr.IterationsTo = math.MaxInt32
 		for i, d := range res.Deltas {

@@ -133,11 +133,11 @@ func (s *System) LoadDataset(path string, task data.TaskKind) (*data.Dataset, er
 	if err != nil {
 		return nil, err
 	}
-	units, err := data.ReadAll(f, format)
+	m, err := data.ReadMatrix(f, format)
 	if err != nil {
 		return nil, fmt.Errorf("ml4all: loading %s: %w", path, err)
 	}
-	ds := data.FromUnits(path, task, units)
+	ds := data.FromMatrix(path, task, m)
 	ds.Format = format
 	s.RegisterDataset(path, ds)
 	return ds, nil
