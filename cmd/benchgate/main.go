@@ -1,0 +1,127 @@
+// Command benchgate compares two `go test -bench` output files and fails
+// when any benchmark's ns/op regressed beyond a threshold — the decision
+// half of the CI benchmark gate (benchstat renders the human-readable
+// report; benchgate provides a deterministic exit code).
+//
+// Usage:
+//
+//	go test -bench 'ComputePhase|TrainerStep$' -benchtime=10x -count=3 -run '^$' . > new.txt
+//	benchgate -old BENCH_baseline.txt -new new.txt -threshold 10
+//
+// For every benchmark present in both files the MEDIAN ns/op of its -count
+// repetitions is compared; medians rather than means keep one descheduled
+// run on a shared CI box from tripping the gate. Benchmarks present in only
+// one file are reported but never fail the gate (new benchmarks must not
+// require a baseline update to land).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches `BenchmarkX/sub-8   10   41069889 ns/op   ...`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+(?:e[+-]?[0-9]+)?) ns/op`)
+
+// parseBench collects the ns/op samples of every benchmark in r, keyed by
+// benchmark name with the GOMAXPROCS suffix stripped.
+func parseBench(r io.Reader) (map[string][]float64, error) {
+	out := map[string][]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchgate: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		out[m[1]] = append(out[m[1]], v)
+	}
+	return out, sc.Err()
+}
+
+// median returns the middle sample (mean of the middle two for even counts).
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func parseFile(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseBench(f)
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline `go test -bench` output")
+	newPath := flag.String("new", "", "candidate `go test -bench` output")
+	threshold := flag.Float64("threshold", 10, "maximum allowed ns/op regression in percent")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -old and -new are required")
+		os.Exit(2)
+	}
+	oldB, err := parseFile(*oldPath)
+	if err == nil && len(oldB) == 0 {
+		err = fmt.Errorf("no benchmark lines in %s", *oldPath)
+	}
+	var newB map[string][]float64
+	if err == nil {
+		newB, err = parseFile(*newPath)
+		if err == nil && len(newB) == 0 {
+			err = fmt.Errorf("no benchmark lines in %s", *newPath)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(oldB))
+	for name := range oldB {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		nv, ok := newB[name]
+		if !ok {
+			fmt.Printf("%-55s baseline-only (skipped)\n", name)
+			continue
+		}
+		o, n := median(oldB[name]), median(nv)
+		deltaPct := (n - o) / o * 100
+		verdict := "ok"
+		if deltaPct > *threshold {
+			verdict = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-55s %14.0f -> %14.0f ns/op  %+6.1f%%  %s\n", name, o, n, deltaPct, verdict)
+	}
+	for name := range newB {
+		if _, ok := oldB[name]; !ok {
+			fmt.Printf("%-55s new benchmark (no baseline)\n", name)
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchgate: ns/op regression beyond %.0f%% against the committed baseline\n", *threshold)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkComputePhaseDense/workers=1         	      10	  41069889 ns/op	   7304671 units/s	   31452 B/op	      25 allocs/op
+BenchmarkComputePhaseDense/workers=1         	      10	  43069889 ns/op	   7304671 units/s	   31452 B/op	      25 allocs/op
+BenchmarkComputePhaseDense/workers=1         	      10	  42069889 ns/op	   7304671 units/s	   31452 B/op	      25 allocs/op
+BenchmarkTrainerStep        	      10	    334839 ns/op	      2988 steps/s	   18183 B/op	       2 allocs/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := got["BenchmarkComputePhaseDense/workers=1"]
+	if len(dense) != 3 {
+		t.Fatalf("dense samples = %d, want 3", len(dense))
+	}
+	if m := median(dense); m != 42069889 {
+		t.Fatalf("median = %g, want 42069889", m)
+	}
+	if step := got["BenchmarkTrainerStep"]; len(step) != 1 || step[0] != 334839 {
+		t.Fatalf("TrainerStep samples = %v", step)
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	if m := median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("median = %g, want 2.5", m)
+	}
+}

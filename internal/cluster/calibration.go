@@ -1,0 +1,36 @@
+package cluster
+
+// Post-batched-kernel calibration of the Compute operator's per-unit cost.
+//
+// The simulator charges CPU as ops·FlopSec + units·UnitOverheadSec (CostCPU).
+// UnitOverheadSec models the per-record UDF invocation overhead of a row-at-
+// a-time executor — virtual dispatch, per-row view construction, loop
+// bookkeeping. Since the batched execution layer, plans whose Computer
+// implements gd.BatchComputer no longer pay that per row: dispatch happens
+// once per 512-row block and the kernels run fused loops over the columnar
+// arena. Keeping the full per-unit overhead in the simulator (and therefore
+// in the cost model, which is calibrated by the same Config) would make
+// adaptive re-costing price compute phases at pre-kernel speeds and prefer
+// sampling-heavy plans that the post-kernel executor has no reason to favor.
+//
+// ComputeUnitOverheadFrac is the measured fraction of the per-unit overhead
+// that survives batching. Measurement (Intel Xeon @ 2.10GHz, linux/amd64,
+// go1.24):
+//
+//	go test -bench 'BenchmarkGradientPath' -benchtime=1s ./internal/gradients/
+//
+//	                        row path     blocked      pure kernel   overhead
+//	                        ns/row       ns/row       ns/row        post/pre
+//	dense d=50 (logistic)   121.9        81.7         ~79           ~0.07
+//	CSR  nnz=2 (logistic)    72.8        19.1         ~5            ~0.21
+//
+// where "overhead" is (path − pure kernel work); the pure kernel figure is
+// the blocked path at large nnz extrapolated per row. The surviving
+// overhead is the per-block dispatch plus residual per-row branch cost. We
+// charge the conservative (upper) measured ratio, 0.25, rather than the
+// dense figure: simulated compute phases for batch-capable plans cost
+// ops·FlopSec + units·UnitOverheadSec·0.25, via Sim.CostCompute. Per-row
+// Computer UDFs (anything not implementing gd.BatchComputer) still pay the
+// full overhead through CostCPU — on the simulated cluster, as for real,
+// only batched operators amortize their dispatch.
+const ComputeUnitOverheadFrac = 0.25

@@ -187,6 +187,19 @@ func (s *Sim) CostCPU(units int, ops float64) Seconds {
 	return c
 }
 
+// CostCompute returns the CPU cost of a batched Compute task over units data
+// units performing ops multiply-adds: the per-unit UDF overhead is charged at
+// the measured post-batching fraction (see ComputeUnitOverheadFrac) because a
+// block-dispatched operator pays invocation overhead once per block, not once
+// per row. Callers use it only for Computers that actually batch
+// (gd.BatchComputer); per-row UDFs keep CostCPU.
+func (s *Sim) CostCompute(units int, ops float64) Seconds {
+	s.Acct.UnitsSeen += int64(units)
+	c := Seconds(ops)*s.Cfg.FlopSec + Seconds(units)*s.Cfg.UnitOverheadSec*ComputeUnitOverheadFrac
+	s.Acct.CPUSeconds += c
+	return c
+}
+
 // CostParse returns the CPU cost of parsing bytes of raw input (the Transform
 // operator's work) over units data units.
 func (s *Sim) CostParse(units int, bytes int64) Seconds {

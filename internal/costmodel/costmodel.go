@@ -129,8 +129,18 @@ func (m *Model) parsePerUnit() cluster.Seconds {
 	return cluster.Seconds(m.Stats.AvgUnitBytes)*m.Cfg.ParseByteSec + m.Cfg.UnitOverheadSec
 }
 
-func (m *Model) computePerUnit(ops float64) cluster.Seconds {
-	return cluster.Seconds(ops)*m.Cfg.FlopSec + m.Cfg.UnitOverheadSec
+// computePerUnit prices one Compute invocation on one unit. Batch-capable
+// Computers (gd.BatchComputer — all stock plans) pay the per-unit dispatch
+// overhead at the measured post-batching fraction, mirroring exactly what
+// the simulator charges them through Sim.CostCompute; per-row Computer UDFs
+// pay the full overhead. See cluster.ComputeUnitOverheadFrac for the
+// measured constant table.
+func (m *Model) computePerUnit(ops float64, batched bool) cluster.Seconds {
+	overhead := m.Cfg.UnitOverheadSec
+	if batched {
+		overhead *= cluster.ComputeUnitOverheadFrac
+	}
+	return cluster.Seconds(ops)*m.Cfg.FlopSec + overhead
 }
 
 // driverOp prices a small driver-side operator over the model dimensionality
@@ -160,6 +170,20 @@ func (m *Model) PlanCost(plan gd.Plan, T int) cluster.Seconds {
 func (m *Model) Breakdown(plan gd.Plan) Breakdown {
 	ops := plan.Computer.Ops(int(math.Round(m.Stats.AvgNNZ)))
 	accDim := plan.Computer.AccDim(m.Stats.NumFeatures)
+	// Batch-capable (fused kernels will actually run) and not randomized —
+	// the same eligibility the engine's cost charging applies (randomized
+	// computers run per row for their RNG stream). The engine additionally
+	// bills per-row when a custom Transformer forces a row memo; the model
+	// cannot see transformer stockness (it has no dataset format) and
+	// prices those plans as batched — an approximation on an already-
+	// approximate estimate.
+	bc, batched := plan.Computer.(gd.BatchComputer)
+	if batched && !bc.BatchCapable() {
+		batched = false
+	}
+	if _, randomized := plan.Computer.(gd.RandomizedComputer); randomized {
+		batched = false
+	}
 	d := float64(m.Stats.NumFeatures)
 
 	br := Breakdown{Plan: plan.Name(), JobInit: m.Cfg.JobInitSec}
@@ -177,14 +201,14 @@ func (m *Model) Breakdown(plan gd.Plan) Breakdown {
 	switch {
 	case plan.Sampling == gd.NoSampling:
 		// BGD (Eq. 7): full scan + compute per iteration, then the reduce.
-		perUnit := m.computePerUnit(ops)
+		perUnit := m.computePerUnit(ops, batched)
 		if plan.Transform == gd.Lazy {
 			perUnit += m.parsePerUnit() // off the Figure 5 space, but priced honestly
 		}
 		iter = m.CIO(true) + m.CCPU(perUnit)
 		iter += m.CNT(int64(m.Cfg.Executors()*accDim)*8, 1)
 	default:
-		iter = m.sampleCost(plan) + m.batchCost(plan, ops, accDim)
+		iter = m.sampleCost(plan) + m.batchCost(plan, ops, accDim, batched)
 	}
 	iter += driver
 
@@ -227,11 +251,11 @@ func (m *Model) sampleCost(plan gd.Plan) cluster.Seconds {
 
 // batchCost prices transform (if lazy) + compute + aggregation for a sampled
 // batch, honoring the Appendix D placement rule.
-func (m *Model) batchCost(plan gd.Plan, ops float64, accDim int) cluster.Seconds {
+func (m *Model) batchCost(plan gd.Plan, ops float64, accDim int, batched bool) cluster.Seconds {
 	b := float64(plan.BatchSize)
 	batchBytes := int64(b * m.Stats.AvgUnitBytes)
 	var c cluster.Seconds
-	perUnit := m.computePerUnit(ops)
+	perUnit := m.computePerUnit(ops, batched)
 	if plan.Transform == gd.Lazy {
 		perUnit += m.parsePerUnit()
 	}

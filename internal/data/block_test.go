@@ -1,0 +1,153 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ml4all/internal/linalg"
+)
+
+func randSparseMatrix(t *testing.T, rng *rand.Rand, rows, d int) *Matrix {
+	t.Helper()
+	b := NewMatrixBuilder(rows, rows*4)
+	for i := 0; i < rows; i++ {
+		nnz := 1 + rng.Intn(d/2)
+		idx := make([]int32, 0, nnz)
+		vals := make([]float64, 0, nnz)
+		for k := 0; k < nnz; k++ {
+			idx = append(idx, int32(rng.Intn(d)))
+			vals = append(vals, rng.NormFloat64())
+		}
+		if err := b.AppendSparse(float64(2*(i%2)-1), idx, vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func randDenseMatrix(t *testing.T, rng *rand.Rand, rows, d int) *Matrix {
+	t.Helper()
+	b := NewDenseMatrixBuilder(rows, d)
+	vals := make([]float64, d)
+	for i := 0; i < rows; i++ {
+		for j := range vals {
+			vals[j] = rng.NormFloat64()
+		}
+		if err := b.AppendDense(float64(2*(i%2)-1), vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+// Blocks over identity matrices, Slice views and gathers must all hand back
+// exactly the rows the per-row accessors produce.
+func TestBlockRowsMatchMatrixRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, dense := range []bool{false, true} {
+		var m *Matrix
+		if dense {
+			m = randDenseMatrix(t, rng, 40, 8)
+		} else {
+			m = randSparseMatrix(t, rng, 40, 16)
+		}
+		views := map[string]*Matrix{
+			"identity": m,
+			"slice":    m.Slice(5, 35),
+			"gather":   m.Gather([]int{7, 3, 3, 30, 12}),
+		}
+		for name, v := range views {
+			blk := v.Block(1, v.NumRows()-1)
+			if blk.Len() != v.NumRows()-2 {
+				t.Fatalf("%s: Len %d != %d", name, blk.Len(), v.NumRows()-2)
+			}
+			for j := 0; j < blk.Len(); j++ {
+				if !RowsEqual(blk.Row(j), v.Row(1+j)) {
+					t.Fatalf("%s: block row %d diverges", name, j)
+				}
+				if blk.Label(j) != v.Label(1+j) {
+					t.Fatalf("%s: block label %d diverges", name, j)
+				}
+			}
+		}
+	}
+}
+
+// The contiguity fast paths must agree with the generic accessors: identity
+// and Slice views expose the arena, a permuted Gather does not.
+func TestBlockContiguityFastPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := randDenseMatrix(t, rng, 30, 6)
+	if _, _, ok := m.Block(3, 17).DenseRows(); !ok {
+		t.Fatal("identity dense block lost the contiguous fast path")
+	}
+	if _, ok := m.Block(3, 17).Labels(); !ok {
+		t.Fatal("identity block lost the contiguous labels")
+	}
+	if _, _, ok := m.Slice(2, 20).Block(0, 10).DenseRows(); !ok {
+		t.Fatal("slice-view block lost the contiguous fast path")
+	}
+	if _, _, ok := m.Gather([]int{5, 1, 9}).Block(0, 3).DenseRows(); ok {
+		t.Fatal("permuted gather view claimed contiguity")
+	}
+	if _, _, ok := m.GatherBlock([]int{4, 5, 6}).DenseRows(); !ok {
+		t.Fatal("consecutive GatherBlock lost the contiguous fast path")
+	}
+	if _, _, ok := m.GatherBlock([]int{4, 6, 5}).DenseRows(); ok {
+		t.Fatal("permuted GatherBlock claimed contiguity")
+	}
+
+	s := randSparseMatrix(t, rng, 30, 12)
+	if _, _, _, ok := s.Block(0, 30).CSRRows(); !ok {
+		t.Fatal("identity sparse block lost the CSR fast path")
+	}
+	if offs, idx, vals, ok := s.Slice(10, 25).Block(2, 9).CSRRows(); !ok {
+		t.Fatal("slice-view sparse block lost the CSR fast path")
+	} else {
+		blk := s.Slice(10, 25).Block(2, 9)
+		for j := 0; j < blk.Len(); j++ {
+			want := blk.Row(j)
+			lo, hi := offs[j], offs[j+1]
+			got := NewSparseRow(blk.Label(j), idx[lo:hi], vals[lo:hi])
+			if !RowsEqual(want, got) {
+				t.Fatalf("CSR fast path row %d diverges", j)
+			}
+		}
+	}
+}
+
+// MarginsInto must be bitwise identical to per-row Dot on every path:
+// fused dense, fused CSR, and the per-row fallback of a gathered block.
+func TestBlockMarginsMatchRowDotBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := 9
+	w := make(linalg.Vector, d)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	for _, dense := range []bool{false, true} {
+		var m *Matrix
+		if dense {
+			m = randDenseMatrix(t, rng, 50, d)
+		} else {
+			m = randSparseMatrix(t, rng, 50, d)
+		}
+		blocks := []Block{
+			m.Block(0, 50),
+			m.Block(13, 37),
+			m.Slice(4, 44).Block(3, 31),
+			m.GatherBlock([]int{9, 2, 2, 41, 17, 30}),
+		}
+		for bi, blk := range blocks {
+			out := make([]float64, blk.Len())
+			blk.MarginsInto(w, out)
+			for j := range out {
+				want := blk.Row(j).Dot(w)
+				if math.Float64bits(out[j]) != math.Float64bits(want) {
+					t.Fatalf("dense=%v block %d: margin %d = %g, Dot = %g", dense, bi, j, out[j], want)
+				}
+			}
+		}
+	}
+}

@@ -115,6 +115,61 @@ func (ex *executor) transformRow(i int) error {
 	return nil
 }
 
+// opsSumRange accumulates the Computer's per-unit op estimate over units
+// [lo, hi) in index order — the quantity the driver charges a compute task
+// with. On a dense arena every row has the same stored-value count, so the
+// per-row Ops interface call is hoisted to one evaluation per range (the
+// blocked analogue of the kernel dispatch); the float accumulation stays one
+// add per row, keeping the sum bit-identical to the naive per-row loop.
+func (ex *executor) opsSumRange(lo, hi int) float64 {
+	var ops float64
+	if m := ex.mat; m != nil && m.IsDense() {
+		per := ex.plan.Computer.Ops(m.Stride())
+		for i := lo; i < hi; i++ {
+			ops += per
+		}
+		return ops
+	}
+	for i := lo; i < hi; i++ {
+		ops += ex.plan.Computer.Ops(ex.rowNNZ(i))
+	}
+	return ops
+}
+
+// opsSumIdx is opsSumRange over an explicit unit-index list (sampled
+// batches), with the same dense hoist and the same add-per-row order.
+func (ex *executor) opsSumIdx(idx []int) float64 {
+	var ops float64
+	if m := ex.mat; m != nil && m.IsDense() {
+		per := ex.plan.Computer.Ops(m.Stride())
+		for range idx {
+			ops += per
+		}
+		return ops
+	}
+	for _, i := range idx {
+		ops += ex.plan.Computer.Ops(ex.rowNNZ(i))
+	}
+	return ops
+}
+
+// costComputeCPU charges one compute task's CPU cost: the per-block
+// amortized unit overhead (Sim.CostCompute, see the calibration table at
+// cluster.ComputeUnitOverheadFrac) when this pass actually executes
+// blocked, the full per-row overhead (Sim.CostCPU) otherwise. The
+// eligibility mirrors computeSpan exactly — a BatchComputer still runs (and
+// is billed) row by row when the pass reads a custom-transformer row memo
+// instead of the arena, or when the computer is randomized. transform is
+// the pass's lazy-scan flag.
+func (ex *executor) costComputeCPU(units int, ops float64, transform bool) cluster.Seconds {
+	if ex.batch != nil && ex.mat != nil && !(transform && ex.lazy != nil) {
+		if _, randomized := ex.plan.Computer.(gd.RandomizedComputer); !randomized {
+			return ex.sim.CostCompute(units, ops)
+		}
+	}
+	return ex.sim.CostCPU(units, ops)
+}
+
 // parseCost returns the simulated CPU cost of (re-)parsing unit i, charged
 // per touch under lazy transformation regardless of memoization — lazy
 // physically re-parses every sampled unit each time it is drawn.
@@ -148,12 +203,13 @@ func (ex *executor) passPartials(nspans, dim int) []linalg.Vector {
 
 // computePass is the shared heart of both compute paths: it runs the plan's
 // Computer over len(spans) pool tasks, each position mapped to a dataset unit
-// by unitIndex, each task accumulating into its own slice of the accumulator
-// arena, and folds the partials into acc with an ordered tree reduction. When
-// transform is set (lazy full scans) workers parse-and-memoize on the fly;
-// spans must then address disjoint unit ranges. The context guard enforces
-// the gd.Computer contract around the whole pass.
-func (ex *executor) computePass(acc linalg.Vector, spans []span, unitIndex func(pos int) int, transform bool) error {
+// by idx (nil means identity — position IS the unit index), each task
+// accumulating into its own slice of the accumulator arena, and folds the
+// partials into acc with an ordered tree reduction. When transform is set
+// (lazy full scans) workers parse-and-memoize on the fly; spans must then
+// address disjoint unit ranges. The context guard enforces the gd.Computer
+// contract around the whole pass.
+func (ex *executor) computePass(acc linalg.Vector, spans []span, idx []int, transform bool) error {
 	if len(spans) == 0 {
 		return nil
 	}
@@ -166,13 +222,13 @@ func (ex *executor) computePass(acc linalg.Vector, spans []span, unitIndex func(
 		// Serial fast path: same spans, same partials, same reduction — no
 		// task closure, no pool.
 		for task := 0; task < len(spans); task++ {
-			if err = ex.computeSpan(task, spans, partials, unitIndex, transform); err != nil {
+			if err = ex.computeSpan(task, spans, partials, idx, transform); err != nil {
 				break
 			}
 		}
 	} else {
 		err = ex.runTasks(len(spans), func(task int) error {
-			return ex.computeSpan(task, spans, partials, unitIndex, transform)
+			return ex.computeSpan(task, spans, partials, idx, transform)
 		})
 	}
 	if err == nil {
@@ -185,8 +241,14 @@ func (ex *executor) computePass(acc linalg.Vector, spans []span, unitIndex func(
 }
 
 // computeSpan executes one compute-pass task: the plan's Computer over every
-// position of spans[task], accumulating into partials[task].
-func (ex *executor) computeSpan(task int, spans []span, partials []linalg.Vector, unitIndex func(pos int) int, transform bool) error {
+// position of spans[task], accumulating into partials[task]. On the stock
+// arena path with a batch-capable Computer the span is carved into
+// fixed-size row blocks (ex.blockSize, boundaries derived from the span
+// alone — never from workers) and executed one devirtualized ComputeBlock
+// call per block; the per-row loops below remain for custom transformers,
+// randomized computers and non-batch Computer UDFs, and produce bit-identical
+// accumulators (the BatchComputer contract the block property test pins).
+func (ex *executor) computeSpan(task int, spans []span, partials []linalg.Vector, idx []int, transform bool) error {
 	plan, ctx := ex.plan, ex.ctx
 	part := partials[task]
 	rc, randomized := plan.Computer.(gd.RandomizedComputer)
@@ -195,15 +257,45 @@ func (ex *executor) computeSpan(task int, spans []span, partials []linalg.Vector
 		rng = ex.shardRNG(ctx.Iter, task)
 	}
 	sp := spans[task]
+	// Lazy plans on the stock transformer read the arena directly — there is
+	// no memo to fill, so the transform step degenerates to a no-op and the
+	// fast paths below stay eligible.
+	transform = transform && ex.lazy != nil
 	if mat := ex.mat; mat != nil && !transform && !randomized {
-		// Hot stock path: straight arena scan, no per-unit memo/RNG branch.
-		for pos := sp.lo; pos < sp.hi; pos++ {
-			plan.Computer.Compute(mat.Row(unitIndex(pos)), ctx, part)
+		if bc := ex.batch; bc != nil {
+			// Blocked stock path: one kernel call per row block.
+			for lo := sp.lo; lo < sp.hi; lo += ex.blockSize {
+				hi := lo + ex.blockSize
+				if hi > sp.hi {
+					hi = sp.hi
+				}
+				var blk data.Block
+				if idx == nil {
+					blk = mat.Block(lo, hi)
+				} else {
+					blk = mat.GatherBlock(idx[lo:hi])
+				}
+				bc.ComputeBlock(blk, ctx, part)
+			}
+			return nil
+		}
+		// Per-row stock path: straight arena scan, no memo/RNG branch.
+		if idx == nil {
+			for pos := sp.lo; pos < sp.hi; pos++ {
+				plan.Computer.Compute(mat.Row(pos), ctx, part)
+			}
+		} else {
+			for pos := sp.lo; pos < sp.hi; pos++ {
+				plan.Computer.Compute(mat.Row(idx[pos]), ctx, part)
+			}
 		}
 		return nil
 	}
 	for pos := sp.lo; pos < sp.hi; pos++ {
-		i := unitIndex(pos)
+		i := pos
+		if idx != nil {
+			i = idx[pos]
+		}
 		if transform {
 			if err := ex.transformRow(i); err != nil {
 				return err
@@ -271,7 +363,7 @@ func (ex *executor) computeFull(acc linalg.Vector) error {
 			ex.fullSpans[s] = span{lo: sh.Lo, hi: sh.Hi}
 		}
 	}
-	if err := ex.computePass(acc, ex.fullSpans, func(pos int) int { return pos }, lazy); err != nil {
+	if err := ex.computePass(acc, ex.fullSpans, nil, lazy); err != nil {
 		return err
 	}
 
@@ -294,13 +386,9 @@ func (ex *executor) computeFull(acc linalg.Vector) error {
 			}
 		}
 		if cacheOps {
-			var ops float64
-			for i := p.Lo; i < p.Hi; i++ {
-				ops += plan.Computer.Ops(ex.rowNNZ(i))
-			}
-			ex.opsByPart[pi] = ops
+			ex.opsByPart[pi] = ex.opsSumRange(p.Lo, p.Hi)
 		}
-		c += ex.sim.CostCPU(p.Units(), ex.opsByPart[pi])
+		c += ex.costComputeCPU(p.Units(), ex.opsByPart[pi], lazy)
 		costs = append(costs, c)
 	}
 	ex.costBuf = costs
@@ -374,7 +462,7 @@ func (ex *executor) computeBatch(idx []int, acc linalg.Vector) error {
 		}
 	}
 	spans := ex.chunkSpans(len(idx), batchChunkTarget)
-	if err := ex.computePass(acc, spans, func(pos int) int { return idx[pos] }, false); err != nil {
+	if err := ex.computePass(acc, spans, idx, false); err != nil {
 		return err
 	}
 
@@ -386,14 +474,12 @@ func (ex *executor) computeBatch(idx []int, acc linalg.Vector) error {
 		// Centralized: sampled units travel to the driver, then one task.
 		ex.sim.Transfer(batchBytes, 1)
 		var cpu cluster.Seconds
-		var ops float64
-		for _, i := range idx {
-			if lazy {
+		if lazy {
+			for _, i := range idx {
 				cpu += ex.parseCost(i)
 			}
-			ops += plan.Computer.Ops(ex.rowNNZ(i))
 		}
-		cpu += ex.sim.CostCPU(len(idx), ops)
+		cpu += ex.costComputeCPU(len(idx), ex.opsSumIdx(idx), false)
 		ex.sim.RunLocal(cpu)
 		return nil
 	}
@@ -417,14 +503,12 @@ func (ex *executor) computeBatch(idx []int, acc linalg.Vector) error {
 	costs := ex.costBuf[:0]
 	for _, pid := range order {
 		var c cluster.Seconds
-		var ops float64
-		for _, i := range byPart[pid] {
-			if lazy {
+		if lazy {
+			for _, i := range byPart[pid] {
 				c += ex.parseCost(i)
 			}
-			ops += plan.Computer.Ops(ex.rowNNZ(i))
 		}
-		c += ex.sim.CostCPU(len(byPart[pid]), ops)
+		c += ex.costComputeCPU(len(byPart[pid]), ex.opsSumIdx(byPart[pid]), false)
 		costs = append(costs, c)
 	}
 	ex.costBuf = costs

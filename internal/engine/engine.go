@@ -68,6 +68,14 @@ type Options struct {
 	// instead of restarting hot. The first executed iteration is then
 	// InitIter+1. MaxIter still bounds the counter's absolute value.
 	InitIter int
+
+	// BlockSize is the row-block width the batched compute path hands to
+	// gd.BatchComputer implementations (see DESIGN.md §8). 0 (the default)
+	// means 512. The value trades cache residency against dispatch
+	// amortization and affects speed only: block kernels are bit-identical
+	// to the per-row path for every block size, so results never depend on
+	// it (the block property test sweeps it).
+	BlockSize int
 }
 
 // Result reports one plan execution.
@@ -116,6 +124,13 @@ type executor struct {
 	// view the numeric phases fan out over.
 	workers int
 	shards  []storage.Shard
+
+	// batch is the plan's Computer when it implements the blocked compute
+	// extension (all stock computers do), resolved once per run; nil keeps
+	// the per-row path. blockSize is the row-block width of the blocked
+	// path (Options.BlockSize, default 512).
+	batch     gd.BatchComputer
+	blockSize int
 
 	sampler sampling.Sampler
 	senv    *sampling.Env

@@ -3,6 +3,7 @@ package engine
 import (
 	"math/rand"
 
+	"ml4all/internal/data"
 	"ml4all/internal/storage"
 )
 
@@ -21,6 +22,16 @@ const shardUnitTarget = 4096
 // boundaries depend only on the batch length, keeping MGD/SGD results
 // worker-count independent too.
 const batchChunkTarget = 1024
+
+// defaultBlockSize is the row-block width of the batched compute path when
+// Options.BlockSize is unset: spans are carved into runs of this many rows
+// and each run is one gd.BatchComputer.ComputeBlock call. 512 rows keeps a
+// block's margins (4 KB) and a paper-scale dense block (512×50 features,
+// 200 KB) L2-resident while amortizing the per-call dispatch to noise; block
+// boundaries derive from span boundaries alone, so — like shards — they
+// never depend on the worker count, and the kernels are bit-identical to the
+// per-row path for every width anyway.
+const defaultBlockSize = data.DefaultBlockSize
 
 // span is a half-open range of positions [lo, hi) processed as one pool task.
 type span struct{ lo, hi int }

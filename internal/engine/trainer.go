@@ -117,12 +117,25 @@ func newTrainerShell(sim *cluster.Sim, store *storage.Store, plan *gd.Plan, opts
 		sim: sim, store: store, plan: plan, opts: opts,
 		start: sim.Now(),
 	}
+	blockSize := opts.BlockSize
+	if blockSize <= 0 {
+		blockSize = defaultBlockSize
+	}
 	t.ex = executor{
 		sim: sim, store: store, plan: plan, ctx: ctx,
-		seed:    seed,
-		workers: workers,
-		shards:  store.Shards(shardUnitTarget),
-		costBuf: make([]cluster.Seconds, 0, store.NumPartitions()),
+		seed:      seed,
+		workers:   workers,
+		shards:    store.Shards(shardUnitTarget),
+		blockSize: blockSize,
+		costBuf:   make([]cluster.Seconds, 0, store.NumPartitions()),
+	}
+	// Resolve the batched-compute capability once. Custom Computer UDFs
+	// (no BatchComputer) and stock computers wrapping a custom Gradient
+	// without block kernels (BatchCapable false) leave it nil: the span
+	// loop stays row-at-a-time and cost charging stays at the full per-row
+	// overhead, keeping execution and billing consistent.
+	if bc, ok := plan.Computer.(gd.BatchComputer); ok && bc.BatchCapable() {
+		t.ex.batch = bc
 	}
 	return t, nil
 }

@@ -66,9 +66,9 @@ func AblationTuner(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows := ds.Rows()
-		objTuned := gradients.Objective(g, reg, resTuned.Weights, rows)
-		objDef := gradients.Objective(g, reg, resDef.Weights, rows)
+		// Blocked objective over the arena: same sum, no []Row materialization.
+		objTuned := gradients.ObjectiveMatrix(g, reg, resTuned.Weights, ds.Mat)
+		objDef := gradients.ObjectiveMatrix(g, reg, resDef.Weights, ds.Mat)
 		improvement := (objDef - objTuned) / math.Max(objDef, 1e-12)
 		if objTuned <= objDef*1.02 {
 			wins++

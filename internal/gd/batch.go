@@ -1,0 +1,159 @@
+package gd
+
+import (
+	"sync"
+
+	"ml4all/internal/data"
+	"ml4all/internal/gradients"
+	"ml4all/internal/linalg"
+)
+
+// BatchComputer is the optional batched extension of Computer: when a plan's
+// Computer implements it, the engine carves each shard span into fixed-size
+// contiguous row blocks and makes ONE ComputeBlock call per block instead of
+// one Compute call per row — devirtualizing the per-row interface dispatch
+// and letting the loss kernels run fused, cache-blocked loops over the
+// columnar arena. Computers that do not implement it (custom UDFs) keep the
+// per-row path transparently.
+//
+// Contract: ComputeBlock must accumulate into acc exactly what Len() calls
+// of Compute on the block's rows — in block row order — would, bit for bit.
+// The stock implementations achieve this through the two-pass
+// gradients.BlockGradient kernels (margins first, then an in-order
+// accumulate); the engine's block property test enforces it. The Computer
+// concurrency contract applies unchanged: ctx is read-only, acc is the only
+// output, many goroutines call ComputeBlock at once with disjoint acc
+// buffers.
+type BatchComputer interface {
+	Computer
+	ComputeBlock(rows data.Block, ctx *Context, acc linalg.Vector)
+
+	// BatchCapable reports whether ComputeBlock will actually run fused
+	// block kernels, as opposed to falling back to the per-row loop
+	// internally. The stock computers wrap an arbitrary gradients.Gradient
+	// and are only capable when it implements gradients.BlockGradient; the
+	// engine skips the blocked path — and, with it, the amortized dispatch
+	// cost charging — entirely when this reports false, so execution and
+	// billing stay per-row together.
+	BatchCapable() bool
+}
+
+// marginPool recycles the per-block margin scratch the stock ComputeBlock
+// implementations hand to the gradients kernels. Pooled rather than stored
+// on the Context because compute runs on many goroutines against one
+// read-only ctx; pooled rather than stack-allocated so engine-configured
+// block sizes beyond the default work without per-block allocation in
+// steady state.
+var marginPool = sync.Pool{
+	New: func() any {
+		// Pre-sized to the engine's default block width so steady-state
+		// blocks never grow the buffer.
+		s := make([]float64, data.DefaultBlockSize)
+		return &s
+	},
+}
+
+// takeMargins returns pooled scratch with at least n slots (contents
+// unspecified); release with putMargins.
+func takeMargins(n int) *[]float64 {
+	p := marginPool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	return p
+}
+
+func putMargins(p *[]float64) { marginPool.Put(p) }
+
+// computeRowByRow is the shared fallback for gradients without block
+// kernels: the exact per-row loop the engine's non-batched path runs. The
+// engine never reaches it (it consults BatchCapable and keeps such plans on
+// the per-row path, where cost charging matches); it guards direct
+// ComputeBlock callers.
+func computeRowByRow(c Computer, rows data.Block, ctx *Context, acc linalg.Vector) {
+	for j, n := 0, rows.Len(); j < n; j++ {
+		c.Compute(rows.Row(j), ctx, acc)
+	}
+}
+
+// BatchCapable implements BatchComputer.
+func (c GradientComputer) BatchCapable() bool {
+	_, ok := c.Gradient.(gradients.BlockGradient)
+	return ok
+}
+
+// BatchCapable implements BatchComputer.
+func (c SVRGComputer) BatchCapable() bool {
+	_, ok := c.Gradient.(gradients.BlockGradient)
+	return ok
+}
+
+// BatchCapable implements BatchComputer.
+func (c LineSearchComputer) BatchCapable() bool {
+	_, ok := c.Gradient.(gradients.BlockGradient)
+	return ok
+}
+
+// ComputeBlock implements BatchComputer: one fused gradient kernel call per
+// block (Listing 2, batched).
+func (c GradientComputer) ComputeBlock(rows data.Block, ctx *Context, acc linalg.Vector) {
+	bg, ok := c.Gradient.(gradients.BlockGradient)
+	if !ok {
+		computeRowByRow(c, rows, ctx, acc)
+		return
+	}
+	mp := takeMargins(rows.Len())
+	bg.AddGradientBlock(ctx.Weights, rows, *mp, acc)
+	putMargins(mp)
+}
+
+// ComputeBlock implements BatchComputer for SVRG. On stochastic iterations
+// the row path interleaves the two gradient evaluations per row; here the
+// block runs the w pass and then the w̃ pass. The two accumulate into
+// disjoint halves of acc and each half is filled in row order, so the
+// result is still bit-identical to the interleaved per-row loop.
+func (c SVRGComputer) ComputeBlock(rows data.Block, ctx *Context, acc linalg.Vector) {
+	bg, ok := c.Gradient.(gradients.BlockGradient)
+	if !ok {
+		computeRowByRow(c, rows, ctx, acc)
+		return
+	}
+	d := ctx.NumFeatures
+	mp := takeMargins(rows.Len())
+	bg.AddGradientBlock(ctx.Weights, rows, *mp, acc[:d])
+	if !svrgFullIteration(ctx.Iter, c.M) {
+		wBar, err := ctx.GetVector(svrgBarKey)
+		if err != nil {
+			// Stage always sets the snapshot; a missing one is a programming
+			// error in a custom operator wiring, surfaced loudly.
+			panic(err)
+		}
+		bg.AddGradientBlock(wBar, rows, *mp, acc[d:])
+	}
+	putMargins(mp)
+}
+
+// ComputeBlock implements BatchComputer for backtracking line search: loss
+// sums (and, in gradient phase, the gradient) accumulate per block through
+// the fused kernels. acc slots 0/1 and the gradient tail are disjoint, each
+// filled in row order, matching the per-row loop bit for bit.
+func (c LineSearchComputer) ComputeBlock(rows data.Block, ctx *Context, acc linalg.Vector) {
+	bg, ok := c.Gradient.(gradients.BlockGradient)
+	if !ok {
+		computeRowByRow(c, rows, ctx, acc)
+		return
+	}
+	mp := takeMargins(rows.Len())
+	if phase, _ := ctx.Get(lsPhaseKey).(string); phase == lsPhaseProbe {
+		trial, err := ctx.GetVector(lsTrialKey)
+		if err != nil {
+			panic(err)
+		}
+		bg.LossBlock(ctx.Weights, rows, *mp, &acc[0])
+		bg.LossBlock(trial, rows, *mp, &acc[1])
+	} else {
+		bg.LossBlock(ctx.Weights, rows, *mp, &acc[0])
+		bg.AddGradientBlock(ctx.Weights, rows, *mp, acc[2:])
+	}
+	putMargins(mp)
+}

@@ -1,0 +1,240 @@
+package gradients
+
+import (
+	"math"
+
+	"ml4all/internal/data"
+	"ml4all/internal/linalg"
+)
+
+// Fused per-loss block kernels — the gradients half of the batched execution
+// layer. Each kernel is two passes over one data.Block:
+//
+//	pass 1: margins[j] = <row j, w>        (Block.MarginsInto, fused dense/CSR)
+//	pass 2: for each row j, in row order, fold the loss-specific
+//	        contribution of margins[j] into the accumulator
+//
+// The two-pass structure exists for bit-exactness, not just speed: every
+// margin is an independent single-accumulator dot (identical rounding to the
+// row path), and pass 2 touches the shared accumulator strictly in row
+// order, so the float summation order — and therefore every result bit — is
+// the same as calling AddGradient/Loss once per row. The engine's block
+// property test pins this for all three losses, both layouts and arbitrary
+// block sizes.
+
+// BlockGradient is the batched extension of Gradient: AddGradientBlock and
+// LossBlock process one block per call instead of one row, amortizing
+// interface dispatch and per-row view construction. margins is caller-owned
+// scratch with at least rows.Len() slots; its contents are overwritten.
+// LossBlock adds the per-row losses into *sum one row at a time (never as a
+// pre-reduced block total), which keeps the running sum bitwise identical to
+// per-row accumulation even when *sum is already nonzero.
+//
+// The stock losses (Hinge, Logistic, LeastSquares) all implement it; custom
+// Gradient UDFs that do not are executed row by row by the engine's fallback
+// path transparently.
+type BlockGradient interface {
+	Gradient
+	AddGradientBlock(w linalg.Vector, rows data.Block, margins []float64, grad linalg.Vector)
+	LossBlock(w linalg.Vector, rows data.Block, margins []float64, sum *float64)
+}
+
+// AddGradientBlock implements BlockGradient: the hinge subgradient
+// -y·x for every row with y·<x,w> < 1, accumulated in row order.
+func (Hinge) AddGradientBlock(w linalg.Vector, rows data.Block, margins []float64, grad linalg.Vector) {
+	n := rows.Len()
+	margins = margins[:n]
+	rows.MarginsInto(w, margins)
+	if vals, stride, ok := rows.DenseRows(); ok {
+		labels, _ := rows.Labels()
+		for j, m := range margins {
+			if y := labels[j]; y*m < 1 {
+				grad.AddScaled(-y, vals[j*stride:(j+1)*stride])
+			}
+		}
+		return
+	}
+	if offs, idx, vals, ok := rows.CSRRows(); ok {
+		labels, _ := rows.Labels()
+		for j, m := range margins {
+			if y := labels[j]; y*m < 1 {
+				lo, hi := offs[j], offs[j+1]
+				linalg.SparseAddScaledInto(grad, -y, idx[lo:hi], vals[lo:hi])
+			}
+		}
+		return
+	}
+	for j, m := range margins {
+		u := rows.Row(j)
+		if u.Label*m < 1 {
+			u.AddScaledInto(grad, -u.Label)
+		}
+	}
+}
+
+// LossBlock implements BlockGradient: hinge loss max(0, 1-y·<x,w>) per row.
+func (Hinge) LossBlock(w linalg.Vector, rows data.Block, margins []float64, sum *float64) {
+	n := rows.Len()
+	margins = margins[:n]
+	rows.MarginsInto(w, margins)
+	s := *sum
+	if labels, ok := rows.Labels(); ok {
+		for j, mg := range margins {
+			m := 1 - labels[j]*mg
+			if m < 0 {
+				m = 0
+			}
+			s += m
+		}
+	} else {
+		for j, mg := range margins {
+			m := 1 - rows.Label(j)*mg
+			if m < 0 {
+				m = 0
+			}
+			s += m
+		}
+	}
+	*sum = s
+}
+
+// logisticCoeff is the per-row gradient coefficient -y / (1 + e^{y·margin}),
+// the same expression Logistic.AddGradient evaluates.
+func logisticCoeff(y, margin float64) float64 {
+	return -y / (1 + math.Exp(y*margin))
+}
+
+// AddGradientBlock implements BlockGradient for the logistic loss.
+func (Logistic) AddGradientBlock(w linalg.Vector, rows data.Block, margins []float64, grad linalg.Vector) {
+	n := rows.Len()
+	margins = margins[:n]
+	rows.MarginsInto(w, margins)
+	if vals, stride, ok := rows.DenseRows(); ok {
+		labels, _ := rows.Labels()
+		for j, m := range margins {
+			grad.AddScaled(logisticCoeff(labels[j], m), vals[j*stride:(j+1)*stride])
+		}
+		return
+	}
+	if offs, idx, vals, ok := rows.CSRRows(); ok {
+		labels, _ := rows.Labels()
+		for j, m := range margins {
+			lo, hi := offs[j], offs[j+1]
+			linalg.SparseAddScaledInto(grad, logisticCoeff(labels[j], m), idx[lo:hi], vals[lo:hi])
+		}
+		return
+	}
+	for j, m := range margins {
+		u := rows.Row(j)
+		u.AddScaledInto(grad, logisticCoeff(u.Label, m))
+	}
+}
+
+// logisticLoss is the stable log loss of one margin, the same expression
+// Logistic.Loss evaluates: log(1 + e^{-y·margin}), switched to the linear
+// form past z = 35 to avoid overflow.
+func logisticLoss(y, margin float64) float64 {
+	z := -y * margin
+	if z > 35 {
+		return z
+	}
+	return math.Log1p(math.Exp(z))
+}
+
+// LossBlock implements BlockGradient for the logistic loss.
+func (Logistic) LossBlock(w linalg.Vector, rows data.Block, margins []float64, sum *float64) {
+	n := rows.Len()
+	margins = margins[:n]
+	rows.MarginsInto(w, margins)
+	s := *sum
+	if labels, ok := rows.Labels(); ok {
+		for j, mg := range margins {
+			s += logisticLoss(labels[j], mg)
+		}
+	} else {
+		for j, mg := range margins {
+			s += logisticLoss(rows.Label(j), mg)
+		}
+	}
+	*sum = s
+}
+
+// AddGradientBlock implements BlockGradient: the least-squares gradient
+// 2·(<x,w>-y)·x for every row, accumulated in row order. The residual
+// coefficient can be zero for exactly-fit rows; the axpy still runs, exactly
+// as the row path does.
+func (LeastSquares) AddGradientBlock(w linalg.Vector, rows data.Block, margins []float64, grad linalg.Vector) {
+	n := rows.Len()
+	margins = margins[:n]
+	rows.MarginsInto(w, margins)
+	if vals, stride, ok := rows.DenseRows(); ok {
+		labels, _ := rows.Labels()
+		for j, m := range margins {
+			grad.AddScaled(2*(m-labels[j]), vals[j*stride:(j+1)*stride])
+		}
+		return
+	}
+	if offs, idx, vals, ok := rows.CSRRows(); ok {
+		labels, _ := rows.Labels()
+		for j, m := range margins {
+			lo, hi := offs[j], offs[j+1]
+			linalg.SparseAddScaledInto(grad, 2*(m-labels[j]), idx[lo:hi], vals[lo:hi])
+		}
+		return
+	}
+	for j, m := range margins {
+		u := rows.Row(j)
+		u.AddScaledInto(grad, 2*(m-u.Label))
+	}
+}
+
+// LossBlock implements BlockGradient: squared error (<x,w>-y)² per row.
+func (LeastSquares) LossBlock(w linalg.Vector, rows data.Block, margins []float64, sum *float64) {
+	n := rows.Len()
+	margins = margins[:n]
+	rows.MarginsInto(w, margins)
+	s := *sum
+	if labels, ok := rows.Labels(); ok {
+		for j, mg := range margins {
+			r := mg - labels[j]
+			s += r * r
+		}
+	} else {
+		for j, mg := range margins {
+			r := mg - rows.Label(j)
+			s += r * r
+		}
+	}
+	*sum = s
+}
+
+// objectiveBlockSize is the block width ObjectiveMatrix evaluates with; the
+// value only affects speed, never results.
+const objectiveBlockSize = data.DefaultBlockSize
+
+// ObjectiveMatrix evaluates the full regularized objective
+// f(w) = (1/n)·Σ loss_i(w) + R(w) over every row of m through the blocked
+// loss kernels — the batched form of Objective, bitwise identical to it.
+// Gradients without block kernels fall back to the per-row loop.
+func ObjectiveMatrix(g Gradient, reg L2, w linalg.Vector, m *data.Matrix) float64 {
+	n := m.NumRows()
+	if n == 0 {
+		return reg.Penalty(w)
+	}
+	var s float64
+	if bg, ok := g.(BlockGradient); ok {
+		margins := make([]float64, objectiveBlockSize)
+		for lo := 0; lo < n; lo += objectiveBlockSize {
+			hi := lo + objectiveBlockSize
+			if hi > n {
+				hi = n
+			}
+			bg.LossBlock(w, m.Block(lo, hi), margins, &s)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s += g.Loss(w, m.Row(i))
+		}
+	}
+	return s/float64(n) + reg.Penalty(w)
+}

@@ -1,0 +1,86 @@
+package gradients
+
+import (
+	"math/rand"
+	"testing"
+
+	"ml4all/internal/data"
+	"ml4all/internal/linalg"
+)
+
+// Calibration benchmarks: the per-row cost of the gradient step on the
+// blocked kernels vs the row-at-a-time path, on both arena layouts. These
+// are the measurements behind the cluster.ComputeUnitOverheadFrac constant
+// table (see internal/cluster/calibration.go); re-run with
+//
+//	go test -bench 'BenchmarkGradientPath' -benchtime=2s ./internal/gradients/
+//
+// after kernel changes and update the table if the ratio moved.
+
+func benchMatrix(b *testing.B, dense bool, rows, d int, density float64) *data.Matrix {
+	b.Helper()
+	rng := rand.New(rand.NewSource(9))
+	if dense {
+		mb := data.NewDenseMatrixBuilder(rows, d)
+		vals := make([]float64, d)
+		for i := 0; i < rows; i++ {
+			for j := range vals {
+				vals[j] = rng.NormFloat64()
+			}
+			if err := mb.AppendDense(1, vals); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return mb.Build()
+	}
+	nnz := int(float64(d) * density)
+	mb := data.NewMatrixBuilder(rows, rows*nnz)
+	for i := 0; i < rows; i++ {
+		idx := make([]int32, 0, nnz)
+		vals := make([]float64, 0, nnz)
+		for k := 0; k < nnz; k++ {
+			idx = append(idx, int32(rng.Intn(d)))
+			vals = append(vals, rng.NormFloat64())
+		}
+		if err := mb.AppendSparse(1, idx, vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return mb.Build()
+}
+
+func benchGradientPath(b *testing.B, dense, blocked bool) {
+	const rows, d = 4096, 50
+	m := benchMatrix(b, dense, rows, d, 0.05)
+	var g Logistic
+	w := make(linalg.Vector, d)
+	for i := range w {
+		w[i] = 0.01 * float64(i)
+	}
+	grad := make(linalg.Vector, d)
+	margins := make([]float64, 512)
+	// The interface value the per-row engine path dispatches through per
+	// unit; package-level so the compiler cannot devirtualize the calls.
+	benchGradientSink = g
+	gi := benchGradientSink
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if blocked {
+			for lo := 0; lo < rows; lo += 512 {
+				g.AddGradientBlock(w, m.Block(lo, lo+512), margins, grad)
+			}
+		} else {
+			for r := 0; r < rows; r++ {
+				gi.AddGradient(w, m.Row(r), grad)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*rows), "ns/row")
+}
+
+var benchGradientSink Gradient
+
+func BenchmarkGradientPathDenseRow(b *testing.B)     { benchGradientPath(b, true, false) }
+func BenchmarkGradientPathDenseBlocked(b *testing.B) { benchGradientPath(b, true, true) }
+func BenchmarkGradientPathCSRRow(b *testing.B)       { benchGradientPath(b, false, false) }
+func BenchmarkGradientPathCSRBlocked(b *testing.B)   { benchGradientPath(b, false, true) }

@@ -1,0 +1,129 @@
+package gradients
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ml4all/internal/data"
+	"ml4all/internal/linalg"
+)
+
+func blockTestMatrix(t *testing.T, rng *rand.Rand, dense bool, rows, d int) *data.Matrix {
+	t.Helper()
+	if dense {
+		b := data.NewDenseMatrixBuilder(rows, d)
+		vals := make([]float64, d)
+		for i := 0; i < rows; i++ {
+			for j := range vals {
+				vals[j] = rng.NormFloat64()
+			}
+			if err := b.AppendDense(blockTestLabel(rng), vals); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return b.Build()
+	}
+	b := data.NewMatrixBuilder(rows, rows*3)
+	for i := 0; i < rows; i++ {
+		nnz := 1 + rng.Intn(d-1)
+		idx := make([]int32, 0, nnz)
+		vals := make([]float64, 0, nnz)
+		for k := 0; k < nnz; k++ {
+			idx = append(idx, int32(rng.Intn(d)))
+			vals = append(vals, rng.NormFloat64())
+		}
+		if err := b.AppendSparse(blockTestLabel(rng), idx, vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func blockTestLabel(rng *rand.Rand) float64 {
+	if rng.Intn(2) == 0 {
+		return -1
+	}
+	return 1
+}
+
+// Every stock loss must satisfy the BlockGradient contract bit for bit:
+// AddGradientBlock equals per-row AddGradient accumulation (into an already
+// nonzero buffer), LossBlock equals per-row Loss accumulation into an
+// already nonzero sum — on the fused dense path, the fused CSR path and the
+// per-row fallback of a non-contiguous gathered block.
+func TestBlockKernelsMatchRowKernelsBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const d = 12
+	losses := []Gradient{Hinge{}, Logistic{}, LeastSquares{}}
+	w := make(linalg.Vector, d)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	for _, g := range losses {
+		bg, ok := g.(BlockGradient)
+		if !ok {
+			t.Fatalf("%s does not implement BlockGradient", g.Name())
+		}
+		for _, dense := range []bool{true, false} {
+			m := blockTestMatrix(t, rng, dense, 64, d)
+			blocks := []data.Block{
+				m.Block(0, 64),                         // fused full arena
+				m.Block(5, 18),                         // fused partial
+				m.GatherBlock([]int{33, 7, 7, 50, 12}), // per-row fallback
+			}
+			for bi, blk := range blocks {
+				// Seed both accumulators with the same nonzero garbage so
+				// order-of-addition differences cannot hide.
+				gradRow := make(linalg.Vector, d)
+				for i := range gradRow {
+					gradRow[i] = rng.NormFloat64()
+				}
+				gradBlk := gradRow.Clone()
+				sumRow := rng.NormFloat64()
+				sumBlk := sumRow
+
+				for j := 0; j < blk.Len(); j++ {
+					u := blk.Row(j)
+					g.AddGradient(w, u, gradRow)
+					sumRow += g.Loss(w, u)
+				}
+				margins := make([]float64, blk.Len())
+				bg.AddGradientBlock(w, blk, margins, gradBlk)
+				bg.LossBlock(w, blk, margins, &sumBlk)
+
+				for i := range gradRow {
+					if math.Float64bits(gradRow[i]) != math.Float64bits(gradBlk[i]) {
+						t.Fatalf("%s dense=%v block %d: grad[%d] %g != %g",
+							g.Name(), dense, bi, i, gradBlk[i], gradRow[i])
+					}
+				}
+				if math.Float64bits(sumRow) != math.Float64bits(sumBlk) {
+					t.Fatalf("%s dense=%v block %d: loss sum %g != %g", g.Name(), dense, bi, sumBlk, sumRow)
+				}
+			}
+		}
+	}
+}
+
+// ObjectiveMatrix must agree with Objective bit for bit, block-kernel path
+// and fallback alike.
+func TestObjectiveMatrixMatchesObjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const d = 10
+	w := make(linalg.Vector, d)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	reg := L2{Lambda: 0.3}
+	for _, g := range []Gradient{Hinge{}, Logistic{}, LeastSquares{}} {
+		for _, dense := range []bool{true, false} {
+			m := blockTestMatrix(t, rng, dense, 700, d) // > one objective block
+			want := Objective(g, reg, w, m.Rows())
+			got := ObjectiveMatrix(g, reg, w, m)
+			if math.Float64bits(want) != math.Float64bits(got) {
+				t.Fatalf("%s dense=%v: ObjectiveMatrix %g != Objective %g", g.Name(), dense, got, want)
+			}
+		}
+	}
+}

@@ -33,24 +33,33 @@ func (v Vector) Zero() {
 }
 
 // Dot returns the inner product of v and w. It panics if dimensions differ.
+// The loop is the shared 4-wide single-accumulator kernel (see block.go), so
+// the summation order — and with it every bit of the result — matches the
+// naive loop.
 func (v Vector) Dot(w Vector) float64 {
 	if len(v) != len(w) {
 		panic(fmt.Sprintf("linalg: Dot dimension mismatch %d vs %d", len(v), len(w)))
 	}
-	var s float64
-	for i, x := range v {
-		s += x * w[i]
-	}
-	return s
+	return dotContig(v, w)
 }
 
-// AddScaled adds alpha*w to v in place (the BLAS axpy kernel).
+// AddScaled adds alpha*w to v in place (the BLAS axpy kernel), 4-wide
+// unrolled. Each component is written independently, so unrolling cannot
+// change any result bit.
 func (v Vector) AddScaled(alpha float64, w Vector) {
 	if len(v) != len(w) {
 		panic(fmt.Sprintf("linalg: AddScaled dimension mismatch %d vs %d", len(v), len(w)))
 	}
-	for i, x := range w {
-		v[i] += alpha * x
+	w = w[:len(v)]
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		v[i] += alpha * w[i]
+		v[i+1] += alpha * w[i+1]
+		v[i+2] += alpha * w[i+2]
+		v[i+3] += alpha * w[i+3]
+	}
+	for ; i < len(v); i++ {
+		v[i] += alpha * w[i]
 	}
 }
 
