@@ -34,11 +34,19 @@ func run() int {
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS, 1 = serial; results are identical, only wall time changes)")
 	adaptive := flag.Bool("adaptive", false, "train the optimizer's chosen plan with mid-flight re-optimization where experiments support it (fig8; the 'adaptive' experiment always adapts)")
+	predict := flag.Bool("predict", false, "benchmark batched vs per-row prediction throughput (the serving path) instead of running experiments")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment runs to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof allocation profile to this file after the runs")
 	flag.Parse()
 
+	if *predict {
+		if err := runPredictBench(*scale); err != nil {
+			fmt.Fprintln(os.Stderr, "ml4all-bench:", err)
+			return 1
+		}
+		return 0
+	}
 	if *list || *exp == "" {
 		fmt.Println("experiments:", strings.Join(experiments.IDs(), " "))
 		if *exp == "" {

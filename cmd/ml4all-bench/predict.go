@@ -1,0 +1,100 @@
+package main
+
+// The -predict mode benchmarks serving-side prediction throughput: the
+// batched path (blocked margin kernels over the columnar arena, what
+// POST /v1/models/{name}/predict executes) against the per-row reference
+// (one Row view + Dot call per unit). Results feed BENCH_5.json.
+
+import (
+	"fmt"
+	"time"
+
+	"ml4all/internal/data"
+	"ml4all/internal/linalg"
+	"ml4all/internal/metrics"
+	"ml4all/internal/synth"
+)
+
+// predictCase is one dataset shape the sweep scores.
+type predictCase struct {
+	name string
+	spec synth.Spec
+}
+
+func predictCases(scale int) []predictCase {
+	n := 6400000 / scale // 100k rows at the reference -scale 64
+	if n < 1000 {
+		n = 1000
+	}
+	return []predictCase{
+		{"dense-d50", synth.Spec{
+			Name: "predict-dense", Task: data.TaskLogisticRegression,
+			N: n, D: 50, Density: 1, Noise: 0.1, Margin: 1, Seed: 3,
+		}},
+		{"sparse-d1000-5pct", synth.Spec{
+			Name: "predict-sparse", Task: data.TaskSVM,
+			N: n, D: 1000, Density: 0.05, Noise: 0.1, Margin: 1, Seed: 3,
+		}},
+	}
+}
+
+// predictWeights builds a deterministic model vector — throughput does not
+// depend on the values, only the dimensionality.
+func predictWeights(d int) linalg.Vector {
+	w := make(linalg.Vector, d)
+	for i := range w {
+		w[i] = float64(i%13)/13 - 0.5
+	}
+	return w
+}
+
+// timeRows runs fn (which scores all n rows once) until at least minWall has
+// elapsed and returns the best per-pass rate in rows/second.
+func timeRows(n int, minWall time.Duration, fn func()) float64 {
+	fn() // warm caches
+	best := 0.0
+	for elapsed := time.Duration(0); elapsed < minWall; {
+		start := time.Now()
+		fn()
+		d := time.Since(start)
+		elapsed += d
+		if rate := float64(n) / d.Seconds(); rate > best {
+			best = rate
+		}
+	}
+	return best
+}
+
+// runPredictBench prints the batched-vs-per-row prediction throughput table.
+func runPredictBench(scale int) error {
+	fmt.Println("prediction throughput: batched block kernels vs per-row Dot")
+	fmt.Printf("%-22s %10s %14s %14s %8s\n", "dataset", "rows", "per-row/s", "batched/s", "speedup")
+	const minWall = 300 * time.Millisecond
+	for _, c := range predictCases(scale) {
+		ds, err := synth.Generate(c.spec)
+		if err != nil {
+			return err
+		}
+		w := predictWeights(ds.NumFeatures)
+		task := ds.Task
+		n := ds.N()
+		out := make([]float64, n)
+
+		perRow := timeRows(n, minWall, func() {
+			for i := 0; i < n; i++ {
+				out[i] = metrics.Predict(task, w, ds.Mat.Row(i))
+			}
+		})
+		ref := append([]float64(nil), out...)
+		batched := timeRows(n, minWall, func() {
+			metrics.PredictInto(task, w, ds.Mat, out)
+		})
+		for i := range out {
+			if out[i] != ref[i] {
+				return fmt.Errorf("%s: batched prediction diverges from per-row at row %d", c.name, i)
+			}
+		}
+		fmt.Printf("%-22s %10d %14.0f %14.0f %7.2fx\n", c.name, n, perRow, batched, batched/perRow)
+	}
+	return nil
+}

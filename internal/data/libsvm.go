@@ -96,14 +96,15 @@ func ParseLIBSVMLine(line string) (u Unit, ok bool, err error) {
 // parseCSVInto parses one dense comma-separated line, appending the features
 // to vals (returned re-sliced for scratch reuse). labelCol selects the
 // 0-based column holding the label; all remaining columns are features in
-// order.
+// order. labelCol -1 means no label column — every field is a feature and the
+// returned label is 0 (the prediction-request form, see ParsePredictCSV).
 func parseCSVInto(line string, labelCol int, vals []float64) (label float64, ovals []float64, ok bool, err error) {
 	line = strings.TrimSpace(line)
 	if line == "" || strings.HasPrefix(line, "#") {
 		return 0, vals, false, nil
 	}
 	cols := strings.Count(line, ",") + 1
-	if labelCol < 0 || labelCol >= cols {
+	if labelCol < -1 || labelCol >= cols {
 		return 0, vals, false, fmt.Errorf("data: label column %d out of range for %d columns", labelCol, cols)
 	}
 	// Walk the comma-separated fields in place — no []string materialized.

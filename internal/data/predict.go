@@ -1,0 +1,40 @@
+package data
+
+import "strings"
+
+// Request-side row parsing for the serving layer. Prediction requests carry
+// feature rows that may or may not include a ground-truth label, which the
+// dataset parsers (ParseLIBSVMLine, ParseCSVLine) cannot express — they
+// unconditionally treat one field as the label. These helpers route through
+// the same tokenizers, so a row that also appears in a dataset file parses to
+// bitwise-identical values, which is what makes served predictions exactly
+// equal to offline Evaluate on the same rows.
+
+// ParsePredictLIBSVM parses one LIBSVM-format line whose leading label is
+// optional: when the first field contains ':', the entire line is features
+// and hasLabel reports false. idx/vals are scratch slices appended into and
+// returned re-sliced (like the dataset parser); ok is false for blank and
+// comment lines.
+func ParsePredictLIBSVM(line string, idx []int32, vals []float64) (label float64, hasLabel bool, oidx []int32, ovals []float64, ok bool, err error) {
+	trimmed := strings.TrimSpace(line)
+	if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+		return 0, false, idx, vals, false, nil
+	}
+	start, end, _ := nextField(trimmed, 0)
+	if strings.Contains(trimmed[start:end], ":") {
+		// Label-less row: parse under a synthetic zero label so the feature
+		// fields take the exact dataset-parser path.
+		_, oidx, ovals, ok, err = parseLIBSVMInto("0 "+trimmed, idx, vals)
+		return 0, false, oidx, ovals, ok, err
+	}
+	label, oidx, ovals, ok, err = parseLIBSVMInto(trimmed, idx, vals)
+	return label, true, oidx, ovals, ok, err
+}
+
+// ParsePredictCSV parses one comma-separated line of bare feature values —
+// no label column; every field is a feature. vals is scratch appended into
+// and returned re-sliced; ok is false for blank and comment lines.
+func ParsePredictCSV(line string, vals []float64) (ovals []float64, ok bool, err error) {
+	_, ovals, ok, err = parseCSVInto(line, -1, vals)
+	return ovals, ok, err
+}

@@ -18,6 +18,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -76,7 +77,21 @@ type Options struct {
 	// to the per-row path for every block size, so results never depend on
 	// it (the block property test sweeps it).
 	BlockSize int
+
+	// Interrupt, when non-nil, is polled at the top of every Step, before
+	// the iteration mutates any state. A non-nil return aborts that Step
+	// with a wrapped ErrInterrupted; the trainer itself stays consistent —
+	// it can be checkpointed, resumed, or stepped again (if the interrupt
+	// condition clears), and a resumed run is bit-identical to one that was
+	// never interrupted. The serving layer wires a context's Err here so
+	// in-flight training jobs are cancellable between iterations.
+	Interrupt func() error
 }
+
+// ErrInterrupted is wrapped into the error Step returns when
+// Options.Interrupt fires, alongside the cause the hook returned; callers
+// distinguish cancellation from genuine step failures with errors.Is.
+var ErrInterrupted = errors.New("engine: step interrupted")
 
 // Result reports one plan execution.
 type Result struct {

@@ -1,0 +1,113 @@
+package engine_test
+
+// The Interrupt hook: a cancellation poll at the top of every Step. These
+// tests pin the serving layer's contract — an interrupted trainer aborts
+// before mutating anything, stays checkpointable, and a run resumed (or
+// simply continued) after an interruption is bit-identical to one that was
+// never interrupted.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ml4all/internal/cluster"
+	"ml4all/internal/data"
+	"ml4all/internal/engine"
+	"ml4all/internal/gd"
+)
+
+func TestInterruptAbortsBetweenIterations(t *testing.T) {
+	st := resumeDataset(t, data.TaskLogisticRegression)
+	p := gd.Params{Task: data.TaskLogisticRegression, Format: st.Dataset.Format, Tolerance: 1e-9, MaxIter: 30}
+	plan := gd.NewBGD(p)
+
+	opts := engine.Options{Seed: 11, Workers: 2}
+	base, err := engine.Run(cluster.New(cluster.Default()), st, &plan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Iterations < 10 {
+		t.Fatalf("degenerate baseline: %d iterations", base.Iterations)
+	}
+
+	cause := fmt.Errorf("ctx gone")
+	const stopAfter = 5
+	calls := 0
+	iopts := opts
+	iopts.Interrupt = func() error {
+		calls++
+		if calls > stopAfter {
+			return cause
+		}
+		return nil
+	}
+	tr, err := engine.NewTrainer(cluster.New(cluster.Default()), st, &plan, iopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stepErr error
+	for !tr.Done() {
+		if stepErr = tr.Step(); stepErr != nil {
+			break
+		}
+	}
+	if !errors.Is(stepErr, engine.ErrInterrupted) {
+		t.Fatalf("want ErrInterrupted, got %v", stepErr)
+	}
+	if !errors.Is(stepErr, cause) {
+		t.Fatalf("interrupt error does not wrap its cause: %v", stepErr)
+	}
+	if got := tr.Iteration(); got != stopAfter {
+		t.Fatalf("interrupted after %d iterations, want %d", got, stopAfter)
+	}
+
+	// The interrupted trainer checkpoints; the resumed run finishes
+	// bit-identical to the never-interrupted baseline.
+	cp, err := tr.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := cp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := engine.DecodeTrainState(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := engine.Resume(cluster.New(cluster.Default()), st, &plan, opts, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !rt.Done() {
+		if err := rt.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkSame(t, "resumed-after-interrupt", base, rt.Finish())
+
+	// And the interrupted trainer itself, once the condition clears, simply
+	// continues — the failed Step mutated nothing.
+	for !tr.Done() {
+		calls = 0 // clear the interrupt condition
+		if err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkSame(t, "continued-after-interrupt", base, tr.Finish())
+}
+
+func TestRunHonorsInterrupt(t *testing.T) {
+	st := resumeDataset(t, data.TaskSVM)
+	p := gd.Params{Task: data.TaskSVM, Format: st.Dataset.Format, Tolerance: 1e-9, MaxIter: 20}
+	plan := gd.NewBGD(p)
+	cause := errors.New("stop")
+	_, err := engine.Run(cluster.New(cluster.Default()), st, &plan, engine.Options{
+		Seed:      11,
+		Interrupt: func() error { return cause },
+	})
+	if !errors.Is(err, engine.ErrInterrupted) || !errors.Is(err, cause) {
+		t.Fatalf("Run did not propagate the interrupt: %v", err)
+	}
+}

@@ -7,7 +7,25 @@ import (
 )
 
 // Stmt is any top-level statement of the language.
-type Stmt interface{ stmt() }
+type Stmt interface {
+	stmt()
+	// At returns the statement's source position (its first token), so
+	// execution-time errors can point back into the submitted script the
+	// way parse errors already do.
+	At() Position
+}
+
+// Position is a 1-based source location.
+type Position struct {
+	Line, Col int
+}
+
+// At makes any statement embedding a Position satisfy Stmt's position
+// accessor.
+func (p Position) At() Position { return p }
+
+// String renders the position as line:col.
+func (p Position) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
 
 // Source is one dataset reference with an optional column specification:
 // "input.txt:2" selects column 2, "input.txt:4-20" columns 4 through 20.
@@ -33,6 +51,8 @@ func (s Source) String() string {
 // Run is the central statement: run <task> on <sources> [having ...]
 // [using ...];
 type Run struct {
+	Position
+
 	// Result is the assigned query name (Q1 in "Q1 = run ..."), empty when
 	// unassigned.
 	Result string
@@ -119,6 +139,8 @@ func (r *Run) String() string {
 
 // Persist stores a trained model: persist Q1 on my_model.txt;
 type Persist struct {
+	Position
+
 	Model string // query name
 	Path  string
 }
@@ -132,6 +154,8 @@ func (p *Persist) String() string {
 
 // Predict applies a stored model: result = predict on test.txt with model.txt;
 type Predict struct {
+	Position
+
 	Result string
 	Data   string
 	Model  string

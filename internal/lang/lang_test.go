@@ -259,3 +259,26 @@ func TestLexerComments(t *testing.T) {
 		t.Fatalf("tokens = %v", toks)
 	}
 }
+
+// TestStatementsCarryPositions pins the At() accessor the execution layer
+// uses to point run-time failures back into the submitted script.
+func TestStatementsCarryPositions(t *testing.T) {
+	stmts, err := Parse(`run classification on a.txt;
+  Q2 = run regression on b.txt;
+persist Q2 on out.model;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("parsed %d statements", len(stmts))
+	}
+	want := []Position{{Line: 1, Col: 1}, {Line: 2, Col: 3}, {Line: 3, Col: 1}}
+	for i, st := range stmts {
+		if st.At() != want[i] {
+			t.Fatalf("statement %d at %v, want %v", i, st.At(), want[i])
+		}
+	}
+	if want[1].String() != "2:3" {
+		t.Fatalf("Position.String = %q", want[1].String())
+	}
+}

@@ -82,6 +82,7 @@ func (p *parser) expectKeyword(kw string) error {
 }
 
 func (p *parser) statement() (Stmt, error) {
+	start := p.cur() // the assignment target or leading keyword
 	// Optional assignment prefix: IDENT '='.
 	result := ""
 	if p.at(TokWord) && p.pos+1 < len(p.toks) && p.toks[p.pos+1].Kind == TokAssign {
@@ -89,18 +90,38 @@ func (p *parser) statement() (Stmt, error) {
 		p.next() // '='
 	}
 	t := p.cur()
+	var s Stmt
+	var err error
 	switch {
 	case p.keyword("run"):
-		return p.runStmt(result)
+		s, err = p.runStmt(result)
 	case p.keyword("predict"):
-		return p.predictStmt(result)
+		s, err = p.predictStmt(result)
 	case p.keyword("persist"):
 		if result != "" {
 			return nil, errAt(t, "persist cannot be assigned")
 		}
-		return p.persistStmt()
+		s, err = p.persistStmt()
 	default:
 		return nil, errAt(t, "expected run, predict or persist, got %s", t)
+	}
+	if err != nil {
+		return nil, err
+	}
+	setPos(s, start)
+	return s, nil
+}
+
+// setPos stamps the statement with its first token's source position.
+func setPos(s Stmt, t Token) {
+	pos := Position{Line: t.Line, Col: t.Col}
+	switch v := s.(type) {
+	case *Run:
+		v.Position = pos
+	case *Predict:
+		v.Position = pos
+	case *Persist:
+		v.Position = pos
 	}
 }
 

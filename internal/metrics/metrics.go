@@ -41,6 +41,32 @@ type Report struct {
 // either way, so the report is bitwise independent of the width.
 const evalBlockSize = data.DefaultBlockSize
 
+// ScoresInto fills out[i] with the raw margin <row i, w> for every row of m,
+// computed in blocked kernel passes — the same MarginsInto path Evaluate
+// scores through, so a row's margin is bitwise identical whether it arrives
+// in a dataset file or a serving request. out must have at least NumRows
+// slots; only the first NumRows are written.
+func ScoresInto(w linalg.Vector, m *data.Matrix, out []float64) {
+	n := m.NumRows()
+	out = out[:n]
+	margins := make([]float64, evalBlockSize)
+	for lo := 0; lo < n; lo += evalBlockSize {
+		hi := min(lo+evalBlockSize, n)
+		blk := m.Block(lo, hi)
+		blk.MarginsInto(w, margins)
+		copy(out[lo:hi], margins[:hi-lo])
+	}
+}
+
+// PredictInto fills out[i] with the label the model assigns to row i of m:
+// ScoresInto mapped through PredictScore, in place.
+func PredictInto(task data.TaskKind, w linalg.Vector, m *data.Matrix, out []float64) {
+	ScoresInto(w, m, out)
+	for i, s := range out[:m.NumRows()] {
+		out[i] = PredictScore(task, s)
+	}
+}
+
 // Evaluate scores the model on every unit of the test dataset. Scoring runs
 // through the blocked margin kernels over the dataset's columnar arena: one
 // fused dot-product pass per row block instead of a Row view and a Dot call

@@ -62,6 +62,11 @@ type AdaptiveConfig struct {
 	// with (same semantics as engine.Options).
 	Seed    int64
 	Workers int
+
+	// Interrupt is polled at the top of every engine Step of every segment
+	// (same semantics as engine.Options.Interrupt): the serving layer wires
+	// a context's Err here so adaptive jobs cancel between iterations.
+	Interrupt func() error
 }
 
 func (c AdaptiveConfig) withDefaults() AdaptiveConfig {
@@ -182,7 +187,7 @@ func RunAdaptive(sim *cluster.Sim, store *storage.Store, p gd.Params, opts Optio
 		return nil, err
 	}
 	model := costmodel.New(store, sim.Cfg)
-	eopts := engine.Options{Seed: cfg.Seed, Workers: cfg.Workers}
+	eopts := engine.Options{Seed: cfg.Seed, Workers: cfg.Workers, Interrupt: cfg.Interrupt}
 
 	incumbent := dec.Best.Plan
 	out := &AdaptiveResult{Decision: dec, Plans: []string{incumbent.Name()}}

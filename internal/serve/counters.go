@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Counters aggregates per-endpoint request statistics plus prediction
+// throughput totals, rendered at /metrics in the Prometheus text exposition
+// format. Everything is a monotonic total — rates are the scraper's job.
+type Counters struct {
+	mu     sync.Mutex
+	routes map[string]*routeStats
+
+	predictRows    uint64 // rows scored across all predict calls
+	predictBatches uint64 // predict calls that reached the kernels
+}
+
+type routeStats struct {
+	count   uint64
+	errors  uint64 // responses with status >= 400
+	seconds float64
+	maxSec  float64
+}
+
+func newCounters() *Counters {
+	return &Counters{routes: map[string]*routeStats{}}
+}
+
+// observe records one served request on a route.
+func (c *Counters) observe(route string, d time.Duration, isErr bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rs := c.routes[route]
+	if rs == nil {
+		rs = &routeStats{}
+		c.routes[route] = rs
+	}
+	rs.count++
+	if isErr {
+		rs.errors++
+	}
+	sec := d.Seconds()
+	rs.seconds += sec
+	if sec > rs.maxSec {
+		rs.maxSec = sec
+	}
+}
+
+// observePredict records one prediction batch's row count.
+func (c *Counters) observePredict(rows int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.predictBatches++
+	c.predictRows += uint64(rows)
+}
+
+// WriteText renders the counters in Prometheus text format, routes sorted
+// for stable output.
+func (c *Counters) WriteText(w io.Writer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.routes))
+	for name := range c.routes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintln(w, "# TYPE ml4all_requests_total counter")
+	for _, name := range names {
+		fmt.Fprintf(w, "ml4all_requests_total{route=%q} %d\n", name, c.routes[name].count)
+	}
+	fmt.Fprintln(w, "# TYPE ml4all_request_errors_total counter")
+	for _, name := range names {
+		fmt.Fprintf(w, "ml4all_request_errors_total{route=%q} %d\n", name, c.routes[name].errors)
+	}
+	fmt.Fprintln(w, "# TYPE ml4all_request_seconds_total counter")
+	for _, name := range names {
+		fmt.Fprintf(w, "ml4all_request_seconds_total{route=%q} %g\n", name, c.routes[name].seconds)
+	}
+	fmt.Fprintln(w, "# TYPE ml4all_request_seconds_max gauge")
+	for _, name := range names {
+		fmt.Fprintf(w, "ml4all_request_seconds_max{route=%q} %g\n", name, c.routes[name].maxSec)
+	}
+	fmt.Fprintln(w, "# TYPE ml4all_predict_rows_total counter")
+	fmt.Fprintf(w, "ml4all_predict_rows_total %d\n", c.predictRows)
+	fmt.Fprintln(w, "# TYPE ml4all_predict_batches_total counter")
+	fmt.Fprintf(w, "ml4all_predict_batches_total %d\n", c.predictBatches)
+}

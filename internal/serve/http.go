@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"ml4all/internal/lang"
+)
+
+// httpError pairs a client-visible message with a status code.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errStatus(status int, format string, args ...any) *httpError {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// handler is the route-function form the wrappers take: return a JSON-able
+// payload or an error (an *httpError for a specific status, anything else
+// for a 500 — except syntax/validation errors, mapped to 400).
+type handler func(r *http.Request) (any, error)
+
+// wrap instruments a route with the counters and centralizes encoding.
+func (s *Server) wrap(route string, h handler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		payload, err := h(r)
+		status := http.StatusOK
+		if err != nil {
+			var he *httpError
+			var se *lang.SyntaxError
+			switch {
+			case errors.As(err, &he):
+				status = he.status
+			case errors.As(err, &se):
+				status = http.StatusBadRequest
+			default:
+				status = http.StatusInternalServerError
+			}
+			payload = map[string]string{"error": err.Error()}
+		}
+		s.counters.observe(route, time.Since(start), status >= 400)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(payload)
+	}
+}
+
+// decodeJSON strictly decodes a request body into v.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return errStatus(http.StatusBadRequest, "bad request body: %v", err)
+	}
+	return nil
+}
+
+// submitRequest is the body of POST /v1/jobs.
+type submitRequest struct {
+	// Script is one declarative run statement, e.g.
+	// "m = run logistic on train.txt having epsilon 0.01, max iter 500;".
+	Script string `json:"script"`
+	// Model optionally overrides the registry name the trained model
+	// publishes under (default: the script's assigned query name, else the
+	// job id).
+	Model string `json:"model,omitempty"`
+}
+
+func (s *Server) handleSubmit(r *http.Request) (any, error) {
+	var req submitRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	if req.Script == "" {
+		return nil, errStatus(http.StatusBadRequest, "script is required")
+	}
+	j, err := s.manager.Submit(req.Script, req.Model)
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	return j.Status(), nil
+}
+
+func (s *Server) handleJobList(r *http.Request) (any, error) {
+	return map[string]any{"jobs": s.manager.List()}, nil
+}
+
+// getJob resolves the {id} path parameter.
+func (s *Server) getJob(r *http.Request) (*Job, error) {
+	id := r.PathValue("id")
+	j, ok := s.manager.Job(id)
+	if !ok {
+		return nil, errStatus(http.StatusNotFound, "job %q not found", id)
+	}
+	return j, nil
+}
+
+func (s *Server) handleJobGet(r *http.Request) (any, error) {
+	j, err := s.getJob(r)
+	if err != nil {
+		return nil, err
+	}
+	return j.Status(), nil
+}
+
+func (s *Server) handleJobCancel(r *http.Request) (any, error) {
+	j, err := s.getJob(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.manager.Cancel(j.ID); err != nil {
+		return nil, badRequest(err)
+	}
+	return j.Status(), nil
+}
+
+func (s *Server) handleJobPause(r *http.Request) (any, error) {
+	j, err := s.getJob(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.manager.Pause(j.ID); err != nil {
+		return nil, badRequest(err)
+	}
+	return j.Status(), nil
+}
+
+func (s *Server) handleJobResume(r *http.Request) (any, error) {
+	j, err := s.getJob(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.manager.Resume(j.ID); err != nil {
+		return nil, badRequest(err)
+	}
+	return j.Status(), nil
+}
+
+// modelInfo is the metadata view of one model version.
+type modelInfo struct {
+	Name       string  `json:"name"`
+	Version    int     `json:"version"`
+	Task       string  `json:"task"`
+	Plan       string  `json:"plan"`
+	Iterations int     `json:"iterations"`
+	Converged  bool    `json:"converged"`
+	TrainTime  float64 `json:"train_time_sec"` // simulated seconds
+	Features   int     `json:"features"`
+}
+
+func info(mv *ModelVersion) modelInfo {
+	m := mv.Model
+	return modelInfo{
+		Name: mv.Name, Version: mv.Version, Task: m.Task.String(), Plan: m.PlanName,
+		Iterations: m.Iterations, Converged: m.Converged,
+		TrainTime: float64(m.TrainTime), Features: len(m.Weights),
+	}
+}
+
+func (s *Server) handleModelList(r *http.Request) (any, error) {
+	out := []modelInfo{}
+	for _, name := range s.registry.Names() {
+		if mv, ok := s.registry.Get(name, 0); ok {
+			out = append(out, info(mv))
+		}
+	}
+	return map[string]any{"models": out}, nil
+}
+
+// versionParam parses the optional ?version=N query parameter (0 = latest).
+func versionParam(r *http.Request) (int, error) {
+	raw := r.URL.Query().Get("version")
+	if raw == "" {
+		return 0, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 {
+		return 0, errStatus(http.StatusBadRequest, "bad version %q", raw)
+	}
+	return v, nil
+}
+
+func (s *Server) handleModelGet(r *http.Request) (any, error) {
+	name := r.PathValue("name")
+	vs := s.registry.Versions(name)
+	if len(vs) == 0 {
+		return nil, errStatus(http.StatusNotFound, "model %q not found", name)
+	}
+	infos := make([]modelInfo, len(vs))
+	for i, mv := range vs {
+		infos[i] = info(mv)
+	}
+	return map[string]any{
+		"name":     name,
+		"latest":   vs[len(vs)-1].Version,
+		"versions": infos,
+	}, nil
+}
+
+func (s *Server) handleModelDelete(r *http.Request) (any, error) {
+	name := r.PathValue("name")
+	v, err := versionParam(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.registry.Delete(name, v); err != nil {
+		if errors.Is(err, errNotFound) {
+			return nil, errStatus(http.StatusNotFound, "%v", err)
+		}
+		return nil, err // I/O fault: the model still exists — 500, not 404
+	}
+	return map[string]any{"deleted": name, "version": v}, nil
+}
+
+func (s *Server) handlePredict(r *http.Request) (any, error) {
+	name := r.PathValue("name")
+	v, err := versionParam(r)
+	if err != nil {
+		return nil, err
+	}
+	mv, ok := s.registry.Get(name, v)
+	if !ok {
+		return nil, errStatus(http.StatusNotFound, "model %q version %d not found", name, v)
+	}
+	var req PredictRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	resp, err := predict(mv, &req)
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	s.counters.observePredict(resp.N)
+	return resp, nil
+}
+
+// badRequest maps a domain error to 400 unless it already carries a status.
+func badRequest(err error) error {
+	var he *httpError
+	if errors.As(err, &he) {
+		return err
+	}
+	var se *lang.SyntaxError
+	if errors.As(err, &se) {
+		return err // wrap already maps syntax errors to 400
+	}
+	return &httpError{status: http.StatusBadRequest, msg: err.Error()}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.counters.WriteText(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	counts := s.manager.StateCounts()
+	payload := map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"jobs":           counts,
+		"models":         len(s.registry.Names()),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(payload)
+}

@@ -1,0 +1,717 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ml4all"
+	"ml4all/internal/lang"
+)
+
+// JobState is a training job's lifecycle state.
+type JobState string
+
+// Job lifecycle: Submit → queued → running → {completed, failed, cancelled},
+// with running ⇄ paused in between. Non-terminal jobs survive a restart:
+// their manifest and latest checkpoint are on disk, and the manager re-queues
+// them on open (paused jobs stay paused).
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobPaused    JobState = "paused"
+	JobCompleted JobState = "completed"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// terminal reports whether a state ends the job.
+func (s JobState) terminal() bool {
+	return s == JobCompleted || s == JobFailed || s == JobCancelled
+}
+
+// errCancelled is what the interrupt hook returns for a cancelled job; the
+// engine wraps it in engine.ErrInterrupted.
+var errCancelled = errors.New("job cancelled")
+
+// errShutdown is what the interrupt hook returns while the manager shuts
+// down; the runner checkpoints and requeues the job instead of failing it.
+var errShutdown = errors.New("manager shutting down")
+
+// Job is one submitted training job. All mutable fields are guarded by mu;
+// the embedded TrainJob is owned by exactly one runner goroutine at a time.
+type Job struct {
+	ID     string
+	Script string
+	Model  string // registry name the result publishes under
+
+	mu        sync.Mutex
+	stmt      *lang.Run
+	state     JobState
+	errMsg    string
+	planName  string
+	iteration int
+	finalErr  float64 // last convergence delta observed
+	converged bool
+	published int // registry version, 0 until published
+
+	job       *ml4all.TrainJob // live trainer; nil until opened / after restart
+	cancelled chan struct{}
+	pause     bool
+}
+
+// JobStatus is the externally visible snapshot of a job.
+type JobStatus struct {
+	ID        string   `json:"id"`
+	Model     string   `json:"model"`
+	State     JobState `json:"state"`
+	Plan      string   `json:"plan,omitempty"`
+	Iteration int      `json:"iteration"`
+	Delta     float64  `json:"delta,omitempty"`
+	Converged bool     `json:"converged"`
+	Version   int      `json:"version,omitempty"` // published registry version
+	Error     string   `json:"error,omitempty"`
+}
+
+// manifest is the per-job record persisted next to the checkpoint, enough to
+// reconstruct the job after a restart.
+type manifest struct {
+	ID     string   `json:"id"`
+	Script string   `json:"script"`
+	Model  string   `json:"model"`
+	State  JobState `json:"state"`
+	Plan   string   `json:"plan,omitempty"`
+	Error  string   `json:"error,omitempty"`
+}
+
+// ManagerConfig sizes the job manager.
+type ManagerConfig struct {
+	// Dir is the state root; jobs live under Dir/jobs/<id>/.
+	Dir string
+	// Pool is the number of jobs training concurrently. 0 means 2.
+	Pool int
+	// QueueDepth bounds the submission queue. 0 means 256.
+	QueueDepth int
+	// CheckpointEvery is the wall-clock interval between checkpoint writes
+	// while a job runs. 0 means 2s; negative disables interval checkpoints
+	// (shutdown and pause still checkpoint).
+	CheckpointEvery time.Duration
+
+	// stepHook, when non-nil, runs after every successful Step of every
+	// job. Test-only: the shutdown/restart tests throttle iterations with
+	// it so "mid-flight" is a state they can reliably hit.
+	stepHook func(jobID string, iteration int)
+}
+
+func (c ManagerConfig) withDefaults() ManagerConfig {
+	if c.Pool <= 0 {
+		c.Pool = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 2 * time.Second
+	}
+	return c
+}
+
+// Manager accepts declarative training jobs and runs them on a bounded pool
+// of resumable trainers: each runner drives its job one Step at a time, so
+// jobs are cancellable between iterations (the engine's Interrupt hook),
+// pausable, checkpointed to disk on an interval, and — because the manifest
+// and checkpoint are on disk — resumable after a process restart,
+// bit-identically to a run that was never stopped.
+type Manager struct {
+	cfg ManagerConfig
+	reg *Registry
+
+	// sys is the shared System; sysMu serializes catalog access (dataset
+	// loading, planning) — job Steps run outside the lock on job-local
+	// state only.
+	sys   *ml4all.System
+	sysMu sync.Mutex
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // submission order, for stable listings
+	nextID int
+	closed bool
+
+	queue    chan *Job
+	wg       sync.WaitGroup
+	shutdown chan struct{}
+}
+
+// NewManager opens (creating if needed) a manager rooted at cfg.Dir, reloads
+// every job found there — re-queuing non-terminal ones from their latest
+// checkpoint — and starts the runner pool.
+func NewManager(cfg ManagerConfig, sys *ml4all.System, reg *Registry) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:      cfg,
+		reg:      reg,
+		sys:      sys,
+		jobs:     map[string]*Job{},
+		shutdown: make(chan struct{}),
+	}
+	if err := os.MkdirAll(m.jobsDir(), 0o755); err != nil {
+		return nil, fmt.Errorf("serve: jobs dir: %w", err)
+	}
+	resumable, err := m.loadJobs()
+	if err != nil {
+		return nil, err
+	}
+	// The queue must at least hold every job reloaded from disk, or startup
+	// would block on its own backlog.
+	depth := cfg.QueueDepth
+	if len(resumable) > depth {
+		depth = len(resumable)
+	}
+	m.queue = make(chan *Job, depth)
+	for _, j := range resumable {
+		m.queue <- j
+	}
+	for i := 0; i < cfg.Pool; i++ {
+		m.wg.Add(1)
+		go m.runner()
+	}
+	return m, nil
+}
+
+func (m *Manager) jobsDir() string         { return filepath.Join(m.cfg.Dir, "jobs") }
+func (m *Manager) jobDir(id string) string { return filepath.Join(m.jobsDir(), id) }
+func (m *Manager) ckptPath(id string) string {
+	return filepath.Join(m.jobDir(id), "checkpoint.gob")
+}
+
+// loadJobs reloads persisted jobs after a restart, returning the ones to
+// re-queue. Jobs that were queued or running when the process died re-enter
+// the queue immediately (resuming from their latest checkpoint when one
+// exists); paused ones wait for an explicit resume.
+func (m *Manager) loadJobs() ([]*Job, error) {
+	entries, err := os.ReadDir(m.jobsDir())
+	if err != nil {
+		return nil, fmt.Errorf("serve: jobs dir: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // zero-padded ids sort in submission order
+	var resumable []*Job
+	for _, id := range names {
+		raw, err := os.ReadFile(filepath.Join(m.jobDir(id), "manifest.json"))
+		if os.IsNotExist(err) {
+			continue // crashed between job-dir creation and the first persist
+		}
+		if err != nil {
+			return nil, fmt.Errorf("serve: job %s: %w", id, err)
+		}
+		var mf manifest
+		if err := json.Unmarshal(raw, &mf); err != nil {
+			return nil, fmt.Errorf("serve: job %s manifest: %w", id, err)
+		}
+		stmt, err := parseJobScript(mf.Script)
+		if err != nil {
+			return nil, fmt.Errorf("serve: job %s script no longer parses: %w", id, err)
+		}
+		j := &Job{
+			ID: mf.ID, Script: mf.Script, Model: mf.Model,
+			stmt: stmt, state: mf.State, errMsg: mf.Error, planName: mf.Plan,
+			cancelled: make(chan struct{}),
+		}
+		if n, err := strconv.Atoi(strings.TrimPrefix(id, "job-")); err == nil && n >= m.nextID {
+			m.nextID = n + 1
+		}
+		m.jobs[j.ID] = j
+		m.order = append(m.order, j.ID)
+		if j.state == JobRunning || j.state == JobQueued {
+			j.state = JobQueued
+			resumable = append(resumable, j)
+		}
+	}
+	return resumable, nil
+}
+
+// parseJobScript parses a job submission: exactly one run statement. Parse
+// errors carry source positions (lang.SyntaxError), so submission failures
+// point into the submitted text.
+func parseJobScript(script string) (*lang.Run, error) {
+	stmts, err := lang.Parse(script)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("serve: a job is exactly one statement, got %d", len(stmts))
+	}
+	q, ok := stmts[0].(*lang.Run)
+	if !ok {
+		return nil, fmt.Errorf("serve: a job must be a run statement, got %s", stmts[0])
+	}
+	if q.Adaptive {
+		// OpenJob would reject this at run time; fail the statically
+		// detectable error at submission instead of queuing a doomed job.
+		return nil, fmt.Errorf("serve: adaptive run statements are not servable as resumable jobs — drop 'adaptive' (TrainAdaptive remains a batch API)")
+	}
+	return q, nil
+}
+
+// Submit queues a new training job. model names the registry entry the
+// trained model publishes under; empty means the statement's assigned query
+// name, falling back to the job id.
+func (m *Manager) Submit(script, model string) (*Job, error) {
+	q, err := parseJobScript(script)
+	if err != nil {
+		return nil, err
+	}
+	if model == "" {
+		model = q.Result
+	}
+	if model != "" {
+		if err := validName(model); err != nil {
+			return nil, err
+		}
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("serve: manager is shut down")
+	}
+	id := fmt.Sprintf("job-%04d", m.nextID)
+	m.nextID++
+	if model == "" {
+		model = id
+	}
+	j := &Job{
+		ID: id, Script: script, Model: model,
+		stmt: q, state: JobQueued,
+		cancelled: make(chan struct{}),
+	}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.mu.Unlock()
+
+	// Any failure past this point settles the job as failed — it is already
+	// visible in listings and must not linger as a ghost "queued" entry no
+	// runner will ever claim.
+	if err := os.MkdirAll(m.jobDir(id), 0o755); err != nil {
+		err = fmt.Errorf("serve: job dir: %w", err)
+		m.fail(j, err)
+		return nil, err
+	}
+	if err := m.persist(j); err != nil {
+		m.fail(j, err)
+		return nil, err
+	}
+	select {
+	case m.queue <- j:
+	default:
+		m.fail(j, fmt.Errorf("job queue full (%d pending)", m.cfg.QueueDepth))
+		return nil, fmt.Errorf("serve: job queue full (%d pending)", m.cfg.QueueDepth)
+	}
+	return j, nil
+}
+
+// Job returns a job by id.
+func (m *Manager) Job(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// List returns every job's status in submission order.
+func (m *Manager) List() []JobStatus {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	m.mu.Unlock()
+	out := make([]JobStatus, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := m.Job(id); ok {
+			out = append(out, j.Status())
+		}
+	}
+	return out
+}
+
+// StateCounts tallies jobs by state (the health endpoint's view).
+func (m *Manager) StateCounts() map[JobState]int {
+	counts := map[JobState]int{}
+	for _, st := range m.List() {
+		counts[st.State]++
+	}
+	return counts
+}
+
+// Cancel stops a job. Queued jobs cancel immediately; running jobs are
+// interrupted between iterations through the engine's Interrupt hook.
+func (m *Manager) Cancel(id string) error {
+	j, ok := m.Job(id)
+	if !ok {
+		return fmt.Errorf("serve: job %q not found", id)
+	}
+	j.mu.Lock()
+	if j.state.terminal() {
+		state := j.state
+		j.mu.Unlock()
+		return fmt.Errorf("serve: job %s is already %s", id, state)
+	}
+	select {
+	case <-j.cancelled:
+	default:
+		close(j.cancelled)
+	}
+	// A pending pause must not outrun the cancel: cleared here, and the
+	// runner's iteration edge checks cancellation before the pause flag.
+	j.pause = false
+	// A queued or paused job has no runner to observe the channel: settle it
+	// here. A running job's runner settles it on the next iteration edge.
+	settled := false
+	if j.state == JobQueued || j.state == JobPaused {
+		j.state = JobCancelled
+		j.job = nil
+		settled = true
+	}
+	j.mu.Unlock()
+	if settled {
+		m.persist(j)
+	}
+	return nil
+}
+
+// Pause asks a running job to yield its pool slot at the next iteration
+// edge, checkpointing first. Queued jobs cannot pause (they hold no slot).
+func (m *Manager) Pause(id string) error {
+	j, ok := m.Job(id)
+	if !ok {
+		return fmt.Errorf("serve: job %q not found", id)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobRunning {
+		return fmt.Errorf("serve: job %s is %s, only running jobs pause", id, j.state)
+	}
+	j.pause = true
+	return nil
+}
+
+// Resume re-queues a paused job.
+func (m *Manager) Resume(id string) error {
+	j, ok := m.Job(id)
+	if !ok {
+		return fmt.Errorf("serve: job %q not found", id)
+	}
+	j.mu.Lock()
+	if j.state != JobPaused {
+		j.mu.Unlock()
+		return fmt.Errorf("serve: job %s is %s, only paused jobs resume", id, j.state)
+	}
+	j.pause = false
+	j.state = JobQueued
+	j.mu.Unlock()
+	select {
+	case m.queue <- j:
+		m.persist(j)
+		return nil
+	default:
+		j.mu.Lock()
+		j.state = JobPaused
+		j.mu.Unlock()
+		return fmt.Errorf("serve: job queue full")
+	}
+}
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID: j.ID, Model: j.Model, State: j.state, Plan: j.planName,
+		Iteration: j.iteration, Delta: j.finalErr, Converged: j.converged,
+		Version: j.published, Error: j.errMsg,
+	}
+}
+
+// writeFileAtomic writes data to path via a uniquely-named temp file in the
+// same directory and a rename, removing the temp on any failure. The unique
+// temp name matters: a runner and an HTTP-side Cancel may persist the same
+// job concurrently, and rename's atomicity makes last-writer-wins safe.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// persist writes the job's manifest atomically.
+func (m *Manager) persist(j *Job) error {
+	j.mu.Lock()
+	mf := manifest{ID: j.ID, Script: j.Script, Model: j.Model, State: j.state, Plan: j.planName, Error: j.errMsg}
+	j.mu.Unlock()
+	raw, err := json.MarshalIndent(mf, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(filepath.Join(m.jobDir(j.ID), "manifest.json"), raw); err != nil {
+		return fmt.Errorf("serve: job %s manifest: %w", j.ID, err)
+	}
+	return nil
+}
+
+// writeCheckpoint serializes the trainer's state atomically. The trainer is
+// passed explicitly — it is the runner's, taken under j.mu once.
+func (m *Manager) writeCheckpoint(j *Job, tj *ml4all.TrainJob) error {
+	state, err := tj.Checkpoint()
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(m.ckptPath(j.ID), state); err != nil {
+		return fmt.Errorf("serve: job %s checkpoint: %w", j.ID, err)
+	}
+	return nil
+}
+
+// Shutdown stops the manager gracefully: submissions are refused, runners
+// finish their current iteration, checkpoint their jobs and exit, and
+// in-flight jobs are left re-queueable (state running/queued on disk) so a
+// new manager on the same directory resumes them. Blocks until the pool has
+// drained or ctx expires.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		close(m.shutdown)
+	}
+	m.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: shutdown: %w", ctx.Err())
+	}
+}
+
+// runner is one pool worker: it claims queued jobs and drives each to a
+// terminal state, a pause, or a shutdown checkpoint.
+func (m *Manager) runner() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.shutdown:
+			return
+		case j := <-m.queue:
+			m.runJob(j)
+		}
+	}
+}
+
+// interruptHook builds the engine Interrupt callback for a job: it fires on
+// job cancellation and on manager shutdown, making Step return before the
+// iteration mutates anything.
+func (m *Manager) interruptHook(j *Job) func() error {
+	return func() error {
+		select {
+		case <-j.cancelled:
+			return errCancelled
+		case <-m.shutdown:
+			return errShutdown
+		default:
+			return nil
+		}
+	}
+}
+
+// openJob binds the job to a live trainer: from its latest checkpoint when
+// one exists (restart path), fresh otherwise. Catalog access and planning
+// run under sysMu; the returned trainer is job-local.
+func (m *Manager) openJob(j *Job) error {
+	opts := ml4all.JobOptions{Interrupt: m.interruptHook(j)}
+	m.sysMu.Lock()
+	defer m.sysMu.Unlock()
+	if state, err := os.ReadFile(m.ckptPath(j.ID)); err == nil {
+		tj, err := m.sys.ResumeJob(j.stmt, state, opts)
+		if err != nil {
+			return fmt.Errorf("resuming from checkpoint: %w", err)
+		}
+		j.mu.Lock()
+		j.job = tj
+		j.mu.Unlock()
+		return nil
+	}
+	tj, err := m.sys.OpenJob(j.stmt, opts)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	j.job = tj
+	j.mu.Unlock()
+	return nil
+}
+
+// runJob drives one claimed job. On return the job is terminal, paused,
+// re-queued (shutdown), or failed.
+func (m *Manager) runJob(j *Job) {
+	j.mu.Lock()
+	if j.state != JobQueued { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	needOpen := j.job == nil
+	j.state = JobRunning
+	j.mu.Unlock()
+	m.persist(j)
+
+	if needOpen {
+		if err := m.openJob(j); err != nil {
+			// Position the failure in the submitted script, like Exec does.
+			m.fail(j, fmt.Errorf("statement at %s: %w", j.stmt.At(), err))
+			return
+		}
+	}
+	j.mu.Lock()
+	tj := j.job
+	j.planName = tj.PlanName()
+	j.iteration = tj.Iteration()
+	j.mu.Unlock()
+	m.persist(j) // record the chosen plan
+
+	lastCkpt := time.Now()
+	for !tj.Done() {
+		// Cancellation is observed at iteration edges too (not only through
+		// the engine hook), and strictly before the pause flag — a cancel
+		// racing a pending pause must win, not strand the job in paused.
+		select {
+		case <-j.cancelled:
+			j.mu.Lock()
+			j.state = JobCancelled
+			j.job = nil
+			j.mu.Unlock()
+			m.persist(j)
+			return
+		default:
+		}
+		j.mu.Lock()
+		pausing := j.pause
+		j.mu.Unlock()
+		if pausing {
+			if err := m.writeCheckpoint(j, tj); err != nil {
+				m.fail(j, err)
+				return
+			}
+			j.mu.Lock()
+			j.state = JobPaused
+			j.mu.Unlock()
+			m.persist(j)
+			return
+		}
+
+		err := tj.Step()
+		j.mu.Lock()
+		j.iteration = tj.Iteration()
+		j.mu.Unlock()
+		if err == nil && m.cfg.stepHook != nil {
+			m.cfg.stepHook(j.ID, tj.Iteration())
+		}
+		if err != nil {
+			switch {
+			case errors.Is(err, errShutdown):
+				// Checkpoint and leave the job re-queueable: a new manager
+				// on this directory resumes it bit-identically.
+				if cerr := m.writeCheckpoint(j, tj); cerr != nil {
+					m.fail(j, cerr)
+					return
+				}
+				j.mu.Lock()
+				j.state = JobQueued
+				j.mu.Unlock()
+				m.persist(j)
+				return
+			case errors.Is(err, errCancelled):
+				j.mu.Lock()
+				j.state = JobCancelled
+				j.job = nil
+				j.mu.Unlock()
+				m.persist(j)
+				return
+			default:
+				m.fail(j, err)
+				return
+			}
+		}
+
+		if m.cfg.CheckpointEvery > 0 && time.Since(lastCkpt) >= m.cfg.CheckpointEvery {
+			if err := m.writeCheckpoint(j, tj); err != nil {
+				m.fail(j, err)
+				return
+			}
+			lastCkpt = time.Now()
+		}
+	}
+	m.complete(j)
+}
+
+// complete publishes the finished model and settles the job.
+func (m *Manager) complete(j *Job) {
+	j.mu.Lock()
+	tj := j.job
+	j.mu.Unlock()
+	model := tj.Model()
+	prog := tj.Progress()
+	mv, err := m.reg.Publish(j.Model, model)
+	if err != nil {
+		m.fail(j, fmt.Errorf("publishing model: %w", err))
+		return
+	}
+	j.mu.Lock()
+	j.state = JobCompleted
+	j.iteration = prog.Iteration
+	j.finalErr = prog.FinalDelta
+	j.converged = prog.Converged
+	j.published = mv.Version
+	j.job = nil // release the trainer
+	j.mu.Unlock()
+	os.Remove(m.ckptPath(j.ID)) // terminal jobs don't resume
+	m.persist(j)
+}
+
+// fail settles a job as failed.
+func (m *Manager) fail(j *Job, err error) {
+	j.mu.Lock()
+	j.state = JobFailed
+	j.errMsg = err.Error()
+	j.job = nil
+	j.mu.Unlock()
+	m.persist(j)
+}

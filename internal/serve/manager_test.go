@@ -1,0 +1,331 @@
+package serve
+
+// Job-manager concurrency coverage, run under -race in CI: concurrent
+// submissions, cancellations, pause/resume prodding, status polling and
+// interval checkpointing over a bounded pool, followed by a graceful
+// shutdown — no deadlocks, no lost jobs, every survivor in a sane state.
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ml4all/internal/data"
+	"ml4all/internal/synth"
+)
+
+func testManager(t *testing.T, cfg ManagerConfig) (*Manager, *Registry) {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	reg, err := OpenRegistry(filepath.Join(cfg.Dir, "models"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := NewManager(cfg, servingSystem(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mgr, reg
+}
+
+func TestManagerConcurrentSubmitCancelShutdown(t *testing.T) {
+	trainPath, _ := writeDataset(t, synth.Spec{
+		Name: "race-train", Task: data.TaskSVM,
+		N: 800, D: 16, Density: 0.5, Noise: 0.1, Margin: 1, Seed: 9,
+	})
+	script := fmt.Sprintf("run svm on %s having epsilon 0.001, max iter 60;", trainPath)
+
+	mgr, reg := testManager(t, ManagerConfig{
+		Pool:            3,
+		CheckpointEvery: time.Millisecond, // exercise checkpoint writes under load
+	})
+
+	const submitters, perSubmitter = 4, 3
+	ids := make(chan string, submitters*perSubmitter)
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < perSubmitter; k++ {
+				j, err := mgr.Submit(script, fmt.Sprintf("race-%d-%d", g, k))
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				ids <- j.ID
+			}
+		}(g)
+	}
+
+	// Cancellers: cancel every third job as it appears. Pollers: hammer the
+	// status surface the HTTP layer reads. Prodders: pause/resume whatever
+	// happens to be running (both calls may legitimately refuse).
+	done := make(chan struct{})
+	var aux sync.WaitGroup
+	aux.Add(2)
+	go func() {
+		defer aux.Done()
+		n := 0
+		for id := range ids {
+			n++
+			if n%3 == 0 {
+				mgr.Cancel(id) // may race completion; both outcomes are legal
+			}
+		}
+	}()
+	go func() {
+		defer aux.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			for _, st := range mgr.List() {
+				if st.State == JobRunning {
+					mgr.Pause(st.ID)
+					mgr.Resume(st.ID)
+				}
+				_ = st.Iteration
+			}
+			mgr.StateCounts()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	close(ids)
+
+	// Every job must settle; paused stragglers (a pause that landed right
+	// before its resume was refused) are nudged back in.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		counts := mgr.StateCounts()
+		settled := counts[JobCompleted] + counts[JobFailed] + counts[JobCancelled]
+		if settled == submitters*perSubmitter {
+			break
+		}
+		if counts[JobPaused] > 0 {
+			for _, st := range mgr.List() {
+				if st.State == JobPaused {
+					mgr.Resume(st.ID)
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs never settled: %v", counts)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(done)
+	aux.Wait()
+
+	for _, st := range mgr.List() {
+		switch st.State {
+		case JobCompleted:
+			if st.Version == 0 {
+				t.Errorf("%s completed without publishing", st.ID)
+			}
+			if _, ok := reg.Get(st.Model, st.Version); !ok {
+				t.Errorf("%s published %s@%d but the registry lacks it", st.ID, st.Model, st.Version)
+			}
+		case JobCancelled, JobFailed:
+			if st.State == JobFailed {
+				t.Errorf("%s failed: %s", st.ID, st.Error)
+			}
+		default:
+			t.Errorf("%s left non-terminal: %s", st.ID, st.State)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := mgr.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Submit(script, "late"); err == nil {
+		t.Fatal("submit after shutdown must fail")
+	}
+}
+
+func TestManagerPauseResume(t *testing.T) {
+	trainPath, _ := writeDataset(t, synth.Spec{
+		Name: "pause-train", Task: data.TaskLogisticRegression,
+		N: 1500, D: 16, Density: 0.5, Noise: 0.1, Margin: 1, Seed: 10,
+	})
+	script := fmt.Sprintf("run logistic on %s having epsilon 0.0000000000000000001, max iter 800;", trainPath)
+
+	dir := t.TempDir()
+	cfg := ManagerConfig{Dir: dir, Pool: 1, CheckpointEvery: -1}
+	cfg.stepHook = func(string, int) { time.Sleep(100 * time.Microsecond) }
+	mgr, _ := testManager(t, cfg)
+	defer mgr.Shutdown(context.Background())
+
+	j, err := mgr.Submit(script, "pausable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j.Status, JobRunning, 30*time.Second)
+	deadline := time.Now().Add(30 * time.Second)
+	for j.Status().Iteration < 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no progress: %+v", j.Status())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := mgr.Pause(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, j.Status, JobPaused, 30*time.Second)
+	if st.Iteration == 0 {
+		t.Fatal("paused with no recorded progress")
+	}
+	if _, ok := mgr.Job(j.ID); !ok {
+		t.Fatalf("job vanished while paused")
+	}
+	if err := mgr.Pause(j.ID); err == nil {
+		t.Fatal("pausing a paused job must refuse")
+	}
+	if err := mgr.Resume(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, j.Status, JobCompleted, 60*time.Second)
+	if final.Iteration != 800 {
+		t.Fatalf("resumed job ran %d iterations, want the full 800", final.Iteration)
+	}
+	if err := mgr.Cancel(j.ID); err == nil {
+		t.Fatal("cancelling a completed job must refuse")
+	}
+}
+
+func TestManagerCancelQueuedAndRunning(t *testing.T) {
+	trainPath, _ := writeDataset(t, synth.Spec{
+		Name: "cancel-train", Task: data.TaskLogisticRegression,
+		N: 1500, D: 16, Density: 0.5, Noise: 0.1, Margin: 1, Seed: 11,
+	})
+	script := fmt.Sprintf("run logistic on %s having epsilon 0.0000000000000000001, max iter 800;", trainPath)
+
+	cfg := ManagerConfig{Pool: 1, CheckpointEvery: -1}
+	cfg.stepHook = func(string, int) { time.Sleep(100 * time.Microsecond) }
+	mgr, _ := testManager(t, cfg)
+	defer mgr.Shutdown(context.Background())
+
+	running, err := mgr.Submit(script, "will-cancel-running")
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := mgr.Submit(script, "will-cancel-queued")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The queued job holds no slot (pool=1): cancel settles it immediately.
+	if err := mgr.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st := queued.Status(); st.State != JobCancelled {
+		t.Fatalf("queued job is %s after cancel", st.State)
+	}
+	waitState(t, running.Status, JobRunning, 30*time.Second)
+	if err := mgr.Cancel(running.ID); err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, running.Status, JobCancelled, 30*time.Second)
+	if st.Iteration >= 800 {
+		t.Fatalf("job ran to completion (%d iterations) despite the cancel", st.Iteration)
+	}
+}
+
+// TestManagerFailedSubmissionIsActionable pins the satellite contract: a job
+// whose statement cannot bind fails with the statement's source position.
+func TestManagerFailedSubmissionIsActionable(t *testing.T) {
+	mgr, _ := testManager(t, ManagerConfig{Pool: 1})
+	defer mgr.Shutdown(context.Background())
+
+	// Parse errors surface synchronously, with position.
+	if _, err := mgr.Submit("run logistic banana;", ""); err == nil {
+		t.Fatal("unparsable script must fail at submit")
+	}
+	// Bind errors surface asynchronously on the job, still positioned.
+	j, err := mgr.Submit("run logistic on /does/not/exist.txt having max iter 5;", "doomed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for !j.Status().State.terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("job never settled: %+v", j.Status())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := j.Status()
+	if st.State != JobFailed {
+		t.Fatalf("job is %s, want failed", st.State)
+	}
+	if want := "statement at 1:1"; !strings.Contains(st.Error, want) {
+		t.Fatalf("failure lacks position %q: %q", want, st.Error)
+	}
+}
+
+// TestManagerCancelBeatsPendingPause pins the fixed race: a cancel arriving
+// after a pause request but before the runner's next iteration edge must
+// cancel the job, not strand it paused.
+func TestManagerCancelBeatsPendingPause(t *testing.T) {
+	trainPath, _ := writeDataset(t, synth.Spec{
+		Name: "cancel-pause-train", Task: data.TaskLogisticRegression,
+		N: 1500, D: 16, Density: 0.5, Noise: 0.1, Margin: 1, Seed: 12,
+	})
+	script := fmt.Sprintf("run logistic on %s having epsilon 0.0000000000000000001, max iter 800;", trainPath)
+
+	// Gate the runner inside the step hook so the test can act strictly
+	// between two iteration edges.
+	gated := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	cfg := ManagerConfig{Pool: 1, CheckpointEvery: -1}
+	cfg.stepHook = func(_ string, iter int) {
+		if iter == 5 {
+			once.Do(func() { close(gated) })
+			<-release
+		}
+	}
+	mgr, _ := testManager(t, cfg)
+	defer mgr.Shutdown(context.Background())
+
+	j, err := mgr.Submit(script, "racy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-gated // runner is mid-hook, before the next edge
+	if err := mgr.Pause(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	st := waitState(t, j.Status, JobCancelled, 30*time.Second)
+	if st.State != JobCancelled {
+		t.Fatalf("job settled as %s, want cancelled", st.State)
+	}
+}
+
+// TestManagerRejectsAdaptiveAtSubmit: the statically detectable failure must
+// not become a deferred, asynchronous one.
+func TestManagerRejectsAdaptiveAtSubmit(t *testing.T) {
+	mgr, _ := testManager(t, ManagerConfig{Pool: 1})
+	defer mgr.Shutdown(context.Background())
+	_, err := mgr.Submit("run classification on x.txt having adaptive;", "")
+	if err == nil || !strings.Contains(err.Error(), "adaptive") {
+		t.Fatalf("adaptive submit must be rejected synchronously, got %v", err)
+	}
+	if n := len(mgr.List()); n != 0 {
+		t.Fatalf("rejected submit left %d jobs behind", n)
+	}
+}

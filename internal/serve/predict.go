@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"ml4all/internal/data"
+	"ml4all/internal/metrics"
+)
+
+// PredictRequest is the body of POST /v1/models/{name}/predict. Exactly one
+// of Rows and Instances must be set:
+//
+//   - Rows are text lines. Lines containing ':' parse as LIBSVM (sparse)
+//     rows whose leading label is optional; otherwise they parse as
+//     comma-separated dense feature rows (no label column).
+//   - Instances are dense feature vectors, at most model-dimension long
+//     (shorter vectors are zero-padded, matching how sparse training data
+//     treats absent features).
+type PredictRequest struct {
+	Rows      []string    `json:"rows,omitempty"`
+	Instances [][]float64 `json:"instances,omitempty"`
+}
+
+// PredictResponse reports the scored batch.
+type PredictResponse struct {
+	Model   string    `json:"model"`
+	Version int       `json:"version"`
+	Task    string    `json:"task"`
+	N       int       `json:"n"`
+	Labels  []float64 `json:"labels"` // predicted labels (±1, or raw score for regression)
+	Scores  []float64 `json:"scores"` // raw margins <x, w>
+}
+
+// buildRequestMatrix parses a prediction request into a small columnar arena
+// — the same zero-copy form the training stack reads — so scoring runs
+// through the batched block kernels. d is the model dimension; every row is
+// validated against it up front.
+func buildRequestMatrix(req *PredictRequest, d int) (*data.Matrix, error) {
+	switch {
+	case len(req.Rows) > 0 && len(req.Instances) > 0:
+		return nil, fmt.Errorf("serve: request sets both rows and instances; pick one")
+	case len(req.Rows) > 0:
+		return parseRequestRows(req.Rows, d)
+	case len(req.Instances) > 0:
+		return buildInstances(req.Instances, d)
+	default:
+		return nil, fmt.Errorf("serve: empty prediction request: set rows or instances")
+	}
+}
+
+// parseRequestRows parses text rows. The batch is sparse when any row carries
+// a ':' (LIBSVM), dense comma-separated otherwise — one format per request,
+// because one matrix holds the batch.
+func parseRequestRows(rows []string, d int) (*data.Matrix, error) {
+	libsvm := false
+	for _, line := range rows {
+		if strings.ContainsRune(line, ':') {
+			libsvm = true
+			break
+		}
+	}
+	if libsvm {
+		b := data.NewMatrixBuilder(len(rows), 0)
+		var idx []int32
+		var vals []float64
+		for i, line := range rows {
+			label, _, oidx, ovals, ok, err := data.ParsePredictLIBSVM(line, idx[:0], vals[:0])
+			if err != nil {
+				return nil, fmt.Errorf("serve: row %d: %w", i+1, err)
+			}
+			if !ok {
+				return nil, fmt.Errorf("serve: row %d is blank", i+1)
+			}
+			idx, vals = oidx, ovals
+			for _, ix := range idx {
+				if int(ix) >= d {
+					// Report the 1-based index the caller wrote.
+					return nil, fmt.Errorf("serve: row %d references feature %d, model has %d (LIBSVM indices 1..%d)", i+1, ix+1, d, d)
+				}
+			}
+			if err := b.AppendSparse(label, idx, vals); err != nil {
+				return nil, fmt.Errorf("serve: row %d: %w", i+1, err)
+			}
+		}
+		return b.Build(), nil
+	}
+	b := data.NewDenseMatrixBuilder(len(rows), d)
+	var vals []float64
+	for i, line := range rows {
+		ovals, ok, err := data.ParsePredictCSV(line, vals[:0])
+		if err != nil {
+			return nil, fmt.Errorf("serve: row %d: %w", i+1, err)
+		}
+		if !ok {
+			return nil, fmt.Errorf("serve: row %d is blank", i+1)
+		}
+		vals = ovals
+		if err := appendPadded(b, vals, d, i); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// buildInstances packs dense JSON feature vectors into a strided arena.
+func buildInstances(instances [][]float64, d int) (*data.Matrix, error) {
+	b := data.NewDenseMatrixBuilder(len(instances), d)
+	for i, inst := range instances {
+		if err := appendPadded(b, inst, d, i); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// appendPadded appends one dense row zero-padded to the model dimension.
+// Padding with zeros leaves every margin bit-identical — a zero feature
+// contributes exactly nothing to the dot product.
+func appendPadded(b *data.MatrixBuilder, vals []float64, d, i int) error {
+	if len(vals) > d {
+		return fmt.Errorf("serve: row %d has %d features, model has %d", i+1, len(vals), d)
+	}
+	buf, err := b.DenseRowBuffer() // handed out zero-filled
+	if err != nil {
+		return err
+	}
+	copy(buf, vals)
+	b.CommitDenseRow(0)
+	return nil
+}
+
+// predict scores one request against one registry model through the blocked
+// margin kernels, returning raw scores and predicted labels.
+func predict(mv *ModelVersion, req *PredictRequest) (*PredictResponse, error) {
+	m := mv.Model
+	mat, err := buildRequestMatrix(req, len(m.Weights))
+	if err != nil {
+		return nil, err
+	}
+	scores, err := m.ScoreMatrix(mat)
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]float64, len(scores))
+	for i, s := range scores {
+		labels[i] = metrics.PredictScore(m.Task, s)
+	}
+	return &PredictResponse{
+		Model:   mv.Name,
+		Version: mv.Version,
+		Task:    m.Task.String(),
+		N:       len(scores),
+		Labels:  labels,
+		Scores:  scores,
+	}, nil
+}

@@ -1,0 +1,152 @@
+package serve
+
+// Prediction-service request parsing and scoring: every accepted form
+// (label-optional LIBSVM rows, bare-feature CSV rows, dense JSON instances)
+// lands in a columnar arena and scores through the blocked margin kernels,
+// bit-identically to the per-row Dot path; malformed and mis-dimensioned
+// requests are rejected with actionable errors.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ml4all"
+	"ml4all/internal/data"
+	"ml4all/internal/linalg"
+)
+
+func predictModel() *ModelVersion {
+	return &ModelVersion{
+		Name: "m", Version: 3,
+		Model: &ml4all.Model{
+			Name: "m", Task: data.TaskSVM,
+			Weights: linalg.Vector{0.5, -1.25, 2, 0.125},
+		},
+	}
+}
+
+func TestPredictFormsAgree(t *testing.T) {
+	mv := predictModel()
+	w := mv.Model.Weights
+	// The same three rows in all three request forms (LIBSVM feature
+	// indices are 1-based on the wire, like the dataset files).
+	sparse := []string{
+		"1:1 3:2",   // label-less LIBSVM
+		"1 2:4 4:8", // labeled LIBSVM (label ignored)
+		"4:1",
+	}
+	dense := []string{"1,0,2,0", "0,4,0,8", "0,0,0,1"}
+	instances := [][]float64{{1, 0, 2}, {0, 4, 0, 8}, {0, 0, 0, 1}} // first is short: zero-padded
+
+	want := []float64{
+		1*w[0] + 2*w[2],
+		4*w[1] + 8*w[3],
+		1 * w[3],
+	}
+	for name, req := range map[string]*PredictRequest{
+		"libsvm":    {Rows: sparse},
+		"csv":       {Rows: dense},
+		"instances": {Instances: instances},
+	} {
+		resp, err := predict(mv, req)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if resp.Model != "m" || resp.Version != 3 || resp.Task != "SVM" || resp.N != 3 {
+			t.Fatalf("%s: header %+v", name, resp)
+		}
+		for i := range want {
+			if resp.Scores[i] != want[i] {
+				t.Fatalf("%s row %d: score %g != %g", name, i, resp.Scores[i], want[i])
+			}
+			wantLabel := 1.0
+			if want[i] < 0 {
+				wantLabel = -1
+			}
+			if resp.Labels[i] != wantLabel {
+				t.Fatalf("%s row %d: label %g != %g", name, i, resp.Labels[i], wantLabel)
+			}
+		}
+	}
+}
+
+func TestPredictRegressionReturnsRawScores(t *testing.T) {
+	mv := predictModel()
+	mv.Model.Task = data.TaskLinearRegression
+	resp, err := predict(mv, &PredictRequest{Instances: [][]float64{{1, 1, 1, 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5 - 1.25 + 2 + 0.125
+	if resp.Labels[0] != want || resp.Scores[0] != want {
+		t.Fatalf("regression label/score = %g/%g, want %g", resp.Labels[0], resp.Scores[0], want)
+	}
+}
+
+func TestPredictRejectsBadRequests(t *testing.T) {
+	mv := predictModel()
+	cases := []struct {
+		name    string
+		req     *PredictRequest
+		wantErr string
+	}{
+		{"empty", &PredictRequest{}, "empty prediction request"},
+		{"both", &PredictRequest{Rows: []string{"1:1"}, Instances: [][]float64{{1}}}, "both rows and instances"},
+		{"oob-feature", &PredictRequest{Rows: []string{"9:1"}}, "references feature 9, model has 4"},
+		{"long-instance", &PredictRequest{Instances: [][]float64{{1, 2, 3, 4, 5}}}, "has 5 features"},
+		{"long-csv", &PredictRequest{Rows: []string{"1,2,3,4,5"}}, "has 5 features"},
+		{"blank-row", &PredictRequest{Rows: []string{"1:1", "   "}}, "row 2 is blank"},
+		{"garbage-libsvm", &PredictRequest{Rows: []string{"1:one"}}, "row 1"},
+		{"garbage-csv", &PredictRequest{Rows: []string{"1,two"}}, "row 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := predict(mv, tc.req)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("want error containing %q, got %v", tc.wantErr, err)
+			}
+		})
+	}
+}
+
+// TestPredictMatchesPerRowDot pins the batched path against the per-row
+// reference over a sparse arena wide enough to cross block boundaries.
+func TestPredictMatchesPerRowDot(t *testing.T) {
+	d := 40
+	w := make(linalg.Vector, d)
+	for i := range w {
+		w[i] = float64(i%7) - 2.5
+	}
+	mv := &ModelVersion{Name: "wide", Version: 1, Model: &ml4all.Model{
+		Name: "wide", Task: data.TaskLogisticRegression, Weights: w,
+	}}
+	rows := make([]string, 700) // > data.DefaultBlockSize, so ≥ 2 blocks
+	for i := range rows {
+		var fields []string
+		for k := 0; k < 5; k++ {
+			fields = append(fields, fmt.Sprintf("%d:0.%03d", (i*3+k*11)%d+1, 100+(i+k)%900))
+		}
+		rows[i] = strings.Join(fields, " ")
+	}
+	resp, err := predict(mv, &PredictRequest{Rows: rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: parse each row independently, normalize it the way the
+	// arena builder does, and Dot it.
+	for i, line := range rows {
+		_, _, idx, vals, ok, err := data.ParsePredictLIBSVM(line, nil, nil)
+		if err != nil || !ok {
+			t.Fatalf("row %d: %v %v", i, ok, err)
+		}
+		n, err := linalg.SortDedup(idx, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := data.NewSparseRow(0, idx[:n], vals[:n]).Dot(w)
+		if resp.Scores[i] != want {
+			t.Fatalf("row %d: blocked score %g != per-row %g", i, resp.Scores[i], want)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"ml4all"
+)
+
+// Registry is the versioned model store: every published model lives on disk
+// as name@version (one SaveModel file per version under dir/<name>/), with an
+// in-memory index in front. Publishing is atomic — the model file is written
+// to a temp name and renamed into place, so a concurrent reader (or a crash)
+// never observes a half-written model — and a version number is never reused
+// within one registry directory: deletion leaves a tombstone file behind, so
+// the high-water mark survives restarts and a client pinning name@version can
+// never silently receive a different model under the same coordinates.
+type Registry struct {
+	dir string
+
+	mu     sync.RWMutex
+	models map[string][]*ModelVersion // per name, ascending by version
+	highV  map[string]int             // per name, highest version ever assigned
+}
+
+// errNotFound marks lookup failures (vs I/O faults) so the HTTP layer can
+// map them to 404 instead of 500.
+var errNotFound = errors.New("not found")
+
+// ModelVersion is one published model plus its registry coordinates.
+type ModelVersion struct {
+	Name    string
+	Version int
+	Path    string
+	Model   *ml4all.Model
+}
+
+// versionFile renders the on-disk file name of a version.
+func versionFile(v int) string { return fmt.Sprintf("v%06d.model", v) }
+
+// tombstoneFile renders the file name a deleted version is renamed to. The
+// tombstone keeps the version number burned even across restarts.
+func tombstoneFile(v int) string { return fmt.Sprintf(".deleted-%s", versionFile(v)) }
+
+// parseVersionFile inverts versionFile; ok is false for foreign files.
+func parseVersionFile(name string) (int, bool) {
+	rest, found := strings.CutPrefix(name, "v")
+	rest, cut := strings.CutSuffix(rest, ".model")
+	if !found || !cut {
+		return 0, false
+	}
+	v, err := strconv.Atoi(rest)
+	if err != nil || v <= 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// validName guards registry names: they become path components.
+func validName(name string) error {
+	if name == "" || len(name) > 128 {
+		return fmt.Errorf("serve: invalid model name %q", name)
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return fmt.Errorf("serve: invalid model name %q: only [A-Za-z0-9._-] allowed", name)
+		}
+	}
+	if name[0] == '.' {
+		return fmt.Errorf("serve: invalid model name %q: must not start with a dot", name)
+	}
+	return nil
+}
+
+// OpenRegistry opens (creating if needed) a registry rooted at dir and loads
+// every model version found there, so published models survive restarts.
+func OpenRegistry(dir string) (*Registry, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: registry dir: %w", err)
+	}
+	r := &Registry{dir: dir, models: map[string][]*ModelVersion{}, highV: map[string]int{}}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: registry dir: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() || validName(e.Name()) != nil {
+			continue
+		}
+		name := e.Name()
+		files, err := os.ReadDir(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("serve: registry %s: %w", name, err)
+		}
+		for _, f := range files {
+			if rest, found := strings.CutPrefix(f.Name(), ".deleted-"); found {
+				// Tombstone: the version number is burned, the model gone.
+				if v, ok := parseVersionFile(rest); ok && v > r.highV[name] {
+					r.highV[name] = v
+				}
+				continue
+			}
+			v, ok := parseVersionFile(f.Name())
+			if !ok {
+				continue // temp files, strays
+			}
+			path := filepath.Join(dir, name, f.Name())
+			m, err := ml4all.LoadModel(path)
+			if err != nil {
+				return nil, fmt.Errorf("serve: loading %s@%d: %w", name, v, err)
+			}
+			m.Name = name
+			r.models[name] = append(r.models[name], &ModelVersion{Name: name, Version: v, Path: path, Model: m})
+			if v > r.highV[name] {
+				r.highV[name] = v
+			}
+		}
+		sort.Slice(r.models[name], func(i, j int) bool {
+			return r.models[name][i].Version < r.models[name][j].Version
+		})
+		if len(r.models[name]) == 0 {
+			delete(r.models, name)
+		}
+	}
+	return r, nil
+}
+
+// Publish persists m as the next version of name and makes it the latest.
+// The write is atomic: a temp file renamed into its version slot.
+func (r *Registry) Publish(name string, m *ml4all.Model) (*ModelVersion, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	next := r.highV[name] + 1
+	ndir := filepath.Join(r.dir, name)
+	if err := os.MkdirAll(ndir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: publish %s: %w", name, err)
+	}
+	// Copy with the registry coordinates baked in, so the persisted file and
+	// the served metadata agree.
+	pub := *m
+	pub.Name = name
+	tmp := filepath.Join(ndir, fmt.Sprintf(".tmp-%s", versionFile(next)))
+	if err := ml4all.SaveModel(tmp, &pub); err != nil {
+		os.Remove(tmp) // SaveModel may have created a partial file
+		return nil, fmt.Errorf("serve: publish %s@%d: %w", name, next, err)
+	}
+	path := filepath.Join(ndir, versionFile(next))
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return nil, fmt.Errorf("serve: publish %s@%d: %w", name, next, err)
+	}
+	mv := &ModelVersion{Name: name, Version: next, Path: path, Model: &pub}
+	r.models[name] = append(r.models[name], mv)
+	r.highV[name] = next
+	return mv, nil
+}
+
+// Get returns a model version; version 0 means the latest.
+func (r *Registry) Get(name string, version int) (*ModelVersion, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	vs := r.models[name]
+	if len(vs) == 0 {
+		return nil, false
+	}
+	if version == 0 {
+		return vs[len(vs)-1], true
+	}
+	for _, mv := range vs {
+		if mv.Version == version {
+			return mv, true
+		}
+	}
+	return nil, false
+}
+
+// Versions returns every version of a model, ascending.
+func (r *Registry) Versions(name string) []*ModelVersion {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]*ModelVersion(nil), r.models[name]...)
+}
+
+// Names returns the registered model names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.models))
+	for name := range r.models {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Delete removes one version of a model, or — with version 0 — the whole
+// model. Removing the latest version promotes the previous one. On disk the
+// version file becomes a tombstone (rename, not removal), keeping the
+// version number burned across restarts.
+func (r *Registry) Delete(name string, version int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	vs := r.models[name]
+	if len(vs) == 0 {
+		return fmt.Errorf("serve: model %q %w", name, errNotFound)
+	}
+	entomb := func(mv *ModelVersion) error {
+		dst := filepath.Join(filepath.Dir(mv.Path), tombstoneFile(mv.Version))
+		if err := os.Rename(mv.Path, dst); err != nil {
+			return fmt.Errorf("serve: delete %s@%d: %w", name, mv.Version, err)
+		}
+		return nil
+	}
+	if version == 0 {
+		for _, mv := range vs {
+			if err := entomb(mv); err != nil {
+				return err
+			}
+		}
+		delete(r.models, name)
+		return nil
+	}
+	for i, mv := range vs {
+		if mv.Version == version {
+			if err := entomb(mv); err != nil {
+				return err
+			}
+			r.models[name] = append(vs[:i:i], vs[i+1:]...)
+			if len(r.models[name]) == 0 {
+				delete(r.models, name)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("serve: model %s@%d %w", name, version, errNotFound)
+}

@@ -1,0 +1,125 @@
+// Package serve is the online serving subsystem: a long-running service in
+// front of the cost-based optimizer, composing the resumable trainer (PR 2),
+// the columnar arena (PR 3) and the block kernels (PR 4) into three
+// cooperating pieces —
+//
+//   - a job manager (manager.go) that accepts declarative training jobs over
+//     HTTP/JSON and runs them on a bounded pool of step-driven trainers:
+//     cancellable between iterations, pausable, checkpointed to disk on an
+//     interval, and resumable after a process restart, with the cost-based
+//     optimizer choosing each job's physical plan;
+//
+//   - a model registry (registry.go) that versions trained models as
+//     name@version, persisted through SaveModel/LoadModel with atomic
+//     publish, so the serving fleet never observes a half-written model;
+//
+//   - a prediction service (predict.go) that parses request rows into a
+//     small columnar arena and scores them through the batched block margin
+//     kernels — the same kernels training uses, which is what makes served
+//     predictions bit-identical to offline Evaluate on the same rows.
+//
+// Per-endpoint latency and throughput counters are exposed at /metrics
+// (Prometheus text format) and a liveness summary at /healthz. See DESIGN.md
+// §9 for the architecture and README.md for a curl quickstart.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"time"
+
+	"ml4all"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Dir is the state root: the model registry lives under Dir/models,
+	// job manifests and checkpoints under Dir/jobs.
+	Dir string
+	// Pool is the number of training jobs running concurrently. 0 means 2.
+	Pool int
+	// QueueDepth bounds the submission queue. 0 means 256.
+	QueueDepth int
+	// CheckpointEvery is the interval between job checkpoint writes.
+	// 0 means 2s; negative disables interval checkpoints.
+	CheckpointEvery time.Duration
+	// System, when non-nil, is the configured System jobs plan and train
+	// on (cluster config, estimator settings, worker pool). Nil means
+	// ml4all.NewSystem().
+	System *ml4all.System
+}
+
+// Server wires the job manager, the model registry and the prediction
+// service behind one http.Handler.
+type Server struct {
+	cfg      Config
+	manager  *Manager
+	registry *Registry
+	counters *Counters
+	started  time.Time
+}
+
+// New opens the server's state directory (resuming any interrupted jobs and
+// reloading every published model) and starts the training pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("serve: Config.Dir is required")
+	}
+	sys := cfg.System
+	if sys == nil {
+		sys = ml4all.NewSystem()
+	}
+	reg, err := OpenRegistry(filepath.Join(cfg.Dir, "models"))
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := NewManager(ManagerConfig{
+		Dir:             cfg.Dir,
+		Pool:            cfg.Pool,
+		QueueDepth:      cfg.QueueDepth,
+		CheckpointEvery: cfg.CheckpointEvery,
+	}, sys, reg)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:      cfg,
+		manager:  mgr,
+		registry: reg,
+		counters: newCounters(),
+		started:  time.Now(),
+	}, nil
+}
+
+// Manager exposes the job manager (tests and the CLI drive it directly).
+func (s *Server) Manager() *Manager { return s.manager }
+
+// Registry exposes the model registry.
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Shutdown drains the training pool gracefully: running jobs checkpoint and
+// are left resumable on disk. The HTTP listener (owned by the caller) should
+// stop first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.manager.Shutdown(ctx)
+}
+
+// Handler returns the service's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.wrap("jobs.submit", s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", s.wrap("jobs.list", s.handleJobList))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.wrap("jobs.get", s.handleJobGet))
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.wrap("jobs.cancel", s.handleJobCancel))
+	mux.HandleFunc("POST /v1/jobs/{id}/pause", s.wrap("jobs.pause", s.handleJobPause))
+	mux.HandleFunc("POST /v1/jobs/{id}/resume", s.wrap("jobs.resume", s.handleJobResume))
+	mux.HandleFunc("GET /v1/models", s.wrap("models.list", s.handleModelList))
+	mux.HandleFunc("GET /v1/models/{name}", s.wrap("models.get", s.handleModelGet))
+	mux.HandleFunc("DELETE /v1/models/{name}", s.wrap("models.delete", s.handleModelDelete))
+	mux.HandleFunc("POST /v1/models/{name}/predict", s.wrap("predict", s.handlePredict))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}

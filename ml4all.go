@@ -268,10 +268,14 @@ func (s *System) Exec(script string) ([]Output, error) {
 		return nil, err
 	}
 	var outs []Output
-	for _, st := range stmts {
+	for i, st := range stmts {
 		out, err := s.execStmt(st)
 		if err != nil {
-			return outs, err
+			// Execution errors carry the statement's ordinal and source
+			// position, so a failure in a multi-statement script (or a
+			// server-submitted job) points back into the submitted text the
+			// way parse errors already do.
+			return outs, fmt.Errorf("ml4all: statement %d at %s: %w", i+1, st.At(), err)
 		}
 		outs = append(outs, out)
 	}
@@ -306,68 +310,45 @@ func (s *System) execStmt(st lang.Stmt) (Output, error) {
 	}
 }
 
-// runQuery binds a parsed run statement to datasets/operators and trains.
+// runQuery binds a parsed run statement to datasets/operators and trains. It
+// is a loop over the resumable TrainJob the serving subsystem drives (see
+// serving.go), so offline Exec and a server-submitted job execute the exact
+// same path — same plan choice, same weights, same simulated clock.
 func (s *System) runQuery(q *lang.Run) (*Model, error) {
-	if len(q.Sources) == 0 {
-		return nil, fmt.Errorf("ml4all: run without a data source")
-	}
-	ds, err := s.resolveSource(q)
-	if err != nil {
-		return nil, err
-	}
-	p, err := bindParams(q, ds)
-	if err != nil {
-		return nil, err
-	}
-
-	sim := cluster.New(s.Cluster)
-	stn, err := storage.Build(ds, s.Layout)
-	if err != nil {
-		return nil, err
-	}
-
 	if q.Adaptive {
+		if len(q.Sources) == 0 {
+			return nil, fmt.Errorf("ml4all: run without a data source")
+		}
+		ds, err := s.resolveSource(q)
+		if err != nil {
+			return nil, err
+		}
+		p, err := bindParams(q, ds)
+		if err != nil {
+			return nil, err
+		}
+		sim := cluster.New(s.Cluster)
+		stn, err := storage.Build(ds, s.Layout)
+		if err != nil {
+			return nil, err
+		}
 		return s.runAdaptiveQuery(q, ds, sim, stn, p)
 	}
 
-	dec, err := planner.Choose(sim, stn, p, planner.Options{Estimator: s.estimatorConfig()})
+	j, err := s.OpenJob(q, JobOptions{})
 	if err != nil {
 		return nil, err
 	}
-
-	choice, err := applyUsing(dec, q)
-	if err != nil {
-		return nil, err
-	}
-	if q.Time > 0 {
-		budget := Seconds(q.Time.Seconds())
-		if choice.Cost > budget {
-			return nil, fmt.Errorf(
-				"ml4all: cannot satisfy time constraint %s: best plan %s needs an estimated %.1fs; revisit the time constraint",
-				q.Time, choice.Plan.Name(), float64(choice.Cost))
+	for !j.Done() {
+		if err := j.Step(); err != nil {
+			return nil, err
 		}
 	}
-
-	plan := choice.Plan
-	res, err := engine.Run(sim, stn, &plan, engine.Options{Seed: s.Cluster.Seed, Workers: s.Workers})
-	if err != nil {
-		return nil, err
+	m := j.Model()
+	if m.Name == "" {
+		m.Name = fmt.Sprintf("q%d", len(s.models)+1)
 	}
-
-	name := q.Result
-	if name == "" {
-		name = fmt.Sprintf("q%d", len(s.models)+1)
-	}
-	m := &Model{
-		Name:       name,
-		Task:       ds.Task,
-		Weights:    res.Weights,
-		PlanName:   plan.Name(),
-		Iterations: res.Iterations,
-		TrainTime:  sim.Now(),
-		Converged:  res.Converged,
-	}
-	s.models[name] = m
+	s.models[m.Name] = m
 	return m, nil
 }
 
@@ -556,7 +537,9 @@ func (s *System) predictQuery(q *lang.Predict) (Report, error) {
 }
 
 // SaveModel persists a model as a small text file: a header with provenance
-// and one weight per line.
+// and one weight per line. The header's key=value fields round-trip through
+// LoadModel (the model registry depends on it); %.17g weight rendering makes
+// the weights themselves round-trip bit-exactly.
 func SaveModel(path string, m *Model) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -564,8 +547,8 @@ func SaveModel(path string, m *Model) error {
 	}
 	defer f.Close()
 	w := bufio.NewWriter(f)
-	fmt.Fprintf(w, "# ml4all model %s task=%s plan=%s iterations=%d\n",
-		m.Name, m.Task, m.PlanName, m.Iterations)
+	fmt.Fprintf(w, "# ml4all model %s task=%s plan=%s iterations=%d converged=%t traintime=%.17g\n",
+		m.Name, m.Task, m.PlanName, m.Iterations, m.Converged, float64(m.TrainTime))
 	for _, v := range m.Weights {
 		fmt.Fprintf(w, "%.17g\n", v)
 	}
@@ -596,10 +579,33 @@ func LoadModel(path string) (*Model, error) {
 						m.Task = data.TaskLogisticRegression
 					case data.TaskLinearRegression.String():
 						m.Task = data.TaskLinearRegression
+					default:
+						return nil, fmt.Errorf("ml4all: model file %s names unknown task %q", path, v)
 					}
 				}
 				if v, ok := strings.CutPrefix(field, "plan="); ok {
 					m.PlanName = v
+				}
+				if v, ok := strings.CutPrefix(field, "iterations="); ok {
+					n, err := strconv.Atoi(v)
+					if err != nil {
+						return nil, fmt.Errorf("ml4all: bad iterations %q in %s: %w", v, path, err)
+					}
+					m.Iterations = n
+				}
+				if v, ok := strings.CutPrefix(field, "converged="); ok {
+					b, err := strconv.ParseBool(v)
+					if err != nil {
+						return nil, fmt.Errorf("ml4all: bad converged %q in %s: %w", v, path, err)
+					}
+					m.Converged = b
+				}
+				if v, ok := strings.CutPrefix(field, "traintime="); ok {
+					t, err := strconv.ParseFloat(v, 64)
+					if err != nil {
+						return nil, fmt.Errorf("ml4all: bad traintime %q in %s: %w", v, path, err)
+					}
+					m.TrainTime = Seconds(t)
 				}
 			}
 			continue

@@ -1,0 +1,142 @@
+package ml4all
+
+// SaveModel/LoadModel round-trip coverage: the model registry persists every
+// published version through this pair, so weights must survive bit-exactly
+// (dense-trained and sparse-trained models alike), the header metadata must
+// round-trip for every task kind, and corrupted files must fail loudly
+// instead of producing a silently wrong model.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ml4all/internal/data"
+	"ml4all/internal/linalg"
+)
+
+func TestModelRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *Model
+	}{
+		{
+			// Dense-trained shape: every coordinate populated, including
+			// values that stress %.17g round-tripping.
+			name: "dense-svm",
+			m: &Model{
+				Name: "dense", Task: data.TaskSVM, PlanName: "BGD(eager)",
+				Weights:    linalg.Vector{0.1, -2.5e-17, 1.0 / 3.0, 4e300, -0.0, 7},
+				Iterations: 123, TrainTime: 45.675, Converged: true,
+			},
+		},
+		{
+			// Sparse-trained shape: mostly-zero weights, as high-dimensional
+			// LIBSVM datasets produce.
+			name: "sparse-logr",
+			m: &Model{
+				Name: "sparse", Task: data.TaskLogisticRegression, PlanName: "MGD(lazy,bernoulli)",
+				Weights:    linalg.Vector{0, 0, 1e-9, 0, 0, 0, -3.25, 0, 0, 0.5},
+				Iterations: 7, TrainTime: 0, Converged: false,
+			},
+		},
+		{
+			name: "linr",
+			m: &Model{
+				Name: "reg", Task: data.TaskLinearRegression, PlanName: "SGD(eager,random)",
+				Weights:    linalg.Vector{1.5},
+				Iterations: 9999, TrainTime: 1e-3, Converged: true,
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "m.model")
+			if err := SaveModel(path, tc.m); err != nil {
+				t.Fatal(err)
+			}
+			got, err := LoadModel(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Weights.Equal(tc.m.Weights, 0) {
+				t.Fatalf("weights differ:\n got %v\nwant %v", got.Weights, tc.m.Weights)
+			}
+			if got.Task != tc.m.Task {
+				t.Fatalf("task %v != %v", got.Task, tc.m.Task)
+			}
+			if got.PlanName != tc.m.PlanName {
+				t.Fatalf("plan %q != %q", got.PlanName, tc.m.PlanName)
+			}
+			if got.Iterations != tc.m.Iterations {
+				t.Fatalf("iterations %d != %d", got.Iterations, tc.m.Iterations)
+			}
+			if got.Converged != tc.m.Converged {
+				t.Fatalf("converged %v != %v", got.Converged, tc.m.Converged)
+			}
+			if got.TrainTime != tc.m.TrainTime {
+				t.Fatalf("traintime %v != %v", got.TrainTime, tc.m.TrainTime)
+			}
+		})
+	}
+}
+
+func TestLoadModelCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	cases := []struct {
+		name, content, wantErr string
+	}{
+		{"bad-weight", "# ml4all model x task=SVM\n0.5\nnot-a-number\n", "bad weight"},
+		{"empty", "", "no weights"},
+		{"header-only", "# ml4all model x task=SVM plan=BGD iterations=3\n", "no weights"},
+		{"bad-iterations", "# ml4all model x iterations=many\n1\n", "bad iterations"},
+		{"bad-converged", "# ml4all model x converged=perhaps\n1\n", "bad converged"},
+		{"bad-traintime", "# ml4all model x traintime=soon\n1\n", "bad traintime"},
+		{"unknown-task", "# ml4all model x task=KMeans\n1\n", "unknown task"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadModel(write(tc.name, tc.content))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("want error containing %q, got %v", tc.wantErr, err)
+			}
+		})
+	}
+	if _, err := LoadModel(filepath.Join(dir, "does-not-exist")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+// TestExecErrorsCarryStatementPosition pins the serving-oriented error
+// contract: a failure executing statement k of a script names k and the
+// statement's source position, so job-submission failures are actionable.
+func TestExecErrorsCarryStatementPosition(t *testing.T) {
+	sys := testSystem()
+	ds := testDataset(t, "covtype", 800)
+	sys.RegisterDataset("train.txt", ds)
+	script := `Q1 = run classification on train.txt having epsilon 0.05, max iter 40;
+persist Qmissing on out.model;`
+	outs, err := sys.Exec(script)
+	if err == nil {
+		t.Fatal("want an error from the bad persist")
+	}
+	if len(outs) != 1 {
+		t.Fatalf("the first statement should have executed, got %d outputs", len(outs))
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "statement 2 at 2:1") {
+		t.Fatalf("error lacks statement index/position: %q", msg)
+	}
+	if !strings.Contains(msg, "Qmissing") {
+		t.Fatalf("error lost its cause: %q", msg)
+	}
+}

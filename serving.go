@@ -1,0 +1,259 @@
+package ml4all
+
+import (
+	"fmt"
+
+	"ml4all/internal/cluster"
+	"ml4all/internal/data"
+	"ml4all/internal/engine"
+	"ml4all/internal/gd"
+	"ml4all/internal/lang"
+	"ml4all/internal/metrics"
+	"ml4all/internal/planner"
+	"ml4all/internal/storage"
+)
+
+// This file exports the hooks the online serving subsystem (internal/serve)
+// drives: a resumable, cancellable training-job handle over one declarative
+// run statement, and a predict-on-rows API for trained models. The job path
+// is the same code Exec's run statements execute through (runQuery is a loop
+// over an open TrainJob), so a job driven to completion by the server is
+// bit-identical to the offline Train path — same plan choice, same weights,
+// same simulated clock.
+
+// JobOptions tune how an opened TrainJob executes.
+type JobOptions struct {
+	// Interrupt, when non-nil, is polled at the top of every Step
+	// (engine.Options.Interrupt): a non-nil return aborts that Step with an
+	// error wrapping engine.ErrInterrupted and the returned cause, leaving
+	// the job checkpointable and resumable. The serving layer wires a
+	// context's Err here so in-flight jobs cancel between iterations.
+	Interrupt func() error
+}
+
+// TrainJob is a resumable handle on one declarative training statement: the
+// statement is bound and costed up front (the cost-based optimizer picks the
+// plan), then the caller drives the plan one iteration at a time with Step,
+// checkpointing, cancelling, or inspecting progress between iterations.
+type TrainJob struct {
+	stmt    *lang.Run
+	ds      *data.Dataset
+	params  Params
+	sim     *cluster.Sim
+	store   *storage.Store
+	plan    gd.Plan
+	dec     *Decision
+	trainer *engine.Trainer
+}
+
+// JobProgress is a point-in-time view of a job's training state.
+type JobProgress struct {
+	PlanName   string
+	Iteration  int
+	FinalDelta float64
+	Done       bool
+	Converged  bool
+	Diverged   bool
+	TrainTime  Seconds // simulated clock, speculation included
+}
+
+// OpenJob binds a parsed run statement to the system's catalogs, runs the
+// cost-based optimizer over the eleven-plan space (narrowed by any using
+// directives, gated by any time constraint) and returns a TrainJob positioned
+// before its first iteration. Adaptive statements are rejected: mid-flight
+// re-optimization owns plan selection for the whole run and executes through
+// TrainAdaptive, not a resumable job.
+func (s *System) OpenJob(q *lang.Run, jo JobOptions) (*TrainJob, error) {
+	if q.Adaptive {
+		return nil, fmt.Errorf("ml4all: adaptive run statements execute through TrainAdaptive, not a resumable job")
+	}
+	j, dec, err := s.costJob(q)
+	if err != nil {
+		return nil, err
+	}
+	choice, err := applyUsing(dec, q)
+	if err != nil {
+		return nil, err
+	}
+	if q.Time > 0 {
+		budget := Seconds(q.Time.Seconds())
+		if choice.Cost > budget {
+			return nil, fmt.Errorf(
+				"ml4all: cannot satisfy time constraint %s: best plan %s needs an estimated %.1fs; revisit the time constraint",
+				q.Time, choice.Plan.Name(), float64(choice.Cost))
+		}
+	}
+	j.plan = choice.Plan
+	j.trainer, err = engine.NewTrainer(j.sim, j.store, &j.plan, s.jobEngineOptions(jo))
+	if err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// ResumeJob reopens a job from a checkpoint taken by TrainJob.Checkpoint: the
+// statement is re-bound and re-costed exactly as OpenJob does (the optimizer
+// is deterministic, so this reproduces the original plan space), the
+// checkpointed plan is looked up in the ranked space by name, and the trainer
+// is restored to the snapshot — clock, RNG position, weights and all — so the
+// resumed run is bit-identical to one that was never stopped. The statement
+// and the system configuration must be the ones the checkpoint was taken
+// under, which is why the serving layer persists the job's script next to its
+// checkpoint.
+func (s *System) ResumeJob(q *lang.Run, state []byte, jo JobOptions) (*TrainJob, error) {
+	if q.Adaptive {
+		return nil, fmt.Errorf("ml4all: adaptive run statements execute through TrainAdaptive, not a resumable job")
+	}
+	st, err := engine.DecodeTrainState(state)
+	if err != nil {
+		return nil, err
+	}
+	j, dec, err := s.costJob(q)
+	if err != nil {
+		return nil, err
+	}
+	found := false
+	for _, c := range dec.Ranked {
+		if c.Plan.Name() == st.PlanName {
+			j.plan = c.Plan
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("ml4all: checkpoint plan %s not in the statement's plan space — script or configuration changed since the checkpoint", st.PlanName)
+	}
+	j.trainer, err = engine.Resume(j.sim, j.store, &j.plan, s.jobEngineOptions(jo), st)
+	if err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// costJob performs the shared front half of OpenJob and ResumeJob: resolve
+// the data source, bind parameters, lay out the store, and run the cost-based
+// optimizer on a fresh simulated timeline.
+func (s *System) costJob(q *lang.Run) (*TrainJob, *Decision, error) {
+	if len(q.Sources) == 0 {
+		return nil, nil, fmt.Errorf("ml4all: run without a data source")
+	}
+	ds, err := s.resolveSource(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := bindParams(q, ds)
+	if err != nil {
+		return nil, nil, err
+	}
+	sim := cluster.New(s.Cluster)
+	stn, err := storage.Build(ds, s.Layout)
+	if err != nil {
+		return nil, nil, err
+	}
+	dec, err := planner.Choose(sim, stn, p, planner.Options{Estimator: s.estimatorConfig()})
+	if err != nil {
+		return nil, nil, err
+	}
+	return &TrainJob{stmt: q, ds: ds, params: p, sim: sim, store: stn, dec: dec}, dec, nil
+}
+
+// jobEngineOptions maps system settings plus job options onto the engine's.
+func (s *System) jobEngineOptions(jo JobOptions) engine.Options {
+	return engine.Options{Seed: s.Cluster.Seed, Workers: s.Workers, Interrupt: jo.Interrupt}
+}
+
+// Step executes exactly one plan iteration (engine.Trainer.Step).
+func (j *TrainJob) Step() error { return j.trainer.Step() }
+
+// Done reports whether the run has terminated.
+func (j *TrainJob) Done() bool { return j.trainer.Done() }
+
+// Iteration returns the number of iterations executed so far.
+func (j *TrainJob) Iteration() int { return j.trainer.Iteration() }
+
+// PlanName names the physical plan the optimizer chose for this job.
+func (j *TrainJob) PlanName() string { return j.plan.Name() }
+
+// Decision returns the optimizer's costed choice for this job.
+func (j *TrainJob) Decision() *Decision { return j.dec }
+
+// Dataset returns the dataset the job trains on.
+func (j *TrainJob) Dataset() *data.Dataset { return j.ds }
+
+// Checkpoint serializes the job's full training state (engine.TrainState,
+// gob-encoded): everything a fresh process needs to ResumeJob bit-identically.
+func (j *TrainJob) Checkpoint() ([]byte, error) {
+	st, err := j.trainer.Checkpoint()
+	if err != nil {
+		return nil, err
+	}
+	return st.Encode()
+}
+
+// Progress returns a point-in-time view of the job.
+func (j *TrainJob) Progress() JobProgress {
+	res := j.trainer.Finish()
+	return JobProgress{
+		PlanName:   j.plan.Name(),
+		Iteration:  res.Iterations,
+		FinalDelta: res.FinalDelta,
+		Done:       j.trainer.Done(),
+		Converged:  res.Converged,
+		Diverged:   res.Diverged,
+		TrainTime:  j.sim.Now(),
+	}
+}
+
+// Model assembles the trained model as of the current state. Name is the
+// statement's assigned query name, possibly empty — callers (runQuery, the
+// model registry) apply their own naming. TrainTime is the job's full
+// simulated clock, speculation overhead included, matching Train.
+func (j *TrainJob) Model() *Model {
+	res := j.trainer.Finish()
+	return &Model{
+		Name:       j.stmt.Result,
+		Task:       j.ds.Task,
+		Weights:    res.Weights,
+		PlanName:   j.plan.Name(),
+		Iterations: res.Iterations,
+		TrainTime:  j.sim.Now(),
+		Converged:  res.Converged,
+	}
+}
+
+// ScoreMatrix computes the raw margin <row, weights> for every row of mat
+// through the blocked margin kernels — the predict-on-rows hook the serving
+// layer's prediction service evaluates requests with. It validates the
+// request's dimensionality up front: sparse rows must not index at or beyond
+// the model dimension, dense rows must match it exactly.
+func (m *Model) ScoreMatrix(mat *data.Matrix) ([]float64, error) {
+	if err := m.checkDims(mat); err != nil {
+		return nil, err
+	}
+	out := make([]float64, mat.NumRows())
+	metrics.ScoresInto(m.Weights, mat, out)
+	return out, nil
+}
+
+// PredictMatrix returns the label the model assigns to every row of mat: the
+// raw score for regression models, its sign (±1) for classification.
+func (m *Model) PredictMatrix(mat *data.Matrix) ([]float64, error) {
+	if err := m.checkDims(mat); err != nil {
+		return nil, err
+	}
+	out := make([]float64, mat.NumRows())
+	metrics.PredictInto(m.Task, m.Weights, mat, out)
+	return out, nil
+}
+
+// checkDims validates that every row of mat fits the model's dimension.
+func (m *Model) checkDims(mat *data.Matrix) error {
+	d := len(m.Weights)
+	if mat.IsDense() && mat.NumRows() > 0 && mat.Stride() != d {
+		return fmt.Errorf("ml4all: dense rows have %d features, model %q has %d", mat.Stride(), m.Name, d)
+	}
+	if !mat.IsDense() && mat.MaxIndex() >= d {
+		return fmt.Errorf("ml4all: row references feature %d, model %q has %d", mat.MaxIndex(), m.Name, d)
+	}
+	return nil
+}
