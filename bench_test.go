@@ -102,7 +102,7 @@ func computeBenchDataset(b *testing.B, kind string) *data.Dataset {
 	return ds
 }
 
-func benchComputePhase(b *testing.B, kind string, workers int) {
+func benchComputePhase(b *testing.B, kind string, workers int, fast bool) {
 	ds := computeBenchDataset(b, kind)
 	st, err := storage.Build(ds, storage.DefaultLayout())
 	if err != nil {
@@ -116,7 +116,7 @@ func benchComputePhase(b *testing.B, kind string, workers int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sim := cluster.New(cfg)
-		res, err := engine.Run(sim, st, &plan, engine.Options{Seed: 1, Workers: workers})
+		res, err := engine.Run(sim, st, &plan, engine.Options{Seed: 1, Workers: workers, FastMath: fast})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -256,12 +256,29 @@ func BenchmarkAdaptiveReoptimization(b *testing.B) { benchExperiment(b, "adaptiv
 
 func BenchmarkComputePhaseDense(b *testing.B) {
 	for _, w := range benchWorkers {
-		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchComputePhase(b, "dense", w) })
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchComputePhase(b, "dense", w, false) })
 	}
 }
 
 func BenchmarkComputePhaseSparse(b *testing.B) {
 	for _, w := range benchWorkers {
-		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchComputePhase(b, "sparse", w) })
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchComputePhase(b, "sparse", w, false) })
+	}
+}
+
+// Fast-math tier counterparts of the ComputePhase benchmarks: the same
+// training passes through the multi-accumulator kernels. The dense ratio of
+// these against the exact benchmarks above is the measurement behind
+// cluster.FastMathFlopFrac (see internal/cluster/calibration.go); re-run both
+// and update the constant's table if the ratio moved.
+func BenchmarkComputePhaseDenseFast(b *testing.B) {
+	for _, w := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchComputePhase(b, "dense", w, true) })
+	}
+}
+
+func BenchmarkComputePhaseSparseFast(b *testing.B) {
+	for _, w := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchComputePhase(b, "sparse", w, true) })
 	}
 }

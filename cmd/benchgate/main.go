@@ -1,12 +1,15 @@
 // Command benchgate compares two `go test -bench` output files and fails
 // when any benchmark's ns/op regressed beyond a threshold — the decision
 // half of the CI benchmark gate (benchstat renders the human-readable
-// report; benchgate provides a deterministic exit code).
+// report; benchgate provides a deterministic exit code). When both files
+// carry -benchmem columns, allocs/op is gated too, against its own (much
+// tighter) threshold: allocation counts are deterministic, so any growth is
+// a real regression, not noise.
 //
 // Usage:
 //
-//	go test -bench 'ComputePhase|TrainerStep$' -benchtime=10x -count=3 -run '^$' . > new.txt
-//	benchgate -old BENCH_baseline.txt -new new.txt -threshold 10
+//	go test -bench 'ComputePhase|TrainerStep$' -benchtime=10x -count=3 -benchmem -run '^$' . > new.txt
+//	benchgate -old BENCH_baseline.txt -new new.txt -threshold 10 -allocthreshold 0
 //
 // For every benchmark present in both files the MEDIAN ns/op of its -count
 // repetitions is compared; medians rather than means keep one descheduled
@@ -26,13 +29,22 @@ import (
 	"strconv"
 )
 
-// benchLine matches `BenchmarkX/sub-8   10   41069889 ns/op   ...`.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+(?:e[+-]?[0-9]+)?) ns/op`)
+// benchLine matches `BenchmarkX/sub-8   10   41069889 ns/op   ...`, with an
+// optional `-benchmem` tail carrying B/op and allocs/op.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+(?:e[+-]?[0-9]+)?) ns/op(?:.*?\s([0-9.]+(?:e[+-]?[0-9]+)?) allocs/op)?`)
 
-// parseBench collects the ns/op samples of every benchmark in r, keyed by
-// benchmark name with the GOMAXPROCS suffix stripped.
-func parseBench(r io.Reader) (map[string][]float64, error) {
-	out := map[string][]float64{}
+// samples holds the per-benchmark measurements of one output file. allocs is
+// empty when the file was produced without -benchmem.
+type samples struct {
+	ns     []float64
+	allocs []float64
+}
+
+// parseBench collects the ns/op (and, when present, allocs/op) samples of
+// every benchmark in r, keyed by benchmark name with the GOMAXPROCS suffix
+// stripped.
+func parseBench(r io.Reader) (map[string]*samples, error) {
+	out := map[string]*samples{}
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
@@ -43,7 +55,19 @@ func parseBench(r io.Reader) (map[string][]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("benchgate: bad ns/op in %q: %w", sc.Text(), err)
 		}
-		out[m[1]] = append(out[m[1]], v)
+		s := out[m[1]]
+		if s == nil {
+			s = &samples{}
+			out[m[1]] = s
+		}
+		s.ns = append(s.ns, v)
+		if m[3] != "" {
+			a, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchgate: bad allocs/op in %q: %w", sc.Text(), err)
+			}
+			s.allocs = append(s.allocs, a)
+		}
 	}
 	return out, sc.Err()
 }
@@ -59,7 +83,7 @@ func median(xs []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
-func parseFile(path string) (map[string][]float64, error) {
+func parseFile(path string) (map[string]*samples, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -72,6 +96,7 @@ func main() {
 	oldPath := flag.String("old", "", "baseline `go test -bench` output")
 	newPath := flag.String("new", "", "candidate `go test -bench` output")
 	threshold := flag.Float64("threshold", 10, "maximum allowed ns/op regression in percent")
+	allocThreshold := flag.Float64("allocthreshold", 0, "maximum allowed allocs/op regression in percent (gated only when both files carry -benchmem columns)")
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -old and -new are required")
@@ -81,7 +106,7 @@ func main() {
 	if err == nil && len(oldB) == 0 {
 		err = fmt.Errorf("no benchmark lines in %s", *oldPath)
 	}
-	var newB map[string][]float64
+	var newB map[string]*samples
 	if err == nil {
 		newB, err = parseFile(*newPath)
 		if err == nil && len(newB) == 0 {
@@ -106,7 +131,7 @@ func main() {
 			fmt.Printf("%-55s baseline-only (skipped)\n", name)
 			continue
 		}
-		o, n := median(oldB[name]), median(nv)
+		o, n := median(oldB[name].ns), median(nv.ns)
 		deltaPct := (n - o) / o * 100
 		verdict := "ok"
 		if deltaPct > *threshold {
@@ -114,6 +139,23 @@ func main() {
 			failed = true
 		}
 		fmt.Printf("%-55s %14.0f -> %14.0f ns/op  %+6.1f%%  %s\n", name, o, n, deltaPct, verdict)
+
+		if len(oldB[name].allocs) == 0 || len(nv.allocs) == 0 {
+			continue
+		}
+		oa, na := median(oldB[name].allocs), median(nv.allocs)
+		if oa == 0 {
+			if na > 0 {
+				failed = true
+				fmt.Printf("%-55s %14.0f -> %14.0f allocs/op          REGRESSED\n", name, oa, na)
+			}
+			continue
+		}
+		allocPct := (na - oa) / oa * 100
+		if allocPct > *allocThreshold {
+			failed = true
+			fmt.Printf("%-55s %14.0f -> %14.0f allocs/op  %+6.1f%%  REGRESSED\n", name, oa, na, allocPct)
+		}
 	}
 	for name := range newB {
 		if _, ok := oldB[name]; !ok {
@@ -121,7 +163,7 @@ func main() {
 		}
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchgate: ns/op regression beyond %.0f%% against the committed baseline\n", *threshold)
+		fmt.Fprintf(os.Stderr, "benchgate: ns/op or allocs/op regression beyond threshold against the committed baseline\n")
 		os.Exit(1)
 	}
 }

@@ -9,8 +9,9 @@ const sample = `goos: linux
 cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkComputePhaseDense/workers=1         	      10	  41069889 ns/op	   7304671 units/s	   31452 B/op	      25 allocs/op
 BenchmarkComputePhaseDense/workers=1         	      10	  43069889 ns/op	   7304671 units/s	   31452 B/op	      25 allocs/op
-BenchmarkComputePhaseDense/workers=1         	      10	  42069889 ns/op	   7304671 units/s	   31452 B/op	      25 allocs/op
+BenchmarkComputePhaseDense/workers=1         	      10	  42069889 ns/op	   7304671 units/s	   27 allocs/op
 BenchmarkTrainerStep        	      10	    334839 ns/op	      2988 steps/s	   18183 B/op	       2 allocs/op
+BenchmarkNoMem              	      10	    100000 ns/op
 PASS
 `
 
@@ -20,14 +21,29 @@ func TestParseBench(t *testing.T) {
 		t.Fatal(err)
 	}
 	dense := got["BenchmarkComputePhaseDense/workers=1"]
-	if len(dense) != 3 {
-		t.Fatalf("dense samples = %d, want 3", len(dense))
+	if len(dense.ns) != 3 {
+		t.Fatalf("dense ns samples = %d, want 3", len(dense.ns))
 	}
-	if m := median(dense); m != 42069889 {
+	if m := median(dense.ns); m != 42069889 {
 		t.Fatalf("median = %g, want 42069889", m)
 	}
-	if step := got["BenchmarkTrainerStep"]; len(step) != 1 || step[0] != 334839 {
-		t.Fatalf("TrainerStep samples = %v", step)
+	if len(dense.allocs) != 3 {
+		t.Fatalf("dense alloc samples = %d, want 3", len(dense.allocs))
+	}
+	if m := median(dense.allocs); m != 25 {
+		t.Fatalf("alloc median = %g, want 25", m)
+	}
+	step := got["BenchmarkTrainerStep"]
+	if len(step.ns) != 1 || step.ns[0] != 334839 {
+		t.Fatalf("TrainerStep ns samples = %v", step.ns)
+	}
+	if len(step.allocs) != 1 || step.allocs[0] != 2 {
+		t.Fatalf("TrainerStep alloc samples = %v", step.allocs)
+	}
+	// A line without -benchmem columns still yields ns/op and no allocs.
+	nomem := got["BenchmarkNoMem"]
+	if len(nomem.ns) != 1 || len(nomem.allocs) != 0 {
+		t.Fatalf("NoMem samples = %v / %v", nomem.ns, nomem.allocs)
 	}
 }
 

@@ -34,6 +34,7 @@ func run() int {
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS, 1 = serial; results are identical, only wall time changes)")
 	adaptive := flag.Bool("adaptive", false, "train the optimizer's chosen plan with mid-flight re-optimization where experiments support it (fig8; the 'adaptive' experiment always adapts)")
+	fastmath := flag.Bool("fastmath", false, "run engine executions on the opt-in fast kernel tier (tolerance-bounded results; with -predict, adds the fast-tier scoring column)")
 	predict := flag.Bool("predict", false, "benchmark batched vs per-row prediction throughput (the serving path) instead of running experiments")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment runs to this file")
@@ -41,7 +42,7 @@ func run() int {
 	flag.Parse()
 
 	if *predict {
-		if err := runPredictBench(*scale); err != nil {
+		if err := runPredictBench(*scale, *fastmath); err != nil {
 			fmt.Fprintln(os.Stderr, "ml4all-bench:", err)
 			return 1
 		}
@@ -90,7 +91,7 @@ func run() int {
 		}()
 	}
 
-	cfg := experiments.Config{Scale: *scale, Quick: *quick, Seed: *seed, Workers: *workers, Adaptive: *adaptive}
+	cfg := experiments.Config{Scale: *scale, Quick: *quick, Seed: *seed, Workers: *workers, Adaptive: *adaptive, FastMath: *fastmath}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.IDs()

@@ -65,10 +65,17 @@ func timeRows(n int, minWall time.Duration, fn func()) float64 {
 	return best
 }
 
-// runPredictBench prints the batched-vs-per-row prediction throughput table.
-func runPredictBench(scale int) error {
+// runPredictBench prints the batched-vs-per-row prediction throughput table;
+// with fastmath it adds a column for the fast-tier scoring path
+// (metrics.ScoresIntoFast), whose raw scores agree with the exact column only
+// to the fast tier's relative tolerance.
+func runPredictBench(scale int, fastmath bool) error {
 	fmt.Println("prediction throughput: batched block kernels vs per-row Dot")
-	fmt.Printf("%-22s %10s %14s %14s %8s\n", "dataset", "rows", "per-row/s", "batched/s", "speedup")
+	header := fmt.Sprintf("%-22s %10s %14s %14s %8s", "dataset", "rows", "per-row/s", "batched/s", "speedup")
+	if fastmath {
+		header += fmt.Sprintf(" %14s %8s", "fast/s", "speedup")
+	}
+	fmt.Println(header)
 	const minWall = 300 * time.Millisecond
 	for _, c := range predictCases(scale) {
 		ds, err := synth.Generate(c.spec)
@@ -94,7 +101,14 @@ func runPredictBench(scale int) error {
 				return fmt.Errorf("%s: batched prediction diverges from per-row at row %d", c.name, i)
 			}
 		}
-		fmt.Printf("%-22s %10d %14.0f %14.0f %7.2fx\n", c.name, n, perRow, batched, batched/perRow)
+		line := fmt.Sprintf("%-22s %10d %14.0f %14.0f %7.2fx", c.name, n, perRow, batched, batched/perRow)
+		if fastmath {
+			fast := timeRows(n, minWall, func() {
+				metrics.ScoresIntoFast(w, ds.Mat, out)
+			})
+			line += fmt.Sprintf(" %14.0f %7.2fx", fast, fast/perRow)
+		}
+		fmt.Println(line)
 	}
 	return nil
 }

@@ -34,3 +34,29 @@ package cluster
 // full overhead through CostCPU — on the simulated cluster, as for real,
 // only batched operators amortize their dispatch.
 const ComputeUnitOverheadFrac = 0.25
+
+// FastMathFlopFrac is the measured per-flop cost fraction of the fast-math
+// kernel tier (engine.Options.FastMath) relative to the bit-exact blocked
+// kernels: multi-accumulator dots break the FP-add dependency chain the
+// exact tier serializes on, the fused four-row gradient accumulation
+// quarters the gradient-vector memory traffic, and the logistic sigmoid
+// runs the polynomial linalg.ExpFast instead of math.Exp. Measurement
+// (same host as the table above, go1.24, median of 5–7 runs):
+//
+//	go test -bench 'ComputePhase(Dense|Sparse)(Fast)?' -benchtime=5x -count=5 .
+//
+//	                         exact        fast         fast/exact
+//	                         ns/op        ns/op
+//	dense d=50, workers=1    24.7e6       17.1e6       0.69
+//	dense d=50, workers=8    26.5e6       15.7e6       0.59
+//	sparse nnz≈50, workers=1 41.3e6       29.7e6       0.72
+//	sparse nnz≈50, workers=8 38.6e6       32.1e6       0.83
+//
+// The per-unit dispatch overhead is tier-independent (same block carving,
+// same kernel-call count), so the fast tier is charged the same
+// ComputeUnitOverheadFrac and only the flop rate changes. We charge 0.70 —
+// the median measured ratio, not the best one — via CostComputeFast, which
+// scales only the flop term: for sparse-dominated ops mixes the flop term is
+// small against the overhead term and the charged advantage shrinks
+// accordingly, tracking the measurement.
+const FastMathFlopFrac = 0.70

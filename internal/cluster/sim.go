@@ -200,6 +200,18 @@ func (s *Sim) CostCompute(units int, ops float64) Seconds {
 	return c
 }
 
+// CostComputeFast returns the CPU cost of a batched Compute task executing
+// on the fast-math kernel tier: CostCompute with the flop term scaled by the
+// measured FastMathFlopFrac. The per-unit overhead term is unchanged — the
+// fast tier carves the same blocks and makes the same number of kernel
+// calls; only the arithmetic throughput differs.
+func (s *Sim) CostComputeFast(units int, ops float64) Seconds {
+	s.Acct.UnitsSeen += int64(units)
+	c := Seconds(ops)*s.Cfg.FlopSec*FastMathFlopFrac + Seconds(units)*s.Cfg.UnitOverheadSec*ComputeUnitOverheadFrac
+	s.Acct.CPUSeconds += c
+	return c
+}
+
 // CostParse returns the CPU cost of parsing bytes of raw input (the Transform
 // operator's work) over units data units.
 func (s *Sim) CostParse(units int, bytes int64) Seconds {

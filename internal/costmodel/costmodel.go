@@ -57,6 +57,13 @@ func StatsOf(st *storage.Store, cfg cluster.Config) DataStats {
 type Model struct {
 	Cfg   cluster.Config
 	Stats DataStats
+
+	// FastMath prices batched compute at the fast kernel tier's measured
+	// flop rate (cluster.FastMathFlopFrac), mirroring Sim.CostComputeFast —
+	// set it when the run the model prices will execute with
+	// engine.Options.FastMath. Per-row and randomized compute is unaffected,
+	// exactly as in execution.
+	FastMath bool
 }
 
 // New returns a model for the given store and cluster configuration.
@@ -135,12 +142,18 @@ func (m *Model) parsePerUnit() cluster.Seconds {
 // the simulator charges them through Sim.CostCompute; per-row Computer UDFs
 // pay the full overhead. See cluster.ComputeUnitOverheadFrac for the
 // measured constant table.
-func (m *Model) computePerUnit(ops float64, batched bool) cluster.Seconds {
+func (m *Model) computePerUnit(ops float64, batched, fast bool) cluster.Seconds {
 	overhead := m.Cfg.UnitOverheadSec
+	flop := m.Cfg.FlopSec
 	if batched {
 		overhead *= cluster.ComputeUnitOverheadFrac
+		if fast {
+			// The fast tier only exists on the blocked path; per-row
+			// compute stays exact, so only batched pricing discounts.
+			flop *= cluster.FastMathFlopFrac
+		}
 	}
-	return cluster.Seconds(ops)*m.Cfg.FlopSec + overhead
+	return cluster.Seconds(ops)*flop + overhead
 }
 
 // driverOp prices a small driver-side operator over the model dimensionality
@@ -184,6 +197,15 @@ func (m *Model) Breakdown(plan gd.Plan) Breakdown {
 	if _, randomized := plan.Computer.(gd.RandomizedComputer); randomized {
 		batched = false
 	}
+	// Fast-tier pricing applies only where the fast kernels will actually
+	// dispatch: a batched pass whose computer reports FastCapable — the
+	// same resolution the engine performs once per run.
+	fast := false
+	if m.FastMath && batched {
+		if fc, ok := plan.Computer.(gd.FastBatchComputer); ok && fc.FastCapable() {
+			fast = true
+		}
+	}
 	d := float64(m.Stats.NumFeatures)
 
 	br := Breakdown{Plan: plan.Name(), JobInit: m.Cfg.JobInitSec}
@@ -201,14 +223,14 @@ func (m *Model) Breakdown(plan gd.Plan) Breakdown {
 	switch {
 	case plan.Sampling == gd.NoSampling:
 		// BGD (Eq. 7): full scan + compute per iteration, then the reduce.
-		perUnit := m.computePerUnit(ops, batched)
+		perUnit := m.computePerUnit(ops, batched, fast)
 		if plan.Transform == gd.Lazy {
 			perUnit += m.parsePerUnit() // off the Figure 5 space, but priced honestly
 		}
 		iter = m.CIO(true) + m.CCPU(perUnit)
 		iter += m.CNT(int64(m.Cfg.Executors()*accDim)*8, 1)
 	default:
-		iter = m.sampleCost(plan) + m.batchCost(plan, ops, accDim, batched)
+		iter = m.sampleCost(plan) + m.batchCost(plan, ops, accDim, batched, fast)
 	}
 	iter += driver
 
@@ -251,11 +273,11 @@ func (m *Model) sampleCost(plan gd.Plan) cluster.Seconds {
 
 // batchCost prices transform (if lazy) + compute + aggregation for a sampled
 // batch, honoring the Appendix D placement rule.
-func (m *Model) batchCost(plan gd.Plan, ops float64, accDim int, batched bool) cluster.Seconds {
+func (m *Model) batchCost(plan gd.Plan, ops float64, accDim int, batched, fast bool) cluster.Seconds {
 	b := float64(plan.BatchSize)
 	batchBytes := int64(b * m.Stats.AvgUnitBytes)
 	var c cluster.Seconds
-	perUnit := m.computePerUnit(ops, batched)
+	perUnit := m.computePerUnit(ops, batched, fast)
 	if plan.Transform == gd.Lazy {
 		perUnit += m.parsePerUnit()
 	}

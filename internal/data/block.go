@@ -150,3 +150,23 @@ func (b Block) MarginsInto(w linalg.Vector, out []float64) {
 		out[j] = b.Row(j).Dot(w)
 	}
 }
+
+// MarginsIntoFast is the fast-math tier's MarginsInto: contiguous blocks
+// dispatch to the multi-accumulator margin kernels, whose results agree with
+// MarginsInto only to a relative tolerance (see DESIGN.md §10), never bit for
+// bit. Non-contiguous blocks keep the exact per-row path — the gather cost
+// dominates there, so the fast tier buys nothing.
+func (b Block) MarginsIntoFast(w linalg.Vector, out []float64) {
+	out = out[:b.n]
+	if vals, stride, ok := b.DenseRows(); ok {
+		linalg.DenseMarginsFast(vals, stride, w, out)
+		return
+	}
+	if offs, idx, vals, ok := b.CSRRows(); ok {
+		linalg.CSRMarginsFast(offs, idx, vals, w, out)
+		return
+	}
+	for j := range out {
+		out[j] = b.Row(j).Dot(w)
+	}
+}

@@ -164,6 +164,9 @@ func (ex *executor) opsSumIdx(idx []int) float64 {
 func (ex *executor) costComputeCPU(units int, ops float64, transform bool) cluster.Seconds {
 	if ex.batch != nil && ex.mat != nil && !(transform && ex.lazy != nil) {
 		if _, randomized := ex.plan.Computer.(gd.RandomizedComputer); !randomized {
+			if ex.fast {
+				return ex.sim.CostComputeFast(units, ops)
+			}
 			return ex.sim.CostCompute(units, ops)
 		}
 	}

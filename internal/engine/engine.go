@@ -78,6 +78,18 @@ type Options struct {
 	// it (the block property test sweeps it).
 	BlockSize int
 
+	// FastMath opts the run into the tolerance-bounded fast kernel tier:
+	// the batched compute path dispatches to the multi-accumulator margin
+	// kernels and fused gradient accumulation (gradients.FastGradient),
+	// with the logistic sigmoid routed through linalg.ExpFast. Off (the
+	// default) keeps the bit-exact kernels, which remain the correctness
+	// oracle: fast-tier results agree with them to the per-element bounds
+	// TestFastMathWithinEpsilon pins, not bit for bit, so runs with
+	// FastMath on are NOT bit-comparable to runs with it off. The sim
+	// charges the fast tier's measured per-op throughput
+	// (cluster.FastMathFlopFrac) so plan costing tracks the real speedup.
+	FastMath bool
+
 	// Interrupt, when non-nil, is polled at the top of every Step, before
 	// the iteration mutates any state. A non-nil return aborts that Step
 	// with a wrapped ErrInterrupted; the trainer itself stays consistent —
@@ -146,6 +158,13 @@ type executor struct {
 	// path (Options.BlockSize, default 512).
 	batch     gd.BatchComputer
 	blockSize int
+
+	// fast is set when the blocked path will actually dispatch the
+	// fast-math kernel tier (Options.FastMath, batch-capable computer,
+	// gradient with fast kernels — gd.FastBatchComputer); the cost loop
+	// then charges Sim.CostComputeFast for blocked passes, keeping
+	// execution and billing on the same tier.
+	fast bool
 
 	sampler sampling.Sampler
 	senv    *sampling.Env

@@ -109,6 +109,7 @@ func newTrainerShell(sim *cluster.Sim, store *storage.Store, plan *gd.Plan, opts
 	ctx.Tolerance = plan.Tolerance
 	ctx.MaxIter = plan.MaxIter
 	ctx.BatchSize = plan.BatchSize
+	ctx.FastMath = opts.FastMath
 	if plan.Algorithm == gd.BGD || plan.Algorithm == gd.LineSearchBGD {
 		ctx.BatchSize = n
 	}
@@ -136,6 +137,9 @@ func newTrainerShell(sim *cluster.Sim, store *storage.Store, plan *gd.Plan, opts
 	// overhead, keeping execution and billing consistent.
 	if bc, ok := plan.Computer.(gd.BatchComputer); ok && bc.BatchCapable() {
 		t.ex.batch = bc
+		if fc, ok := bc.(gd.FastBatchComputer); ok && opts.FastMath && fc.FastCapable() {
+			t.ex.fast = true
+		}
 	}
 	return t, nil
 }

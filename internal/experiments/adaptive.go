@@ -126,7 +126,7 @@ func adaptiveScenario(cfg Config) (*data.Dataset, gd.Params, error) {
 // adaptiveControllerFor returns the controller settings the experiment (and
 // its benchmark) uses.
 func adaptiveControllerFor(cfg Config) planner.AdaptiveConfig {
-	return planner.AdaptiveConfig{Every: 50, Seed: cfg.Seed, Workers: cfg.Workers}
+	return planner.AdaptiveConfig{Every: 50, Seed: cfg.Seed, Workers: cfg.Workers, FastMath: cfg.FastMath}
 }
 
 // adaptiveEstimator is the Section 8 estimator with a 3-second speculation

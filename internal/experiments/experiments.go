@@ -50,6 +50,11 @@ type Config struct {
 	// (currently fig8's chosen-plan leg; the dedicated `adaptive`
 	// experiment always adapts).
 	Adaptive bool
+	// FastMath runs every engine execution on the opt-in fast kernel tier
+	// (engine.Options.FastMath): results shift within the tier's tolerance
+	// and wall-clock drops; simulated times are charged at the calibrated
+	// fast-tier rate.
+	FastMath bool
 }
 
 func (c Config) withDefaults() Config {

@@ -65,6 +65,54 @@ func takeMargins(n int) *[]float64 {
 
 func putMargins(p *[]float64) { marginPool.Put(p) }
 
+// FastBatchComputer is the optional fast-math extension of BatchComputer:
+// FastCapable reports whether ComputeBlock will actually dispatch the
+// tolerance-bounded fast kernels when ctx.FastMath is set, as opposed to
+// staying on the bit-exact block kernels. The engine consults it to charge
+// the fast tier's measured throughput (cluster.CostComputeFast) only when
+// the fast kernels really run, keeping execution and billing consistent —
+// the same pairing BatchCapable maintains for the blocked tier itself.
+type FastBatchComputer interface {
+	BatchComputer
+	FastCapable() bool
+}
+
+// FastCapable implements FastBatchComputer.
+func (c GradientComputer) FastCapable() bool {
+	_, ok := c.Gradient.(gradients.FastGradient)
+	return ok
+}
+
+// FastCapable implements FastBatchComputer.
+func (c SVRGComputer) FastCapable() bool {
+	_, ok := c.Gradient.(gradients.FastGradient)
+	return ok
+}
+
+// FastCapable implements FastBatchComputer.
+func (c LineSearchComputer) FastCapable() bool {
+	_, ok := c.Gradient.(gradients.FastGradient)
+	return ok
+}
+
+// blockKernels resolves which kernel tier a stock ComputeBlock runs: the
+// fast-math kernels when ctx.FastMath is set and the gradient implements
+// them, else the bit-exact block kernels. Returning the kernel pair as plain
+// funcs keeps the per-block dispatch to two type assertions at most, paid
+// once per block, not per row.
+func blockKernels(g gradients.Gradient, ctx *Context) (addGrad func(linalg.Vector, data.Block, []float64, linalg.Vector), loss func(linalg.Vector, data.Block, []float64, *float64), ok bool) {
+	bg, ok := g.(gradients.BlockGradient)
+	if !ok {
+		return nil, nil, false
+	}
+	if ctx.FastMath {
+		if fg, isFast := bg.(gradients.FastGradient); isFast {
+			return fg.AddGradientBlockFast, fg.LossBlockFast, true
+		}
+	}
+	return bg.AddGradientBlock, bg.LossBlock, true
+}
+
 // computeRowByRow is the shared fallback for gradients without block
 // kernels: the exact per-row loop the engine's non-batched path runs. The
 // engine never reaches it (it consults BatchCapable and keeps such plans on
@@ -97,13 +145,13 @@ func (c LineSearchComputer) BatchCapable() bool {
 // ComputeBlock implements BatchComputer: one fused gradient kernel call per
 // block (Listing 2, batched).
 func (c GradientComputer) ComputeBlock(rows data.Block, ctx *Context, acc linalg.Vector) {
-	bg, ok := c.Gradient.(gradients.BlockGradient)
+	addGrad, _, ok := blockKernels(c.Gradient, ctx)
 	if !ok {
 		computeRowByRow(c, rows, ctx, acc)
 		return
 	}
 	mp := takeMargins(rows.Len())
-	bg.AddGradientBlock(ctx.Weights, rows, *mp, acc)
+	addGrad(ctx.Weights, rows, *mp, acc)
 	putMargins(mp)
 }
 
@@ -113,14 +161,14 @@ func (c GradientComputer) ComputeBlock(rows data.Block, ctx *Context, acc linalg
 // disjoint halves of acc and each half is filled in row order, so the
 // result is still bit-identical to the interleaved per-row loop.
 func (c SVRGComputer) ComputeBlock(rows data.Block, ctx *Context, acc linalg.Vector) {
-	bg, ok := c.Gradient.(gradients.BlockGradient)
+	addGrad, _, ok := blockKernels(c.Gradient, ctx)
 	if !ok {
 		computeRowByRow(c, rows, ctx, acc)
 		return
 	}
 	d := ctx.NumFeatures
 	mp := takeMargins(rows.Len())
-	bg.AddGradientBlock(ctx.Weights, rows, *mp, acc[:d])
+	addGrad(ctx.Weights, rows, *mp, acc[:d])
 	if !svrgFullIteration(ctx.Iter, c.M) {
 		wBar, err := ctx.GetVector(svrgBarKey)
 		if err != nil {
@@ -128,7 +176,7 @@ func (c SVRGComputer) ComputeBlock(rows data.Block, ctx *Context, acc linalg.Vec
 			// error in a custom operator wiring, surfaced loudly.
 			panic(err)
 		}
-		bg.AddGradientBlock(wBar, rows, *mp, acc[d:])
+		addGrad(wBar, rows, *mp, acc[d:])
 	}
 	putMargins(mp)
 }
@@ -138,7 +186,7 @@ func (c SVRGComputer) ComputeBlock(rows data.Block, ctx *Context, acc linalg.Vec
 // the fused kernels. acc slots 0/1 and the gradient tail are disjoint, each
 // filled in row order, matching the per-row loop bit for bit.
 func (c LineSearchComputer) ComputeBlock(rows data.Block, ctx *Context, acc linalg.Vector) {
-	bg, ok := c.Gradient.(gradients.BlockGradient)
+	addGrad, loss, ok := blockKernels(c.Gradient, ctx)
 	if !ok {
 		computeRowByRow(c, rows, ctx, acc)
 		return
@@ -149,11 +197,11 @@ func (c LineSearchComputer) ComputeBlock(rows data.Block, ctx *Context, acc lina
 		if err != nil {
 			panic(err)
 		}
-		bg.LossBlock(ctx.Weights, rows, *mp, &acc[0])
-		bg.LossBlock(trial, rows, *mp, &acc[1])
+		loss(ctx.Weights, rows, *mp, &acc[0])
+		loss(trial, rows, *mp, &acc[1])
 	} else {
-		bg.LossBlock(ctx.Weights, rows, *mp, &acc[0])
-		bg.AddGradientBlock(ctx.Weights, rows, *mp, acc[2:])
+		loss(ctx.Weights, rows, *mp, &acc[0])
+		addGrad(ctx.Weights, rows, *mp, acc[2:])
 	}
 	putMargins(mp)
 }

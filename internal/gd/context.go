@@ -45,6 +45,13 @@ type Context struct {
 	// MaxIter caps the iteration count.
 	MaxIter int
 
+	// FastMath selects the tolerance-bounded fast kernel tier
+	// (engine.Options.FastMath): the stock batched computers dispatch to
+	// gradients.FastGradient kernels when it is set and the gradient
+	// implements them, and stay on the bit-exact kernels otherwise. Per-row
+	// execution (custom UDFs, gathered batches) is always exact.
+	FastMath bool
+
 	// Vars holds algorithm-specific extension state.
 	Vars map[string]any
 

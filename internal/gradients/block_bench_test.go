@@ -49,7 +49,10 @@ func benchMatrix(b *testing.B, dense bool, rows, d int, density float64) *data.M
 	return mb.Build()
 }
 
-func benchGradientPath(b *testing.B, dense, blocked bool) {
+// benchGradientPath times one of the three dispatch tiers: per-row interface
+// calls ("row"), the exact blocked kernels ("blocked"), or the fast-math
+// blocked kernels ("fast").
+func benchGradientPath(b *testing.B, dense bool, path string) {
 	const rows, d = 4096, 50
 	m := benchMatrix(b, dense, rows, d, 0.05)
 	var g Logistic
@@ -65,11 +68,16 @@ func benchGradientPath(b *testing.B, dense, blocked bool) {
 	gi := benchGradientSink
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if blocked {
+		switch path {
+		case "blocked":
 			for lo := 0; lo < rows; lo += 512 {
 				g.AddGradientBlock(w, m.Block(lo, lo+512), margins, grad)
 			}
-		} else {
+		case "fast":
+			for lo := 0; lo < rows; lo += 512 {
+				g.AddGradientBlockFast(w, m.Block(lo, lo+512), margins, grad)
+			}
+		default:
 			for r := 0; r < rows; r++ {
 				gi.AddGradient(w, m.Row(r), grad)
 			}
@@ -80,7 +88,9 @@ func benchGradientPath(b *testing.B, dense, blocked bool) {
 
 var benchGradientSink Gradient
 
-func BenchmarkGradientPathDenseRow(b *testing.B)     { benchGradientPath(b, true, false) }
-func BenchmarkGradientPathDenseBlocked(b *testing.B) { benchGradientPath(b, true, true) }
-func BenchmarkGradientPathCSRRow(b *testing.B)       { benchGradientPath(b, false, false) }
-func BenchmarkGradientPathCSRBlocked(b *testing.B)   { benchGradientPath(b, false, true) }
+func BenchmarkGradientPathDenseRow(b *testing.B)     { benchGradientPath(b, true, "row") }
+func BenchmarkGradientPathDenseBlocked(b *testing.B) { benchGradientPath(b, true, "blocked") }
+func BenchmarkGradientPathDenseFast(b *testing.B)    { benchGradientPath(b, true, "fast") }
+func BenchmarkGradientPathCSRRow(b *testing.B)       { benchGradientPath(b, false, "row") }
+func BenchmarkGradientPathCSRBlocked(b *testing.B)   { benchGradientPath(b, false, "blocked") }
+func BenchmarkGradientPathCSRFast(b *testing.B)      { benchGradientPath(b, false, "fast") }

@@ -1,0 +1,199 @@
+package gradients
+
+import (
+	"math"
+
+	"ml4all/internal/data"
+	"ml4all/internal/linalg"
+)
+
+// Fast-tier block kernels — the gradients half of the opt-in fast-math
+// execution tier (engine.Options.FastMath). The exact kernels in block.go
+// run two passes (margins, then an in-order accumulate) because bit-exactness
+// demands strict summation order; these fuse three steps into the same
+// buffer walk instead:
+//
+//	pass 1: margins[j] = <row j, w>           (multi-accumulator fast dots)
+//	pass 2: margins[j] = coeff(y_j, margins[j])   (coefficient IN PLACE —
+//	        the margin buffer is recycled as the coefficient buffer, no
+//	        second scratch array)
+//	pass 3: grad += Σ_j margins[j]·row_j      (four rows fused per pass)
+//
+// and route the logistic sigmoid through linalg.ExpFast. Results agree with
+// the exact tier to the per-element bounds engine.TestFastMathWithinEpsilon
+// pins; they are NOT bitwise identical, which is why the tier is opt-in and
+// the exact kernels remain the correctness oracle.
+
+// FastGradient is the fast-math extension of BlockGradient: same block
+// contract (margins is caller-owned scratch with at least rows.Len() slots,
+// overwritten — here additionally recycled as the coefficient buffer), but
+// tolerance-bounded instead of bit-exact. The stock losses implement it;
+// custom BlockGradient UDFs that do not stay on their exact kernels even
+// when the fast tier is on.
+type FastGradient interface {
+	BlockGradient
+	AddGradientBlockFast(w linalg.Vector, rows data.Block, margins []float64, grad linalg.Vector)
+	LossBlockFast(w linalg.Vector, rows data.Block, margins []float64, sum *float64)
+}
+
+// accumFast folds the coefficient buffer into grad: the fused four-row
+// kernel for dense blocks, per-row sparse axpy for CSR (sparse rows touch
+// disjoint gradient slots, so there is no traffic to fuse), and nothing for
+// non-contiguous blocks — callers handle those on the exact path before
+// computing coefficients.
+func accumFast(rows data.Block, coeffs []float64, grad linalg.Vector) {
+	if vals, stride, ok := rows.DenseRows(); ok {
+		linalg.DenseAccumFast(grad, vals, stride, coeffs)
+		return
+	}
+	if offs, idx, vals, ok := rows.CSRRows(); ok {
+		for j, c := range coeffs {
+			lo, hi := offs[j], offs[j+1]
+			linalg.SparseAddScaledInto(grad, c, idx[lo:hi], vals[lo:hi])
+		}
+	}
+}
+
+// AddGradientBlockFast implements FastGradient for the hinge loss: the
+// coefficient is -y for active rows (y·margin < 1), zero otherwise; inactive
+// rows ride through the fused accumulate as 0·x terms.
+func (h Hinge) AddGradientBlockFast(w linalg.Vector, rows data.Block, margins []float64, grad linalg.Vector) {
+	n := rows.Len()
+	margins = margins[:n]
+	labels, ok := rows.Labels()
+	if !ok {
+		h.AddGradientBlock(w, rows, margins, grad)
+		return
+	}
+	rows.MarginsIntoFast(w, margins)
+	for j, m := range margins {
+		y := labels[j]
+		if y*m < 1 {
+			margins[j] = -y
+		} else {
+			margins[j] = 0
+		}
+	}
+	accumFast(rows, margins, grad)
+}
+
+// LossBlockFast implements FastGradient: hinge loss over fast margins, two
+// independent partial sums.
+func (h Hinge) LossBlockFast(w linalg.Vector, rows data.Block, margins []float64, sum *float64) {
+	n := rows.Len()
+	margins = margins[:n]
+	labels, ok := rows.Labels()
+	if !ok {
+		h.LossBlock(w, rows, margins, sum)
+		return
+	}
+	rows.MarginsIntoFast(w, margins)
+	var s0, s1 float64
+	j := 0
+	for ; j+2 <= n; j += 2 {
+		if m := 1 - labels[j]*margins[j]; m > 0 {
+			s0 += m
+		}
+		if m := 1 - labels[j+1]*margins[j+1]; m > 0 {
+			s1 += m
+		}
+	}
+	if j < n {
+		if m := 1 - labels[j]*margins[j]; m > 0 {
+			s0 += m
+		}
+	}
+	*sum += s0 + s1
+}
+
+// logisticCoeffFast is logisticCoeff with the polynomial exponential:
+// -y / (1 + e^{y·margin}) via linalg.ExpFast.
+func logisticCoeffFast(y, margin float64) float64 {
+	return -y / (1 + linalg.ExpFast(y*margin))
+}
+
+// logisticLossFast is logisticLoss with the polynomial exponential, keeping
+// the same linear switch past z = 35.
+func logisticLossFast(y, margin float64) float64 {
+	z := -y * margin
+	if z > 35 {
+		return z
+	}
+	return math.Log1p(linalg.ExpFast(z))
+}
+
+// AddGradientBlockFast implements FastGradient for the logistic loss.
+func (l Logistic) AddGradientBlockFast(w linalg.Vector, rows data.Block, margins []float64, grad linalg.Vector) {
+	n := rows.Len()
+	margins = margins[:n]
+	labels, ok := rows.Labels()
+	if !ok {
+		l.AddGradientBlock(w, rows, margins, grad)
+		return
+	}
+	rows.MarginsIntoFast(w, margins)
+	for j, m := range margins {
+		margins[j] = logisticCoeffFast(labels[j], m)
+	}
+	accumFast(rows, margins, grad)
+}
+
+// LossBlockFast implements FastGradient for the logistic loss.
+func (l Logistic) LossBlockFast(w linalg.Vector, rows data.Block, margins []float64, sum *float64) {
+	n := rows.Len()
+	margins = margins[:n]
+	labels, ok := rows.Labels()
+	if !ok {
+		l.LossBlock(w, rows, margins, sum)
+		return
+	}
+	rows.MarginsIntoFast(w, margins)
+	var s float64
+	for j, m := range margins {
+		s += logisticLossFast(labels[j], m)
+	}
+	*sum += s
+}
+
+// AddGradientBlockFast implements FastGradient for least squares: the
+// coefficient is the residual 2·(margin - y).
+func (l LeastSquares) AddGradientBlockFast(w linalg.Vector, rows data.Block, margins []float64, grad linalg.Vector) {
+	n := rows.Len()
+	margins = margins[:n]
+	labels, ok := rows.Labels()
+	if !ok {
+		l.AddGradientBlock(w, rows, margins, grad)
+		return
+	}
+	rows.MarginsIntoFast(w, margins)
+	for j, m := range margins {
+		margins[j] = 2 * (m - labels[j])
+	}
+	accumFast(rows, margins, grad)
+}
+
+// LossBlockFast implements FastGradient: squared error over fast margins,
+// two independent partial sums.
+func (l LeastSquares) LossBlockFast(w linalg.Vector, rows data.Block, margins []float64, sum *float64) {
+	n := rows.Len()
+	margins = margins[:n]
+	labels, ok := rows.Labels()
+	if !ok {
+		l.LossBlock(w, rows, margins, sum)
+		return
+	}
+	rows.MarginsIntoFast(w, margins)
+	var s0, s1 float64
+	j := 0
+	for ; j+2 <= n; j += 2 {
+		r0 := margins[j] - labels[j]
+		r1 := margins[j+1] - labels[j+1]
+		s0 += r0 * r0
+		s1 += r1 * r1
+	}
+	if j < n {
+		r := margins[j] - labels[j]
+		s0 += r * r
+	}
+	*sum += s0 + s1
+}

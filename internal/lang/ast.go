@@ -70,6 +70,10 @@ type Run struct {
 	// GD plans while training when observed convergence contradicts the
 	// speculation the initial choice was based on.
 	Adaptive bool
+	// FastMath opts the statement into the tolerance-bounded fast kernel
+	// tier (engine.Options.FastMath): faster training, results equal to the
+	// exact tier only within documented epsilon bounds.
+	FastMath bool
 
 	// using directives; empty/zero mean optimizer's choice.
 	Algorithm   string
@@ -111,6 +115,9 @@ func (r *Run) String() string {
 	}
 	if r.Adaptive {
 		having = append(having, "adaptive")
+	}
+	if r.FastMath {
+		having = append(having, "fastmath")
 	}
 	if len(having) > 0 {
 		b.WriteString(" having ")

@@ -168,6 +168,27 @@ func TestParseAdaptiveKnob(t *testing.T) {
 	}
 }
 
+func TestParseFastMathKnob(t *testing.T) {
+	st, err := ParseOne("run classification on train.txt having epsilon 0.01, fastmath;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := st.(*Run)
+	if !r.FastMath {
+		t.Fatal("fastmath knob not parsed")
+	}
+	if r.Epsilon != 0.01 {
+		t.Fatalf("epsilon = %g alongside fastmath", r.Epsilon)
+	}
+	st, err = ParseOne("run classification on train.txt;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.(*Run).FastMath {
+		t.Fatal("fastmath defaulted on")
+	}
+}
+
 func TestSyntaxErrorFormat(t *testing.T) {
 	_, err := Parse("run classification on a.txt having bogus 1;")
 	if err == nil {
@@ -190,6 +211,7 @@ func TestRunStringRoundTrips(t *testing.T) {
 		"Q1 = run classification on train.txt;",
 		"Q2 = run classification on in.txt:2, in.txt:4-20 having time 1h30m0s, epsilon 0.01, max iter 1000;",
 		"Q3 = run classification on train.txt having epsilon 0.01, adaptive;",
+		"Q4 = run classification on train.txt having epsilon 0.01, fastmath;",
 		"run regression on d.csv using algorithm BGD, step 0.5;",
 		"persist Q1 on m.txt;",
 		"r = predict on t.txt with m.txt;",

@@ -248,8 +248,10 @@ func (p *parser) havingList(r *Run) error {
 			r.MaxIter = v
 		case p.keyword("adaptive"):
 			r.Adaptive = true
+		case p.keyword("fastmath"):
+			r.FastMath = true
 		default:
-			return errAt(t, "expected time, epsilon, max iter or adaptive, got %s", t)
+			return errAt(t, "expected time, epsilon, max iter, adaptive or fastmath, got %s", t)
 		}
 		if !p.at(TokComma) {
 			return nil

@@ -7,32 +7,12 @@ import "fmt"
 // per-row costs the row-at-a-time path pays — interface dispatch, Row view
 // construction, repeated bounds checks on the model vector — are paid once
 // per block instead. Every kernel accumulates with a single running sum per
-// row in index order, which makes the results bitwise identical to calling
-// Dot/SparseDot row by row; that equivalence is what lets the engine switch
-// between the blocked and per-row paths freely (see gradients.BlockGradient
-// and the engine's block property test).
-
-// dotContig is the shared dense dot-product loop, 4-wide unrolled. The
-// unrolling uses ONE accumulator — s is updated in strict index order — so
-// the float summation order is exactly that of the naive loop; four partial
-// sums would be faster still but would change rounding and break the
-// blocked-vs-row bitwise guarantee. b must be at least as long as a; the
-// explicit reslice hoists the bounds checks out of the loop.
-func dotContig(a, b []float64) float64 {
-	b = b[:len(a)]
-	var s float64
-	i := 0
-	for ; i+4 <= len(a); i += 4 {
-		s += a[i] * b[i]
-		s += a[i+1] * b[i+1]
-		s += a[i+2] * b[i+2]
-		s += a[i+3] * b[i+3]
-	}
-	for ; i < len(a); i++ {
-		s += a[i] * b[i]
-	}
-	return s
-}
+// row in index order (the canonical dotContig/SparseDot loops in kernels.go),
+// which makes the results bitwise identical to calling Dot/SparseDot row by
+// row; that equivalence is what lets the engine switch between the blocked
+// and per-row paths freely (see gradients.BlockGradient and the engine's
+// block property test). The tolerance-bounded fast-tier variants live in
+// fast.go.
 
 // DenseMargins computes out[j] = <vals[j*stride:(j+1)*stride], w> for every
 // row j of a contiguous strided dense block. len(w) must equal stride (the

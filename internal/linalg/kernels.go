@@ -11,7 +11,32 @@ import (
 // into a columnar arena (data.Matrix rows) need not materialize a Sparse
 // header per row. Sparse's own methods delegate here; keeping exactly one
 // loop per kernel is what makes arena-backed rows bit-identical to
-// Sparse-backed units.
+// Sparse-backed units. dotContig below is that single copy for the dense
+// dot: Vector.Dot and the block margin kernels both delegate here, so the
+// fast tier (fast.go) is the only other dense dot loop in the package.
+
+// dotContig is the canonical exact dense dot-product loop, 4-wide unrolled.
+// The unrolling uses ONE accumulator — s is updated in strict index order —
+// so the float summation order is exactly that of the naive loop; multiple
+// partial sums would be faster still but would change rounding and break the
+// blocked-vs-row bitwise guarantee (that trade is exactly what dotContigFast
+// makes, behind the opt-in fast-math tier). b must be at least as long as a;
+// the explicit reslice hoists the bounds checks out of the loop.
+func dotContig(a, b []float64) float64 {
+	b = b[:len(a)]
+	var s float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s += a[i] * b[i]
+		s += a[i+1] * b[i+1]
+		s += a[i+2] * b[i+2]
+		s += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
 
 // SparseDot returns the inner product of the sparse row (idx, vals) with the
 // dense vector w. Indices must be sorted ascending; entries with index >= d

@@ -58,6 +58,23 @@ func ScoresInto(w linalg.Vector, m *data.Matrix, out []float64) {
 	}
 }
 
+// ScoresIntoFast is the fast-math tier's ScoresInto: margins through the
+// multi-accumulator kernels (Block.MarginsIntoFast), agreeing with
+// ScoresInto only to a relative tolerance. Classification predictions can
+// flip for rows whose margin sits within that tolerance of zero — callers
+// serving hard-threshold decisions at scale accept that when they opt in.
+func ScoresIntoFast(w linalg.Vector, m *data.Matrix, out []float64) {
+	n := m.NumRows()
+	out = out[:n]
+	margins := make([]float64, evalBlockSize)
+	for lo := 0; lo < n; lo += evalBlockSize {
+		hi := min(lo+evalBlockSize, n)
+		blk := m.Block(lo, hi)
+		blk.MarginsIntoFast(w, margins)
+		copy(out[lo:hi], margins[:hi-lo])
+	}
+}
+
 // PredictInto fills out[i] with the label the model assigns to row i of m:
 // ScoresInto mapped through PredictScore, in place.
 func PredictInto(task data.TaskKind, w linalg.Vector, m *data.Matrix, out []float64) {

@@ -58,10 +58,14 @@ type AdaptiveConfig struct {
 	// below the blow-ups genuine mis-estimation produces. 0 means 4;
 	// negative disables the gate (every check may switch).
 	DeviationFactor float64
-	// Seed and Workers are the engine options the training segments run
-	// with (same semantics as engine.Options).
-	Seed    int64
-	Workers int
+	// Seed, Workers and FastMath are the engine options the training
+	// segments run with (same semantics as engine.Options). FastMath also
+	// flips the controller's re-costing model to fast-tier throughput, so
+	// mid-flight comparisons price remaining work at the rates the
+	// segments actually execute at.
+	Seed     int64
+	Workers  int
+	FastMath bool
 
 	// Interrupt is polled at the top of every engine Step of every segment
 	// (same semantics as engine.Options.Interrupt): the serving layer wires
@@ -187,7 +191,8 @@ func RunAdaptive(sim *cluster.Sim, store *storage.Store, p gd.Params, opts Optio
 		return nil, err
 	}
 	model := costmodel.New(store, sim.Cfg)
-	eopts := engine.Options{Seed: cfg.Seed, Workers: cfg.Workers, Interrupt: cfg.Interrupt}
+	model.FastMath = cfg.FastMath
+	eopts := engine.Options{Seed: cfg.Seed, Workers: cfg.Workers, FastMath: cfg.FastMath, Interrupt: cfg.Interrupt}
 
 	incumbent := dec.Best.Plan
 	out := &AdaptiveResult{Decision: dec, Plans: []string{incumbent.Name()}}

@@ -69,6 +69,11 @@ type Options struct {
 	// every plan at that iteration count — the paper reports sub-100ms
 	// optimization for this case (Section 8.3).
 	FixedIterations int
+	// FastMath prices batched compute at the fast kernel tier's measured
+	// throughput (costmodel.Model.FastMath) — set it when the chosen plan
+	// will execute with engine.Options.FastMath, so the optimizer ranks the
+	// eleven-plan space under the rates the run will actually see.
+	FastMath bool
 }
 
 // Choose runs the full optimization: speculate (unless iterations are fixed),
@@ -79,6 +84,7 @@ func Choose(sim *cluster.Sim, store *storage.Store, p gd.Params, opts Options) (
 	plans := Space(p)
 	dec := &Decision{Estimates: map[gd.Algo]estimator.Estimate{}}
 	model := costmodel.New(store, sim.Cfg)
+	model.FastMath = opts.FastMath
 
 	iterFor := func(plan gd.Plan) (t int, satisfies bool, err error) {
 		if opts.FixedIterations > 0 {

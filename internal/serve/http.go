@@ -73,6 +73,10 @@ type submitRequest struct {
 	// publishes under (default: the script's assigned query name, else the
 	// job id).
 	Model string `json:"model,omitempty"`
+	// FastMath opts the job into the fast kernel tier without editing the
+	// script (equivalent to `having fastmath` in the statement). The tier
+	// is recorded in the job manifest, so restarts resume on it.
+	FastMath bool `json:"fastmath,omitempty"`
 }
 
 func (s *Server) handleSubmit(r *http.Request) (any, error) {
@@ -83,7 +87,7 @@ func (s *Server) handleSubmit(r *http.Request) (any, error) {
 	if req.Script == "" {
 		return nil, errStatus(http.StatusBadRequest, "script is required")
 	}
-	j, err := s.manager.Submit(req.Script, req.Model)
+	j, err := s.manager.SubmitJob(req.Script, req.Model, SubmitOptions{FastMath: req.FastMath})
 	if err != nil {
 		return nil, badRequest(err)
 	}

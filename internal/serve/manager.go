@@ -53,6 +53,14 @@ type Job struct {
 	Script string
 	Model  string // registry name the result publishes under
 
+	// FastMath records the submission's kernel-tier opt-in
+	// (ml4all.JobOptions.FastMath). Persisted in the manifest so a job
+	// resumed after a restart reopens on the tier it trained on — resuming
+	// an exact-tier checkpoint under fast kernels (or vice versa) would
+	// break the resume-is-bit-identical guarantee. The statement-level
+	// `having fastmath` knob travels inside Script and needs no field.
+	FastMath bool
+
 	mu        sync.Mutex
 	stmt      *lang.Run
 	state     JobState
@@ -84,12 +92,13 @@ type JobStatus struct {
 // manifest is the per-job record persisted next to the checkpoint, enough to
 // reconstruct the job after a restart.
 type manifest struct {
-	ID     string   `json:"id"`
-	Script string   `json:"script"`
-	Model  string   `json:"model"`
-	State  JobState `json:"state"`
-	Plan   string   `json:"plan,omitempty"`
-	Error  string   `json:"error,omitempty"`
+	ID       string   `json:"id"`
+	Script   string   `json:"script"`
+	Model    string   `json:"model"`
+	FastMath bool     `json:"fastmath,omitempty"`
+	State    JobState `json:"state"`
+	Plan     string   `json:"plan,omitempty"`
+	Error    string   `json:"error,omitempty"`
 }
 
 // ManagerConfig sizes the job manager.
@@ -227,7 +236,7 @@ func (m *Manager) loadJobs() ([]*Job, error) {
 			return nil, fmt.Errorf("serve: job %s script no longer parses: %w", id, err)
 		}
 		j := &Job{
-			ID: mf.ID, Script: mf.Script, Model: mf.Model,
+			ID: mf.ID, Script: mf.Script, Model: mf.Model, FastMath: mf.FastMath,
 			stmt: stmt, state: mf.State, errMsg: mf.Error, planName: mf.Plan,
 			cancelled: make(chan struct{}),
 		}
@@ -267,10 +276,24 @@ func parseJobScript(script string) (*lang.Run, error) {
 	return q, nil
 }
 
+// SubmitOptions carry the per-job execution knobs of a submission beyond the
+// script itself.
+type SubmitOptions struct {
+	// FastMath opts the job into the fast kernel tier
+	// (ml4all.JobOptions.FastMath) without editing the statement; the
+	// statement-level `having fastmath` knob is the in-script equivalent.
+	FastMath bool
+}
+
 // Submit queues a new training job. model names the registry entry the
 // trained model publishes under; empty means the statement's assigned query
 // name, falling back to the job id.
 func (m *Manager) Submit(script, model string) (*Job, error) {
+	return m.SubmitJob(script, model, SubmitOptions{})
+}
+
+// SubmitJob is Submit with execution options.
+func (m *Manager) SubmitJob(script, model string, opts SubmitOptions) (*Job, error) {
 	q, err := parseJobScript(script)
 	if err != nil {
 		return nil, err
@@ -295,7 +318,7 @@ func (m *Manager) Submit(script, model string) (*Job, error) {
 		model = id
 	}
 	j := &Job{
-		ID: id, Script: script, Model: model,
+		ID: id, Script: script, Model: model, FastMath: opts.FastMath,
 		stmt: q, state: JobQueued,
 		cancelled: make(chan struct{}),
 	}
@@ -415,8 +438,9 @@ func (m *Manager) Resume(id string) error {
 	}
 	j.mu.Lock()
 	if j.state != JobPaused {
+		state := j.state
 		j.mu.Unlock()
-		return fmt.Errorf("serve: job %s is %s, only paused jobs resume", id, j.state)
+		return fmt.Errorf("serve: job %s is %s, only paused jobs resume", id, state)
 	}
 	j.pause = false
 	j.state = JobQueued
@@ -473,7 +497,7 @@ func writeFileAtomic(path string, data []byte) error {
 // persist writes the job's manifest atomically.
 func (m *Manager) persist(j *Job) error {
 	j.mu.Lock()
-	mf := manifest{ID: j.ID, Script: j.Script, Model: j.Model, State: j.state, Plan: j.planName, Error: j.errMsg}
+	mf := manifest{ID: j.ID, Script: j.Script, Model: j.Model, FastMath: j.FastMath, State: j.state, Plan: j.planName, Error: j.errMsg}
 	j.mu.Unlock()
 	raw, err := json.MarshalIndent(mf, "", "  ")
 	if err != nil {
@@ -557,7 +581,7 @@ func (m *Manager) interruptHook(j *Job) func() error {
 // one exists (restart path), fresh otherwise. Catalog access and planning
 // run under sysMu; the returned trainer is job-local.
 func (m *Manager) openJob(j *Job) error {
-	opts := ml4all.JobOptions{Interrupt: m.interruptHook(j)}
+	opts := ml4all.JobOptions{Interrupt: m.interruptHook(j), FastMath: j.FastMath}
 	m.sysMu.Lock()
 	defer m.sysMu.Unlock()
 	if state, err := os.ReadFile(m.ckptPath(j.ID)); err == nil {

@@ -316,6 +316,54 @@ func TestManagerCancelBeatsPendingPause(t *testing.T) {
 	}
 }
 
+// TestManagerFastMathPersistsAcrossRestart pins the manifest round-trip of
+// the kernel-tier opt-in: a job submitted with SubmitOptions{FastMath: true}
+// must come back on the fast tier after a manager restart — a resume that
+// silently dropped to the exact tier would break the checkpoint's
+// bit-identical-resume contract mid-run.
+func TestManagerFastMathPersistsAcrossRestart(t *testing.T) {
+	trainPath, _ := writeDataset(t, synth.Spec{
+		Name: "fastmath-train", Task: data.TaskSVM,
+		N: 800, D: 16, Density: 0.5, Noise: 0.1, Margin: 1, Seed: 13,
+	})
+	script := fmt.Sprintf("run svm on %s having epsilon 0.001, max iter 60;", trainPath)
+
+	dir := t.TempDir()
+	mgr1, _ := testManager(t, ManagerConfig{Dir: dir, Pool: 1, CheckpointEvery: time.Millisecond})
+	fast, err := mgr1.SubmitJob(script, "fast-model", SubmitOptions{FastMath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := mgr1.Submit(script, "exact-model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, fast.Status, JobCompleted, 60*time.Second)
+	waitState(t, exact.Status, JobCompleted, 60*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := mgr1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	mgr2, _ := testManager(t, ManagerConfig{Dir: dir, Pool: 1})
+	defer mgr2.Shutdown(context.Background())
+	reloaded, ok := mgr2.Job(fast.ID)
+	if !ok {
+		t.Fatalf("fast job %s lost across restart", fast.ID)
+	}
+	if !reloaded.FastMath {
+		t.Fatal("fastmath opt-in dropped from the reloaded manifest")
+	}
+	reloaded, ok = mgr2.Job(exact.ID)
+	if !ok {
+		t.Fatalf("exact job %s lost across restart", exact.ID)
+	}
+	if reloaded.FastMath {
+		t.Fatal("exact job reloaded with fastmath set")
+	}
+}
+
 // TestManagerRejectsAdaptiveAtSubmit: the statically detectable failure must
 // not become a deferred, asynchronous one.
 func TestManagerRejectsAdaptiveAtSubmit(t *testing.T) {

@@ -79,6 +79,15 @@ type System struct {
 	// simulated cluster time is charged the same either way. See DESIGN.md.
 	Workers int
 
+	// FastMath opts every run into the tolerance-bounded fast kernel tier
+	// (engine.Options.FastMath; see DESIGN.md §10): multi-accumulator
+	// margins, fused gradient accumulation, polynomial sigmoid. Training is
+	// faster but results agree with the default bit-exact tier only within
+	// documented epsilon bounds; the optimizer prices plans at the fast
+	// tier's measured throughput. Individual statements can opt in without
+	// flipping the system default via `having fastmath`.
+	FastMath bool
+
 	datasets map[string]*data.Dataset
 	models   map[string]*Model
 }
@@ -173,7 +182,7 @@ func (s *System) Optimize(ds *data.Dataset, p Params) (*Decision, error) {
 	if err != nil {
 		return nil, err
 	}
-	return planner.Choose(sim, st, p, planner.Options{Estimator: s.estimatorConfig()})
+	return planner.Choose(sim, st, p, planner.Options{Estimator: s.estimatorConfig(), FastMath: s.FastMath})
 }
 
 // estimatorConfig returns the estimator settings with the system's worker
@@ -194,7 +203,7 @@ func (s *System) Execute(ds *data.Dataset, plan Plan) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return engine.Run(sim, st, &plan, engine.Options{Seed: s.Cluster.Seed, Workers: s.Workers})
+	return engine.Run(sim, st, &plan, engine.Options{Seed: s.Cluster.Seed, Workers: s.Workers, FastMath: s.FastMath})
 }
 
 // Train optimizes and executes in one timeline: the returned result's Time
@@ -207,12 +216,12 @@ func (s *System) Train(ds *data.Dataset, p Params) (*Result, *Decision, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	dec, err := planner.Choose(sim, st, p, planner.Options{Estimator: s.estimatorConfig()})
+	dec, err := planner.Choose(sim, st, p, planner.Options{Estimator: s.estimatorConfig(), FastMath: s.FastMath})
 	if err != nil {
 		return nil, nil, err
 	}
 	plan := dec.Best.Plan
-	res, err := engine.Run(sim, st, &plan, engine.Options{Seed: s.Cluster.Seed, Workers: s.Workers})
+	res, err := engine.Run(sim, st, &plan, engine.Options{Seed: s.Cluster.Seed, Workers: s.Workers, FastMath: s.FastMath})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -239,7 +248,10 @@ func (s *System) TrainAdaptive(ds *data.Dataset, p Params, cfg AdaptiveConfig) (
 	if cfg.Workers == 0 {
 		cfg.Workers = s.Workers
 	}
-	ar, err := planner.RunAdaptive(sim, st, p, planner.Options{Estimator: s.estimatorConfig()}, cfg)
+	if s.FastMath {
+		cfg.FastMath = true
+	}
+	ar, err := planner.RunAdaptive(sim, st, p, planner.Options{Estimator: s.estimatorConfig(), FastMath: cfg.FastMath}, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -363,8 +375,8 @@ func (s *System) runAdaptiveQuery(q *lang.Run, ds *data.Dataset, sim *cluster.Si
 	if q.Time > 0 {
 		return nil, fmt.Errorf("ml4all: adaptive cannot be combined with a time constraint")
 	}
-	cfg := AdaptiveConfig{Seed: s.Cluster.Seed, Workers: s.Workers}
-	ar, err := planner.RunAdaptive(sim, stn, p, planner.Options{Estimator: s.estimatorConfig()}, cfg)
+	cfg := AdaptiveConfig{Seed: s.Cluster.Seed, Workers: s.Workers, FastMath: s.FastMath || q.FastMath}
+	ar, err := planner.RunAdaptive(sim, stn, p, planner.Options{Estimator: s.estimatorConfig(), FastMath: cfg.FastMath}, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -29,6 +29,14 @@ type JobOptions struct {
 	// the job checkpointable and resumable. The serving layer wires a
 	// context's Err here so in-flight jobs cancel between iterations.
 	Interrupt func() error
+
+	// FastMath opts the job into the tolerance-bounded fast kernel tier
+	// (engine.Options.FastMath). The job's effective tier is the OR of this
+	// option, the statement's `having fastmath` knob and the system default
+	// — and must be identical at OpenJob and ResumeJob time for a resumed
+	// run to be meaningful, which is why the serving layer persists it in
+	// the job manifest next to the script.
+	FastMath bool
 }
 
 // TrainJob is a resumable handle on one declarative training statement: the
@@ -67,7 +75,7 @@ func (s *System) OpenJob(q *lang.Run, jo JobOptions) (*TrainJob, error) {
 	if q.Adaptive {
 		return nil, fmt.Errorf("ml4all: adaptive run statements execute through TrainAdaptive, not a resumable job")
 	}
-	j, dec, err := s.costJob(q)
+	j, dec, err := s.costJob(q, jo)
 	if err != nil {
 		return nil, err
 	}
@@ -84,7 +92,7 @@ func (s *System) OpenJob(q *lang.Run, jo JobOptions) (*TrainJob, error) {
 		}
 	}
 	j.plan = choice.Plan
-	j.trainer, err = engine.NewTrainer(j.sim, j.store, &j.plan, s.jobEngineOptions(jo))
+	j.trainer, err = engine.NewTrainer(j.sim, j.store, &j.plan, s.jobEngineOptions(q, jo))
 	if err != nil {
 		return nil, err
 	}
@@ -108,7 +116,7 @@ func (s *System) ResumeJob(q *lang.Run, state []byte, jo JobOptions) (*TrainJob,
 	if err != nil {
 		return nil, err
 	}
-	j, dec, err := s.costJob(q)
+	j, dec, err := s.costJob(q, jo)
 	if err != nil {
 		return nil, err
 	}
@@ -123,7 +131,7 @@ func (s *System) ResumeJob(q *lang.Run, state []byte, jo JobOptions) (*TrainJob,
 	if !found {
 		return nil, fmt.Errorf("ml4all: checkpoint plan %s not in the statement's plan space — script or configuration changed since the checkpoint", st.PlanName)
 	}
-	j.trainer, err = engine.Resume(j.sim, j.store, &j.plan, s.jobEngineOptions(jo), st)
+	j.trainer, err = engine.Resume(j.sim, j.store, &j.plan, s.jobEngineOptions(q, jo), st)
 	if err != nil {
 		return nil, err
 	}
@@ -133,7 +141,7 @@ func (s *System) ResumeJob(q *lang.Run, state []byte, jo JobOptions) (*TrainJob,
 // costJob performs the shared front half of OpenJob and ResumeJob: resolve
 // the data source, bind parameters, lay out the store, and run the cost-based
 // optimizer on a fresh simulated timeline.
-func (s *System) costJob(q *lang.Run) (*TrainJob, *Decision, error) {
+func (s *System) costJob(q *lang.Run, jo JobOptions) (*TrainJob, *Decision, error) {
 	if len(q.Sources) == 0 {
 		return nil, nil, fmt.Errorf("ml4all: run without a data source")
 	}
@@ -150,16 +158,24 @@ func (s *System) costJob(q *lang.Run) (*TrainJob, *Decision, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	dec, err := planner.Choose(sim, stn, p, planner.Options{Estimator: s.estimatorConfig()})
+	dec, err := planner.Choose(sim, stn, p, planner.Options{Estimator: s.estimatorConfig(), FastMath: s.jobFastMath(q, jo)})
 	if err != nil {
 		return nil, nil, err
 	}
 	return &TrainJob{stmt: q, ds: ds, params: p, sim: sim, store: stn, dec: dec}, dec, nil
 }
 
+// jobFastMath resolves a job's effective kernel tier: the statement's
+// `having fastmath` knob, the job option, or the system default — any one
+// opts in. Costing (costJob) and execution (jobEngineOptions) both consult
+// it, so the optimizer prices the tier the trainer will run.
+func (s *System) jobFastMath(q *lang.Run, jo JobOptions) bool {
+	return s.FastMath || q.FastMath || jo.FastMath
+}
+
 // jobEngineOptions maps system settings plus job options onto the engine's.
-func (s *System) jobEngineOptions(jo JobOptions) engine.Options {
-	return engine.Options{Seed: s.Cluster.Seed, Workers: s.Workers, Interrupt: jo.Interrupt}
+func (s *System) jobEngineOptions(q *lang.Run, jo JobOptions) engine.Options {
+	return engine.Options{Seed: s.Cluster.Seed, Workers: s.Workers, FastMath: s.jobFastMath(q, jo), Interrupt: jo.Interrupt}
 }
 
 // Step executes exactly one plan iteration (engine.Trainer.Step).
