@@ -36,19 +36,15 @@ func run() int {
 	adaptive := flag.Bool("adaptive", false, "train the optimizer's chosen plan with mid-flight re-optimization where experiments support it (fig8; the 'adaptive' experiment always adapts)")
 	fastmath := flag.Bool("fastmath", false, "run engine executions on the opt-in fast kernel tier (tolerance-bounded results; with -predict, adds the fast-tier scoring column)")
 	predict := flag.Bool("predict", false, "benchmark batched vs per-row prediction throughput (the serving path) instead of running experiments")
+	serveLoad := flag.Bool("serve-load", false, "run the closed-loop serving load sweep (concurrency ladder × request mixes × baseline/pooled/coalesced arms; with -fastmath, adds a fast-tier coalesced pass)")
+	serveDur := flag.Duration("serve-duration", 300*time.Millisecond, "wall time per -serve-load rung")
+	serveOut := flag.String("serve-out", "BENCH_7.json", "output path for the -serve-load report")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment runs to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof allocation profile to this file after the runs")
 	flag.Parse()
 
-	if *predict {
-		if err := runPredictBench(*scale, *fastmath); err != nil {
-			fmt.Fprintln(os.Stderr, "ml4all-bench:", err)
-			return 1
-		}
-		return 0
-	}
-	if *list || *exp == "" {
+	if *list || (*exp == "" && !*predict && !*serveLoad) {
 		fmt.Println("experiments:", strings.Join(experiments.IDs(), " "))
 		if *exp == "" {
 			return 2
@@ -89,6 +85,21 @@ func run() int {
 				fmt.Fprintln(os.Stderr, "ml4all-bench:", err)
 			}
 		}()
+	}
+
+	if *predict {
+		if err := runPredictBench(*scale, *fastmath); err != nil {
+			fmt.Fprintln(os.Stderr, "ml4all-bench:", err)
+			return 1
+		}
+		return 0
+	}
+	if *serveLoad {
+		if err := runServeLoad(*serveDur, *fastmath, *serveOut); err != nil {
+			fmt.Fprintln(os.Stderr, "ml4all-bench:", err)
+			return 1
+		}
+		return 0
 	}
 
 	cfg := experiments.Config{Scale: *scale, Quick: *quick, Seed: *seed, Workers: *workers, Adaptive: *adaptive, FastMath: *fastmath}

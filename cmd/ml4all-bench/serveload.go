@@ -1,0 +1,439 @@
+package main
+
+// The -serve-load mode is a closed-loop load generator for the serving
+// pipeline: a ladder of concurrency rungs × request mixes (dense instances,
+// CSV text, LIBSVM text), each measured over three arms —
+//
+//   - baseline:  the per-request allocating path (fresh builder + Build +
+//     Model.ScoreMatrix per call), the pipeline as it was before pooling
+//     and coalescing;
+//   - pooled:    the pooled direct path (Predictor with coalescing off);
+//   - coalesced: the full pipeline (pooled ingest + request coalescing).
+//
+// Each rung reports rows/s and p50/p95/p99 request latency; results write to
+// BENCH_7.json (see README "Serving throughput"). Callers are closed-loop:
+// every goroutine issues its next request the moment the previous one
+// answers, so rung latency includes all queueing the pipeline itself adds.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ml4all"
+	"ml4all/internal/data"
+	"ml4all/internal/metrics"
+	"ml4all/internal/serve"
+)
+
+const (
+	serveLoadDim     = 128 // model dimensionality
+	serveLoadRows    = 4   // rows per request: small calls are what coalescing amortizes
+	serveLoadRepeats = 3   // intervals per rung; the median by rows/s is reported
+)
+
+var serveLoadLadder = []int{1, 4, 16, 64}
+
+// serveLoadMix is one request shape of the sweep.
+type serveLoadMix struct {
+	name      string
+	rows      func(g int) []string
+	instances func(g int) [][]float64
+}
+
+func serveLoadMixes() []serveLoadMix {
+	// Feature values are sixteenths: exact in binary and short in text ("%g"
+	// prints at most 7 characters), the shape quantized telemetry features
+	// take — so the text mixes measure the pipeline, not ParseFloat's
+	// long-decimal slow path.
+	val := func(g, i, k int) float64 { return float64((g*31+i*7+k)%19-9) / 16 }
+	return []serveLoadMix{
+		{name: "instances", instances: func(g int) [][]float64 {
+			out := make([][]float64, serveLoadRows)
+			for i := range out {
+				row := make([]float64, serveLoadDim)
+				for k := range row {
+					row[k] = val(g, i, k)
+				}
+				out[i] = row
+			}
+			return out
+		}},
+		{name: "csv", rows: func(g int) []string {
+			out := make([]string, serveLoadRows)
+			var sb strings.Builder
+			for i := range out {
+				sb.Reset()
+				for k := 0; k < serveLoadDim; k++ {
+					if k > 0 {
+						sb.WriteByte(',')
+					}
+					fmt.Fprintf(&sb, "%g", val(g, i, k))
+				}
+				out[i] = sb.String()
+			}
+			return out
+		}},
+		{name: "libsvm", rows: func(g int) []string {
+			out := make([]string, serveLoadRows)
+			var sb strings.Builder
+			for i := range out {
+				sb.Reset()
+				for k := 0; k < 8; k++ { // ~6% density
+					if k > 0 {
+						sb.WriteByte(' ')
+					}
+					fmt.Fprintf(&sb, "%d:%g", (g*17+i*13+k*16)%serveLoadDim+1, val(g, i, k))
+				}
+				out[i] = sb.String()
+			}
+			return out
+		}},
+	}
+}
+
+// serveLoadRung is one measured (mix, arm, concurrency) cell.
+type serveLoadRung struct {
+	Mix         string  `json:"mix"`
+	Arm         string  `json:"arm"`
+	FastMath    bool    `json:"fastmath"`
+	Concurrency int     `json:"concurrency"`
+	Requests    int     `json:"requests"`
+	RowsPerSec  float64 `json:"rows_per_sec"`
+	P50Micros   float64 `json:"p50_us"`
+	P95Micros   float64 `json:"p95_us"`
+	P99Micros   float64 `json:"p99_us"`
+	// SpeedupVsBaseline is RowsPerSec over the baseline arm's at the same
+	// (mix, concurrency): the pipeline's win over the pre-pooling path.
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+	// RowsPerPass is the mean shared-kernel-pass size the coalescer formed
+	// (coalesced arms only): how many rows each weight-vector reload and
+	// block-dispatch setup was amortized across.
+	RowsPerPass float64 `json:"rows_per_pass,omitempty"`
+	// KernelPasses counts kernel invocations this rung: shared passes plus
+	// uncoalesced calls. Coalescing's structural effect is this number
+	// falling while rows/s holds.
+	KernelPasses uint64 `json:"kernel_passes,omitempty"`
+}
+
+// serveLoadReport is the BENCH_7.json document.
+type serveLoadReport struct {
+	Dim            int             `json:"dim"`
+	RowsPerRequest int             `json:"rows_per_request"`
+	DurationMS     int             `json:"duration_ms"`
+	GoMaxProcs     int             `json:"gomaxprocs"`
+	Notes          []string        `json:"notes"`
+	Rungs          []serveLoadRung `json:"rungs"`
+}
+
+// baselineScore replicates the pre-pooling predict path: a fresh builder and
+// detached arena per request, allocating score/label slices — the reference
+// the pooled and coalesced arms are measured against.
+func baselineScore(mv *serve.ModelVersion, rows []string, instances [][]float64) (int, error) {
+	d := len(mv.Model.Weights)
+	var mat *data.Matrix
+	switch {
+	case len(instances) > 0:
+		b := data.NewDenseMatrixBuilder(len(instances), d)
+		for _, inst := range instances {
+			buf, err := b.DenseRowBuffer()
+			if err != nil {
+				return 0, err
+			}
+			copy(buf, inst)
+			b.CommitDenseRow(0)
+		}
+		mat = b.Build()
+	case strings.ContainsRune(rows[0], ':'): // LIBSVM
+		b := data.NewMatrixBuilder(len(rows), 0)
+		var idx []int32
+		var vals []float64
+		for _, line := range rows {
+			label, _, oidx, ovals, ok, err := data.ParsePredictLIBSVM(line, idx[:0], vals[:0])
+			if err != nil || !ok {
+				return 0, fmt.Errorf("serve-load: bad libsvm row %q: %v", line, err)
+			}
+			idx, vals = oidx, ovals
+			if err := b.AppendSparse(label, idx, vals); err != nil {
+				return 0, err
+			}
+		}
+		mat = b.Build()
+	default: // CSV
+		b := data.NewDenseMatrixBuilder(len(rows), d)
+		var vals []float64
+		for _, line := range rows {
+			ovals, ok, err := data.ParsePredictCSV(line, vals[:0])
+			if err != nil || !ok {
+				return 0, fmt.Errorf("serve-load: bad csv row %q: %v", line, err)
+			}
+			vals = ovals
+			buf, err := b.DenseRowBuffer()
+			if err != nil {
+				return 0, err
+			}
+			copy(buf, vals)
+			b.CommitDenseRow(0)
+		}
+		mat = b.Build()
+	}
+	// Score the way the pre-pooling pipeline did: fresh margin scratch,
+	// score/label slices, and response record per call (metrics.ScoresInto
+	// now pools its scratch, so the seed behavior is reproduced here).
+	n := mat.NumRows()
+	scores := make([]float64, n)
+	margins := make([]float64, data.DefaultBlockSize)
+	for lo := 0; lo < n; lo += data.DefaultBlockSize {
+		hi := lo + data.DefaultBlockSize
+		if hi > n {
+			hi = n
+		}
+		blk := mat.Block(lo, hi)
+		blk.MarginsInto(mv.Model.Weights, margins)
+		copy(scores[lo:hi], margins[:hi-lo])
+	}
+	labels := make([]float64, n)
+	for i, s := range scores {
+		labels[i] = metrics.PredictScore(mv.Model.Task, s)
+	}
+	resp := &serve.PredictResponse{
+		Model: mv.Name, Version: mv.Version, Task: mv.Model.Task.String(),
+		N: n, Labels: labels, Scores: scores,
+	}
+	return resp.N, nil
+}
+
+// runServeRung drives one closed-loop rung: concurrency goroutines each call
+// score back-to-back until the clock runs out.
+func runServeRung(concurrency int, dur time.Duration, score func(g int) (int, error)) (serveLoadRung, error) {
+	lats := make([][]time.Duration, concurrency)
+	rows := make([]int, concurrency)
+	errs := make([]error, concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(dur)
+	for g := 0; g < concurrency; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				n, err := score(g)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				lats[g] = append(lats[g], time.Since(t0))
+				rows[g] += n
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var all []time.Duration
+	total := 0
+	for g := 0; g < concurrency; g++ {
+		if errs[g] != nil {
+			return serveLoadRung{}, errs[g]
+		}
+		all = append(all, lats[g]...)
+		total += rows[g]
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	q := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)))
+		if i >= len(all) {
+			i = len(all) - 1
+		}
+		return float64(all[i].Nanoseconds()) / 1e3
+	}
+	return serveLoadRung{
+		Concurrency: concurrency,
+		Requests:    len(all),
+		RowsPerSec:  float64(total) / elapsed.Seconds(),
+		P50Micros:   q(0.50),
+		P95Micros:   q(0.95),
+		P99Micros:   q(0.99),
+	}, nil
+}
+
+// runServeLoad runs the full sweep and writes the report. fastmath adds a
+// fast-tier pass of the ladder on the coalesced arm.
+func runServeLoad(dur time.Duration, fastmath bool, out string) error {
+	mv := &serve.ModelVersion{
+		Name: "load", Version: 1,
+		Model: &ml4all.Model{
+			Name: "load", Task: data.TaskSVM,
+			Weights: predictWeights(serveLoadDim),
+		},
+	}
+	report := serveLoadReport{
+		Dim:            serveLoadDim,
+		RowsPerRequest: serveLoadRows,
+		DurationMS:     int(dur.Milliseconds()),
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		Notes: []string{
+			"closed-loop: each of <concurrency> callers issues its next request the moment the previous answers, so latencies include all queueing the pipeline adds",
+			"each rung is the median of 3 back-to-back intervals by rows/s",
+			"baseline replicates the pre-pooling request path (fresh builder, margin scratch, score/label/response allocations per call); pooled and coalesced run the Predictor pipeline",
+			"kernel_passes and rows_per_pass report the coalescer's structural effect: N small per-request passes collapse into shared dataset-shaped ones",
+			"on a GOMAXPROCS=1 host a shared pass cannot overlap caller turnaround, so the coalesced arm's rows/s tracks the direct path; the pass-count collapse is the headroom multi-core hosts convert into throughput",
+		},
+	}
+	fmt.Printf("serving load sweep: %d-d model, %d rows/request, %v per rung, GOMAXPROCS=%d\n",
+		serveLoadDim, serveLoadRows, dur, runtime.GOMAXPROCS(0))
+	fmt.Printf("%-10s %-10s %4s %5s %12s %10s %10s %10s %8s %10s\n",
+		"mix", "arm", "fast", "conc", "rows/s", "p50(µs)", "p95(µs)", "p99(µs)", "vs-base", "rows/pass")
+
+	// baselineRate indexes the baseline arm's rows/s by mix and concurrency;
+	// the baseline arm runs first, so later arms compute their speedup.
+	baselineRate := map[string]float64{}
+	key := func(mix string, c int) string { return fmt.Sprintf("%s/%d", mix, c) }
+
+	// Each rung runs serveLoadRepeats back-to-back intervals and reports the
+	// median by rows/s (with that interval's latencies and counter deltas) —
+	// on a shared host one descheduled interval would otherwise define the
+	// cell.
+	type repeat struct {
+		rung          serveLoadRung
+		before, after serve.PredictTotals
+	}
+	run := func(mix serveLoadMix, arm string, fast bool, c int, score func(g int) (int, error), counters *serve.Counters) error {
+		reps := make([]repeat, 0, serveLoadRepeats)
+		for i := 0; i < serveLoadRepeats; i++ {
+			var rep repeat
+			if counters != nil {
+				rep.before = counters.PredictTotals()
+			}
+			r, err := runServeRung(c, dur, score)
+			if err != nil {
+				return fmt.Errorf("%s/%s c=%d: %w", mix.name, arm, c, err)
+			}
+			rep.rung = r
+			if counters != nil {
+				rep.after = counters.PredictTotals()
+			}
+			reps = append(reps, rep)
+		}
+		sort.Slice(reps, func(i, j int) bool { return reps[i].rung.RowsPerSec < reps[j].rung.RowsPerSec })
+		sel := reps[len(reps)/2]
+		rung, before := sel.rung, sel.before
+		rung.Mix, rung.Arm, rung.FastMath = mix.name, arm, fast
+		if arm == "baseline" {
+			baselineRate[key(mix.name, c)] = rung.RowsPerSec
+		} else if base := baselineRate[key(mix.name, c)]; base > 0 {
+			rung.SpeedupVsBaseline = rung.RowsPerSec / base
+		}
+		if counters != nil {
+			t := sel.after
+			shared := t.CoalescedBatches - before.CoalescedBatches
+			sharedRows := t.CoalescedRows - before.CoalescedRows
+			calls := t.Batches - before.Batches
+			rows := t.Rows - before.Rows
+			// Every request is serveLoadRows rows, so the calls served by
+			// shared passes are sharedRows/serveLoadRows; the rest scored
+			// alone, one pass each.
+			alone := calls - sharedRows/uint64(serveLoadRows)
+			rung.KernelPasses = shared + alone
+			if rung.KernelPasses > 0 {
+				rung.RowsPerPass = float64(rows) / float64(rung.KernelPasses)
+			}
+		}
+		report.Rungs = append(report.Rungs, rung)
+		extra := fmt.Sprintf("%8s %10s", "-", "-")
+		if rung.SpeedupVsBaseline > 0 {
+			extra = fmt.Sprintf("%7.2fx %10s", rung.SpeedupVsBaseline, "-")
+			if rung.RowsPerPass > 0 {
+				extra = fmt.Sprintf("%7.2fx %10.1f", rung.SpeedupVsBaseline, rung.RowsPerPass)
+			}
+		}
+		fmt.Printf("%-10s %-10s %4v %5d %12.0f %10.1f %10.1f %10.1f %s\n",
+			mix.name, arm, fast, c, rung.RowsPerSec, rung.P50Micros, rung.P95Micros, rung.P99Micros, extra)
+		return nil
+	}
+
+	for _, mix := range serveLoadMixes() {
+		// Pre-built per-goroutine requests: generation cost stays out of the
+		// measured loop, and reusing the records keeps the serve arms in
+		// their steady state (the scenario pooling exists for).
+		maxC := serveLoadLadder[len(serveLoadLadder)-1]
+		reqs := make([]*serve.PredictRequest, maxC)
+		for g := range reqs {
+			reqs[g] = &serve.PredictRequest{}
+			if mix.instances != nil {
+				reqs[g].Instances = mix.instances(g)
+			} else {
+				reqs[g].Rows = mix.rows(g)
+			}
+		}
+
+		arms := []struct {
+			name string
+			fast bool
+		}{{"baseline", false}, {"pooled", false}, {"coalesced", false}}
+		if fastmath {
+			arms = append(arms, struct {
+				name string
+				fast bool
+			}{"coalesced", true})
+		}
+		for _, arm := range arms {
+			var score func(g int) (int, error)
+			var p *serve.Predictor
+			var counters *serve.Counters
+			switch arm.name {
+			case "baseline":
+				score = func(g int) (int, error) {
+					return baselineScore(mv, reqs[g].Rows, reqs[g].Instances)
+				}
+			case "pooled":
+				counters = serve.NewCounters()
+				p = serve.NewPredictor(serve.CoalesceConfig{Disabled: true}, serve.AdmissionConfig{Disabled: true}, counters)
+			case "coalesced":
+				counters = serve.NewCounters()
+				p = serve.NewPredictor(serve.CoalesceConfig{Force: true}, serve.AdmissionConfig{Disabled: true}, counters)
+			}
+			if p != nil {
+				pred, fast := p, arm.fast
+				score = func(g int) (int, error) {
+					req := reqs[g]
+					req.FastMath = fast
+					resp := serve.AcquirePredictResponse()
+					err := pred.Predict(mv, req, resp)
+					n := resp.N
+					resp.Release()
+					return n, err
+				}
+			}
+			for _, c := range serveLoadLadder {
+				if err := run(mix, arm.name, arm.fast, c, score, counters); err != nil {
+					return err
+				}
+			}
+			if p != nil {
+				p.Close()
+			}
+		}
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d rungs)\n", out, len(report.Rungs))
+	return nil
+}

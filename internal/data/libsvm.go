@@ -50,33 +50,46 @@ func parseLIBSVMInto(line string, idx []int32, vals []float64) (label float64, o
 	if err != nil {
 		return 0, idx, vals, false, fmt.Errorf("data: bad LIBSVM label %q: %w", line[start:end], err)
 	}
-	for pos := end; ; pos = end {
-		start, end, ok = nextField(line, pos)
+	oidx, ovals, err = parseLIBSVMFeatures(line, end, idx, vals)
+	if err != nil {
+		return 0, oidx, ovals, false, err
+	}
+	return label, oidx, ovals, true, nil
+}
+
+// parseLIBSVMFeatures parses the idx:val fields of line at or after pos,
+// appending to idx/vals — the shared back half of parseLIBSVMInto and the
+// label-less prediction-request parse (which starts at pos 0 with no label
+// field to skip, instead of allocating a synthetic "0 "-prefixed line).
+func parseLIBSVMFeatures(line string, pos int, idx []int32, vals []float64) (oidx []int32, ovals []float64, err error) {
+	for {
+		start, end, ok := nextField(line, pos)
 		if !ok {
 			break
 		}
+		pos = end
 		f := line[start:end]
 		colon := strings.IndexByte(f, ':')
 		if colon <= 0 {
-			return 0, idx, vals, false, fmt.Errorf("data: bad LIBSVM feature %q", f)
+			return idx, vals, fmt.Errorf("data: bad LIBSVM feature %q", f)
 		}
 		i, err := strconv.Atoi(f[:colon])
 		if err != nil {
-			return 0, idx, vals, false, fmt.Errorf("data: bad LIBSVM index %q: %w", f[:colon], err)
+			return idx, vals, fmt.Errorf("data: bad LIBSVM index %q: %w", f[:colon], err)
 		}
 		// The columnar arena stores indices as int32; reject anything the
 		// layout cannot hold instead of silently wrapping.
 		if i < 1 || i-1 > math.MaxInt32 {
-			return 0, idx, vals, false, fmt.Errorf("data: LIBSVM index %d out of range (must be in [1, 2^31])", i)
+			return idx, vals, fmt.Errorf("data: LIBSVM index %d out of range (must be in [1, 2^31])", i)
 		}
 		v, err := strconv.ParseFloat(f[colon+1:], 64)
 		if err != nil {
-			return 0, idx, vals, false, fmt.Errorf("data: bad LIBSVM value %q: %w", f[colon+1:], err)
+			return idx, vals, fmt.Errorf("data: bad LIBSVM value %q: %w", f[colon+1:], err)
 		}
 		idx = append(idx, int32(i-1))
 		vals = append(vals, v)
 	}
-	return label, idx, vals, true, nil
+	return idx, vals, nil
 }
 
 // ParseLIBSVMLine parses one line of LIBSVM text: "label idx:val idx:val ...".

@@ -253,6 +253,7 @@ func (m *Matrix) view(ids []int32) *Matrix {
 // counting pass ran first; the builder grows amortized otherwise.
 type MatrixBuilder struct {
 	m     Matrix
+	view  Matrix // BuildView's result record, reused so views allocate nothing
 	dense bool
 	set   bool // layout fixed by the first append (or the constructor)
 }
@@ -348,15 +349,118 @@ func (b *MatrixBuilder) DenseRowBuffer() (linalg.Vector, error) {
 		return nil, fmt.Errorf("data: DenseRowBuffer needs a stride — use NewDenseMatrixBuilder")
 	}
 	lo := len(b.m.values)
-	for i := 0; i < b.m.stride; i++ {
-		b.m.values = append(b.m.values, 0)
+	hi := lo + b.m.stride
+	if hi > cap(b.m.values) {
+		grown := make([]float64, lo, growCap(cap(b.m.values), hi))
+		copy(grown, b.m.values)
+		b.m.values = grown
 	}
+	b.m.values = b.m.values[:hi]
+	clear(b.m.values[lo:hi]) // recycled arenas hold stale data; rows go out zero-filled
 	return b.m.values[lo:], nil
 }
 
 // CommitDenseRow finalizes the row last handed out by DenseRowBuffer.
 func (b *MatrixBuilder) CommitDenseRow(label float64) {
 	b.m.labels = append(b.m.labels, label)
+}
+
+// growCap picks the next arena capacity reaching need: doubled like append's
+// growth, so repeated row appends stay amortized O(1).
+func growCap(c, need int) int {
+	if c < 8 {
+		c = 8
+	}
+	for c < need {
+		c *= 2
+	}
+	return c
+}
+
+// AppendDensePadded appends one dense row: vals, zero-padded to the stride.
+// It writes each element of the row exactly once (the copied prefix is never
+// pre-cleared), which is the serving ingest hot path's fused form of
+// DenseRowBuffer + copy + CommitDenseRow.
+func (b *MatrixBuilder) AppendDensePadded(label float64, vals []float64) error {
+	if !b.set || !b.dense || b.m.stride == 0 {
+		return fmt.Errorf("data: AppendDensePadded needs a stride — use NewDenseMatrixBuilder")
+	}
+	if len(vals) > b.m.stride {
+		return fmt.Errorf("data: AppendDensePadded: row has %d values, stride is %d", len(vals), b.m.stride)
+	}
+	lo := len(b.m.values)
+	hi := lo + b.m.stride
+	if hi > cap(b.m.values) {
+		grown := make([]float64, lo, growCap(cap(b.m.values), hi))
+		copy(grown, b.m.values)
+		b.m.values = grown
+	}
+	b.m.values = b.m.values[:hi]
+	n := copy(b.m.values[lo:], vals)
+	clear(b.m.values[lo+n : hi]) // recycled arenas hold stale data past the copy
+	b.m.labels = append(b.m.labels, label)
+	return nil
+}
+
+// AppendRows bulk-appends every row of m, which must share the builder's
+// layout (and stride, when dense). Rows arrive already normalized — m was
+// built through AppendSparse or a parser — so the copy skips SortDedup: the
+// appended rows are bitwise identical to appending them one by one, at
+// memcpy speed. Identity views copy their arena ranges wholesale; gathered
+// views fall back to per-row copies. This is the merge step of the serving
+// layer's request coalescer: per-request arenas concatenate into one shared
+// batch arena.
+func (b *MatrixBuilder) AppendRows(m *Matrix) error {
+	if m.dense {
+		if b.set && !b.dense {
+			return fmt.Errorf("data: AppendRows: dense rows into a sparse builder")
+		}
+		if !b.set {
+			b.set, b.dense = true, true
+			b.m.dense = true
+			b.m.stride = m.stride
+		}
+		if m.stride != b.m.stride {
+			return fmt.Errorf("data: AppendRows: dense stride %d into a stride-%d builder", m.stride, b.m.stride)
+		}
+		if m.rowIDs == nil {
+			b.m.values = append(b.m.values, m.values...)
+			b.m.labels = append(b.m.labels, m.labels...)
+			return nil
+		}
+		for i := 0; i < m.n; i++ {
+			j := int(m.rowIDs[i])
+			b.m.values = append(b.m.values, m.values[j*m.stride:(j+1)*m.stride]...)
+			b.m.labels = append(b.m.labels, m.labels[j])
+		}
+		return nil
+	}
+	if b.set && b.dense {
+		return fmt.Errorf("data: AppendRows: sparse rows into a dense builder")
+	}
+	b.set = true
+	if b.m.offsets == nil {
+		b.m.offsets = append(make([]int64, 0, cap(b.m.labels)+1), 0)
+	}
+	if m.rowIDs == nil {
+		base := int64(len(b.m.indices)) - m.offsets[0]
+		b.m.indices = append(b.m.indices, m.indices[m.offsets[0]:m.offsets[len(m.offsets)-1]]...)
+		b.m.values = append(b.m.values, m.values[m.offsets[0]:m.offsets[len(m.offsets)-1]]...)
+		for _, off := range m.offsets[1:] {
+			b.m.offsets = append(b.m.offsets, base+off)
+		}
+		b.m.labels = append(b.m.labels, m.labels...)
+		return nil
+	}
+	for i := 0; i < m.n; i++ {
+		j := int(m.rowIDs[i])
+		lo, hi := m.offsets[j], m.offsets[j+1]
+		b.m.indices = append(b.m.indices, m.indices[lo:hi]...)
+		b.m.values = append(b.m.values, m.values[lo:hi]...)
+		b.m.offsets = append(b.m.offsets, int64(len(b.m.indices)))
+		b.m.labels = append(b.m.labels, m.labels[j])
+	}
+	return nil
 }
 
 // Build finalizes and returns the matrix. The builder must not be used
@@ -374,6 +478,61 @@ func (b *MatrixBuilder) Build() *Matrix {
 	}
 	b.m = Matrix{}
 	return &m
+}
+
+// BuildView finalizes the appended rows as a Matrix that ALIASES the
+// builder's arena instead of detaching it: the view (one record owned by the
+// builder, overwritten by the next BuildView) is valid only until the
+// builder's next Reset or append. Pooled-ingest callers — the serving
+// layer's request parsers — use BuildView + Reset so one builder's arena is
+// recycled across requests with zero steady-state allocation; everyone else
+// should use Build.
+func (b *MatrixBuilder) BuildView() *Matrix {
+	b.view = b.m
+	b.view.n = len(b.view.labels)
+	if !b.view.dense {
+		if b.view.offsets == nil {
+			b.view.offsets = []int64{0}
+		}
+		if b.view.indices == nil {
+			b.view.indices = emptyIdx
+		}
+	}
+	return &b.view
+}
+
+// Reset returns the builder to its post-construction state while keeping the
+// arena capacity, invalidating every Matrix previously produced by BuildView.
+// The layout is unfixed again: the next append (or SetDense) re-fixes it, so
+// one pooled builder serves sparse and dense requests alike.
+func (b *MatrixBuilder) Reset() {
+	b.m.labels = b.m.labels[:0]
+	b.m.values = b.m.values[:0]
+	b.m.indices = b.m.indices[:0]
+	if b.m.offsets != nil {
+		b.m.offsets = append(b.m.offsets[:0], 0)
+	}
+	b.m.dense = false
+	b.m.stride = 0
+	b.dense = false
+	b.set = false
+}
+
+// SetDense fixes the dense layout with the given stride on a fresh (or
+// Reset) builder, as NewDenseMatrixBuilder's constructor does — required
+// before DenseRowBuffer on a pooled builder. Fails once rows are appended or
+// the layout is already fixed.
+func (b *MatrixBuilder) SetDense(stride int) error {
+	if b.set || len(b.m.labels) > 0 {
+		return fmt.Errorf("data: SetDense on a builder whose layout is already fixed")
+	}
+	if stride <= 0 {
+		return fmt.Errorf("data: SetDense needs a positive stride, got %d", stride)
+	}
+	b.set, b.dense = true, true
+	b.m.dense = true
+	b.m.stride = stride
+	return nil
 }
 
 // matrixOfUnits converts already-materialized units into an arena — the

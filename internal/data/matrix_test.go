@@ -255,3 +255,116 @@ func TestMatrixBuilderErrors(t *testing.T) {
 		t.Fatalf("dup-sum normalization wrong: %v %v", r.Idx, r.Vals)
 	}
 }
+
+// TestAppendRowsMergesBitwise pins the coalescer's merge step: concatenating
+// per-request arenas into one shared builder via AppendRows must produce rows
+// bitwise identical to the source matrices, in order, for dense and sparse
+// layouts, identity views and gathered views alike — without re-normalizing
+// (the sources are already SortDedup'd).
+func TestAppendRowsMergesBitwise(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for _, sparse := range []bool{true, false} {
+		// Three source matrices of differing sizes, the third a gathered view.
+		var sources []*Matrix
+		for k, n := range []int{7, 1, 12} {
+			units := randomUnits(t, r, n, 9, sparse)
+			m, err := matrixOfUnits(units)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if k == 2 {
+				m = m.Gather([]int{11, 0, 5, 5, 3})
+			}
+			sources = append(sources, m)
+		}
+		b := NewMatrixBuilder(0, 0)
+		total := 0
+		for _, src := range sources {
+			if err := b.AppendRows(src); err != nil {
+				t.Fatalf("sparse=%v: %v", sparse, err)
+			}
+			total += src.NumRows()
+		}
+		merged := b.Build()
+		if merged.NumRows() != total {
+			t.Fatalf("sparse=%v: merged %d rows, want %d", sparse, merged.NumRows(), total)
+		}
+		at := 0
+		for _, src := range sources {
+			for i := 0; i < src.NumRows(); i++ {
+				if !RowsEqual(src.Row(i), merged.Row(at)) {
+					t.Fatalf("sparse=%v: merged row %d != source row %d: %v vs %v",
+						sparse, at, i, merged.Row(at), src.Row(i))
+				}
+				at++
+			}
+		}
+	}
+}
+
+// TestAppendRowsRejectsLayoutMismatch: layouts and strides must agree.
+func TestAppendRowsRejectsLayoutMismatch(t *testing.T) {
+	db := NewDenseMatrixBuilder(1, 3)
+	if err := db.AppendDense(1, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	dense3 := db.Build()
+	sb := NewMatrixBuilder(1, 1)
+	if err := sb.AppendSparse(1, []int32{0}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	sparse1 := sb.Build()
+
+	b := NewDenseMatrixBuilder(0, 5)
+	if err := b.AppendRows(dense3); err == nil {
+		t.Fatal("stride mismatch accepted")
+	}
+	if err := b.AppendRows(sparse1); err == nil {
+		t.Fatal("sparse rows accepted by dense builder")
+	}
+	b2 := NewMatrixBuilder(0, 0)
+	if err := b2.AppendRows(sparse1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.AppendRows(dense3); err == nil {
+		t.Fatal("dense rows accepted by sparse-fixed builder")
+	}
+}
+
+// TestBuilderResetReuse pins the pooled-ingest lifecycle: BuildView aliases
+// the arena, Reset recycles it (keeping capacity, unfixing the layout), and a
+// builder alternates sparse and dense service across cycles with results
+// bitwise identical to fresh construction.
+func TestBuilderResetReuse(t *testing.T) {
+	b := NewMatrixBuilder(0, 0)
+	for cycle := 0; cycle < 3; cycle++ {
+		// Sparse cycle.
+		if err := b.AppendSparse(2, []int32{4, 1, 1}, []float64{0.5, 1, 2}); err != nil {
+			t.Fatal(err)
+		}
+		mv := b.BuildView()
+		ref := NewSparseRow(2, []int32{1, 4}, []float64{3, 0.5})
+		if mv.NumRows() != 1 || !RowsEqual(mv.Row(0), ref) {
+			t.Fatalf("cycle %d sparse view: %v want %v", cycle, mv.Row(0), ref)
+		}
+		b.Reset()
+		// Dense cycle via SetDense + DenseRowBuffer (the padded-request path).
+		if err := b.SetDense(4); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		buf, err := b.DenseRowBuffer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(buf, []float64{7, 8})
+		b.CommitDenseRow(1)
+		dv := b.BuildView()
+		if dv.NumRows() != 1 || !RowsEqual(dv.Row(0), NewDenseRow(1, []float64{7, 8, 0, 0})) {
+			t.Fatalf("cycle %d dense view: %v", cycle, dv.Row(0))
+		}
+		if err := b.SetDense(2); err == nil {
+			t.Fatal("SetDense accepted on a fixed builder")
+		}
+		b.Reset()
+	}
+}

@@ -22,10 +22,11 @@ func ParsePredictLIBSVM(line string, idx []int32, vals []float64) (label float64
 	}
 	start, end, _ := nextField(trimmed, 0)
 	if strings.Contains(trimmed[start:end], ":") {
-		// Label-less row: parse under a synthetic zero label so the feature
-		// fields take the exact dataset-parser path.
-		_, oidx, ovals, ok, err = parseLIBSVMInto("0 "+trimmed, idx, vals)
-		return 0, false, oidx, ovals, ok, err
+		// Label-less row: every field is a feature, parsed by the exact
+		// tokenizer the dataset parser uses — starting at position 0 instead
+		// of allocating a synthetic zero-label prefix line.
+		oidx, ovals, err = parseLIBSVMFeatures(trimmed, 0, idx, vals)
+		return 0, false, oidx, ovals, err == nil, err
 	}
 	label, oidx, ovals, ok, err = parseLIBSVMInto(trimmed, idx, vals)
 	return label, true, oidx, ovals, ok, err

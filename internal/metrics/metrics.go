@@ -6,6 +6,7 @@ package metrics
 
 import (
 	"fmt"
+	"sync"
 
 	"ml4all/internal/data"
 	"ml4all/internal/linalg"
@@ -41,6 +42,18 @@ type Report struct {
 // either way, so the report is bitwise independent of the width.
 const evalBlockSize = data.DefaultBlockSize
 
+// marginPool recycles the per-call block scratch of the scoring loops. A
+// 4KiB buffer per ScoresInto call is irrelevant offline but is the dominant
+// per-request garbage of the serving hot path, where thousands of small
+// predict calls each score a handful of rows — pooled, the steady-state
+// scoring path allocates nothing. Every block pass overwrites the slots it
+// reads (MarginsInto writes out[:n] unconditionally), so reuse cannot leak
+// stale margins.
+var marginPool = sync.Pool{New: func() any {
+	b := make([]float64, evalBlockSize)
+	return &b
+}}
+
 // ScoresInto fills out[i] with the raw margin <row i, w> for every row of m,
 // computed in blocked kernel passes — the same MarginsInto path Evaluate
 // scores through, so a row's margin is bitwise identical whether it arrives
@@ -49,7 +62,9 @@ const evalBlockSize = data.DefaultBlockSize
 func ScoresInto(w linalg.Vector, m *data.Matrix, out []float64) {
 	n := m.NumRows()
 	out = out[:n]
-	margins := make([]float64, evalBlockSize)
+	mp := marginPool.Get().(*[]float64)
+	defer marginPool.Put(mp)
+	margins := *mp
 	for lo := 0; lo < n; lo += evalBlockSize {
 		hi := min(lo+evalBlockSize, n)
 		blk := m.Block(lo, hi)
@@ -66,7 +81,9 @@ func ScoresInto(w linalg.Vector, m *data.Matrix, out []float64) {
 func ScoresIntoFast(w linalg.Vector, m *data.Matrix, out []float64) {
 	n := m.NumRows()
 	out = out[:n]
-	margins := make([]float64, evalBlockSize)
+	mp := marginPool.Get().(*[]float64)
+	defer marginPool.Put(mp)
+	margins := *mp
 	for lo := 0; lo < n; lo += evalBlockSize {
 		hi := min(lo+evalBlockSize, n)
 		blk := m.Block(lo, hi)
@@ -96,7 +113,9 @@ func Evaluate(task data.TaskKind, w linalg.Vector, test *data.Dataset) (Report, 
 	}
 	var sse float64
 	var correct int
-	margins := make([]float64, evalBlockSize)
+	mp := marginPool.Get().(*[]float64)
+	defer marginPool.Put(mp)
+	margins := *mp
 	for lo := 0; lo < n; lo += evalBlockSize {
 		hi := lo + evalBlockSize
 		if hi > n {

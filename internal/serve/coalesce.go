@@ -1,0 +1,364 @@
+package serve
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ml4all/internal/data"
+	"ml4all/internal/metrics"
+)
+
+// Request coalescing. Concurrent predict calls against the same model are
+// merged into one shared arena and scored in a single blocked kernel pass,
+// then each caller's result range is carved back out. Small requests pay a
+// fixed per-pass overhead (weight-vector reload, block dispatch, cache
+// warm-up) that one merged pass amortizes across every waiting caller —
+// under concurrency, the kernels see dataset-shaped batches instead of a
+// stream of tiny ones.
+//
+// The merge is exact: every margin kernel computes each row's dot product
+// independently (see data.Block), so scoring a concatenation of request
+// arenas produces bitwise the scores of scoring each arena alone — for the
+// exact and the fast-math tier alike. Batches form per batchKey, so rows
+// never share a pass with a different model, version, layout, or kernel
+// tier.
+//
+// A batch flushes when it reaches MaxRows (the arriving caller scores it
+// in-line) or when its Window expires (a single background flusher scores
+// it). Coalescing is opportunistic: Predictor only routes a call here when
+// other calls are in flight, so an unconcurrent caller never waits out the
+// window.
+
+// CoalesceConfig tunes the predict-request coalescer.
+type CoalesceConfig struct {
+	// Window is how long the first call of a batch waits for partners before
+	// the batch is scored anyway. 0 means 200µs.
+	Window time.Duration
+	// MaxRows flushes a batch as soon as it holds this many rows, bounding
+	// both memory and the latency a full batch adds. 0 means 512.
+	MaxRows int
+	// Disabled routes every call to the direct (uncoalesced) path.
+	Disabled bool
+	// Force runs the batcher even on a single-processor runtime. Sharing a
+	// kernel pass pays only when the pass can overlap other callers' work:
+	// with GOMAXPROCS=1 the merged pass serializes with every caller's
+	// turnaround and the cross-goroutine handoff outweighs the saved pass
+	// setup, so the zero-value config engages the batcher only when
+	// GOMAXPROCS > 1. Tests and load harnesses set Force to measure batch
+	// formation regardless.
+	Force bool
+}
+
+const (
+	defaultCoalesceWindow  = 200 * time.Microsecond
+	defaultCoalesceMaxRows = 512
+)
+
+// batchKey identifies the calls that may share one kernel pass.
+type batchKey struct {
+	name    string
+	version int
+	dense   bool // arena layout: one matrix holds the batch
+	fast    bool // kernel tier: exact and fast margins must not mix
+}
+
+// call is one caller's stake in a batch: its parsed rows going in, its
+// response coming back. Records are pooled (callPool); done is allocated
+// once per record and reused.
+type call struct {
+	mat  *data.Matrix
+	resp *PredictResponse
+	n    int
+	done chan error
+}
+
+// batch accumulates the calls waiting to share one kernel pass. Records are
+// pooled (batchPool); the calls slice keeps its capacity across uses.
+type batch struct {
+	key      batchKey
+	mv       *ModelVersion
+	calls    []*call
+	rows     int
+	deadline time.Time
+}
+
+func getCall() *call {
+	c := callPool.Get().(*call)
+	if c.done == nil {
+		c.done = make(chan error, 1)
+	}
+	return c
+}
+
+func putCall(c *call) {
+	c.mat, c.resp, c.n = nil, nil, 0
+	callPool.Put(c)
+}
+
+func putBatch(b *batch) {
+	for i := range b.calls {
+		b.calls[i] = nil
+	}
+	b.calls = b.calls[:0]
+	*b = batch{calls: b.calls}
+	batchPool.Put(b)
+}
+
+// coalescer owns the pending batches and the background window flusher.
+type coalescer struct {
+	cfg      CoalesceConfig
+	counters *Counters
+	adm      *admitter
+	active   *atomic.Int64 // the Predictor's in-flight call gauge
+
+	mu      sync.Mutex
+	pending map[batchKey]*batch
+	parked  int // calls waiting in pending batches
+	closed  bool
+
+	wake chan struct{} // signaled when a new batch opens a deadline
+	quit chan struct{}
+	done chan struct{}
+	due  []*batch // flusher-local scratch, reused across wakeups
+
+	// always forces every submitted call through a batch even when it would
+	// flush alone — the test knob that makes window/max-rows triggers
+	// deterministic.
+	always bool
+}
+
+func newCoalescer(cfg CoalesceConfig, counters *Counters, adm *admitter, active *atomic.Int64) *coalescer {
+	if cfg.Window <= 0 {
+		cfg.Window = defaultCoalesceWindow
+	}
+	if cfg.MaxRows <= 0 {
+		cfg.MaxRows = defaultCoalesceMaxRows
+	}
+	return &coalescer{
+		cfg:      cfg,
+		counters: counters,
+		adm:      adm,
+		active:   active,
+		pending:  map[batchKey]*batch{},
+		wake:     make(chan struct{}, 1),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// allParked reports whether every in-flight predict call is waiting in a
+// pending batch — no caller is left to add rows, so waiting out the window
+// would be pure latency. Callers hold c.mu.
+func (c *coalescer) allParked() bool {
+	return c.parked > 0 && int64(c.parked) >= c.active.Load()
+}
+
+// submit joins mat's rows to the pending batch for (mv, fast), creating one
+// when none is open. It returns the caller's wait record — receive from
+// c.done for the flush verdict, then putCall — or ok=false when the
+// coalescer is closed and the caller must score directly.
+//
+// A batch flushes in-line (the submitting caller does the scoring; its own
+// done channel is buffered, so the verdict waits) in two cases: the join
+// filled it to MaxRows, or every in-flight predict call is parked in a
+// pending batch — with no caller left to add rows, waiting out the window
+// is pure latency. The all-parked check runs twice with a scheduler yield
+// between: callers between requests (they decremented the in-flight gauge
+// but are about to issue again) get one scheduling round to rejoin, so a
+// closed-loop crowd forms one full batch per round instead of a tiny batch
+// per wave front. The window remains the backstop for open-loop arrivals
+// slower than one scheduling round.
+func (c *coalescer) submit(mv *ModelVersion, fast bool, mat *data.Matrix, resp *PredictResponse, n int) (*call, bool) {
+	key := batchKey{name: mv.Name, version: mv.Version, dense: mat.IsDense(), fast: fast}
+	cl := getCall()
+	cl.mat, cl.resp, cl.n = mat, resp, n
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		putCall(cl)
+		return nil, false
+	}
+	b := c.pending[key]
+	opened := b == nil
+	if opened {
+		b = batchPool.Get().(*batch)
+		b.key = key
+		b.mv = mv
+		b.deadline = time.Now().Add(c.cfg.Window)
+		c.pending[key] = b
+	}
+	b.calls = append(b.calls, cl)
+	b.rows += n
+	c.parked++
+	full := b.rows >= c.cfg.MaxRows
+	if full {
+		delete(c.pending, key)
+		c.parked -= len(b.calls)
+	}
+	probe := !full && !c.always && c.allParked()
+	c.mu.Unlock()
+
+	var due []*batch
+	if probe {
+		runtime.Gosched() // let callers between requests rejoin
+		c.mu.Lock()
+		if !c.closed && c.allParked() {
+			for k, pb := range c.pending {
+				delete(c.pending, k)
+				c.parked -= len(pb.calls)
+				due = append(due, pb)
+			}
+		}
+		c.mu.Unlock()
+	}
+
+	switch {
+	case full:
+		c.flush(b)
+	case len(due) > 0:
+		for _, pb := range due {
+			c.flush(pb)
+		}
+	case opened:
+		select {
+		case c.wake <- struct{}{}:
+		default:
+		}
+	}
+	return cl, true
+}
+
+// flush merges a batch's request arenas, scores them in one kernel pass, and
+// carves each caller's result range back out. A singleton batch (a window
+// flush that never found partners) skips the merge and scores its lone arena
+// in place. Exactly one goroutine flushes any given batch: it was removed
+// from pending under the lock by whoever got there first.
+func (c *coalescer) flush(b *batch) {
+	var mb *data.MatrixBuilder
+	var err error
+	merged := b.calls[0].mat
+	if len(b.calls) > 1 {
+		mb = getBuilder()
+		for _, cl := range b.calls {
+			if err = mb.AppendRows(cl.mat); err != nil {
+				break // cannot happen for same-key batches; fail the batch anyway
+			}
+		}
+		merged = mb.BuildView()
+	}
+	if err == nil {
+		m := b.mv.Model
+		scores := floatPool.get(b.rows)
+		var start time.Time
+		timed := c.adm.timed()
+		if timed {
+			start = time.Now()
+		}
+		if b.key.fast {
+			metrics.ScoresIntoFast(m.Weights, merged, scores)
+		} else {
+			metrics.ScoresInto(m.Weights, merged, scores)
+		}
+		if timed {
+			c.adm.observeRate(b.rows, time.Since(start))
+		}
+		lo := 0
+		for _, cl := range b.calls {
+			fillResponse(cl.resp, b.mv, scores[lo:lo+cl.n])
+			lo += cl.n
+		}
+		floatPool.put(scores)
+		if c.counters != nil && len(b.calls) > 1 {
+			c.counters.observeCoalesced(b.rows)
+		}
+	}
+	for _, cl := range b.calls {
+		cl.done <- err
+	}
+	if mb != nil {
+		putBuilder(mb)
+	}
+	putBatch(b)
+}
+
+// run is the window flusher: it sleeps until the earliest pending deadline,
+// flushes everything due, and waits again. One goroutine and one timer serve
+// every model — batch records carry no timers, so flushing by max-rows never
+// races a per-batch timer.
+func (c *coalescer) run() {
+	defer close(c.done)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		c.mu.Lock()
+		now := time.Now()
+		var next time.Time
+		for key, b := range c.pending {
+			if !b.deadline.After(now) {
+				delete(c.pending, key)
+				c.parked -= len(b.calls)
+				c.due = append(c.due, b)
+			} else if next.IsZero() || b.deadline.Before(next) {
+				next = b.deadline
+			}
+		}
+		c.mu.Unlock()
+		for i, b := range c.due {
+			c.flush(b)
+			c.due[i] = nil
+		}
+		c.due = c.due[:0]
+
+		if next.IsZero() {
+			select {
+			case <-c.wake:
+			case <-c.quit:
+				return
+			}
+			continue
+		}
+		timer.Reset(time.Until(next))
+		select {
+		case <-timer.C:
+		case <-c.wake:
+			if !timer.Stop() {
+				<-timer.C
+			}
+		case <-c.quit:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			return
+		}
+	}
+}
+
+// close stops accepting calls, flushes every pending batch, and waits for
+// the flusher to exit. Callers refused after close score directly, so
+// in-flight predict traffic drains rather than erroring.
+func (c *coalescer) close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.done
+		return
+	}
+	c.closed = true
+	var last []*batch
+	for key, b := range c.pending {
+		delete(c.pending, key)
+		c.parked -= len(b.calls)
+		last = append(last, b)
+	}
+	c.mu.Unlock()
+	for _, b := range last {
+		c.flush(b)
+	}
+	close(c.quit)
+	<-c.done
+}

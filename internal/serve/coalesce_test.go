@@ -1,0 +1,431 @@
+package serve
+
+// Request-coalescing pipeline: concurrent predict calls merged into shared
+// kernel passes must return bitwise the scores of the uncoalesced path, both
+// flush triggers (window expiry, max-rows) must fire, admission control must
+// refuse work past the in-flight budget with 429 + Retry-After, and shutdown
+// must drain in-flight traffic cleanly. The tests force coalescing through
+// the unexported `always` knob so batching is deterministic rather than a
+// scheduling accident.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"ml4all"
+	"ml4all/internal/data"
+	"ml4all/internal/linalg"
+)
+
+func regressionModel() *ModelVersion {
+	return &ModelVersion{
+		Name: "r", Version: 1,
+		Model: &ml4all.Model{
+			Name: "r", Task: data.TaskLinearRegression,
+			Weights: linalg.Vector{1, -2, 0.75, 0.3},
+		},
+	}
+}
+
+// coalesceReq builds a deterministic request varying by (g, i): the three
+// accepted forms, sparse and dense, exact and fast tiers.
+func coalesceReq(g, i int) *PredictRequest {
+	v := func(k int) float64 { return float64((g*31+i*7+k)%19)/19 - 0.5 }
+	fast := g%2 == 1
+	switch (g + i) % 3 {
+	case 0: // LIBSVM sparse rows
+		return &PredictRequest{Rows: []string{
+			fmt.Sprintf("1:%g 3:%g", v(0), v(1)),
+			fmt.Sprintf("2:%g 4:%g", v(2), v(3)),
+		}, FastMath: fast}
+	case 1: // dense CSV rows
+		return &PredictRequest{Rows: []string{
+			fmt.Sprintf("%g,%g,%g,%g", v(0), v(1), v(2), v(3)),
+		}, FastMath: fast}
+	default: // dense JSON instances, one short row zero-padded
+		return &PredictRequest{Instances: [][]float64{
+			{v(0), v(1)},
+			{v(1), v(2), v(3), v(0)},
+		}, FastMath: fast}
+	}
+}
+
+// sameBits fails the test unless got and want are bitwise-identical float
+// slices.
+func sameBits(t *testing.T, what string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d values, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s[%d]: got %v (bits %x), want %v (bits %x)",
+				what, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+}
+
+// TestCoalescedMatchesDirectBitwise hammers one predictor from concurrent
+// goroutines across mixed models, request forms and kernel tiers, comparing
+// every coalesced response bitwise against the direct (uncoalesced) path.
+func TestCoalescedMatchesDirectBitwise(t *testing.T) {
+	models := []*ModelVersion{predictModel(), regressionModel()}
+	p := NewPredictor(CoalesceConfig{Window: 2 * time.Millisecond, MaxRows: 64, Force: true},
+		AdmissionConfig{Disabled: true}, newCounters())
+	p.co.always = true
+	defer p.Close()
+
+	const goroutines, iters = 8, 25
+	errc := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				mv := models[(g+i)%len(models)]
+				req := coalesceReq(g, i)
+				want, err := predict(mv, req) // direct reference scoring
+				if err != nil {
+					errc <- fmt.Errorf("direct g%d i%d: %w", g, i, err)
+					return
+				}
+				got := AcquirePredictResponse()
+				if err := p.Predict(mv, req, got); err != nil {
+					errc <- fmt.Errorf("coalesced g%d i%d: %w", g, i, err)
+					return
+				}
+				for j := range want.Scores {
+					if math.Float64bits(got.Scores[j]) != math.Float64bits(want.Scores[j]) ||
+						math.Float64bits(got.Labels[j]) != math.Float64bits(want.Labels[j]) {
+						errc <- fmt.Errorf("g%d i%d row %d: coalesced (%v, %v) != direct (%v, %v)",
+							g, i, j, got.Scores[j], got.Labels[j], want.Scores[j], want.Labels[j])
+						return
+					}
+				}
+				if got.N != want.N || got.Model != want.Model || got.Version != want.Version || got.Task != want.Task {
+					errc <- fmt.Errorf("g%d i%d: metadata mismatch: %+v vs %+v", g, i, got, want)
+					return
+				}
+				got.Release()
+				want.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// pendingRows reports how many rows sit in c's open batches.
+func pendingRows(c *coalescer) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for _, b := range c.pending {
+		total += b.rows
+	}
+	return total
+}
+
+// waitUntil polls cond to true within a deadline.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCoalesceMaxRowsFlush holds the window open for an hour so only the
+// max-rows trigger can flush: the call that fills the batch scores it
+// in-line, and each caller gets exactly its own rows back.
+func TestCoalesceMaxRowsFlush(t *testing.T) {
+	c := newCounters()
+	p := NewPredictor(CoalesceConfig{Window: time.Hour, MaxRows: 4, Force: true},
+		AdmissionConfig{Disabled: true}, c)
+	p.co.always = true
+	defer p.Close()
+	mv := predictModel()
+
+	reqA := &PredictRequest{Instances: [][]float64{{1, 2, 3, 4}, {0.5, 0, -1, 2}}}
+	reqB := &PredictRequest{Instances: [][]float64{{-1, -2, -3, -4}, {4, 3, 2, 1}}}
+	wantA, err := predict(mv, reqA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, err := predict(mv, reqB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	respA := AcquirePredictResponse()
+	done := make(chan error, 1)
+	go func() { done <- p.Predict(mv, reqA, respA) }()
+	waitUntil(t, "first call to open a batch", func() bool { return pendingRows(p.co) == 2 })
+
+	respB := AcquirePredictResponse()
+	if err := p.Predict(mv, reqB, respB); err != nil { // fills the batch to 4 rows
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("max-rows flush did not release the waiting caller")
+	}
+
+	sameBits(t, "caller A scores", respA.Scores, wantA.Scores)
+	sameBits(t, "caller B scores", respB.Scores, wantB.Scores)
+	if got := c.coalescedBatches.Load(); got != 1 {
+		t.Fatalf("coalesced batches = %d, want 1", got)
+	}
+	if got := c.coalescedRows.Load(); got != 4 {
+		t.Fatalf("coalesced rows = %d, want 4", got)
+	}
+}
+
+// TestCoalesceWindowFlush forces a lone call through the coalescer: nothing
+// can fill its batch, so only the background window flusher can release it.
+func TestCoalesceWindowFlush(t *testing.T) {
+	c := newCounters()
+	p := NewPredictor(CoalesceConfig{Window: 5 * time.Millisecond, MaxRows: 1 << 20, Force: true},
+		AdmissionConfig{Disabled: true}, c)
+	p.co.always = true
+	defer p.Close()
+	mv := predictModel()
+
+	req := &PredictRequest{Rows: []string{"1:1 2:1"}}
+	want, err := predict(mv, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := AcquirePredictResponse()
+	errch := make(chan error, 1)
+	go func() { errch <- p.Predict(mv, req, resp) }()
+	select {
+	case err := <-errch:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("window flush did not fire")
+	}
+	sameBits(t, "window-flushed scores", resp.Scores, want.Scores)
+	if got := c.coalescedBatches.Load(); got != 0 {
+		t.Fatalf("a single-call batch counted as coalesced (%d)", got)
+	}
+}
+
+// TestAdmissionRejectsWhenSaturated saturates the in-flight row budget with
+// a call parked in an hour-long window, then checks the next call is refused
+// with 429 + Retry-After while the parked rows still drain to completion.
+func TestAdmissionRejectsWhenSaturated(t *testing.T) {
+	c := newCounters()
+	p := NewPredictor(CoalesceConfig{Window: time.Hour, MaxRows: 1 << 20, Force: true},
+		AdmissionConfig{MaxInFlightRows: 8}, c)
+	p.co.always = true
+	mv := predictModel()
+
+	sixRows := func(base float64) *PredictRequest {
+		ins := make([][]float64, 6)
+		for i := range ins {
+			ins[i] = []float64{base + float64(i), 1, -1, 0.5}
+		}
+		return &PredictRequest{Instances: ins}
+	}
+	reqA := sixRows(1)
+	wantA, err := predict(mv, reqA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	respA := AcquirePredictResponse()
+	done := make(chan error, 1)
+	go func() { done <- p.Predict(mv, reqA, respA) }()
+	waitUntil(t, "rows to be admitted", func() bool { return c.inFlightRows.Load() == 6 })
+
+	respB := AcquirePredictResponse()
+	err = p.Predict(mv, sixRows(100), respB) // 6+6 > 8: refused
+	var he *httpError
+	if err == nil {
+		t.Fatal("over-budget call was admitted")
+	}
+	if !errors.As(err, &he) || he.status != http.StatusTooManyRequests {
+		t.Fatalf("got %v, want a 429 httpError", err)
+	}
+	if he.retryAfter < time.Second {
+		t.Fatalf("retryAfter = %v, want >= 1s", he.retryAfter)
+	}
+	if got := c.rejected.Load(); got != 1 {
+		t.Fatalf("rejected = %d, want 1", got)
+	}
+	respB.Release()
+
+	p.Close() // flushes the parked batch: caller A completes
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	sameBits(t, "drained scores", respA.Scores, wantA.Scores)
+	waitUntil(t, "in-flight gauge to drain", func() bool { return c.inFlightRows.Load() == 0 })
+}
+
+// TestAdmitterIdleAlwaysAdmits: a request larger than the whole budget must
+// be admitted when the server is idle — the limit can never wedge traffic
+// out entirely.
+func TestAdmitterIdleAlwaysAdmits(t *testing.T) {
+	a := newAdmitter(AdmissionConfig{MaxInFlightRows: 4}, nil)
+	if _, ok := a.admit(100); !ok {
+		t.Fatal("idle admitter refused the first request")
+	}
+	if _, ok := a.admit(1); ok {
+		t.Fatal("saturated admitter accepted more work")
+	}
+	a.done(100)
+	if _, ok := a.admit(1); !ok {
+		t.Fatal("drained admitter refused a small request")
+	}
+	a.done(1)
+}
+
+// TestAdmitterLatencyDerivedLimit: once a service rate is observed, the
+// effective limit tightens to rate·TargetLatency below the hard cap.
+func TestAdmitterLatencyDerivedLimit(t *testing.T) {
+	a := newAdmitter(AdmissionConfig{MaxInFlightRows: 1 << 20, TargetLatency: 10 * time.Millisecond}, nil)
+	a.observeRate(1000, time.Second) // 1000 rows/s -> limit 10 rows
+	if got := a.limit(); got != 10 {
+		t.Fatalf("limit = %d, want 10", got)
+	}
+	if _, ok := a.admit(5); !ok {
+		t.Fatal("under-limit request refused")
+	}
+	retry, ok := a.admit(2000)
+	if ok {
+		t.Fatal("admitted 2000 rows against a 10-row limit")
+	}
+	// Backlog of ~1995 rows over the limit at 1000 rows/s needs ~2s.
+	if retry < time.Second || retry > 10*time.Second {
+		t.Fatalf("retryAfter = %v, want ~2s", retry)
+	}
+	a.done(5)
+}
+
+// TestRetryAfterHeader checks the HTTP layer surfaces an admission refusal
+// as 429 with a whole-seconds Retry-After header.
+func TestRetryAfterHeader(t *testing.T) {
+	s := &Server{counters: newCounters()}
+	h := s.wrap("x", func(r *http.Request) (any, error) {
+		return nil, retryError(90*time.Second, 5)
+	})
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest("POST", "/", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "90" {
+		t.Fatalf("Retry-After = %q, want \"90\"", got)
+	}
+}
+
+// TestPredictorCloseDrains runs predict traffic through a closing predictor:
+// every call must still succeed (post-close calls score directly) and the
+// in-flight gauge must return to zero.
+func TestPredictorCloseDrains(t *testing.T) {
+	c := newCounters()
+	p := NewPredictor(CoalesceConfig{Window: time.Millisecond, Force: true}, AdmissionConfig{}, c)
+	p.co.always = true
+	mv := predictModel()
+
+	const goroutines, iters = 6, 20
+	errc := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				req := coalesceReq(g, i)
+				resp := AcquirePredictResponse()
+				if err := p.Predict(mv, req, resp); err != nil {
+					errc <- fmt.Errorf("g%d i%d: %w", g, i, err)
+					return
+				}
+				resp.Release()
+			}
+		}(g)
+	}
+	time.Sleep(2 * time.Millisecond)
+	p.Close() // races the traffic on purpose
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if got := c.inFlightRows.Load(); got != 0 {
+		t.Fatalf("in-flight rows = %d after drain, want 0", got)
+	}
+}
+
+// TestServerShutdownDrainsPredictTraffic exercises the full Server shutdown
+// path with predict calls in flight: Shutdown must flush the coalescer and
+// drain the manager without failing a single call.
+func TestServerShutdownDrainsPredictTraffic(t *testing.T) {
+	srv, err := New(Config{Dir: t.TempDir(), Coalesce: CoalesceConfig{Window: time.Millisecond, Force: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv, err := srv.Registry().Publish("m", predictModel().Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.predictor.co.always = true
+
+	stop := make(chan struct{})
+	errc := make(chan error, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp := AcquirePredictResponse()
+				if err := srv.predictor.Predict(mv, coalesceReq(g, i), resp); err != nil {
+					errc <- err
+					return
+				}
+				resp.Release()
+			}
+		}(g)
+	}
+	time.Sleep(5 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown with traffic in flight: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}

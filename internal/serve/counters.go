@@ -5,88 +5,235 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Counters aggregates per-endpoint request statistics plus prediction
-// throughput totals, rendered at /metrics in the Prometheus text exposition
-// format. Everything is a monotonic total — rates are the scraper's job.
+// pipeline totals, rendered at /metrics in the Prometheus text exposition
+// format. The write side is lock-free: routes are registered once (at
+// handler construction), after which every observation is a handful of
+// atomic adds — cheap enough for the predict hot path at traffic. Latencies
+// accumulate into fixed log-spaced histogram buckets, from which /metrics
+// derives p50/p95/p99 per route; totals are monotonic — rates are the
+// scraper's job.
 type Counters struct {
-	mu     sync.Mutex
+	mu     sync.Mutex // guards route registration only; stats are atomic
 	routes map[string]*routeStats
 
-	predictRows    uint64 // rows scored across all predict calls
-	predictBatches uint64 // predict calls that reached the kernels
+	predictRows      atomic.Uint64 // rows scored across all predict calls
+	predictBatches   atomic.Uint64 // predict calls that reached the kernels
+	coalescedBatches atomic.Uint64 // kernel passes serving >1 request
+	coalescedRows    atomic.Uint64 // rows scored through shared passes
+	rejected         atomic.Uint64 // requests refused by admission control
+	inFlightRows     atomic.Int64  // rows admitted, response not yet built
 }
 
+// histBuckets is the bucket count of the per-route latency histograms:
+// bucket i counts observations with latency ≤ 1µs·2^i, the last bucket is
+// the +Inf catch-all. 28 doublings span 1µs to ~134s — the full range an
+// HTTP request can plausibly occupy — at a fixed 2x resolution, which is
+// what makes the derived percentiles deterministic: a quantile is always
+// reported as a bucket's upper bound, never an interpolation over racing
+// counts.
+const histBuckets = 28
+
+// bucketBound returns bucket i's upper bound in seconds.
+func bucketBound(i int) float64 { return 1e-6 * float64(uint64(1)<<uint(i)) }
+
+// bucketOf maps a duration to its histogram bucket.
+func bucketOf(d time.Duration) int {
+	b := 0
+	for ns := int64(1000); b < histBuckets-1 && d.Nanoseconds() > ns; b++ {
+		ns <<= 1
+	}
+	return b
+}
+
+// routeStats is one route's statistics; every field is atomic, so concurrent
+// observations never contend on a lock.
 type routeStats struct {
-	count   uint64
-	errors  uint64 // responses with status >= 400
-	seconds float64
-	maxSec  float64
+	count    atomic.Uint64
+	errors   atomic.Uint64 // responses with status >= 400
+	nanos    atomic.Int64  // total latency
+	maxNanos atomic.Int64
+	buckets  [histBuckets]atomic.Uint64
+}
+
+// observe records one served request.
+func (rs *routeStats) observe(d time.Duration, isErr bool) {
+	rs.count.Add(1)
+	if isErr {
+		rs.errors.Add(1)
+	}
+	ns := d.Nanoseconds()
+	rs.nanos.Add(ns)
+	for {
+		old := rs.maxNanos.Load()
+		if ns <= old || rs.maxNanos.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	rs.buckets[bucketOf(d)].Add(1)
+}
+
+// quantile returns the q-quantile latency in seconds: the upper bound of the
+// first bucket at which the cumulative count reaches q·total (0 when the
+// route has no observations). Reporting bucket bounds keeps the output
+// deterministic for a fixed observation multiset, regardless of arrival
+// order.
+func (rs *routeStats) quantile(q float64) float64 {
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range counts {
+		counts[i] = rs.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			return bucketBound(i)
+		}
+	}
+	return bucketBound(histBuckets - 1)
 }
 
 func newCounters() *Counters {
 	return &Counters{routes: map[string]*routeStats{}}
 }
 
-// observe records one served request on a route.
-func (c *Counters) observe(route string, d time.Duration, isErr bool) {
+// NewCounters builds an empty metrics registry. Embedders driving a Predictor
+// without a Server pass one to NewPredictor to observe the pipeline.
+func NewCounters() *Counters { return newCounters() }
+
+// PredictTotals is a point-in-time snapshot of the prediction pipeline's
+// throughput counters — the /metrics ml4all_predict_* series as numbers, for
+// harnesses that read rather than scrape.
+type PredictTotals struct {
+	Rows             uint64 // rows scored across all predict calls
+	Batches          uint64 // predict calls that reached the kernels
+	CoalescedRows    uint64 // rows scored through shared passes
+	CoalescedBatches uint64 // kernel passes that served >1 request
+	Rejected         uint64 // requests refused by admission control
+}
+
+// PredictTotals snapshots the prediction counters.
+func (c *Counters) PredictTotals() PredictTotals {
+	return PredictTotals{
+		Rows:             c.predictRows.Load(),
+		Batches:          c.predictBatches.Load(),
+		CoalescedRows:    c.coalescedRows.Load(),
+		CoalescedBatches: c.coalescedBatches.Load(),
+		Rejected:         c.rejected.Load(),
+	}
+}
+
+// route returns (registering if needed) a route's stats record. Handlers
+// resolve their record once at construction, making observe lock-free.
+func (c *Counters) route(name string) *routeStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	rs := c.routes[route]
+	rs := c.routes[name]
 	if rs == nil {
 		rs = &routeStats{}
-		c.routes[route] = rs
+		c.routes[name] = rs
 	}
-	rs.count++
-	if isErr {
-		rs.errors++
-	}
-	sec := d.Seconds()
-	rs.seconds += sec
-	if sec > rs.maxSec {
-		rs.maxSec = sec
-	}
+	return rs
 }
 
-// observePredict records one prediction batch's row count.
+// observe records one served request on a route — the slow path for callers
+// that did not pre-resolve the record.
+func (c *Counters) observe(route string, d time.Duration, isErr bool) {
+	c.route(route).observe(d, isErr)
+}
+
+// observePredict records one prediction call's row count.
 func (c *Counters) observePredict(rows int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.predictBatches++
-	c.predictRows += uint64(rows)
+	c.predictBatches.Add(1)
+	c.predictRows.Add(uint64(rows))
 }
 
-// WriteText renders the counters in Prometheus text format, routes sorted
-// for stable output.
+// observeCoalesced records one shared kernel pass serving several requests.
+func (c *Counters) observeCoalesced(rows int) {
+	c.coalescedBatches.Add(1)
+	c.coalescedRows.Add(uint64(rows))
+}
+
+// quantiles reported per route, ascending — the fixed field order of the
+// exposition.
+var reportedQuantiles = [...]struct {
+	label string
+	q     float64
+}{{"0.5", 0.50}, {"0.95", 0.95}, {"0.99", 0.99}}
+
+// WriteText renders the counters in Prometheus text format. Field ordering
+// is deterministic: metrics render in a fixed sequence, routes sort
+// lexicographically within each metric, and quantiles ascend within each
+// route.
 func (c *Counters) WriteText(w io.Writer) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	names := make([]string, 0, len(c.routes))
-	for name := range c.routes {
+	routes := make(map[string]*routeStats, len(c.routes))
+	for name, rs := range c.routes {
 		names = append(names, name)
+		routes[name] = rs
 	}
+	c.mu.Unlock()
 	sort.Strings(names)
 
 	fmt.Fprintln(w, "# TYPE ml4all_requests_total counter")
 	for _, name := range names {
-		fmt.Fprintf(w, "ml4all_requests_total{route=%q} %d\n", name, c.routes[name].count)
+		fmt.Fprintf(w, "ml4all_requests_total{route=%q} %d\n", name, routes[name].count.Load())
 	}
 	fmt.Fprintln(w, "# TYPE ml4all_request_errors_total counter")
 	for _, name := range names {
-		fmt.Fprintf(w, "ml4all_request_errors_total{route=%q} %d\n", name, c.routes[name].errors)
+		fmt.Fprintf(w, "ml4all_request_errors_total{route=%q} %d\n", name, routes[name].errors.Load())
 	}
 	fmt.Fprintln(w, "# TYPE ml4all_request_seconds_total counter")
 	for _, name := range names {
-		fmt.Fprintf(w, "ml4all_request_seconds_total{route=%q} %g\n", name, c.routes[name].seconds)
+		fmt.Fprintf(w, "ml4all_request_seconds_total{route=%q} %g\n", name, time.Duration(routes[name].nanos.Load()).Seconds())
 	}
 	fmt.Fprintln(w, "# TYPE ml4all_request_seconds_max gauge")
 	for _, name := range names {
-		fmt.Fprintf(w, "ml4all_request_seconds_max{route=%q} %g\n", name, c.routes[name].maxSec)
+		fmt.Fprintf(w, "ml4all_request_seconds_max{route=%q} %g\n", name, time.Duration(routes[name].maxNanos.Load()).Seconds())
+	}
+	fmt.Fprintln(w, "# TYPE ml4all_request_seconds gauge")
+	for _, name := range names {
+		for _, rq := range reportedQuantiles {
+			fmt.Fprintf(w, "ml4all_request_seconds{route=%q,quantile=%q} %g\n",
+				name, rq.label, routes[name].quantile(rq.q))
+		}
+	}
+	fmt.Fprintln(w, "# TYPE ml4all_request_seconds_bucket counter")
+	for _, name := range names {
+		var cum uint64
+		for i := 0; i < histBuckets; i++ {
+			cum += routes[name].buckets[i].Load()
+			if i == histBuckets-1 {
+				fmt.Fprintf(w, "ml4all_request_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", name, cum)
+			} else {
+				fmt.Fprintf(w, "ml4all_request_seconds_bucket{route=%q,le=%q} %d\n", name, fmt.Sprintf("%g", bucketBound(i)), cum)
+			}
+		}
 	}
 	fmt.Fprintln(w, "# TYPE ml4all_predict_rows_total counter")
-	fmt.Fprintf(w, "ml4all_predict_rows_total %d\n", c.predictRows)
+	fmt.Fprintf(w, "ml4all_predict_rows_total %d\n", c.predictRows.Load())
 	fmt.Fprintln(w, "# TYPE ml4all_predict_batches_total counter")
-	fmt.Fprintf(w, "ml4all_predict_batches_total %d\n", c.predictBatches)
+	fmt.Fprintf(w, "ml4all_predict_batches_total %d\n", c.predictBatches.Load())
+	fmt.Fprintln(w, "# TYPE ml4all_predict_coalesced_batches_total counter")
+	fmt.Fprintf(w, "ml4all_predict_coalesced_batches_total %d\n", c.coalescedBatches.Load())
+	fmt.Fprintln(w, "# TYPE ml4all_predict_coalesced_rows_total counter")
+	fmt.Fprintf(w, "ml4all_predict_coalesced_rows_total %d\n", c.coalescedRows.Load())
+	fmt.Fprintln(w, "# TYPE ml4all_predict_rejected_total counter")
+	fmt.Fprintf(w, "ml4all_predict_rejected_total %d\n", c.rejected.Load())
+	fmt.Fprintln(w, "# TYPE ml4all_predict_inflight_rows gauge")
+	fmt.Fprintf(w, "ml4all_predict_inflight_rows %d\n", c.inFlightRows.Load())
 }

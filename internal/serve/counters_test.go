@@ -1,0 +1,107 @@
+package serve
+
+// Latency histograms: observations land in the right log-spaced buckets, the
+// derived p50/p95/p99 are bucket upper bounds (deterministic for a fixed
+// observation multiset), and /metrics renders in a fixed field order.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Microsecond, 0},             // exactly the first bound
+		{3 * time.Microsecond, 2},         // 2µs < d <= 4µs
+		{900 * time.Microsecond, 10},      // 512µs < d <= 1.024ms
+		{time.Second, 20},                 // bound(20) = 1.048576s
+		{10 * time.Hour, histBuckets - 1}, // off the top: +Inf bucket
+		{1024 * time.Microsecond, 10},     // exactly on a bound stays in it
+		{1025 * time.Microsecond, 11},     // just past the bound moves up
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestCountersQuantilesDeterministic(t *testing.T) {
+	c := newCounters()
+	rs := c.route("predict")
+	// 89 fast, 9 medium, 2 slow observations: p50 lands in the fast bucket,
+	// p95 in the medium one, p99 in the slow one.
+	for i := 0; i < 89; i++ {
+		rs.observe(900*time.Microsecond, false) // bucket 10, bound 1.024ms
+	}
+	for i := 0; i < 9; i++ {
+		rs.observe(3*time.Millisecond, false) // bucket 12, bound 4.096ms
+	}
+	for i := 0; i < 2; i++ {
+		rs.observe(40*time.Millisecond, true) // bucket 16, bound 65.536ms
+	}
+
+	var buf bytes.Buffer
+	c.WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`ml4all_requests_total{route="predict"} 100`,
+		`ml4all_request_errors_total{route="predict"} 2`,
+		`ml4all_request_seconds{route="predict",quantile="0.5"} 0.001024`,
+		`ml4all_request_seconds{route="predict",quantile="0.95"} 0.004096`,
+		`ml4all_request_seconds{route="predict",quantile="0.99"} 0.065536`,
+		`ml4all_request_seconds_bucket{route="predict",le="+Inf"} 100`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+
+	// Rendering twice must produce byte-identical output (deterministic
+	// ordering), including after registering a second route: routes sort
+	// lexicographically.
+	c.route("alpha").observe(time.Millisecond, false)
+	var first, second bytes.Buffer
+	c.WriteText(&first)
+	c.WriteText(&second)
+	if first.String() != second.String() {
+		t.Fatal("two renders of the same counters differ")
+	}
+	a := strings.Index(first.String(), `ml4all_requests_total{route="alpha"}`)
+	p := strings.Index(first.String(), `ml4all_requests_total{route="predict"}`)
+	if a < 0 || p < 0 || a > p {
+		t.Fatalf("routes not sorted: alpha at %d, predict at %d", a, p)
+	}
+}
+
+func TestQuantileEmptyRoute(t *testing.T) {
+	var rs routeStats
+	if got := rs.quantile(0.99); got != 0 {
+		t.Fatalf("quantile of an empty route = %v, want 0", got)
+	}
+}
+
+func TestSlicePoolClasses(t *testing.T) {
+	if got := sizeClass(1); got != 0 {
+		t.Fatalf("sizeClass(1) = %d, want 0", got)
+	}
+	if got := sizeClass(5); got != 3 {
+		t.Fatalf("sizeClass(5) = %d, want 3 (cap 8)", got)
+	}
+	var p slicePool[float64]
+	s := p.get(5)
+	if len(s) != 5 || cap(s) != 8 {
+		t.Fatalf("get(5): len %d cap %d, want 5/8", len(s), cap(s))
+	}
+	p.put(s)
+	s2 := p.get(3)
+	if len(s2) != 3 {
+		t.Fatalf("get(3) after put: len %d", len(s2))
+	}
+}

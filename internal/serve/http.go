@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,10 +12,12 @@ import (
 	"ml4all/internal/lang"
 )
 
-// httpError pairs a client-visible message with a status code.
+// httpError pairs a client-visible message with a status code; retryAfter,
+// when set, is surfaced as a Retry-After header (admission-control 429s).
 type httpError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter time.Duration
 }
 
 func (e *httpError) Error() string { return e.msg }
@@ -28,18 +31,25 @@ func errStatus(status int, format string, args ...any) *httpError {
 // for a 500 — except syntax/validation errors, mapped to 400).
 type handler func(r *http.Request) (any, error)
 
-// wrap instruments a route with the counters and centralizes encoding.
+// wrap instruments a route with the counters and centralizes encoding. The
+// route's stats record is resolved once here, so the per-request observation
+// is lock-free; responses encode into a pooled buffer (one Write to the
+// connection, no per-request encoder garbage), and pooled payloads
+// (releasable) are recycled after encoding.
 func (s *Server) wrap(route string, h handler) http.HandlerFunc {
+	rs := s.counters.route(route)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		payload, err := h(r)
 		status := http.StatusOK
+		var retryAfter time.Duration
 		if err != nil {
 			var he *httpError
 			var se *lang.SyntaxError
 			switch {
 			case errors.As(err, &he):
 				status = he.status
+				retryAfter = he.retryAfter
 			case errors.As(err, &se):
 				status = http.StatusBadRequest
 			default:
@@ -47,11 +57,32 @@ func (s *Server) wrap(route string, h handler) http.HandlerFunc {
 			}
 			payload = map[string]string{"error": err.Error()}
 		}
-		s.counters.observe(route, time.Since(start), status >= 400)
+		rs.observe(time.Since(start), status >= 400)
+		buf := bufPool.Get().(*bytes.Buffer)
+		buf.Reset()
+		json.NewEncoder(buf).Encode(payload)
+		if rel, ok := payload.(releasable); ok {
+			rel.release()
+		}
 		w.Header().Set("Content-Type", "application/json")
+		if retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(retrySeconds(retryAfter)))
+		}
+		w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 		w.WriteHeader(status)
-		json.NewEncoder(w).Encode(payload)
+		w.Write(buf.Bytes())
+		bufPool.Put(buf)
 	}
+}
+
+// retrySeconds renders a Retry-After duration in the header's unit: whole
+// seconds, rounded up, at least 1.
+func retrySeconds(d time.Duration) int {
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
 }
 
 // decodeJSON strictly decodes a request body into v.
@@ -235,16 +266,18 @@ func (s *Server) handlePredict(r *http.Request) (any, error) {
 	if !ok {
 		return nil, errStatus(http.StatusNotFound, "model %q version %d not found", name, v)
 	}
-	var req PredictRequest
-	if err := decodeJSON(r, &req); err != nil {
+	req := requestPool.Get().(*PredictRequest)
+	req.reset() // decode must not inherit a previous request's fields
+	defer requestPool.Put(req)
+	if err := decodeJSON(r, req); err != nil {
 		return nil, err
 	}
-	resp, err := predict(mv, &req)
-	if err != nil {
+	resp := AcquirePredictResponse()
+	if err := s.predictor.Predict(mv, req, resp); err != nil {
+		resp.Release()
 		return nil, badRequest(err)
 	}
-	s.counters.observePredict(resp.N)
-	return resp, nil
+	return resp, nil // wrap releases the pooled response after encoding
 }
 
 // badRequest maps a domain error to 400 unless it already carries a status.

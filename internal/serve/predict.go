@@ -2,7 +2,11 @@ package serve
 
 import (
 	"fmt"
+	"net/http"
+	"runtime"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"ml4all/internal/data"
 	"ml4all/internal/metrics"
@@ -17,9 +21,23 @@ import (
 //   - Instances are dense feature vectors, at most model-dimension long
 //     (shorter vectors are zero-padded, matching how sparse training data
 //     treats absent features).
+//
+// FastMath opts the request into the tolerance-bounded fast kernel tier
+// (metrics.ScoresIntoFast); fast and exact requests never share a coalesced
+// kernel pass.
 type PredictRequest struct {
 	Rows      []string    `json:"rows,omitempty"`
 	Instances [][]float64 `json:"instances,omitempty"`
+	FastMath  bool        `json:"fastmath,omitempty"`
+}
+
+// reset clears the request for pooled reuse, keeping the Rows/Instances
+// backing arrays (json.Decoder appends into them, so steady-state decoding
+// reuses their capacity).
+func (r *PredictRequest) reset() {
+	r.Rows = r.Rows[:0]
+	r.Instances = r.Instances[:0]
+	r.FastMath = false
 }
 
 // PredictResponse reports the scored batch.
@@ -32,18 +50,153 @@ type PredictResponse struct {
 	Scores  []float64 `json:"scores"` // raw margins <x, w>
 }
 
-// buildRequestMatrix parses a prediction request into a small columnar arena
-// — the same zero-copy form the training stack reads — so scoring runs
-// through the batched block kernels. d is the model dimension; every row is
-// validated against it up front.
-func buildRequestMatrix(req *PredictRequest, d int) (*data.Matrix, error) {
+// Predictor is the serving-side prediction pipeline: pooled request parsing,
+// admission control, and opportunistic request coalescing in front of the
+// blocked margin kernels. One Predictor serves every model; batches form per
+// (model, version, layout, tier).
+type Predictor struct {
+	counters *Counters
+	adm      *admitter
+	co       *coalescer // nil when coalescing is disabled
+	active   atomic.Int64
+}
+
+// NewPredictor builds a pipeline with the given coalescing and admission
+// settings (zero values take defaults; see the Config types). counters may
+// be nil for standalone use. The coalescer engages only where a shared pass
+// can overlap other callers (GOMAXPROCS > 1) unless cc.Force is set; every
+// other part of the pipeline — pooled ingest, admission control, counters —
+// is active regardless.
+func NewPredictor(cc CoalesceConfig, ac AdmissionConfig, counters *Counters) *Predictor {
+	p := &Predictor{counters: counters}
+	p.adm = newAdmitter(ac, counters)
+	if !cc.Disabled && (cc.Force || runtime.GOMAXPROCS(0) > 1) {
+		p.co = newCoalescer(cc, counters, p.adm, &p.active)
+		go p.co.run()
+	}
+	return p
+}
+
+// Close flushes pending coalesced batches and stops the window flusher.
+// Predict remains usable afterwards — calls score directly — so in-flight
+// traffic drains during shutdown instead of erroring.
+func (p *Predictor) Close() {
+	if p.co != nil {
+		p.co.close()
+	}
+}
+
+// Predict scores one request against one registry model, filling resp (use
+// AcquirePredictResponse + Release for pooled responses). The scored values
+// are bit-identical to offline metrics.Evaluate on the same rows whether the
+// call was coalesced or not. Requests refused by admission control return an
+// *httpError with status 429 and a Retry-After.
+func (p *Predictor) Predict(mv *ModelVersion, req *PredictRequest, resp *PredictResponse) error {
+	p.active.Add(1)
+	defer p.active.Add(-1)
+
+	m := mv.Model
+	b := getBuilder()
+	mat, err := buildRequestMatrix(b, req, len(m.Weights))
+	if err != nil {
+		putBuilder(b)
+		return err
+	}
+	n := mat.NumRows()
+	if retry, ok := p.adm.admit(n); !ok {
+		putBuilder(b)
+		return retryError(retry, n)
+	}
+
+	// Coalesce only when other calls are in flight: a lone caller never
+	// waits out the batching window (its batch would flush alone anyway).
+	coalesced := false
+	if p.co != nil && (p.co.always || p.active.Load() > 1) {
+		if cl, ok := p.co.submit(mv, req.FastMath, mat, resp, n); ok {
+			err = <-cl.done
+			putCall(cl)
+			coalesced = true
+		}
+	}
+	if !coalesced {
+		p.scoreDirect(mv, req.FastMath, mat, resp)
+	}
+	putBuilder(b) // the batch (if any) is flushed: mat is no longer read
+	p.adm.done(n)
+	if err != nil {
+		return err
+	}
+	if p.counters != nil {
+		p.counters.observePredict(n)
+	}
+	return nil
+}
+
+// scoreDirect runs the uncoalesced path: one kernel pass over this request's
+// rows alone.
+func (p *Predictor) scoreDirect(mv *ModelVersion, fast bool, mat *data.Matrix, resp *PredictResponse) {
+	m := mv.Model
+	n := mat.NumRows()
+	scores := floatPool.get(n)
+	var start time.Time
+	timed := p.adm.timed()
+	if timed {
+		start = time.Now()
+	}
+	if fast {
+		metrics.ScoresIntoFast(m.Weights, mat, scores)
+	} else {
+		metrics.ScoresInto(m.Weights, mat, scores)
+	}
+	if timed {
+		p.adm.observeRate(n, time.Since(start))
+	}
+	setResponse(resp, mv, scores)
+}
+
+// fillResponse carves one caller's score range out of a shared batch pass
+// into pooled slices — the coalesced path's counterpart of scoreDirect.
+func fillResponse(resp *PredictResponse, mv *ModelVersion, carved []float64) {
+	scores := floatPool.get(len(carved))
+	copy(scores, carved)
+	setResponse(resp, mv, scores)
+}
+
+// setResponse attaches the (pooled) scores to resp and derives the labels.
+func setResponse(resp *PredictResponse, mv *ModelVersion, scores []float64) {
+	m := mv.Model
+	labels := floatPool.get(len(scores))
+	for i, s := range scores {
+		labels[i] = metrics.PredictScore(m.Task, s)
+	}
+	resp.Model = mv.Name
+	resp.Version = mv.Version
+	resp.Task = m.Task.String()
+	resp.N = len(scores)
+	resp.Labels = labels
+	resp.Scores = scores
+}
+
+// retryError builds the 429 an admission-refused request returns.
+func retryError(retry time.Duration, n int) error {
+	err := errStatus(http.StatusTooManyRequests, "serve: over capacity: %d rows refused, retry after %s", n, retry)
+	err.retryAfter = retry
+	return err
+}
+
+// buildRequestMatrix parses a prediction request into b, a pooled builder
+// whose arena is recycled across requests, and returns the BuildView arena —
+// the same zero-copy form the training stack reads, valid until the builder
+// is next Reset. d is the model dimension; every row is validated against it
+// up front, so scoring needs no second dimension check.
+func buildRequestMatrix(b *data.MatrixBuilder, req *PredictRequest, d int) (*data.Matrix, error) {
 	switch {
 	case len(req.Rows) > 0 && len(req.Instances) > 0:
 		return nil, fmt.Errorf("serve: request sets both rows and instances; pick one")
 	case len(req.Rows) > 0:
-		return parseRequestRows(req.Rows, d)
+		return parseRequestRows(b, req.Rows, d)
 	case len(req.Instances) > 0:
-		return buildInstances(req.Instances, d)
+		return buildInstances(b, req.Instances, d)
 	default:
 		return nil, fmt.Errorf("serve: empty prediction request: set rows or instances")
 	}
@@ -52,7 +205,7 @@ func buildRequestMatrix(req *PredictRequest, d int) (*data.Matrix, error) {
 // parseRequestRows parses text rows. The batch is sparse when any row carries
 // a ':' (LIBSVM), dense comma-separated otherwise — one format per request,
 // because one matrix holds the batch.
-func parseRequestRows(rows []string, d int) (*data.Matrix, error) {
+func parseRequestRows(b *data.MatrixBuilder, rows []string, d int) (*data.Matrix, error) {
 	libsvm := false
 	for _, line := range rows {
 		if strings.ContainsRune(line, ':') {
@@ -60,13 +213,14 @@ func parseRequestRows(rows []string, d int) (*data.Matrix, error) {
 			break
 		}
 	}
+	sc := scratchPool.Get().(*parseScratch)
+	defer scratchPool.Put(sc)
 	if libsvm {
-		b := data.NewMatrixBuilder(len(rows), 0)
-		var idx []int32
-		var vals []float64
+		idx, vals := sc.idx, sc.vals
 		for i, line := range rows {
 			label, _, oidx, ovals, ok, err := data.ParsePredictLIBSVM(line, idx[:0], vals[:0])
 			if err != nil {
+				sc.idx, sc.vals = oidx, ovals
 				return nil, fmt.Errorf("serve: row %d: %w", i+1, err)
 			}
 			if !ok {
@@ -76,20 +230,26 @@ func parseRequestRows(rows []string, d int) (*data.Matrix, error) {
 			for _, ix := range idx {
 				if int(ix) >= d {
 					// Report the 1-based index the caller wrote.
+					sc.idx, sc.vals = idx, vals
 					return nil, fmt.Errorf("serve: row %d references feature %d, model has %d (LIBSVM indices 1..%d)", i+1, ix+1, d, d)
 				}
 			}
 			if err := b.AppendSparse(label, idx, vals); err != nil {
+				sc.idx, sc.vals = idx, vals
 				return nil, fmt.Errorf("serve: row %d: %w", i+1, err)
 			}
 		}
-		return b.Build(), nil
+		sc.idx, sc.vals = idx, vals
+		return b.BuildView(), nil
 	}
-	b := data.NewDenseMatrixBuilder(len(rows), d)
-	var vals []float64
+	if err := b.SetDense(d); err != nil {
+		return nil, err
+	}
+	vals := sc.vals
 	for i, line := range rows {
 		ovals, ok, err := data.ParsePredictCSV(line, vals[:0])
 		if err != nil {
+			sc.vals = ovals
 			return nil, fmt.Errorf("serve: row %d: %w", i+1, err)
 		}
 		if !ok {
@@ -97,61 +257,50 @@ func parseRequestRows(rows []string, d int) (*data.Matrix, error) {
 		}
 		vals = ovals
 		if err := appendPadded(b, vals, d, i); err != nil {
+			sc.vals = vals
 			return nil, err
 		}
 	}
-	return b.Build(), nil
+	sc.vals = vals
+	return b.BuildView(), nil
 }
 
 // buildInstances packs dense JSON feature vectors into a strided arena.
-func buildInstances(instances [][]float64, d int) (*data.Matrix, error) {
-	b := data.NewDenseMatrixBuilder(len(instances), d)
+func buildInstances(b *data.MatrixBuilder, instances [][]float64, d int) (*data.Matrix, error) {
+	if err := b.SetDense(d); err != nil {
+		return nil, err
+	}
 	for i, inst := range instances {
 		if err := appendPadded(b, inst, d, i); err != nil {
 			return nil, err
 		}
 	}
-	return b.Build(), nil
+	return b.BuildView(), nil
 }
 
 // appendPadded appends one dense row zero-padded to the model dimension.
 // Padding with zeros leaves every margin bit-identical — a zero feature
-// contributes exactly nothing to the dot product.
+// contributes exactly nothing to the dot product. The fused append writes
+// each arena element once instead of pre-zeroing the full row.
 func appendPadded(b *data.MatrixBuilder, vals []float64, d, i int) error {
 	if len(vals) > d {
 		return fmt.Errorf("serve: row %d has %d features, model has %d", i+1, len(vals), d)
 	}
-	buf, err := b.DenseRowBuffer() // handed out zero-filled
-	if err != nil {
-		return err
-	}
-	copy(buf, vals)
-	b.CommitDenseRow(0)
-	return nil
+	return b.AppendDensePadded(0, vals)
 }
 
+// standalonePredictor scores compat-path calls: direct scoring, no
+// admission, no counters.
+var standalonePredictor = NewPredictor(CoalesceConfig{Disabled: true}, AdmissionConfig{Disabled: true}, nil)
+
 // predict scores one request against one registry model through the blocked
-// margin kernels, returning raw scores and predicted labels.
+// margin kernels, returning raw scores and predicted labels — the standalone
+// form of Predictor.Predict (tests and embedders call it without a Server).
 func predict(mv *ModelVersion, req *PredictRequest) (*PredictResponse, error) {
-	m := mv.Model
-	mat, err := buildRequestMatrix(req, len(m.Weights))
-	if err != nil {
+	resp := AcquirePredictResponse()
+	if err := standalonePredictor.Predict(mv, req, resp); err != nil {
+		resp.Release()
 		return nil, err
 	}
-	scores, err := m.ScoreMatrix(mat)
-	if err != nil {
-		return nil, err
-	}
-	labels := make([]float64, len(scores))
-	for i, s := range scores {
-		labels[i] = metrics.PredictScore(m.Task, s)
-	}
-	return &PredictResponse{
-		Model:   mv.Name,
-		Version: mv.Version,
-		Task:    m.Task.String(),
-		N:       len(scores),
-		Labels:  labels,
-		Scores:  scores,
-	}, nil
+	return resp, nil
 }

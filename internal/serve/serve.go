@@ -13,14 +13,18 @@
 //     name@version, persisted through SaveModel/LoadModel with atomic
 //     publish, so the serving fleet never observes a half-written model;
 //
-//   - a prediction service (predict.go) that parses request rows into a
-//     small columnar arena and scores them through the batched block margin
-//     kernels — the same kernels training uses, which is what makes served
-//     predictions bit-identical to offline Evaluate on the same rows.
+//   - a prediction service (predict.go, coalesce.go, admission.go) that
+//     parses request rows into pooled columnar arenas and scores them
+//     through the batched block margin kernels — the same kernels training
+//     uses, which is what makes served predictions bit-identical to offline
+//     Evaluate on the same rows. Under concurrency, calls against the same
+//     model coalesce into shared kernel passes; per-model admission control
+//     sheds overload with 429 + Retry-After instead of queueing unboundedly.
 //
-// Per-endpoint latency and throughput counters are exposed at /metrics
-// (Prometheus text format) and a liveness summary at /healthz. See DESIGN.md
-// §9 for the architecture and README.md for a curl quickstart.
+// Per-endpoint latency histograms (p50/p95/p99) and throughput counters are
+// exposed at /metrics (Prometheus text format) and a liveness summary at
+// /healthz. See DESIGN.md §9 and §11 for the architecture and README.md for
+// a curl quickstart.
 package serve
 
 import (
@@ -49,16 +53,23 @@ type Config struct {
 	// on (cluster config, estimator settings, worker pool). Nil means
 	// ml4all.NewSystem().
 	System *ml4all.System
+	// Coalesce tunes predict-request coalescing (zero value: enabled with
+	// defaults; set Disabled to score every request alone).
+	Coalesce CoalesceConfig
+	// Admission bounds in-flight prediction rows (zero value: enabled with
+	// defaults; set Disabled to admit everything).
+	Admission AdmissionConfig
 }
 
 // Server wires the job manager, the model registry and the prediction
 // service behind one http.Handler.
 type Server struct {
-	cfg      Config
-	manager  *Manager
-	registry *Registry
-	counters *Counters
-	started  time.Time
+	cfg       Config
+	manager   *Manager
+	registry  *Registry
+	counters  *Counters
+	predictor *Predictor
+	started   time.Time
 }
 
 // New opens the server's state directory (resuming any interrupted jobs and
@@ -84,12 +95,14 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	counters := newCounters()
 	return &Server{
-		cfg:      cfg,
-		manager:  mgr,
-		registry: reg,
-		counters: newCounters(),
-		started:  time.Now(),
+		cfg:       cfg,
+		manager:   mgr,
+		registry:  reg,
+		counters:  counters,
+		predictor: NewPredictor(cfg.Coalesce, cfg.Admission, counters),
+		started:   time.Now(),
 	}, nil
 }
 
@@ -99,10 +112,16 @@ func (s *Server) Manager() *Manager { return s.manager }
 // Registry exposes the model registry.
 func (s *Server) Registry() *Registry { return s.registry }
 
-// Shutdown drains the training pool gracefully: running jobs checkpoint and
-// are left resumable on disk. The HTTP listener (owned by the caller) should
-// stop first.
+// Predictor exposes the prediction pipeline (benchmarks and embedders drive
+// it without the HTTP layer).
+func (s *Server) Predictor() *Predictor { return s.predictor }
+
+// Shutdown drains the service gracefully: pending coalesced batches flush
+// (predict calls still in flight score directly), then the training pool
+// drains — running jobs checkpoint and are left resumable on disk. The HTTP
+// listener (owned by the caller) should stop first.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.predictor.Close()
 	return s.manager.Shutdown(ctx)
 }
 
