@@ -13,9 +13,12 @@
 //
 // For every benchmark present in both files the MEDIAN ns/op of its -count
 // repetitions is compared; medians rather than means keep one descheduled
-// run on a shared CI box from tripping the gate. Benchmarks present in only
-// one file are reported but never fail the gate (new benchmarks must not
-// require a baseline update to land).
+// run on a shared CI box from tripping the gate. New benchmarks (candidate-
+// only) are reported but never fail the gate — they must not require a
+// baseline update to land. Baseline-only rows DO fail the gate: a row whose
+// benchmark no longer runs means a guarded workload silently lost its gate
+// (renamed or deleted without updating the baseline, or skipped on an
+// incapable host).
 package main
 
 import (
@@ -118,27 +121,48 @@ func main() {
 		os.Exit(2)
 	}
 
+	failed, missing := gate(os.Stdout, oldB, newB, *threshold, *allocThreshold)
+	if missing {
+		fmt.Fprintf(os.Stderr, "benchgate: baseline rows name benchmarks absent from the candidate run (renamed, deleted, or skipped); update BENCH_baseline.txt or fix the run\n")
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchgate: ns/op or allocs/op regression beyond threshold against the committed baseline\n")
+	}
+	if failed || missing {
+		os.Exit(1)
+	}
+}
+
+// gate renders the comparison report to w and returns the two failure
+// classes separately: threshold regressions, and baseline rows with no
+// candidate measurement.
+func gate(w io.Writer, oldB, newB map[string]*samples, threshold, allocThreshold float64) (failed, missing bool) {
 	names := make([]string, 0, len(oldB))
 	for name := range oldB {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 
-	failed := false
 	for _, name := range names {
 		nv, ok := newB[name]
 		if !ok {
-			fmt.Printf("%-55s baseline-only (skipped)\n", name)
+			// A baseline row with no candidate measurement means the
+			// benchmark was renamed, deleted, or skipped on this host. Any
+			// of those silently un-gates the workload the row was guarding,
+			// so it fails the gate rather than being reported and ignored —
+			// renames must update BENCH_baseline.txt in the same change.
+			fmt.Fprintf(w, "%-55s MISSING from candidate\n", name)
+			missing = true
 			continue
 		}
 		o, n := median(oldB[name].ns), median(nv.ns)
 		deltaPct := (n - o) / o * 100
 		verdict := "ok"
-		if deltaPct > *threshold {
+		if deltaPct > threshold {
 			verdict = "REGRESSED"
 			failed = true
 		}
-		fmt.Printf("%-55s %14.0f -> %14.0f ns/op  %+6.1f%%  %s\n", name, o, n, deltaPct, verdict)
+		fmt.Fprintf(w, "%-55s %14.0f -> %14.0f ns/op  %+6.1f%%  %s\n", name, o, n, deltaPct, verdict)
 
 		if len(oldB[name].allocs) == 0 || len(nv.allocs) == 0 {
 			continue
@@ -147,23 +171,20 @@ func main() {
 		if oa == 0 {
 			if na > 0 {
 				failed = true
-				fmt.Printf("%-55s %14.0f -> %14.0f allocs/op          REGRESSED\n", name, oa, na)
+				fmt.Fprintf(w, "%-55s %14.0f -> %14.0f allocs/op          REGRESSED\n", name, oa, na)
 			}
 			continue
 		}
 		allocPct := (na - oa) / oa * 100
-		if allocPct > *allocThreshold {
+		if allocPct > allocThreshold {
 			failed = true
-			fmt.Printf("%-55s %14.0f -> %14.0f allocs/op  %+6.1f%%  REGRESSED\n", name, oa, na, allocPct)
+			fmt.Fprintf(w, "%-55s %14.0f -> %14.0f allocs/op  %+6.1f%%  REGRESSED\n", name, oa, na, allocPct)
 		}
 	}
 	for name := range newB {
 		if _, ok := oldB[name]; !ok {
-			fmt.Printf("%-55s new benchmark (no baseline)\n", name)
+			fmt.Fprintf(w, "%-55s new benchmark (no baseline)\n", name)
 		}
 	}
-	if failed {
-		fmt.Fprintf(os.Stderr, "benchgate: ns/op or allocs/op regression beyond threshold against the committed baseline\n")
-		os.Exit(1)
-	}
+	return failed, missing
 }

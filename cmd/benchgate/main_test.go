@@ -52,3 +52,54 @@ func TestMedianEven(t *testing.T) {
 		t.Fatalf("median = %g, want 2.5", m)
 	}
 }
+
+func bench(ns, allocs float64) *samples {
+	return &samples{ns: []float64{ns}, allocs: []float64{allocs}}
+}
+
+// TestGateVerdicts pins the three gate outcomes on the same comparison:
+// within-threshold rows pass, over-threshold rows fail, and a baseline row
+// with no candidate measurement fails as missing (a renamed, deleted, or
+// skipped benchmark must not silently lose its gate). Candidate-only rows
+// never fail.
+func TestGateVerdicts(t *testing.T) {
+	base := map[string]*samples{
+		"BenchmarkSteady": bench(1000, 5),
+		"BenchmarkGone":   bench(1000, 5),
+	}
+	cand := map[string]*samples{
+		"BenchmarkSteady": bench(1050, 5),
+		"BenchmarkFresh":  bench(1, 0),
+	}
+
+	var out strings.Builder
+	failed, missing := gate(&out, base, cand, 10, 0)
+	if failed {
+		t.Fatalf("within-threshold comparison reported a regression:\n%s", out.String())
+	}
+	if !missing {
+		t.Fatalf("baseline-only BenchmarkGone did not trip the missing failure:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkGone") || !strings.Contains(out.String(), "MISSING") {
+		t.Fatalf("report does not name the missing row:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkFresh") {
+		t.Fatalf("report does not mention the candidate-only row:\n%s", out.String())
+	}
+
+	// ns/op regression beyond threshold.
+	out.Reset()
+	failed, missing = gate(&out, map[string]*samples{"BenchmarkSteady": bench(1000, 5)},
+		map[string]*samples{"BenchmarkSteady": bench(1200, 5)}, 10, 0)
+	if !failed || missing {
+		t.Fatalf("ns/op regression: failed=%v missing=%v\n%s", failed, missing, out.String())
+	}
+
+	// allocs/op regression with ns/op flat.
+	out.Reset()
+	failed, missing = gate(&out, map[string]*samples{"BenchmarkSteady": bench(1000, 5)},
+		map[string]*samples{"BenchmarkSteady": bench(1000, 6)}, 10, 0)
+	if !failed || missing {
+		t.Fatalf("allocs/op regression: failed=%v missing=%v\n%s", failed, missing, out.String())
+	}
+}

@@ -1,0 +1,310 @@
+package main
+
+// The -kernels mode is the SIMD backend's measurement leg: it detects the
+// host CPU, measures every fast-tier kernel under each backend the binary
+// can execute (exact loops, portable fast-go, and the architecture's SIMD
+// backend when dispatch resolves one), runs the engine-level dense/sparse
+// ComputePhase pass per backend, and writes a self-describing report
+// (BENCH_8.json — see README "SIMD kernel backend"). The engine section also
+// records the simulated training time per backend, which is how the report
+// pins that planner costing (Sim.CostComputeFast via ActiveFastMathFlopFrac)
+// tracks the backend actually executing.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"ml4all/internal/cluster"
+	"ml4all/internal/data"
+	"ml4all/internal/engine"
+	"ml4all/internal/gd"
+	"ml4all/internal/linalg"
+	"ml4all/internal/storage"
+	"ml4all/internal/synth"
+)
+
+const (
+	kernelRows    = 512 // rows per block-kernel invocation
+	kernelDim     = 50  // dense dimensionality (matches the engine bench)
+	kernelCSRDim  = 1000
+	kernelCSRNNZ  = 25
+	kernelRepeats = 5 // intervals per cell; the median is reported
+)
+
+// kernelSink defeats dead-code elimination of measured kernel results.
+var kernelSink float64
+
+// measureNs times f — one call performing ops unit operations — and returns
+// the median ns per unit operation over kernelRepeats back-to-back intervals
+// of ~10ms each (medians keep one descheduled interval on a shared box from
+// defining the cell).
+func measureNs(ops int, f func()) float64 {
+	f() // warm caches and page in the code
+	t0 := time.Now()
+	f()
+	per := time.Since(t0)
+	iters := int(10*time.Millisecond/(per+1)) + 1
+	samples := make([]float64, 0, kernelRepeats)
+	for r := 0; r < kernelRepeats; r++ {
+		t := time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		samples = append(samples, float64(time.Since(t).Nanoseconds())/float64(iters)/float64(ops))
+	}
+	sort.Float64s(samples)
+	return samples[len(samples)/2]
+}
+
+// kernelEngineCell is one engine-level ComputePhase measurement.
+type kernelEngineCell struct {
+	Phase   string  `json:"phase"`   // dense | sparse
+	Backend string  `json:"backend"` // exact | fast-go | fast-simd-*
+	NsPerOp float64 `json:"ns_per_op"`
+	// SimSeconds is the simulated cluster time the run was charged — the
+	// planner-facing cost. Fast backends are charged their measured flop
+	// fraction (cluster.FastMathFlopFracFor), so this column moving with the
+	// backend is the costing contract, measured end to end.
+	SimSeconds float64 `json:"sim_seconds"`
+	// SpeedupVsExact and SpeedupVsFastGo are wall-clock ratios against the
+	// other backends' cells of the same phase (present where they apply).
+	SpeedupVsExact  float64 `json:"speedup_vs_exact,omitempty"`
+	SpeedupVsFastGo float64 `json:"speedup_vs_fast_go,omitempty"`
+}
+
+// kernelBenchReport is the BENCH_8.json document.
+type kernelBenchReport struct {
+	Host        string   `json:"host"`
+	CPUFeatures string   `json:"cpu_features"`
+	SIMDBackend string   `json:"simd_backend"` // "none" when dispatch found no kernels
+	Backends    []string `json:"backends"`
+	// Kernels maps kernel name -> backend -> ns per unit operation (the unit
+	// is in the kernel name: op, row, or elem).
+	Kernels map[string]map[string]float64 `json:"kernels"`
+	Engine  []kernelEngineCell            `json:"engine"`
+	// CostModel maps backend -> the flop fraction the simulator charges a
+	// fast-tier Compute under that backend (1.0 = the exact tier's rate).
+	CostModel map[string]float64 `json:"cost_model_flop_frac"`
+	Notes     []string           `json:"notes"`
+}
+
+// withBackend runs f with fast-tier dispatch pinned to the named backend.
+func withBackend(backend string, f func()) {
+	prev := linalg.SetSIMD(backend != linalg.BackendFastGo)
+	defer linalg.SetSIMD(prev)
+	f()
+}
+
+// runKernelBench measures and writes the report.
+func runKernelBench(out string) error {
+	report := kernelBenchReport{
+		Host:        fmt.Sprintf("%s/%s, GOMAXPROCS=%d", runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0)),
+		CPUFeatures: linalg.CPUFeatures(),
+		SIMDBackend: "none",
+		Kernels:     map[string]map[string]float64{},
+		CostModel:   map[string]float64{},
+		Notes: []string{
+			"kernel cells are median ns per unit operation over 5 ~10ms intervals; engine cells are median wall ns of 3 full BGD passes over 100k units (the BenchmarkComputePhase* workload)",
+			"exact cells run the bit-exact tier (backend dispatch does not apply); fast-go pins the portable loops; the simd backend is runtime-dispatched hand-written assembly",
+			"sim_seconds is the simulated cluster cost the planner sees: fast backends are charged cluster.FastMathFlopFracFor(backend) of the exact flop rate, so the column tracks the executing backend",
+		},
+	}
+
+	fastBackends := []string{linalg.BackendFastGo}
+	if linalg.SIMDAvailable() {
+		prev := linalg.SetSIMD(true)
+		report.SIMDBackend = linalg.FastBackend()
+		linalg.SetSIMD(prev)
+		fastBackends = append(fastBackends, report.SIMDBackend)
+	}
+	report.Backends = append([]string{linalg.BackendExact}, fastBackends...)
+	for _, b := range fastBackends {
+		report.CostModel[b] = cluster.FastMathFlopFracFor(b)
+	}
+	report.CostModel[linalg.BackendExact] = 1
+
+	fmt.Printf("kernel backend sweep: cpu %s, simd backend %s\n", report.CPUFeatures, report.SIMDBackend)
+
+	// --- Kernel microbenchmarks ---
+
+	rng := rand.New(rand.NewSource(42))
+	fill := func(n int) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.Float64()*2 - 1
+		}
+		return v
+	}
+	w := linalg.Vector(fill(kernelDim))
+	v := linalg.Vector(fill(kernelDim))
+	dense := fill(kernelRows * kernelDim)
+	margins := make([]float64, kernelRows)
+	coeffs := fill(kernelRows)
+	grad := make(linalg.Vector, kernelDim)
+	wSparse := linalg.Vector(fill(kernelCSRDim))
+
+	// CSR block: kernelRows rows of kernelCSRNNZ sorted, distinct columns.
+	offs := make([]int64, kernelRows+1)
+	var indices []int32
+	var values []float64
+	for r := 0; r < kernelRows; r++ {
+		cols := rng.Perm(kernelCSRDim)[:kernelCSRNNZ]
+		sort.Ints(cols)
+		for _, c := range cols {
+			indices = append(indices, int32(c))
+			values = append(values, rng.Float64()*2-1)
+		}
+		offs[r+1] = int64(len(indices))
+	}
+
+	expIn := make([]float64, kernelRows)
+	expOut := make([]float64, kernelRows)
+	for i := range expIn {
+		expIn[i] = rng.Float64()*40 - 20
+	}
+
+	type kernelSpec struct {
+		name  string
+		ops   int
+		exact func()
+		fast  func()
+	}
+	kernels := []kernelSpec{
+		{name: "dot_d50_ns_per_op", ops: 1,
+			exact: func() { kernelSink += v.Dot(w) },
+			fast:  func() { kernelSink += v.DotFast(w) }},
+		{name: "dense_margins_512x50_ns_per_row", ops: kernelRows,
+			exact: func() { linalg.DenseMargins(dense, kernelDim, w, margins) },
+			fast:  func() { linalg.DenseMarginsFast(dense, kernelDim, w, margins) }},
+		{name: "dense_accum_512x50_ns_per_row", ops: kernelRows,
+			exact: func() {
+				for r := 0; r < kernelRows; r++ {
+					grad.AddScaled(coeffs[r], dense[r*kernelDim:(r+1)*kernelDim])
+				}
+			},
+			fast: func() { linalg.DenseAccumFast(grad, dense, kernelDim, coeffs) }},
+		{name: "csr_margins_512x25_ns_per_row", ops: kernelRows,
+			exact: func() { linalg.CSRMargins(offs, indices, values, wSparse, margins) },
+			fast:  func() { linalg.CSRMarginsFast(offs, indices, values, wSparse, margins) }},
+		{name: "exp_512_ns_per_elem", ops: kernelRows,
+			exact: func() {
+				for i, x := range expIn {
+					expOut[i] = math.Exp(x)
+				}
+			},
+			fast: func() { linalg.ExpFastVec(expOut, expIn) }},
+	}
+
+	for _, k := range kernels {
+		cells := map[string]float64{linalg.BackendExact: measureNs(k.ops, k.exact)}
+		for _, b := range fastBackends {
+			withBackend(b, func() { cells[b] = measureNs(k.ops, k.fast) })
+		}
+		report.Kernels[k.name] = cells
+		fmt.Printf("%-34s", k.name)
+		for _, b := range report.Backends {
+			fmt.Printf("  %s=%.1f", b, cells[b])
+		}
+		fmt.Println()
+	}
+
+	// --- Engine-level ComputePhase, per backend ---
+
+	for _, kind := range []string{"dense", "sparse"} {
+		spec := synth.Spec{
+			Name: "kernels-" + kind, Task: data.TaskLogisticRegression,
+			N: 100_000, Noise: 0.1, Margin: 1, Seed: 42,
+		}
+		if kind == "dense" {
+			spec.D, spec.Density = 50, 1
+		} else {
+			spec.D, spec.Density = 1000, 0.05
+		}
+		ds, err := synth.Generate(spec)
+		if err != nil {
+			return err
+		}
+		st, err := storage.Build(ds, storage.DefaultLayout())
+		if err != nil {
+			return err
+		}
+		p := gd.Params{Task: ds.Task, Format: ds.Format, Tolerance: 1e-12, MaxIter: 3, Lambda: 0.05}
+		cfg := cluster.Default()
+		cfg.JitterFrac = 0
+
+		run := func(fast bool) (nsPerOp, simSec float64, err error) {
+			samples := make([]float64, 0, 3)
+			for i := 0; i < 3; i++ {
+				plan := gd.NewBGD(p)
+				plan.Looper = gd.FixedIterLooper{}
+				sim := cluster.New(cfg)
+				t0 := time.Now()
+				res, rerr := engine.Run(sim, st, &plan, engine.Options{Seed: 1, Workers: 1, FastMath: fast})
+				if rerr != nil {
+					return 0, 0, rerr
+				}
+				if res.Iterations != p.MaxIter {
+					return 0, 0, fmt.Errorf("kernels: %s run did %d iterations, want %d", kind, res.Iterations, p.MaxIter)
+				}
+				samples = append(samples, float64(time.Since(t0).Nanoseconds()))
+				simSec = float64(sim.Now())
+			}
+			sort.Float64s(samples)
+			return samples[len(samples)/2], simSec, nil
+		}
+
+		var exactNs, fastGoNs float64
+		for _, b := range report.Backends {
+			cell := kernelEngineCell{Phase: kind, Backend: b}
+			var err error
+			if b == linalg.BackendExact {
+				cell.NsPerOp, cell.SimSeconds, err = run(false)
+			} else {
+				withBackend(b, func() {
+					cell.NsPerOp, cell.SimSeconds, err = run(true)
+				})
+			}
+			if err != nil {
+				return err
+			}
+			switch b {
+			case linalg.BackendExact:
+				exactNs = cell.NsPerOp
+			case linalg.BackendFastGo:
+				fastGoNs = cell.NsPerOp
+				cell.SpeedupVsExact = exactNs / cell.NsPerOp
+			default:
+				cell.SpeedupVsExact = exactNs / cell.NsPerOp
+				cell.SpeedupVsFastGo = fastGoNs / cell.NsPerOp
+			}
+			report.Engine = append(report.Engine, cell)
+			fmt.Printf("engine %-6s %-16s %12.0f ns/op  sim %.2fs", kind, b, cell.NsPerOp, cell.SimSeconds)
+			if cell.SpeedupVsExact > 0 {
+				fmt.Printf("  %.2fx vs exact", cell.SpeedupVsExact)
+			}
+			if cell.SpeedupVsFastGo > 0 {
+				fmt.Printf("  %.2fx vs fast-go", cell.SpeedupVsFastGo)
+			}
+			fmt.Println()
+		}
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}

@@ -39,12 +39,14 @@ func run() int {
 	serveLoad := flag.Bool("serve-load", false, "run the closed-loop serving load sweep (concurrency ladder × request mixes × baseline/pooled/coalesced arms; with -fastmath, adds a fast-tier coalesced pass)")
 	serveDur := flag.Duration("serve-duration", 300*time.Millisecond, "wall time per -serve-load rung")
 	serveOut := flag.String("serve-out", "BENCH_7.json", "output path for the -serve-load report")
+	kernels := flag.Bool("kernels", false, "measure fast-tier kernel and engine throughput per backend (exact / fast-go / runtime-dispatched SIMD) and write a self-describing report")
+	kernelsOut := flag.String("kernels-out", "BENCH_8.json", "output path for the -kernels report")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment runs to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof allocation profile to this file after the runs")
 	flag.Parse()
 
-	if *list || (*exp == "" && !*predict && !*serveLoad) {
+	if *list || (*exp == "" && !*predict && !*serveLoad && !*kernels) {
 		fmt.Println("experiments:", strings.Join(experiments.IDs(), " "))
 		if *exp == "" {
 			return 2
@@ -96,6 +98,13 @@ func run() int {
 	}
 	if *serveLoad {
 		if err := runServeLoad(*serveDur, *fastmath, *serveOut); err != nil {
+			fmt.Fprintln(os.Stderr, "ml4all-bench:", err)
+			return 1
+		}
+		return 0
+	}
+	if *kernels {
+		if err := runKernelBench(*kernelsOut); err != nil {
 			fmt.Fprintln(os.Stderr, "ml4all-bench:", err)
 			return 1
 		}

@@ -27,6 +27,7 @@ import (
 
 	"ml4all"
 	"ml4all/internal/data"
+	"ml4all/internal/linalg"
 	"ml4all/internal/metrics"
 	"ml4all/internal/serve"
 )
@@ -123,12 +124,18 @@ type serveLoadRung struct {
 
 // serveLoadReport is the BENCH_7.json document.
 type serveLoadReport struct {
-	Dim            int             `json:"dim"`
-	RowsPerRequest int             `json:"rows_per_request"`
-	DurationMS     int             `json:"duration_ms"`
-	GoMaxProcs     int             `json:"gomaxprocs"`
-	Notes          []string        `json:"notes"`
-	Rungs          []serveLoadRung `json:"rungs"`
+	Dim            int `json:"dim"`
+	RowsPerRequest int `json:"rows_per_request"`
+	DurationMS     int `json:"duration_ms"`
+	GoMaxProcs     int `json:"gomaxprocs"`
+	// KernelBackend and CPUFeatures make the artifact self-describing: the
+	// fastmath arms' numbers depend on which kernel backend dispatch resolved
+	// to on the measuring host (exact-tier arms always run the bit-exact
+	// loops).
+	KernelBackend string          `json:"kernel_backend"`
+	CPUFeatures   string          `json:"cpu_features"`
+	Notes         []string        `json:"notes"`
+	Rungs         []serveLoadRung `json:"rungs"`
 }
 
 // baselineScore replicates the pre-pooling predict path: a fresh builder and
@@ -280,6 +287,8 @@ func runServeLoad(dur time.Duration, fastmath bool, out string) error {
 		RowsPerRequest: serveLoadRows,
 		DurationMS:     int(dur.Milliseconds()),
 		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		KernelBackend:  linalg.FastBackend(),
+		CPUFeatures:    linalg.CPUFeatures(),
 		Notes: []string{
 			"closed-loop: each of <concurrency> callers issues its next request the moment the previous answers, so latencies include all queueing the pipeline adds",
 			"each rung is the median of 3 back-to-back intervals by rows/s",
@@ -288,8 +297,8 @@ func runServeLoad(dur time.Duration, fastmath bool, out string) error {
 			"on a GOMAXPROCS=1 host a shared pass cannot overlap caller turnaround, so the coalesced arm's rows/s tracks the direct path; the pass-count collapse is the headroom multi-core hosts convert into throughput",
 		},
 	}
-	fmt.Printf("serving load sweep: %d-d model, %d rows/request, %v per rung, GOMAXPROCS=%d\n",
-		serveLoadDim, serveLoadRows, dur, runtime.GOMAXPROCS(0))
+	fmt.Printf("serving load sweep: %d-d model, %d rows/request, %v per rung, GOMAXPROCS=%d, fast backend %s (cpu: %s)\n",
+		serveLoadDim, serveLoadRows, dur, runtime.GOMAXPROCS(0), linalg.FastBackend(), linalg.CPUFeatures())
 	fmt.Printf("%-10s %-10s %4s %5s %12s %10s %10s %10s %8s %10s\n",
 		"mix", "arm", "fast", "conc", "rows/s", "p50(µs)", "p95(µs)", "p99(µs)", "vs-base", "rows/pass")
 

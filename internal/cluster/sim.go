@@ -202,12 +202,14 @@ func (s *Sim) CostCompute(units int, ops float64) Seconds {
 
 // CostComputeFast returns the CPU cost of a batched Compute task executing
 // on the fast-math kernel tier: CostCompute with the flop term scaled by the
-// measured FastMathFlopFrac. The per-unit overhead term is unchanged — the
-// fast tier carves the same blocks and makes the same number of kernel
-// calls; only the arithmetic throughput differs.
+// active backend's measured flop fraction (ActiveFastMathFlopFrac — the SIMD
+// backend is roughly twice as cheap per flop as the portable fast loops).
+// The per-unit overhead term is unchanged — every fast backend carves the
+// same blocks and makes the same number of kernel calls; only the arithmetic
+// throughput differs.
 func (s *Sim) CostComputeFast(units int, ops float64) Seconds {
 	s.Acct.UnitsSeen += int64(units)
-	c := Seconds(ops)*s.Cfg.FlopSec*FastMathFlopFrac + Seconds(units)*s.Cfg.UnitOverheadSec*ComputeUnitOverheadFrac
+	c := Seconds(ops)*s.Cfg.FlopSec*Seconds(ActiveFastMathFlopFrac()) + Seconds(units)*s.Cfg.UnitOverheadSec*ComputeUnitOverheadFrac
 	s.Acct.CPUSeconds += c
 	return c
 }

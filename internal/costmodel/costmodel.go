@@ -59,7 +59,8 @@ type Model struct {
 	Stats DataStats
 
 	// FastMath prices batched compute at the fast kernel tier's measured
-	// flop rate (cluster.FastMathFlopFrac), mirroring Sim.CostComputeFast —
+	// flop rate (cluster.ActiveFastMathFlopFrac, which resolves the SIMD or
+	// portable backend actually executing), mirroring Sim.CostComputeFast —
 	// set it when the run the model prices will execute with
 	// engine.Options.FastMath. Per-row and randomized compute is unaffected,
 	// exactly as in execution.
@@ -149,8 +150,10 @@ func (m *Model) computePerUnit(ops float64, batched, fast bool) cluster.Seconds 
 		overhead *= cluster.ComputeUnitOverheadFrac
 		if fast {
 			// The fast tier only exists on the blocked path; per-row
-			// compute stays exact, so only batched pricing discounts.
-			flop *= cluster.FastMathFlopFrac
+			// compute stays exact, so only batched pricing discounts. The
+			// fraction is the executing backend's (SIMD when dispatch is
+			// live, portable fast-go otherwise), same as the simulator.
+			flop *= cluster.Seconds(cluster.ActiveFastMathFlopFrac())
 		}
 	}
 	return cluster.Seconds(ops)*flop + overhead

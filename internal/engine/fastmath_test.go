@@ -8,7 +8,34 @@ import (
 	"ml4all/internal/cluster"
 	"ml4all/internal/data"
 	"ml4all/internal/gd"
+	"ml4all/internal/linalg"
 )
+
+// forEachFastBackend runs fn once per kernel backend executable on this
+// host — always the portable fast-go loops, plus the SIMD backend when the
+// machine and build carry one — with dispatch pinned for the duration. The
+// engine-level epsilon contract must hold for every backend the fast tier
+// can resolve to, not just whichever one detection picked.
+func forEachFastBackend(t *testing.T, fn func(t *testing.T)) {
+	backends := []bool{false}
+	if linalg.SIMDAvailable() {
+		backends = append(backends, true)
+	}
+	for _, simd := range backends {
+		simd := simd
+		name := linalg.BackendFastGo
+		if simd {
+			prev := linalg.SetSIMD(true)
+			name = linalg.FastBackend()
+			linalg.SetSIMD(prev)
+		}
+		t.Run(name, func(t *testing.T) {
+			prev := linalg.SetSIMD(simd)
+			defer linalg.SetSIMD(prev)
+			fn(t)
+		})
+	}
+}
 
 // The fast-math tier's accuracy contract, pinned end to end: training with
 // Options.FastMath must agree with the bit-exact tier to a per-element
@@ -72,6 +99,10 @@ func withinEpsilon(t *testing.T, label string, exact, fast *Result) {
 // simulated clock comes out strictly cheaper (Sim.CostComputeFast charges the
 // calibrated fast-tier flop rate for the identical block carving).
 func TestFastMathWithinEpsilon(t *testing.T) {
+	forEachFastBackend(t, testFastMathWithinEpsilon)
+}
+
+func testFastMathWithinEpsilon(t *testing.T) {
 	tasks := []data.TaskKind{data.TaskSVM, data.TaskLogisticRegression, data.TaskLinearRegression}
 	const n = 500
 	blockSizes := []int{5, 13, 512}
@@ -115,6 +146,10 @@ func TestFastMathWithinEpsilon(t *testing.T) {
 // line-search BGD (LossBlockFast on the probe phases) — at the default block
 // width.
 func TestFastMathWithinEpsilonAllPlans(t *testing.T) {
+	forEachFastBackend(t, testFastMathWithinEpsilonAllPlans)
+}
+
+func testFastMathWithinEpsilonAllPlans(t *testing.T) {
 	tasks := []data.TaskKind{data.TaskSVM, data.TaskLogisticRegression, data.TaskLinearRegression}
 	const n = 500
 	for _, task := range tasks {
@@ -155,6 +190,10 @@ func TestFastMathWithinEpsilonAllPlans(t *testing.T) {
 // fast tier must reach the same epsilon within a tight iteration band of the
 // exact tier — the kernel tolerance must not slow or destabilize descent.
 func TestFastMathConvergenceQuality(t *testing.T) {
+	forEachFastBackend(t, testFastMathConvergenceQuality)
+}
+
+func testFastMathConvergenceQuality(t *testing.T) {
 	for _, task := range []data.TaskKind{data.TaskSVM, data.TaskLogisticRegression, data.TaskLinearRegression} {
 		ds := layoutDataset(t, task, true, 400)
 		st := buildStore(t, ds, 2<<10)

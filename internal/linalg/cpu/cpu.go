@@ -1,0 +1,80 @@
+// Package cpu performs runtime CPU feature detection for the SIMD kernel
+// backend beneath the fast-math tier (internal/linalg). Detection runs once
+// at init; the result answers exactly one question — can this binary's hand-
+// written vector kernels execute on this machine? — so a stock GOAMD64=v1
+// build still dispatches AVX2+FMA assembly when the silicon has it, instead
+// of needing the compile-time GOAMD64=v3 arrangement CI used before.
+//
+// Two escape hatches bypass the assembly entirely, in layers:
+//
+//   - the `noasm` build tag compiles the detection (and every linalg .s
+//     file) out, so Features reports nothing and the pure-Go fast loops are
+//     the whole fast tier;
+//   - the ML4ALL_NOSIMD environment variable (any non-empty value) leaves
+//     the assembly compiled in but reports the machine as featureless, for
+//     disabling a suspect kernel in the field without rebuilding.
+package cpu
+
+import "os"
+
+// Features describes the vector ISA extensions the running CPU supports, as
+// far as the linalg kernel backend cares.
+type Features struct {
+	// AVX2 and FMA together enable the amd64 kernel backend. Both require
+	// OS support for saving YMM state (checked via XGETBV), so a true here
+	// means the instructions are actually executable, not merely present
+	// in CPUID.
+	AVX2 bool
+	FMA  bool
+
+	// NEON (AdvSIMD) enables the arm64 kernel backend. It is part of the
+	// ARMv8-A baseline, so on arm64 builds it is always true unless the
+	// noasm tag or the env override turned detection off.
+	NEON bool
+}
+
+// Detected reports the features of the running CPU. It is set once at init
+// and never written afterwards, so reads need no synchronization.
+var Detected Features
+
+// envDisabled records that ML4ALL_NOSIMD suppressed a detection that would
+// otherwise have succeeded — surfaced by Summary so BENCH artifacts stay
+// honest about why a capable machine ran portable loops.
+var envDisabled bool
+
+func init() {
+	if os.Getenv("ML4ALL_NOSIMD") != "" {
+		envDisabled = detect() != (Features{})
+		return
+	}
+	Detected = detect()
+}
+
+// EnvDisabled reports whether ML4ALL_NOSIMD masked features the hardware
+// actually has.
+func EnvDisabled() bool { return envDisabled }
+
+// Summary renders the detection result as a short, stable string for bench
+// artifacts and /metrics, e.g. "avx2,fma", "neon", or "none (ML4ALL_NOSIMD)".
+func (f Features) Summary() string {
+	s := ""
+	add := func(name string, on bool) {
+		if !on {
+			return
+		}
+		if s != "" {
+			s += ","
+		}
+		s += name
+	}
+	add("avx2", f.AVX2)
+	add("fma", f.FMA)
+	add("neon", f.NEON)
+	if s == "" {
+		s = "none"
+		if envDisabled {
+			s += " (ML4ALL_NOSIMD)"
+		}
+	}
+	return s
+}

@@ -1,0 +1,41 @@
+//go:build amd64 && !noasm
+
+package cpu
+
+// cpuid executes CPUID with the given leaf/subleaf. Implemented in
+// cpu_amd64.s.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv executes XGETBV with XCR0, returning the enabled-state mask the OS
+// will actually save/restore on context switch. Implemented in cpu_amd64.s.
+func xgetbv() (eax, edx uint32)
+
+// detect reads CPUID the standard way: FMA and OSXSAVE/AVX from leaf 1 ECX,
+// AVX2 from leaf 7 EBX, then XGETBV to confirm the OS saves XMM+YMM state
+// (bits 1 and 2 of XCR0). Without the XGETBV check an AVX2 CPU under an OS
+// that does not manage YMM state would fault on the first VMOVUPD.
+func detect() Features {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 1 {
+		return Features{}
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return Features{}
+	}
+	if eax, _ := xgetbv(); eax&0x6 != 0x6 {
+		return Features{} // OS does not save XMM+YMM state
+	}
+	var f Features
+	f.FMA = ecx1&fmaBit != 0
+	if maxLeaf >= 7 {
+		_, ebx7, _, _ := cpuid(7, 0)
+		f.AVX2 = ebx7&(1<<5) != 0
+	}
+	return f
+}

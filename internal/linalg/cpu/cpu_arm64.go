@@ -1,0 +1,9 @@
+//go:build arm64 && !noasm
+
+package cpu
+
+// detect on arm64: AdvSIMD (NEON) with double-precision lanes is part of
+// the ARMv8-A baseline Go requires, so there is nothing to probe — every
+// arm64 binary may use the NEON kernels. The noasm tag and ML4ALL_NOSIMD
+// remain the escape hatches, handled in cpu.go.
+func detect() Features { return Features{NEON: true} }

@@ -43,19 +43,31 @@ func dotContigFast(a, b []float64) float64 {
 }
 
 // DotFast returns the fast-tier inner product of v and w. It panics if
-// dimensions differ, like Vector.Dot.
+// dimensions differ, like Vector.Dot. With the SIMD backend enabled and a
+// vector long enough to amortize the asm call, it dispatches to the
+// assembly kernel; otherwise the portable fast loop runs.
 func (v Vector) DotFast(w Vector) float64 {
 	if len(v) != len(w) {
 		panic(fmt.Sprintf("linalg: DotFast dimension mismatch %d vs %d", len(v), len(w)))
 	}
+	if simdOn && len(v) >= dotSIMDMinLen {
+		return dotSIMD(v, w)
+	}
 	return dotContigFast(v, w)
 }
 
-// DenseMarginsFast is the fast-tier DenseMargins: out[j] = <row j, w> via
-// dotContigFast. Same dimension contract as DenseMargins.
+// DenseMarginsFast is the fast-tier DenseMargins: out[j] = <row j, w>. Same
+// dimension contract as DenseMargins. The SIMD backend takes whole blocks —
+// the row loop itself runs behind one dispatch, so there is no per-row
+// threshold.
 func DenseMarginsFast(vals []float64, stride int, w Vector, out []float64) {
 	if len(w) != stride {
 		panic(fmt.Sprintf("linalg: DenseMarginsFast dimension mismatch %d vs %d", stride, len(w)))
+	}
+	if simdOn && stride > 0 && len(out) > 0 {
+		_ = vals[len(out)*stride-1] // one bounds proof for the whole block
+		denseMarginsSIMD(vals, stride, w, out)
+		return
 	}
 	for j := range out {
 		row := vals[j*stride : (j+1)*stride : (j+1)*stride]
@@ -87,17 +99,33 @@ func sparseDotFast(idx []int32, vals []float64, w Vector) float64 {
 }
 
 // SparseDotFast is the exported fast-tier SparseDot. Indices must be sorted
-// ascending (the SortDedup normalization every arena row satisfies).
+// ascending (the SortDedup normalization every arena row satisfies). Rows
+// with enough in-range entries dispatch to the gather kernel on backends
+// that have one; the trim below re-establishes the kernel's in-bounds
+// contract, and a (contract-violating) negative leading index falls through
+// to the Go loop, which panics the same way the exact tier would.
 func SparseDotFast(idx []int32, vals []float64, w Vector) float64 {
+	if simdOn && haveSparseSIMD {
+		d := int32(len(w))
+		n := len(idx)
+		for n > 0 && idx[n-1] >= d {
+			n--
+		}
+		if n >= sparseSIMDMinNNZ && idx[0] >= 0 {
+			return sparseDotSIMD(idx[:n], vals[:n], w)
+		}
+		idx, vals = idx[:n], vals[:n]
+	}
 	return sparseDotFast(idx, vals, w)
 }
 
 // CSRMarginsFast is the fast-tier CSRMargins: out[j] = SparseDotFast(row j)
-// over a contiguous CSR block.
+// over a contiguous CSR block, with per-row SIMD dispatch (row lengths vary,
+// so the gather threshold is a per-row decision).
 func CSRMarginsFast(offs []int64, indices []int32, values []float64, w Vector, out []float64) {
 	for j := range out {
 		lo, hi := offs[j], offs[j+1]
-		out[j] = sparseDotFast(indices[lo:hi], values[lo:hi], w)
+		out[j] = SparseDotFast(indices[lo:hi], values[lo:hi], w)
 	}
 }
 
@@ -113,6 +141,11 @@ func CSRMarginsFast(offs []int64, indices []int32, values []float64, w Vector, o
 func DenseAccumFast(grad Vector, vals []float64, stride int, coeffs []float64) {
 	if len(grad) != stride {
 		panic(fmt.Sprintf("linalg: DenseAccumFast dimension mismatch %d vs %d", stride, len(grad)))
+	}
+	if simdOn && stride > 0 && len(coeffs) > 0 {
+		_ = vals[len(coeffs)*stride-1] // one bounds proof for the whole block
+		denseAccumSIMD(grad, vals, stride, coeffs)
+		return
 	}
 	d := len(grad)
 	j := 0
@@ -182,4 +215,26 @@ func ExpFast(x float64) float64 {
 		ki--
 	}
 	return p * math.Float64frombits(uint64(ki+1023)<<52)
+}
+
+// ExpFastVec fills dst[i] = ExpFast(src[i]) for every element. On backends
+// with a vector exp kernel (amd64/AVX2) four lanes evaluate at once, with
+// the remainder handled by the scalar ExpFast; elsewhere it is exactly the
+// scalar loop. The two paths honor the same accuracy contract as ExpFast
+// (they differ only in FMA contraction and round-to-nearest-even vs
+// round-half-up choice of k at half-way points, both inside the documented
+// bound). dst and src may alias; lengths must match.
+func ExpFastVec(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("linalg: ExpFastVec dimension mismatch %d vs %d", len(dst), len(src)))
+	}
+	i := 0
+	if simdOn && haveExpVecSIMD && len(src) >= 4 {
+		n := len(src) &^ 3
+		expVecSIMD(dst[:n], src[:n])
+		i = n
+	}
+	for ; i < len(src); i++ {
+		dst[i] = ExpFast(src[i])
+	}
 }

@@ -30,7 +30,9 @@ func BenchmarkDot50Exact(b *testing.B) {
 }
 
 func BenchmarkDot50Fast(b *testing.B) {
+	defer SetSIMD(SetSIMD(false)) // pin the portable fast loops
 	x, y := benchVecs(50)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		benchSinkF = x.DotFast(y)
 	}
@@ -42,6 +44,7 @@ func benchAccum(b *testing.B, fast bool) {
 	vals := randVec(r, rows*d)
 	coeffs := randVec(r, rows)
 	grad := make(Vector, d)
+	defer SetSIMD(SetSIMD(false)) // pin the portable fast loops
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if fast {

@@ -1,0 +1,63 @@
+//go:build arm64 && !noasm
+
+package linalg
+
+import "ml4all/internal/linalg/cpu"
+
+// arm64 kernel backend: NEON (AdvSIMD) assembly in simd_arm64.s. The arm64
+// backend is intentionally smaller than the amd64 one — two primitive
+// kernels, a 2x2-lane FMA dot and a single-row fused axpy, with the block
+// row loops kept in Go. NEON has no gather instruction so the sparse dot
+// stays on the portable fast loops, and the vectorized exp is amd64-only
+// for now; both fall back per the have* constants below.
+
+const (
+	simdBackendName = BackendSIMDNEON
+
+	haveSparseSIMD = false
+	haveExpVecSIMD = false
+
+	dotSIMDMinLen    = 8
+	sparseSIMDMinNNZ = 1 << 30
+)
+
+func simdAvailable() bool { return cpu.Detected.NEON }
+
+//go:noescape
+func dotNEON(a, b *float64, n int) float64
+
+//go:noescape
+func axpyNEON(dst, x *float64, n int, c float64)
+
+// dotSIMD computes <a, b>. Caller guarantees len(a) == len(b) > 0.
+func dotSIMD(a, b []float64) float64 { return dotNEON(&a[0], &b[0], len(a)) }
+
+// denseMarginsSIMD fills out[j] = <row j, w>; the row loop stays in Go and
+// each row dots through the NEON kernel. Caller guarantees
+// stride == len(w) > 0 and len(out) > 0.
+func denseMarginsSIMD(vals []float64, stride int, w Vector, out []float64) {
+	for j := range out {
+		row := vals[j*stride : (j+1)*stride : (j+1)*stride]
+		out[j] = dotNEON(&row[0], &w[0], stride)
+	}
+}
+
+// denseAccumSIMD applies grad[i] += Σ_j coeffs[j]·vals[j·stride+i], one
+// fused-multiply row at a time. Caller guarantees len(grad) == stride > 0
+// and len(coeffs) > 0.
+func denseAccumSIMD(grad Vector, vals []float64, stride int, coeffs []float64) {
+	for j, c := range coeffs {
+		row := vals[j*stride : (j+1)*stride : (j+1)*stride]
+		axpyNEON(&grad[0], &row[0], stride, c)
+	}
+}
+
+// sparseDotSIMD is unreachable on arm64 (haveSparseSIMD is false).
+func sparseDotSIMD(idx []int32, vals []float64, w Vector) float64 {
+	panic("linalg: sparse SIMD kernel not available on arm64")
+}
+
+// expVecSIMD is unreachable on arm64 (haveExpVecSIMD is false).
+func expVecSIMD(dst, src []float64) {
+	panic("linalg: vector exp kernel not available on arm64")
+}

@@ -1,0 +1,83 @@
+//go:build arm64 && !noasm
+
+#include "textflag.h"
+
+// NEON (AdvSIMD) kernels of the arm64 backend. Deliberately minimal: every
+// vector operation used here is commutative in its source operands (FMLA
+// accumulating into the fixed destination, FADD, FMUL), so the kernels are
+// robust against Vn/Vm operand-order confusion and straightforward to
+// desk-check. Block structure lives in the Go wrappers (simd_arm64.go).
+
+// func dotNEON(a, b *float64, n int) float64
+//
+// Two 2-lane FMLA accumulators (4 doubles per iteration), scalar tail, then
+// a lane reduction. Mirrors the Go fast tier's independent-chain scheme.
+TEXT ·dotNEON(SB), NOSPLIT, $0-32
+	MOVD a+0(FP), R0
+	MOVD b+8(FP), R1
+	MOVD n+16(FP), R2
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	LSR  $2, R2, R3
+	CBZ  R3, dot_tail
+dot_loop4:
+	VLD1.P 32(R0), [V2.D2, V3.D2]
+	VLD1.P 32(R1), [V4.D2, V5.D2]
+	VFMLA V4.D2, V2.D2, V0.D2
+	VFMLA V5.D2, V3.D2, V1.D2
+	SUB  $1, R3, R3
+	CBNZ R3, dot_loop4
+dot_tail:
+	// Reduce the four accumulator lanes scalar-wise (F0/F1 alias lane 0 of
+	// V0/V1; the odd lanes come over through V2).
+	VMOV  V0.D[1], V2.D[0]
+	FADDD F2, F0, F0
+	FADDD F1, F0, F0
+	VMOV  V1.D[1], V2.D[0]
+	FADDD F2, F0, F0
+	AND  $3, R2, R3
+	CBZ  R3, dot_done
+dot_loop1:
+	FMOVD.P 8(R0), F2
+	FMOVD.P 8(R1), F3
+	FMULD F3, F2, F2
+	FADDD F2, F0, F0
+	SUB  $1, R3, R3
+	CBNZ R3, dot_loop1
+dot_done:
+	FMOVD F0, ret+24(FP)
+	RET
+
+// func axpyNEON(dst, x *float64, n int, c float64)
+//
+// dst[i] += c * x[i], 4 doubles per iteration with the coefficient broadcast
+// once, scalar tail.
+TEXT ·axpyNEON(SB), NOSPLIT, $0-32
+	MOVD  dst+0(FP), R0
+	MOVD  x+8(FP), R1
+	MOVD  n+16(FP), R2
+	FMOVD c+24(FP), F6
+	VDUP  V6.D[0], V6.D2
+	LSR   $2, R2, R3
+	CBZ   R3, axpy_tail
+axpy_loop4:
+	VLD1.P 32(R1), [V2.D2, V3.D2]
+	VLD1  (R0), [V0.D2, V1.D2]
+	VFMLA V6.D2, V2.D2, V0.D2
+	VFMLA V6.D2, V3.D2, V1.D2
+	VST1.P [V0.D2, V1.D2], 32(R0)
+	SUB   $1, R3, R3
+	CBNZ  R3, axpy_loop4
+axpy_tail:
+	AND  $3, R2, R3
+	CBZ  R3, axpy_done
+axpy_loop1:
+	FMOVD.P 8(R1), F2
+	FMOVD (R0), F0
+	FMULD F6, F2, F2
+	FADDD F2, F0, F0
+	FMOVD.P F0, 8(R0)
+	SUB  $1, R3, R3
+	CBNZ R3, axpy_loop1
+axpy_done:
+	RET

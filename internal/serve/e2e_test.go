@@ -25,6 +25,7 @@ import (
 
 	"ml4all"
 	"ml4all/internal/data"
+	"ml4all/internal/linalg"
 	"ml4all/internal/metrics"
 	"ml4all/internal/synth"
 )
@@ -232,21 +233,29 @@ func TestEndToEndServeMatchesOffline(t *testing.T) {
 		`ml4all_requests_total{route="predict"} 1`,
 		fmt.Sprintf("ml4all_predict_rows_total %d", testDS.N()),
 		`ml4all_requests_total{route="jobs.submit"} 1`,
+		fmt.Sprintf("ml4all_kernel_backend_info{fast_backend=%q,cpu=%q} 1",
+			linalg.FastBackend(), linalg.CPUFeatures()),
 	} {
 		if !strings.Contains(string(mbody), want) {
 			t.Fatalf("/metrics lacks %q:\n%s", want, mbody)
 		}
 	}
 	var health struct {
-		Status string         `json:"status"`
-		Models int            `json:"models"`
-		Jobs   map[string]int `json:"jobs"`
+		Status        string         `json:"status"`
+		Models        int            `json:"models"`
+		Jobs          map[string]int `json:"jobs"`
+		KernelBackend string         `json:"kernel_backend"`
+		CPUFeatures   string         `json:"cpu_features"`
 	}
 	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK {
 		t.Fatalf("healthz returned %d", code)
 	}
 	if health.Status != "ok" || health.Models != 1 || health.Jobs[string(JobCompleted)] != 1 {
 		t.Fatalf("healthz = %+v", health)
+	}
+	if health.KernelBackend != linalg.FastBackend() || health.CPUFeatures != linalg.CPUFeatures() {
+		t.Fatalf("healthz backend = %q/%q, want %q/%q",
+			health.KernelBackend, health.CPUFeatures, linalg.FastBackend(), linalg.CPUFeatures())
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ml4all/internal/lang"
+	"ml4all/internal/linalg"
 )
 
 // httpError pairs a client-visible message with a status code; retryAfter,
@@ -296,6 +297,12 @@ func badRequest(err error) error {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.counters.WriteText(w)
+	// Info-style gauge naming the kernel backend FastMath work dispatches to
+	// right now (the exact tier always runs the bit-exact loops), so scraped
+	// latency series are attributable to the silicon that produced them.
+	fmt.Fprintln(w, "# TYPE ml4all_kernel_backend_info gauge")
+	fmt.Fprintf(w, "ml4all_kernel_backend_info{fast_backend=%q,cpu=%q} 1\n",
+		linalg.FastBackend(), linalg.CPUFeatures())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -305,6 +312,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"jobs":           counts,
 		"models":         len(s.registry.Names()),
+		"kernel_backend": linalg.FastBackend(),
+		"cpu_features":   linalg.CPUFeatures(),
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(payload)
