@@ -16,6 +16,7 @@ package main
 // answers, so rung latency includes all queueing the pipeline itself adds.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -416,7 +417,7 @@ func runServeLoad(dur time.Duration, fastmath bool, out string) error {
 					req := reqs[g]
 					req.FastMath = fast
 					resp := serve.AcquirePredictResponse()
-					err := pred.Predict(mv, req, resp)
+					err := pred.Predict(context.Background(), mv, req, resp)
 					n := resp.N
 					resp.Release()
 					return n, err

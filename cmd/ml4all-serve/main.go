@@ -59,7 +59,7 @@ func run() int {
 		return 1
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpSrv := srv.HTTPServer(*addr)
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Printf("ml4all-serve: listening on %s, state in %s\n", *addr, *dir)

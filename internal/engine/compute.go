@@ -223,9 +223,10 @@ func (ex *executor) computePass(acc linalg.Vector, spans []span, idx []int, tran
 	var err error
 	if ex.workers <= 1 || len(spans) == 1 {
 		// Serial fast path: same spans, same partials, same reduction — no
-		// task closure, no pool.
+		// task closure, no pool. Panic isolation still applies: a UDF blowing
+		// up here must fail the run, not the process, same as on the pool.
 		for task := 0; task < len(spans); task++ {
-			if err = ex.computeSpan(task, spans, partials, idx, transform); err != nil {
+			if err = ex.safeComputeSpan(task, spans, partials, idx, transform); err != nil {
 				break
 			}
 		}

@@ -70,7 +70,7 @@ func (ex *executor) runTasks(n int, fn func(task int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := safeCall(fn, i); err != nil {
 				return err
 			}
 		}
@@ -104,7 +104,7 @@ func (ex *executor) runTasks(n int, fn func(task int) error) error {
 				if int64(i) >= ex.taskMinFailed.Load() {
 					continue
 				}
-				if err := ex.taskFn(i); err != nil {
+				if err := safeCall(ex.taskFn, i); err != nil {
 					ex.errBuf[i] = err
 					for {
 						cur := ex.taskMinFailed.Load()

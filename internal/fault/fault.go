@@ -1,0 +1,317 @@
+// Package fault is a deterministic fault-injection framework for crash-safety
+// testing. Code under test threads filesystem work through the FS seam
+// (fs.go); each operation reports to a named injection point on an Injector,
+// which decides — deterministically, from the armed plan and a seed — whether
+// the operation fails, tears, stalls, or "crashes the process".
+//
+// A crash is simulated in-process: once a crash fault fires, the Injector is
+// dead and every subsequent operation through it fails with ErrCrash without
+// touching the disk. The bytes already durable at that moment are exactly
+// what a real kill at that instruction would have left behind, so a test
+// restarts the component over the same directory (with a fresh Injector) and
+// asserts recovery.
+//
+// Production binaries can arm an Injector from the ML4ALL_FAULT environment
+// variable (see ParsePlan) for chaos drills; a nil *Injector is inert and the
+// seam then costs one nil check per operation.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind selects what happens when a fault fires.
+type Kind int
+
+const (
+	// KindErr fails the operation with ErrInjected; no bytes are touched.
+	KindErr Kind = iota + 1
+	// KindENOSPC fails the operation with ErrNoSpace; writes persist nothing.
+	KindENOSPC
+	// KindShortWrite persists a prefix of the buffer, then fails with
+	// ErrNoSpace — the classic torn write a full disk produces.
+	KindShortWrite
+	// KindCrash persists a prefix of the buffer (for writes), then kills the
+	// Injector: this operation and every later one through it return
+	// ErrCrash. The on-disk state is frozen at the instant of the crash.
+	KindCrash
+	// KindLatency delays the operation by Delay, then lets it succeed.
+	KindLatency
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindErr:
+		return "err"
+	case KindENOSPC:
+		return "enospc"
+	case KindShortWrite:
+		return "shortwrite"
+	case KindCrash:
+		return "crash"
+	case KindLatency:
+		return "latency"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Sentinel errors returned by fired faults. ErrCrash additionally poisons the
+// Injector: the simulated process is dead and no later operation succeeds.
+var (
+	ErrInjected = errors.New("fault: injected error")
+	ErrNoSpace  = errors.New("fault: injected ENOSPC")
+	ErrCrash    = errors.New("fault: simulated crash")
+)
+
+// Fault arms one injection point. With Prob zero the fault fires exactly
+// once, on hit number After (0-based) of Point. With Prob set it instead
+// fires on any hit whose seeded coin-flip lands under Prob — repeatably for
+// a given (seed, point, hit-index), so randomized chaos runs reproduce.
+type Fault struct {
+	Point string
+	Kind  Kind
+	After int
+	Prob  float64
+	Delay time.Duration // KindLatency only
+}
+
+// Convenience constructors for the common one-shot arms.
+func Crash(point string) Fault             { return Fault{Point: point, Kind: KindCrash} }
+func CrashAfter(point string, n int) Fault { return Fault{Point: point, Kind: KindCrash, After: n} }
+func Err(point string) Fault               { return Fault{Point: point, Kind: KindErr} }
+func NoSpace(point string) Fault           { return Fault{Point: point, Kind: KindENOSPC} }
+func ShortWrite(point string) Fault        { return Fault{Point: point, Kind: KindShortWrite} }
+func Latency(point string, d time.Duration) Fault {
+	return Fault{Point: point, Kind: KindLatency, Delay: d}
+}
+
+// Injector holds the armed plan and the per-point hit counts. The zero value
+// and the nil pointer are both inert.
+type Injector struct {
+	mu      sync.Mutex
+	seed    uint64
+	faults  map[string][]faultState
+	hits    map[string]int
+	crashed bool
+}
+
+type faultState struct {
+	Fault
+	fired bool
+}
+
+// New returns an Injector armed with the given faults.
+func New(faults ...Fault) *Injector {
+	in := &Injector{faults: map[string][]faultState{}, hits: map[string]int{}}
+	in.Arm(faults...)
+	return in
+}
+
+// Seed fixes the coin-flip stream used by probabilistic faults. The default
+// seed is zero; two Injectors with the same seed and plan fire identically.
+func (in *Injector) Seed(seed uint64) *Injector {
+	if in == nil {
+		return in
+	}
+	in.mu.Lock()
+	in.seed = seed
+	in.mu.Unlock()
+	return in
+}
+
+// Arm adds faults to a live Injector. Arming after the component under test
+// is constructed lets a test fault only the phase it is interested in (e.g.
+// accept a job submission cleanly, then crash the first checkpoint).
+func (in *Injector) Arm(faults ...Fault) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, f := range faults {
+		in.faults[f.Point] = append(in.faults[f.Point], faultState{Fault: f})
+	}
+}
+
+// Crashed reports whether a crash fault has fired; the Injector is dead.
+func (in *Injector) Crashed() bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// Hits returns how many times point has been reached.
+func (in *Injector) Hits(point string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hits[point]
+}
+
+// Points returns every point this Injector has seen or has a fault armed at,
+// sorted — useful for asserting a sweep covered the catalog.
+func (in *Injector) Points() []string {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	seen := map[string]bool{}
+	for p := range in.hits {
+		seen[p] = true
+	}
+	for p := range in.faults {
+		seen[p] = true
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// hit records one arrival at point and returns the fault to apply, if any.
+// A dead Injector reports a crash for every point.
+func (in *Injector) hit(point string) (Fault, bool, error) {
+	if in == nil {
+		return Fault{}, false, nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return Fault{}, false, ErrCrash
+	}
+	n := in.hits[point]
+	in.hits[point] = n + 1
+	states := in.faults[point]
+	for i := range states {
+		f := &states[i]
+		fire := false
+		if f.Prob > 0 {
+			fire = coin(in.seed, point, n) < f.Prob
+		} else {
+			fire = !f.fired && n == f.After
+		}
+		if !fire {
+			continue
+		}
+		f.fired = true
+		if f.Kind == KindCrash {
+			in.crashed = true
+		}
+		return f.Fault, true, nil
+	}
+	return Fault{}, false, nil
+}
+
+// coin derives a uniform [0,1) value from (seed, point, hit index) via
+// splitmix64 — stateless, so concurrent points never perturb each other's
+// streams.
+func coin(seed uint64, point string, n int) float64 {
+	x := seed ^ uint64(n)*0x9e3779b97f4a7c15
+	for i := 0; i < len(point); i++ {
+		x = (x ^ uint64(point[i])) * 0x100000001b3
+	}
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}
+
+// ParsePlan parses the ML4ALL_FAULT grammar: semicolon-separated clauses of
+// the form "point=kind[:arg]", plus an optional "seed=N" clause.
+//
+//	ML4ALL_FAULT='ckpt.sync=enospc; registry.rename=crash:2; seed=7'
+//
+// kind is one of err|enospc|shortwrite|crash|latency. For latency the arg is
+// a duration ("latency:5ms"); for the others it is the 0-based hit number to
+// fire on (default 0). A kind may also carry a seeded probability instead:
+// "ckpt.write=shortwrite:p0.01" fires on ~1% of hits.
+func ParsePlan(spec string) ([]Fault, uint64, error) {
+	var faults []Fault
+	var seed uint64
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		point, rhs, ok := strings.Cut(clause, "=")
+		point, rhs = strings.TrimSpace(point), strings.TrimSpace(rhs)
+		if !ok || point == "" || rhs == "" {
+			return nil, 0, fmt.Errorf("fault: bad clause %q (want point=kind[:arg])", clause)
+		}
+		if point == "seed" {
+			s, err := strconv.ParseUint(rhs, 10, 64)
+			if err != nil {
+				return nil, 0, fmt.Errorf("fault: bad seed %q", rhs)
+			}
+			seed = s
+			continue
+		}
+		kindName, arg, _ := strings.Cut(rhs, ":")
+		f := Fault{Point: point}
+		switch kindName {
+		case "err":
+			f.Kind = KindErr
+		case "enospc":
+			f.Kind = KindENOSPC
+		case "shortwrite":
+			f.Kind = KindShortWrite
+		case "crash":
+			f.Kind = KindCrash
+		case "latency":
+			f.Kind = KindLatency
+		default:
+			return nil, 0, fmt.Errorf("fault: unknown kind %q in %q", kindName, clause)
+		}
+		switch {
+		case arg == "":
+		case f.Kind == KindLatency:
+			d, err := time.ParseDuration(arg)
+			if err != nil {
+				return nil, 0, fmt.Errorf("fault: bad latency %q in %q", arg, clause)
+			}
+			f.Delay = d
+		case strings.HasPrefix(arg, "p"):
+			p, err := strconv.ParseFloat(arg[1:], 64)
+			if err != nil || p <= 0 || p > 1 {
+				return nil, 0, fmt.Errorf("fault: bad probability %q in %q", arg, clause)
+			}
+			f.Prob = p
+		default:
+			n, err := strconv.Atoi(arg)
+			if err != nil || n < 0 {
+				return nil, 0, fmt.Errorf("fault: bad hit number %q in %q", arg, clause)
+			}
+			f.After = n
+		}
+		faults = append(faults, f)
+	}
+	return faults, seed, nil
+}
+
+// FromSpec builds an Injector from a ML4ALL_FAULT-format plan, or nil (an
+// inert injector) for the empty string.
+func FromSpec(spec string) (*Injector, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	faults, seed, err := ParsePlan(spec)
+	if err != nil {
+		return nil, err
+	}
+	return New(faults...).Seed(seed), nil
+}

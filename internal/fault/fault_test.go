@@ -1,0 +1,226 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParsePlan(t *testing.T) {
+	faults, seed, err := ParsePlan("ckpt.sync=enospc; registry.rename=crash:2; predict=latency:5ms; ckpt.write=shortwrite:p0.25; seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seed != 7 {
+		t.Fatalf("seed = %d, want 7", seed)
+	}
+	want := []Fault{
+		{Point: "ckpt.sync", Kind: KindENOSPC},
+		{Point: "registry.rename", Kind: KindCrash, After: 2},
+		{Point: "predict", Kind: KindLatency, Delay: 5 * time.Millisecond},
+		{Point: "ckpt.write", Kind: KindShortWrite, Prob: 0.25},
+	}
+	if len(faults) != len(want) {
+		t.Fatalf("got %d faults, want %d", len(faults), len(want))
+	}
+	for i := range want {
+		if faults[i] != want[i] {
+			t.Errorf("fault %d = %+v, want %+v", i, faults[i], want[i])
+		}
+	}
+	for _, bad := range []string{"nokind", "p=zzz", "p=latency:zzz", "p=crash:-1", "seed=x", "p=shortwrite:p2"} {
+		if _, _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNthHitDeterminism(t *testing.T) {
+	in := New(CrashAfter("p", 2))
+	for i := 0; i < 2; i++ {
+		if _, fired, err := in.hit("p"); fired || err != nil {
+			t.Fatalf("hit %d fired early: fired=%v err=%v", i, fired, err)
+		}
+	}
+	f, fired, err := in.hit("p")
+	if !fired || err != nil || f.Kind != KindCrash {
+		t.Fatalf("third hit: fired=%v err=%v kind=%v", fired, err, f.Kind)
+	}
+	if !in.Crashed() {
+		t.Fatal("injector not crashed after crash fault")
+	}
+	// Dead injector: everything, any point, fails with ErrCrash.
+	if _, _, err := in.hit("other"); !errors.Is(err, ErrCrash) {
+		t.Fatalf("post-crash hit err = %v, want ErrCrash", err)
+	}
+}
+
+func TestSeededProbabilityIsReproducible(t *testing.T) {
+	run := func() []bool {
+		in := New(Fault{Point: "p", Kind: KindErr, Prob: 0.3}).Seed(42)
+		out := make([]bool, 64)
+		for i := range out {
+			_, fired, _ := in.hit("p")
+			out[i] = fired
+		}
+		return out
+	}
+	a, b := run(), run()
+	fires := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d differs across identically-seeded runs", i)
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	if fires == 0 || fires == len(a) {
+		t.Fatalf("degenerate fire count %d/64 for p=0.3", fires)
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if _, fired, err := in.hit("p"); fired || err != nil {
+		t.Fatal("nil injector fired")
+	}
+	if in.Crashed() || in.Hits("p") != 0 || in.Points() != nil {
+		t.Fatal("nil injector not inert")
+	}
+	if fsys := NewFS(nil, "x"); fsys != OS {
+		t.Fatal("NewFS(nil) should be the raw OS filesystem")
+	}
+}
+
+func TestShortWriteTearsFile(t *testing.T) {
+	dir := t.TempDir()
+	in := New(ShortWrite("t.write"))
+	fsys := NewFS(in, "t")
+	err := WriteDurable(fsys, filepath.Join(dir, "out"), []byte("0123456789"))
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "out")); !os.IsNotExist(err) {
+		t.Fatal("target must not exist after failed durable write")
+	}
+	// The failed temp is cleaned up by WriteDurable (no crash, Remove works).
+	left, _ := os.ReadDir(dir)
+	if len(left) != 0 {
+		t.Fatalf("residue after non-crash failure: %v", left)
+	}
+}
+
+func TestCrashMidWriteStrandsTornTemp(t *testing.T) {
+	dir := t.TempDir()
+	in := New(Crash("t.write"))
+	fsys := NewFS(in, "t")
+	payload := []byte("0123456789")
+	err := WriteDurable(fsys, filepath.Join(dir, "out"), payload)
+	if !errors.Is(err, ErrCrash) {
+		t.Fatalf("err = %v, want ErrCrash", err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 || !strings.HasPrefix(entries[0].Name(), ".tmp-out-") {
+		t.Fatalf("want exactly one stranded temp, got %v", entries)
+	}
+	raw, _ := os.ReadFile(filepath.Join(dir, entries[0].Name()))
+	if len(raw) != len(payload)/2 {
+		t.Fatalf("torn temp holds %d bytes, want %d", len(raw), len(payload)/2)
+	}
+	// Restart: a fresh FS sweeps the stranded temp.
+	if n := SweepTemps(OS, dir); n != 1 {
+		t.Fatalf("SweepTemps removed %d, want 1", n)
+	}
+	if left, _ := os.ReadDir(dir); len(left) != 0 {
+		t.Fatal("sweep left residue")
+	}
+}
+
+func TestCrashAfterRenameLeavesFile(t *testing.T) {
+	dir := t.TempDir()
+	in := New(Crash("t.rename.after"))
+	fsys := NewFS(in, "t")
+	err := WriteDurable(fsys, filepath.Join(dir, "out"), []byte("payload"))
+	if !errors.Is(err, ErrCrash) {
+		t.Fatalf("err = %v, want ErrCrash", err)
+	}
+	raw, rerr := os.ReadFile(filepath.Join(dir, "out"))
+	if rerr != nil || string(raw) != "payload" {
+		t.Fatalf("file after crash-after-rename: %q, %v", raw, rerr)
+	}
+}
+
+func TestWriteDurableHappyPath(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out")
+	if err := WriteDurable(OS, path, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil || string(raw) != "abc" {
+		t.Fatalf("read back %q, %v", raw, err)
+	}
+	// Overwrite is atomic too.
+	if err := WriteDurable(OS, path, []byte("xyz")); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = os.ReadFile(path)
+	if string(raw) != "xyz" {
+		t.Fatalf("overwrite read back %q", raw)
+	}
+	if entries, _ := os.ReadDir(dir); len(entries) != 1 {
+		t.Fatalf("temp residue: %v", entries)
+	}
+}
+
+func TestSweepTempsSparesLiveFiles(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "live.model"), []byte("keep"), 0o644)
+	os.WriteFile(filepath.Join(dir, ".tmp-live.model-123"), []byte("junk"), 0o644)
+	os.WriteFile(filepath.Join(dir, ".tmp-other-9"), []byte("junk"), 0o644)
+	if n := SweepTemps(OS, dir); n != 2 {
+		t.Fatalf("swept %d, want 2", n)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 || entries[0].Name() != "live.model" {
+		t.Fatalf("sweep touched live files: %v", entries)
+	}
+}
+
+func TestLatencyDelaysButSucceeds(t *testing.T) {
+	dir := t.TempDir()
+	in := New(Latency("t.sync", 30*time.Millisecond))
+	fsys := NewFS(in, "t")
+	start := time.Now()
+	if err := WriteDurable(fsys, filepath.Join(dir, "out"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("latency fault did not stall: %v", d)
+	}
+}
+
+func TestFromSpec(t *testing.T) {
+	in, err := FromSpec("  ")
+	if err != nil || in != nil {
+		t.Fatalf("blank spec: %v, %v", in, err)
+	}
+	in, err = FromSpec("a.write=crash")
+	if err != nil || in == nil {
+		t.Fatalf("valid spec: %v, %v", in, err)
+	}
+	if _, err := FromSpec("a.write=boom"); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}
+
+func TestFSPointsCatalog(t *testing.T) {
+	pts := FSPoints("ckpt")
+	if len(pts) != 11 || pts[0] != "ckpt.mkdir" || pts[len(pts)-1] != "ckpt.readdir" {
+		t.Fatalf("catalog = %v", pts)
+	}
+}

@@ -1,0 +1,282 @@
+package fault
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"syscall"
+	"time"
+)
+
+// FS is the filesystem seam durability-sensitive code writes through. It is
+// deliberately tiny: just the operations the atomic-write/fsync ladder and
+// startup recovery need, so the injected wrapper can name every one of them
+// as a crashpoint.
+type FS interface {
+	MkdirAll(dir string) error
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// SyncDir fsyncs a directory so a completed rename survives power loss.
+	SyncDir(dir string) error
+}
+
+// File is the writable handle CreateTemp returns.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	return os.ReadDir(name)
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	d.Close()
+	// Some filesystems (and OSes) refuse fsync on directories; the rename is
+	// still atomic there, just not power-loss durable — not an I/O failure.
+	if err != nil && (errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP)) {
+		return nil
+	}
+	return err
+}
+
+// FSPoints enumerates the injection points NewFS(inj, tag) reports to, in the
+// order the durable-write ladder reaches them. Crashpoint sweeps iterate this
+// catalog.
+func FSPoints(tag string) []string {
+	ops := []string{
+		"mkdir", "create", "write", "sync", "close",
+		"rename", "rename.after", "dirsync", "remove", "read", "readdir",
+	}
+	out := make([]string, len(ops))
+	for i, op := range ops {
+		out[i] = tag + "." + op
+	}
+	return out
+}
+
+// NewFS wraps the real filesystem with injection points named "<tag>.<op>".
+// A nil Injector returns the real filesystem unwrapped.
+func NewFS(inj *Injector, tag string) FS {
+	if inj == nil {
+		return OS
+	}
+	return &injFS{inj: inj, tag: tag}
+}
+
+type injFS struct {
+	inj *Injector
+	tag string
+}
+
+// check consults the injector for a non-write operation: any fired fault
+// fails it (short writes degrade to plain ENOSPC), latency stalls it.
+func (s *injFS) check(op string) error {
+	f, fired, err := s.inj.hit(s.tag + "." + op)
+	if err != nil {
+		return err
+	}
+	if !fired {
+		return nil
+	}
+	switch f.Kind {
+	case KindLatency:
+		time.Sleep(f.Delay)
+		return nil
+	case KindENOSPC, KindShortWrite:
+		return ErrNoSpace
+	case KindCrash:
+		return ErrCrash
+	default:
+		return ErrInjected
+	}
+}
+
+func (s *injFS) MkdirAll(dir string) error {
+	if err := s.check("mkdir"); err != nil {
+		return err
+	}
+	return OS.MkdirAll(dir)
+}
+
+func (s *injFS) CreateTemp(dir, pattern string) (File, error) {
+	if err := s.check("create"); err != nil {
+		return nil, err
+	}
+	f, err := OS.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{fs: s, f: f}, nil
+}
+
+func (s *injFS) Rename(oldpath, newpath string) error {
+	if err := s.check("rename"); err != nil {
+		return err
+	}
+	if err := OS.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	// A crash here models dying right after the rename retired: the file is
+	// in place on disk but the caller never learns it.
+	return s.check("rename.after")
+}
+
+func (s *injFS) Remove(name string) error {
+	if err := s.check("remove"); err != nil {
+		return err
+	}
+	return OS.Remove(name)
+}
+
+func (s *injFS) ReadFile(name string) ([]byte, error) {
+	if err := s.check("read"); err != nil {
+		return nil, err
+	}
+	return OS.ReadFile(name)
+}
+
+func (s *injFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	if err := s.check("readdir"); err != nil {
+		return nil, err
+	}
+	return OS.ReadDir(name)
+}
+
+func (s *injFS) SyncDir(dir string) error {
+	if err := s.check("dirsync"); err != nil {
+		return err
+	}
+	return OS.SyncDir(dir)
+}
+
+type injFile struct {
+	fs *injFS
+	f  File
+}
+
+func (w *injFile) Name() string { return w.f.Name() }
+
+func (w *injFile) Write(p []byte) (int, error) {
+	f, fired, err := w.fs.inj.hit(w.fs.tag + ".write")
+	if err != nil {
+		return 0, err
+	}
+	if fired {
+		switch f.Kind {
+		case KindLatency:
+			time.Sleep(f.Delay)
+		case KindENOSPC:
+			return 0, ErrNoSpace
+		case KindShortWrite:
+			n, _ := w.f.Write(p[:len(p)/2])
+			return n, ErrNoSpace
+		case KindCrash:
+			// Torn write: half the buffer reaches the disk, then the process
+			// dies. The torn temp file is exactly what recovery must survive.
+			w.f.Write(p[:len(p)/2])
+			return 0, ErrCrash
+		default:
+			return 0, ErrInjected
+		}
+	}
+	return w.f.Write(p)
+}
+
+func (w *injFile) Sync() error {
+	if err := w.fs.check("sync"); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *injFile) Close() error {
+	if err := w.fs.check("close"); err != nil {
+		w.f.Close() // release the descriptor even on a simulated failure
+		return err
+	}
+	return w.f.Close()
+}
+
+// WriteDurable writes data to path with the full durability ladder: a
+// uniquely-named ".tmp-*" sibling, write, fsync, close, atomic rename into
+// place, fsync of the parent directory. A crash anywhere before the rename
+// leaves at worst a stranded temp file (startup sweeps remove them); a crash
+// after leaves the complete new file. Readers never observe a torn path.
+func WriteDurable(fsys FS, path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := fsys.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	cleanup := func() { fsys.Remove(tmp) }
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		cleanup()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		cleanup()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		cleanup()
+		return err
+	}
+	return fsys.SyncDir(dir)
+}
+
+// SweepTemps removes stranded ".tmp-*" files in dir — the residue of crashes
+// inside WriteDurable before the rename. Live files are never touched: the
+// durable-write protocol guarantees nothing named ".tmp-*" is ever a
+// published artifact. Returns how many entries were removed.
+func SweepTemps(fsys FS, dir string) int {
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && len(e.Name()) > 5 && e.Name()[:5] == ".tmp-" {
+			if fsys.Remove(filepath.Join(dir, e.Name())) == nil {
+				n++
+			}
+		}
+	}
+	return n
+}

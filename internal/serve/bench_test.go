@@ -8,6 +8,7 @@ package serve
 // parking is scheduler-dependent).
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -49,7 +50,7 @@ func BenchmarkServePredict(b *testing.B) {
 	req := benchRequest(8, 128)
 	for i := 0; i < 16; i++ { // warm every pool class the path touches
 		resp := AcquirePredictResponse()
-		if err := p.Predict(mv, req, resp); err != nil {
+		if err := p.Predict(context.Background(), mv, req, resp); err != nil {
 			b.Fatal(err)
 		}
 		resp.Release()
@@ -58,7 +59,7 @@ func BenchmarkServePredict(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		resp := AcquirePredictResponse()
-		if err := p.Predict(mv, req, resp); err != nil {
+		if err := p.Predict(context.Background(), mv, req, resp); err != nil {
 			b.Fatal(err)
 		}
 		resp.Release()
@@ -79,7 +80,7 @@ func BenchmarkServePredictCoalesced(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			resp := AcquirePredictResponse()
-			if err := p.Predict(mv, req, resp); err != nil {
+			if err := p.Predict(context.Background(), mv, req, resp); err != nil {
 				b.Fatal(err)
 			}
 			resp.Release()

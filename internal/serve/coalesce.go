@@ -69,10 +69,24 @@ type batchKey struct {
 // once per record and reused.
 type call struct {
 	mat  *data.Matrix
+	b    *data.MatrixBuilder // arena behind mat; owned by the batch while parked
 	resp *PredictResponse
 	n    int
 	done chan error
+	// state is the deadline handshake between a parked caller and the
+	// flusher: 0 pending, 1 abandoned (the caller's deadline expired; the
+	// flusher drops the rows and recycles the record), 2 claimed (the
+	// flusher scores it; the caller waits on done).
+	state atomic.Int32
 }
+
+// abandon is the caller's side of the handshake. It wins only while the call
+// is still pending; after a win the caller must not touch the record (or its
+// builder) again — the flusher frees both.
+func (c *call) abandon() bool { return c.state.CompareAndSwap(0, 1) }
+
+// claim is the flusher's side: a claimed call is scored and answered on done.
+func (c *call) claim() bool { return c.state.CompareAndSwap(0, 2) }
 
 // batch accumulates the calls waiting to share one kernel pass. Records are
 // pooled (batchPool); the calls slice keeps its capacity across uses.
@@ -93,7 +107,8 @@ func getCall() *call {
 }
 
 func putCall(c *call) {
-	c.mat, c.resp, c.n = nil, nil, 0
+	c.mat, c.b, c.resp, c.n = nil, nil, nil, 0
+	c.state.Store(0)
 	callPool.Put(c)
 }
 
@@ -158,7 +173,10 @@ func (c *coalescer) allParked() bool {
 // submit joins mat's rows to the pending batch for (mv, fast), creating one
 // when none is open. It returns the caller's wait record — receive from
 // c.done for the flush verdict, then putCall — or ok=false when the
-// coalescer is closed and the caller must score directly.
+// coalescer is closed and the caller must score directly. bld is the builder
+// behind mat: while the call is parked the batch owns both, so a caller that
+// wins abandon() must walk away from the builder too (the flusher recycles
+// it); a caller that receives from done owns its builder again.
 //
 // A batch flushes in-line (the submitting caller does the scoring; its own
 // done channel is buffered, so the verdict waits) in two cases: the join
@@ -170,10 +188,10 @@ func (c *coalescer) allParked() bool {
 // closed-loop crowd forms one full batch per round instead of a tiny batch
 // per wave front. The window remains the backstop for open-loop arrivals
 // slower than one scheduling round.
-func (c *coalescer) submit(mv *ModelVersion, fast bool, mat *data.Matrix, resp *PredictResponse, n int) (*call, bool) {
+func (c *coalescer) submit(mv *ModelVersion, fast bool, bld *data.MatrixBuilder, mat *data.Matrix, resp *PredictResponse, n int) (*call, bool) {
 	key := batchKey{name: mv.Name, version: mv.Version, dense: mat.IsDense(), fast: fast}
 	cl := getCall()
-	cl.mat, cl.resp, cl.n = mat, resp, n
+	cl.mat, cl.b, cl.resp, cl.n = mat, bld, resp, n
 
 	c.mu.Lock()
 	if c.closed {
@@ -237,6 +255,30 @@ func (c *coalescer) submit(mv *ModelVersion, fast bool, mat *data.Matrix, resp *
 // in place. Exactly one goroutine flushes any given batch: it was removed
 // from pending under the lock by whoever got there first.
 func (c *coalescer) flush(b *batch) {
+	// Claim every call before touching its arena: a parked caller whose
+	// deadline expired has abandoned its slot and already returned — its
+	// builder (and therefore its matrix) is ours to recycle, its rows drop
+	// out of the pass, and nothing is sent on its done channel.
+	kept := b.calls[:0]
+	rows := 0
+	for _, cl := range b.calls {
+		if cl.claim() {
+			kept = append(kept, cl)
+			rows += cl.n
+			continue
+		}
+		putBuilder(cl.b)
+		putCall(cl)
+	}
+	for i := len(kept); i < len(b.calls); i++ {
+		b.calls[i] = nil
+	}
+	b.calls, b.rows = kept, rows
+	if len(b.calls) == 0 {
+		putBatch(b)
+		return
+	}
+
 	var mb *data.MatrixBuilder
 	var err error
 	merged := b.calls[0].mat

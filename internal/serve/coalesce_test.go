@@ -98,7 +98,7 @@ func TestCoalescedMatchesDirectBitwise(t *testing.T) {
 					return
 				}
 				got := AcquirePredictResponse()
-				if err := p.Predict(mv, req, got); err != nil {
+				if err := p.Predict(context.Background(), mv, req, got); err != nil {
 					errc <- fmt.Errorf("coalesced g%d i%d: %w", g, i, err)
 					return
 				}
@@ -173,11 +173,11 @@ func TestCoalesceMaxRowsFlush(t *testing.T) {
 
 	respA := AcquirePredictResponse()
 	done := make(chan error, 1)
-	go func() { done <- p.Predict(mv, reqA, respA) }()
+	go func() { done <- p.Predict(context.Background(), mv, reqA, respA) }()
 	waitUntil(t, "first call to open a batch", func() bool { return pendingRows(p.co) == 2 })
 
 	respB := AcquirePredictResponse()
-	if err := p.Predict(mv, reqB, respB); err != nil { // fills the batch to 4 rows
+	if err := p.Predict(context.Background(), mv, reqB, respB); err != nil { // fills the batch to 4 rows
 		t.Fatal(err)
 	}
 	select {
@@ -216,7 +216,7 @@ func TestCoalesceWindowFlush(t *testing.T) {
 	}
 	resp := AcquirePredictResponse()
 	errch := make(chan error, 1)
-	go func() { errch <- p.Predict(mv, req, resp) }()
+	go func() { errch <- p.Predict(context.Background(), mv, req, resp) }()
 	select {
 	case err := <-errch:
 		if err != nil {
@@ -256,11 +256,11 @@ func TestAdmissionRejectsWhenSaturated(t *testing.T) {
 
 	respA := AcquirePredictResponse()
 	done := make(chan error, 1)
-	go func() { done <- p.Predict(mv, reqA, respA) }()
+	go func() { done <- p.Predict(context.Background(), mv, reqA, respA) }()
 	waitUntil(t, "rows to be admitted", func() bool { return c.inFlightRows.Load() == 6 })
 
 	respB := AcquirePredictResponse()
-	err = p.Predict(mv, sixRows(100), respB) // 6+6 > 8: refused
+	err = p.Predict(context.Background(), mv, sixRows(100), respB) // 6+6 > 8: refused
 	var he *httpError
 	if err == nil {
 		t.Fatal("over-budget call was admitted")
@@ -360,7 +360,7 @@ func TestPredictorCloseDrains(t *testing.T) {
 			for i := 0; i < iters; i++ {
 				req := coalesceReq(g, i)
 				resp := AcquirePredictResponse()
-				if err := p.Predict(mv, req, resp); err != nil {
+				if err := p.Predict(context.Background(), mv, req, resp); err != nil {
 					errc <- fmt.Errorf("g%d i%d: %w", g, i, err)
 					return
 				}
@@ -408,7 +408,7 @@ func TestServerShutdownDrainsPredictTraffic(t *testing.T) {
 				default:
 				}
 				resp := AcquirePredictResponse()
-				if err := srv.predictor.Predict(mv, coalesceReq(g, i), resp); err != nil {
+				if err := srv.predictor.Predict(context.Background(), mv, coalesceReq(g, i), resp); err != nil {
 					errc <- err
 					return
 				}

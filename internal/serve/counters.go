@@ -27,6 +27,15 @@ type Counters struct {
 	coalescedRows    atomic.Uint64 // rows scored through shared passes
 	rejected         atomic.Uint64 // requests refused by admission control
 	inFlightRows     atomic.Int64  // rows admitted, response not yet built
+
+	// Durability/recovery counters — how often the fault machinery actually
+	// fired, so degradation is observable rather than silent.
+	ckptWritten       atomic.Uint64 // durable checkpoint frames written
+	ckptVerified      atomic.Uint64 // frames that passed their checksum on resume
+	ckptCorrupt       atomic.Uint64 // frames discarded as corrupt/unreadable
+	registryFallbacks atomic.Uint64 // model versions entombed as corrupt on load
+	recoveredPanics   atomic.Uint64 // panics converted to job/request errors
+	deadlineExpired   atomic.Uint64 // predicts abandoned on context expiry
 }
 
 // histBuckets is the bucket count of the per-route latency histograms:
@@ -167,6 +176,69 @@ func (c *Counters) observeCoalesced(rows int) {
 	c.coalescedRows.Add(uint64(rows))
 }
 
+// The durability observers tolerate a nil receiver: the manager and registry
+// run with no Counters in embedded/test setups, and the recording sites stay
+// unconditional.
+func (c *Counters) checkpointWritten() {
+	if c != nil {
+		c.ckptWritten.Add(1)
+	}
+}
+
+func (c *Counters) checkpointVerified() {
+	if c != nil {
+		c.ckptVerified.Add(1)
+	}
+}
+
+func (c *Counters) checkpointCorrupt() {
+	if c != nil {
+		c.ckptCorrupt.Add(1)
+	}
+}
+
+func (c *Counters) registryFallback() {
+	if c != nil {
+		c.registryFallbacks.Add(1)
+	}
+}
+
+func (c *Counters) panicRecovered() {
+	if c != nil {
+		c.recoveredPanics.Add(1)
+	}
+}
+
+func (c *Counters) deadlineExpire() {
+	if c != nil {
+		c.deadlineExpired.Add(1)
+	}
+}
+
+// FaultTotals is a point-in-time snapshot of the durability/recovery
+// counters — the /metrics ml4all_checkpoints_*/ml4all_recovered_* series as
+// numbers, for tests and harnesses.
+type FaultTotals struct {
+	CheckpointsWritten  uint64
+	CheckpointsVerified uint64
+	CheckpointsCorrupt  uint64
+	RegistryFallbacks   uint64
+	RecoveredPanics     uint64
+	DeadlineExpired     uint64
+}
+
+// FaultTotals snapshots the durability counters.
+func (c *Counters) FaultTotals() FaultTotals {
+	return FaultTotals{
+		CheckpointsWritten:  c.ckptWritten.Load(),
+		CheckpointsVerified: c.ckptVerified.Load(),
+		CheckpointsCorrupt:  c.ckptCorrupt.Load(),
+		RegistryFallbacks:   c.registryFallbacks.Load(),
+		RecoveredPanics:     c.recoveredPanics.Load(),
+		DeadlineExpired:     c.deadlineExpired.Load(),
+	}
+}
+
 // quantiles reported per route, ascending — the fixed field order of the
 // exposition.
 var reportedQuantiles = [...]struct {
@@ -236,4 +308,16 @@ func (c *Counters) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "ml4all_predict_rejected_total %d\n", c.rejected.Load())
 	fmt.Fprintln(w, "# TYPE ml4all_predict_inflight_rows gauge")
 	fmt.Fprintf(w, "ml4all_predict_inflight_rows %d\n", c.inFlightRows.Load())
+	fmt.Fprintln(w, "# TYPE ml4all_checkpoints_written_total counter")
+	fmt.Fprintf(w, "ml4all_checkpoints_written_total %d\n", c.ckptWritten.Load())
+	fmt.Fprintln(w, "# TYPE ml4all_checkpoints_verified_total counter")
+	fmt.Fprintf(w, "ml4all_checkpoints_verified_total %d\n", c.ckptVerified.Load())
+	fmt.Fprintln(w, "# TYPE ml4all_checkpoints_discarded_corrupt_total counter")
+	fmt.Fprintf(w, "ml4all_checkpoints_discarded_corrupt_total %d\n", c.ckptCorrupt.Load())
+	fmt.Fprintln(w, "# TYPE ml4all_registry_fallbacks_total counter")
+	fmt.Fprintf(w, "ml4all_registry_fallbacks_total %d\n", c.registryFallbacks.Load())
+	fmt.Fprintln(w, "# TYPE ml4all_recovered_panics_total counter")
+	fmt.Fprintf(w, "ml4all_recovered_panics_total %d\n", c.recoveredPanics.Load())
+	fmt.Fprintln(w, "# TYPE ml4all_deadline_expired_total counter")
+	fmt.Fprintf(w, "ml4all_deadline_expired_total %d\n", c.deadlineExpired.Load())
 }

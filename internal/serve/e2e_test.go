@@ -25,6 +25,7 @@ import (
 
 	"ml4all"
 	"ml4all/internal/data"
+	"ml4all/internal/fault"
 	"ml4all/internal/linalg"
 	"ml4all/internal/metrics"
 	"ml4all/internal/synth"
@@ -325,9 +326,8 @@ func TestJobResumesAcrossRestart(t *testing.T) {
 	if stopped.Iteration >= refModel.Iterations {
 		t.Fatalf("job finished (%d iterations) before the shutdown; nothing was interrupted", stopped.Iteration)
 	}
-	ckpt := filepath.Join(dir, "jobs", j.ID, "checkpoint.gob")
-	if _, err := os.Stat(ckpt); err != nil {
-		t.Fatalf("shutdown left no checkpoint: %v", err)
+	if ckpts := listCheckpoints(fault.OS, filepath.Join(dir, "jobs", j.ID)); len(ckpts) == 0 {
+		t.Fatal("shutdown left no checkpoint")
 	}
 
 	// A fresh manager on the same directory resumes and finishes the job.

@@ -2,10 +2,13 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"time"
 
@@ -37,11 +40,28 @@ type handler func(r *http.Request) (any, error)
 // is lock-free; responses encode into a pooled buffer (one Write to the
 // connection, no per-request encoder garbage), and pooled payloads
 // (releasable) are recycled after encoding.
+//
+// wrap is also the service's outermost robustness boundary: request bodies
+// are capped (decodeJSON maps an overrun to 413), and a panic anywhere in
+// the handler is recovered into a 500 — the stack goes to the server log,
+// the panic value to the client, and the process keeps serving.
 func (s *Server) wrap(route string, h handler) http.HandlerFunc {
 	rs := s.counters.route(route)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		payload, err := h(r)
+		if s.maxBody > 0 && r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+		}
+		payload, err := func() (out any, err error) {
+			defer func() {
+				if rec := recover(); rec != nil {
+					s.counters.panicRecovered()
+					log.Printf("serve: panic in %s handler: %v\n%s", route, rec, debug.Stack())
+					err = errStatus(http.StatusInternalServerError, "internal panic: %v", rec)
+				}
+			}()
+			return h(r)
+		}()
 		status := http.StatusOK
 		var retryAfter time.Duration
 		if err != nil {
@@ -86,11 +106,17 @@ func retrySeconds(d time.Duration) int {
 	return s
 }
 
-// decodeJSON strictly decodes a request body into v.
+// decodeJSON strictly decodes a request body into v. A body that overran the
+// server's cap (wrap installs http.MaxBytesReader) maps to 413, anything
+// else undecodable to 400.
 func decodeJSON(r *http.Request, v any) error {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return errStatus(http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+		}
 		return errStatus(http.StatusBadRequest, "bad request body: %v", err)
 	}
 	return nil
@@ -112,6 +138,14 @@ type submitRequest struct {
 }
 
 func (s *Server) handleSubmit(r *http.Request) (any, error) {
+	if s.manager.Recovering() {
+		// Degrade rather than interleave: while the manager replays jobs
+		// interrupted by the last crash, new submissions are shed with a
+		// retry hint instead of queueing behind an unknown replay backlog.
+		err := errStatus(http.StatusServiceUnavailable, "serve: recovering interrupted jobs after restart; retry shortly")
+		err.retryAfter = time.Second
+		return nil, err
+	}
 	var req submitRequest
 	if err := decodeJSON(r, &req); err != nil {
 		return nil, err
@@ -273,8 +307,14 @@ func (s *Server) handlePredict(r *http.Request) (any, error) {
 	if err := decodeJSON(r, req); err != nil {
 		return nil, err
 	}
+	ctx := r.Context() // carries the client disconnect
+	if s.cfg.PredictTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.PredictTimeout)
+		defer cancel()
+	}
 	resp := AcquirePredictResponse()
-	if err := s.predictor.Predict(mv, req, resp); err != nil {
+	if err := s.predictor.Predict(ctx, mv, req, resp); err != nil {
 		resp.Release()
 		return nil, badRequest(err)
 	}

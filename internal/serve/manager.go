@@ -7,13 +7,16 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ml4all"
+	"ml4all/internal/fault"
 	"ml4all/internal/lang"
 )
 
@@ -74,6 +77,12 @@ type Job struct {
 	job       *ml4all.TrainJob // live trainer; nil until opened / after restart
 	cancelled chan struct{}
 	pause     bool
+
+	// fromRestart marks a job re-queued by loadJobs after a restart;
+	// replayed flips once its trainer reopens (or the job settles without
+	// one), draining the manager's recovering gauge.
+	fromRestart bool
+	replayed    bool
 }
 
 // JobStatus is the externally visible snapshot of a job.
@@ -98,7 +107,10 @@ type manifest struct {
 	FastMath bool     `json:"fastmath,omitempty"`
 	State    JobState `json:"state"`
 	Plan     string   `json:"plan,omitempty"`
-	Error    string   `json:"error,omitempty"`
+	// Iteration is the progress at the last persist, so a job reloaded after
+	// a restart — a settled one especially — still reports how far it ran.
+	Iteration int    `json:"iteration,omitempty"`
+	Error     string `json:"error,omitempty"`
 }
 
 // ManagerConfig sizes the job manager.
@@ -113,6 +125,17 @@ type ManagerConfig struct {
 	// while a job runs. 0 means 2s; negative disables interval checkpoints
 	// (shutdown and pause still checkpoint).
 	CheckpointEvery time.Duration
+	// RetainCheckpoints is how many durable checkpoints to keep per job;
+	// older ones are pruned after each write. Recovery scans them newest to
+	// oldest, so extra retained frames are what corruption falls back to.
+	// 0 means 3.
+	RetainCheckpoints int
+	// Fault, when non-nil, injects deterministic faults into every
+	// checkpoint/manifest filesystem operation (crash tests, chaos drills).
+	Fault *fault.Injector
+	// Counters, when non-nil, receives durability observations (checkpoints
+	// written/verified/discarded, recovered panics).
+	Counters *Counters
 
 	// stepHook, when non-nil, runs after every successful Step of every
 	// job. Test-only: the shutdown/restart tests throttle iterations with
@@ -130,6 +153,9 @@ func (c ManagerConfig) withDefaults() ManagerConfig {
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 2 * time.Second
 	}
+	if c.RetainCheckpoints <= 0 {
+		c.RetainCheckpoints = 3
+	}
 	return c
 }
 
@@ -142,6 +168,15 @@ func (c ManagerConfig) withDefaults() ManagerConfig {
 type Manager struct {
 	cfg ManagerConfig
 	reg *Registry
+
+	// ckptFS/mfFS are the fault-injectable filesystem seams every checkpoint
+	// and manifest write goes through; with no injector they are the raw OS.
+	ckptFS fault.FS
+	mfFS   fault.FS
+
+	// recovering counts restart-recovered jobs whose trainers have not yet
+	// replayed; the HTTP layer sheds submissions while it is non-zero.
+	recovering atomic.Int64
 
 	// sys is the shared System; sysMu serializes catalog access (dataset
 	// loading, planning) — job Steps run outside the lock on job-local
@@ -168,17 +203,25 @@ func NewManager(cfg ManagerConfig, sys *ml4all.System, reg *Registry) (*Manager,
 	m := &Manager{
 		cfg:      cfg,
 		reg:      reg,
+		ckptFS:   fault.NewFS(cfg.Fault, "ckpt"),
+		mfFS:     fault.NewFS(cfg.Fault, "manifest"),
 		sys:      sys,
 		jobs:     map[string]*Job{},
 		shutdown: make(chan struct{}),
 	}
-	if err := os.MkdirAll(m.jobsDir(), 0o755); err != nil {
+	if err := m.mfFS.MkdirAll(m.jobsDir()); err != nil {
 		return nil, fmt.Errorf("serve: jobs dir: %w", err)
 	}
 	resumable, err := m.loadJobs()
 	if err != nil {
 		return nil, err
 	}
+	// Until every resumable job has replayed its checkpoint, the manager
+	// reports Recovering and the HTTP layer sheds new submissions with 503.
+	for _, j := range resumable {
+		j.fromRestart = true
+	}
+	m.recovering.Store(int64(len(resumable)))
 	// The queue must at least hold every job reloaded from disk, or startup
 	// would block on its own backlog.
 	depth := cfg.QueueDepth
@@ -198,8 +241,23 @@ func NewManager(cfg ManagerConfig, sys *ml4all.System, reg *Registry) (*Manager,
 
 func (m *Manager) jobsDir() string         { return filepath.Join(m.cfg.Dir, "jobs") }
 func (m *Manager) jobDir(id string) string { return filepath.Join(m.jobsDir(), id) }
-func (m *Manager) ckptPath(id string) string {
-	return filepath.Join(m.jobDir(id), "checkpoint.gob")
+
+// Recovering reports whether restart-recovered jobs are still replaying
+// toward their pre-crash state. While true the server answers new
+// submissions with 503 + Retry-After instead of competing with recovery for
+// pool slots; predict and job inspection stay available (degraded, not down).
+func (m *Manager) Recovering() bool { return m.recovering.Load() > 0 }
+
+// replayDone marks a restart-recovered job as replayed — its trainer
+// reopened, or the job settled without needing one. Idempotent per job.
+func (m *Manager) replayDone(j *Job) {
+	j.mu.Lock()
+	fire := j.fromRestart && !j.replayed
+	j.replayed = true
+	j.mu.Unlock()
+	if fire {
+		m.recovering.Add(-1)
+	}
 }
 
 // loadJobs reloads persisted jobs after a restart, returning the ones to
@@ -207,7 +265,7 @@ func (m *Manager) ckptPath(id string) string {
 // the queue immediately (resuming from their latest checkpoint when one
 // exists); paused ones wait for an explicit resume.
 func (m *Manager) loadJobs() ([]*Job, error) {
-	entries, err := os.ReadDir(m.jobsDir())
+	entries, err := m.mfFS.ReadDir(m.jobsDir())
 	if err != nil {
 		return nil, fmt.Errorf("serve: jobs dir: %w", err)
 	}
@@ -220,7 +278,10 @@ func (m *Manager) loadJobs() ([]*Job, error) {
 	sort.Strings(names) // zero-padded ids sort in submission order
 	var resumable []*Job
 	for _, id := range names {
-		raw, err := os.ReadFile(filepath.Join(m.jobDir(id), "manifest.json"))
+		// A crash inside a durable write strands a ".tmp-*" sibling; sweep
+		// them before anything else looks at the directory.
+		fault.SweepTemps(m.mfFS, m.jobDir(id))
+		raw, err := m.mfFS.ReadFile(filepath.Join(m.jobDir(id), "manifest.json"))
 		if os.IsNotExist(err) {
 			continue // crashed between job-dir creation and the first persist
 		}
@@ -238,6 +299,7 @@ func (m *Manager) loadJobs() ([]*Job, error) {
 		j := &Job{
 			ID: mf.ID, Script: mf.Script, Model: mf.Model, FastMath: mf.FastMath,
 			stmt: stmt, state: mf.State, errMsg: mf.Error, planName: mf.Plan,
+			iteration: mf.Iteration,
 			cancelled: make(chan struct{}),
 		}
 		if n, err := strconv.Atoi(strings.TrimPrefix(id, "job-")); err == nil && n >= m.nextID {
@@ -329,7 +391,7 @@ func (m *Manager) SubmitJob(script, model string, opts SubmitOptions) (*Job, err
 	// Any failure past this point settles the job as failed — it is already
 	// visible in listings and must not linger as a ghost "queued" entry no
 	// runner will ever claim.
-	if err := os.MkdirAll(m.jobDir(id), 0o755); err != nil {
+	if err := m.mfFS.MkdirAll(m.jobDir(id)); err != nil {
 		err = fmt.Errorf("serve: job dir: %w", err)
 		m.fail(j, err)
 		return nil, err
@@ -410,6 +472,7 @@ func (m *Manager) Cancel(id string) error {
 	j.mu.Unlock()
 	if settled {
 		m.persist(j)
+		m.replayDone(j)
 	}
 	return nil
 }
@@ -468,58 +531,49 @@ func (j *Job) Status() JobStatus {
 	}
 }
 
-// writeFileAtomic writes data to path via a uniquely-named temp file in the
-// same directory and a rename, removing the temp on any failure. The unique
-// temp name matters: a runner and an HTTP-side Cancel may persist the same
-// job concurrently, and rename's atomicity makes last-writer-wins safe.
-func writeFileAtomic(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
-}
-
-// persist writes the job's manifest atomically.
+// persist writes the job's manifest atomically and durably. Unique temp
+// names matter: a runner and an HTTP-side Cancel may persist the same job
+// concurrently, and rename's atomicity makes last-writer-wins safe.
 func (m *Manager) persist(j *Job) error {
 	j.mu.Lock()
-	mf := manifest{ID: j.ID, Script: j.Script, Model: j.Model, FastMath: j.FastMath, State: j.state, Plan: j.planName, Error: j.errMsg}
+	mf := manifest{ID: j.ID, Script: j.Script, Model: j.Model, FastMath: j.FastMath, State: j.state, Plan: j.planName, Iteration: j.iteration, Error: j.errMsg}
 	j.mu.Unlock()
 	raw, err := json.MarshalIndent(mf, "", "  ")
 	if err != nil {
 		return err
 	}
-	if err := writeFileAtomic(filepath.Join(m.jobDir(j.ID), "manifest.json"), raw); err != nil {
+	if err := fault.WriteDurable(m.mfFS, filepath.Join(m.jobDir(j.ID), "manifest.json"), raw); err != nil {
 		return fmt.Errorf("serve: job %s manifest: %w", j.ID, err)
 	}
 	return nil
 }
 
-// writeCheckpoint serializes the trainer's state atomically. The trainer is
-// passed explicitly — it is the runner's, taken under j.mu once.
+// writeCheckpoint serializes the trainer's state into a CRC-framed file,
+// fsyncs it (and the directory) into place, and prunes beyond the retention
+// window. The trainer is passed explicitly — it is the runner's, taken under
+// j.mu once.
 func (m *Manager) writeCheckpoint(j *Job, tj *ml4all.TrainJob) error {
 	state, err := tj.Checkpoint()
 	if err != nil {
 		return err
 	}
-	if err := writeFileAtomic(m.ckptPath(j.ID), state); err != nil {
+	dir := m.jobDir(j.ID)
+	path := filepath.Join(dir, ckptFileName(tj.Iteration()))
+	if err := fault.WriteDurable(m.ckptFS, path, encodeCheckpointFrame(state)); err != nil {
 		return fmt.Errorf("serve: job %s checkpoint: %w", j.ID, err)
 	}
+	m.cfg.Counters.checkpointWritten()
+	m.pruneCheckpoints(dir)
 	return nil
+}
+
+// pruneCheckpoints drops checkpoints beyond the retention window, oldest
+// first. Best-effort: a failed remove leaves an extra frame, never loses one.
+func (m *Manager) pruneCheckpoints(dir string) {
+	names := listCheckpoints(m.ckptFS, dir)
+	for i := m.cfg.RetainCheckpoints; i < len(names); i++ {
+		m.ckptFS.Remove(filepath.Join(dir, names[i]))
+	}
 }
 
 // Shutdown stops the manager gracefully: submissions are refused, runners
@@ -577,18 +631,40 @@ func (m *Manager) interruptHook(j *Job) func() error {
 	}
 }
 
-// openJob binds the job to a live trainer: from its latest checkpoint when
-// one exists (restart path), fresh otherwise. Catalog access and planning
-// run under sysMu; the returned trainer is job-local.
+// openJob binds the job to a live trainer. Recovery scans the retained
+// checkpoints newest to oldest: a frame that fails its checksum (torn write,
+// bit rot) or no longer resumes is counted, skipped, and the next-older one
+// tried — the job falls back past corruption instead of failing, losing at
+// most the work since the last durable frame. With no usable checkpoint the
+// job opens fresh. Catalog access and planning run under sysMu; the trainer
+// is job-local.
 func (m *Manager) openJob(j *Job) error {
 	opts := ml4all.JobOptions{Interrupt: m.interruptHook(j), FastMath: j.FastMath}
 	m.sysMu.Lock()
 	defer m.sysMu.Unlock()
-	if state, err := os.ReadFile(m.ckptPath(j.ID)); err == nil {
+	dir := m.jobDir(j.ID)
+	for _, name := range listCheckpoints(m.ckptFS, dir) {
+		raw, err := m.ckptFS.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			if errors.Is(err, fault.ErrCrash) {
+				return err // simulated process death: stop, don't burn frames
+			}
+			m.cfg.Counters.checkpointCorrupt()
+			continue
+		}
+		state := raw
+		if name != legacyCheckpoint {
+			if state, err = decodeCheckpointFrame(raw); err != nil {
+				m.cfg.Counters.checkpointCorrupt()
+				continue
+			}
+		}
 		tj, err := m.sys.ResumeJob(j.stmt, state, opts)
 		if err != nil {
-			return fmt.Errorf("resuming from checkpoint: %w", err)
+			m.cfg.Counters.checkpointCorrupt()
+			continue
 		}
+		m.cfg.Counters.checkpointVerified()
 		j.mu.Lock()
 		j.job = tj
 		j.mu.Unlock()
@@ -605,11 +681,22 @@ func (m *Manager) openJob(j *Job) error {
 }
 
 // runJob drives one claimed job. On return the job is terminal, paused,
-// re-queued (shutdown), or failed.
+// re-queued (shutdown), or failed. A panic anywhere in the drive — a UDF
+// blowing up inside Model(), a publish hook, the step hook — fails this job
+// with the panic value and stack instead of killing the process; shard-level
+// UDF panics are already converted to engine.PanicError by the worker pool
+// and arrive here as ordinary Step errors.
 func (m *Manager) runJob(j *Job) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.cfg.Counters.panicRecovered()
+			m.fail(j, fmt.Errorf("serve: job %s panicked: %v\n%s", j.ID, r, debug.Stack()))
+		}
+	}()
 	j.mu.Lock()
 	if j.state != JobQueued { // cancelled while queued
 		j.mu.Unlock()
+		m.replayDone(j)
 		return
 	}
 	needOpen := j.job == nil
@@ -618,11 +705,15 @@ func (m *Manager) runJob(j *Job) {
 	m.persist(j)
 
 	if needOpen {
-		if err := m.openJob(j); err != nil {
+		err := m.openJob(j)
+		m.replayDone(j)
+		if err != nil {
 			// Position the failure in the submitted script, like Exec does.
 			m.fail(j, fmt.Errorf("statement at %s: %w", j.stmt.At(), err))
 			return
 		}
+	} else {
+		m.replayDone(j)
 	}
 	j.mu.Lock()
 	tj := j.job
@@ -726,8 +817,12 @@ func (m *Manager) complete(j *Job) {
 	j.published = mv.Version
 	j.job = nil // release the trainer
 	j.mu.Unlock()
-	os.Remove(m.ckptPath(j.ID)) // terminal jobs don't resume
+	dir := m.jobDir(j.ID) // terminal jobs don't resume: drop every checkpoint
+	for _, name := range listCheckpoints(m.ckptFS, dir) {
+		m.ckptFS.Remove(filepath.Join(dir, name))
+	}
 	m.persist(j)
+	m.replayDone(j)
 }
 
 // fail settles a job as failed.
@@ -738,4 +833,5 @@ func (m *Manager) fail(j *Job, err error) {
 	j.job = nil
 	j.mu.Unlock()
 	m.persist(j)
+	m.replayDone(j)
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -91,7 +92,16 @@ func (p *Predictor) Close() {
 // are bit-identical to offline metrics.Evaluate on the same rows whether the
 // call was coalesced or not. Requests refused by admission control return an
 // *httpError with status 429 and a Retry-After.
-func (p *Predictor) Predict(mv *ModelVersion, req *PredictRequest, resp *PredictResponse) error {
+//
+// ctx bounds the call: a request whose deadline expires — including one
+// parked in a coalesced batch whose client has disconnected — returns a 503
+// with Retry-After instead of holding its arena until the batch flushes.
+// ctx is only consulted at wait points; scoring itself is not interrupted.
+func (p *Predictor) Predict(ctx context.Context, mv *ModelVersion, req *PredictRequest, resp *PredictResponse) error {
+	if err := ctx.Err(); err != nil {
+		p.counters.deadlineExpire()
+		return deadlineError(err)
+	}
 	p.active.Add(1)
 	defer p.active.Add(-1)
 
@@ -112,16 +122,34 @@ func (p *Predictor) Predict(mv *ModelVersion, req *PredictRequest, resp *Predict
 	// waits out the batching window (its batch would flush alone anyway).
 	coalesced := false
 	if p.co != nil && (p.co.always || p.active.Load() > 1) {
-		if cl, ok := p.co.submit(mv, req.FastMath, mat, resp, n); ok {
-			err = <-cl.done
-			putCall(cl)
+		if cl, ok := p.co.submit(mv, req.FastMath, b, mat, resp, n); ok {
 			coalesced = true
+			select {
+			case err = <-cl.done:
+				putCall(cl)
+			case <-ctx.Done():
+				if cl.abandon() {
+					// The flusher will drop our rows and recycle the call
+					// record and the builder — neither is ours anymore.
+					b = nil
+					p.counters.deadlineExpire()
+					err = deadlineError(ctx.Err())
+				} else {
+					// The flusher claimed us first: the shared pass is
+					// already running, so take its verdict — the work is
+					// paid for either way.
+					err = <-cl.done
+					putCall(cl)
+				}
+			}
 		}
 	}
 	if !coalesced {
 		p.scoreDirect(mv, req.FastMath, mat, resp)
 	}
-	putBuilder(b) // the batch (if any) is flushed: mat is no longer read
+	if b != nil {
+		putBuilder(b) // the batch (if any) is flushed: mat is no longer read
+	}
 	p.adm.done(n)
 	if err != nil {
 		return err
@@ -181,6 +209,15 @@ func setResponse(resp *PredictResponse, mv *ModelVersion, scores []float64) {
 func retryError(retry time.Duration, n int) error {
 	err := errStatus(http.StatusTooManyRequests, "serve: over capacity: %d rows refused, retry after %s", n, retry)
 	err.retryAfter = retry
+	return err
+}
+
+// deadlineError builds the 503 a deadline-expired request returns. 503 (not
+// 504): the service is shedding the call, and a retry after the hinted pause
+// is expected to succeed.
+func deadlineError(cause error) error {
+	err := errStatus(http.StatusServiceUnavailable, "serve: request deadline expired: %v", cause)
+	err.retryAfter = time.Second
 	return err
 }
 
@@ -298,7 +335,7 @@ var standalonePredictor = NewPredictor(CoalesceConfig{Disabled: true}, Admission
 // form of Predictor.Predict (tests and embedders call it without a Server).
 func predict(mv *ModelVersion, req *PredictRequest) (*PredictResponse, error) {
 	resp := AcquirePredictResponse()
-	if err := standalonePredictor.Predict(mv, req, resp); err != nil {
+	if err := standalonePredictor.Predict(context.Background(), mv, req, resp); err != nil {
 		resp.Release()
 		return nil, err
 	}

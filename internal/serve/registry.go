@@ -3,7 +3,6 @@ package serve
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -11,18 +10,25 @@ import (
 	"sync"
 
 	"ml4all"
+	"ml4all/internal/fault"
 )
 
 // Registry is the versioned model store: every published model lives on disk
-// as name@version (one SaveModel file per version under dir/<name>/), with an
-// in-memory index in front. Publishing is atomic — the model file is written
-// to a temp name and renamed into place, so a concurrent reader (or a crash)
+// as name@version (one checksummed text file per version under dir/<name>/),
+// with an in-memory index in front. Publishing is atomic and durable — the
+// model is written to a temp name, fsynced, renamed into place, and the
+// directory fsynced, so a concurrent reader (or a crash at any instruction)
 // never observes a half-written model — and a version number is never reused
 // within one registry directory: deletion leaves a tombstone file behind, so
 // the high-water mark survives restarts and a client pinning name@version can
-// never silently receive a different model under the same coordinates.
+// never silently receive a different model under the same coordinates. A
+// version whose file fails its checksum on load is entombed as
+// ".corrupt-v*" (number stays burned) and the previous good version serves
+// as latest; stranded ".tmp-*" files from mid-publish crashes are swept.
 type Registry struct {
-	dir string
+	dir      string
+	fs       fault.FS
+	counters *Counters
 
 	mu     sync.RWMutex
 	models map[string][]*ModelVersion // per name, ascending by version
@@ -84,11 +90,23 @@ func validName(name string) error {
 // OpenRegistry opens (creating if needed) a registry rooted at dir and loads
 // every model version found there, so published models survive restarts.
 func OpenRegistry(dir string) (*Registry, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenRegistryWith(dir, nil, nil)
+}
+
+// OpenRegistryWith is OpenRegistry with a fault injector on the filesystem
+// seam (nil: the raw OS) and counters for corruption-fallback observations
+// (nil: unobserved). Startup is where the crash-recovery work happens:
+// stranded ".tmp-*" files from mid-publish crashes are removed, and any
+// version that no longer loads — torn file, checksum mismatch — is entombed
+// as ".corrupt-v*" (burning its number) so the previous good version serves
+// as latest instead of the whole registry failing to open.
+func OpenRegistryWith(dir string, inj *fault.Injector, counters *Counters) (*Registry, error) {
+	fsys := fault.NewFS(inj, "registry")
+	if err := fsys.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("serve: registry dir: %w", err)
 	}
-	r := &Registry{dir: dir, models: map[string][]*ModelVersion{}, highV: map[string]int{}}
-	entries, err := os.ReadDir(dir)
+	r := &Registry{dir: dir, fs: fsys, counters: counters, models: map[string][]*ModelVersion{}, highV: map[string]int{}}
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("serve: registry dir: %w", err)
 	}
@@ -97,11 +115,17 @@ func OpenRegistry(dir string) (*Registry, error) {
 			continue
 		}
 		name := e.Name()
-		files, err := os.ReadDir(filepath.Join(dir, name))
+		files, err := fsys.ReadDir(filepath.Join(dir, name))
 		if err != nil {
 			return nil, fmt.Errorf("serve: registry %s: %w", name, err)
 		}
 		for _, f := range files {
+			if strings.HasPrefix(f.Name(), ".tmp-") {
+				// Residue of a crash between temp write and rename; the
+				// version it was becoming was never published.
+				fsys.Remove(filepath.Join(dir, name, f.Name()))
+				continue
+			}
 			if rest, found := strings.CutPrefix(f.Name(), ".deleted-"); found {
 				// Tombstone: the version number is burned, the model gone.
 				if v, ok := parseVersionFile(rest); ok && v > r.highV[name] {
@@ -109,20 +133,35 @@ func OpenRegistry(dir string) (*Registry, error) {
 				}
 				continue
 			}
+			if rest, found := strings.CutPrefix(f.Name(), ".corrupt-"); found {
+				// A version entombed by a previous open; still burned.
+				if v, ok := parseVersionFile(rest); ok && v > r.highV[name] {
+					r.highV[name] = v
+				}
+				continue
+			}
 			v, ok := parseVersionFile(f.Name())
 			if !ok {
-				continue // temp files, strays
+				continue // strays
 			}
-			path := filepath.Join(dir, name, f.Name())
-			m, err := ml4all.LoadModel(path)
-			if err != nil {
-				return nil, fmt.Errorf("serve: loading %s@%d: %w", name, v, err)
-			}
-			m.Name = name
-			r.models[name] = append(r.models[name], &ModelVersion{Name: name, Version: v, Path: path, Model: m})
 			if v > r.highV[name] {
 				r.highV[name] = v
 			}
+			path := filepath.Join(dir, name, f.Name())
+			m, err := r.loadVersion(path, name)
+			if err != nil {
+				if errors.Is(err, fault.ErrCrash) {
+					// Simulated process death, not a bad file: die instead of
+					// entombing a version that is merely unreadable right now.
+					return nil, fmt.Errorf("serve: registry %s: %w", name, err)
+				}
+				// Corrupt version: entomb it (keeping the number burned) and
+				// fall back — the previous good version becomes the latest.
+				fsys.Rename(path, filepath.Join(dir, name, ".corrupt-"+f.Name()))
+				counters.registryFallback()
+				continue
+			}
+			r.models[name] = append(r.models[name], &ModelVersion{Name: name, Version: v, Path: path, Model: m})
 		}
 		sort.Slice(r.models[name], func(i, j int) bool {
 			return r.models[name][i].Version < r.models[name][j].Version
@@ -134,8 +173,25 @@ func OpenRegistry(dir string) (*Registry, error) {
 	return r, nil
 }
 
+// loadVersion reads and verifies one model file through the injectable seam.
+func (r *Registry) loadVersion(path, name string) (*ml4all.Model, error) {
+	raw, err := r.fs.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := ml4all.DecodeModel(raw, path)
+	if err != nil {
+		return nil, err
+	}
+	m.Name = name
+	return m, nil
+}
+
 // Publish persists m as the next version of name and makes it the latest.
-// The write is atomic: a temp file renamed into its version slot.
+// The write is atomic and durable: a checksummed temp file fsynced and
+// renamed into its version slot, then the directory fsynced — a crash at any
+// point leaves either the previous registry state (plus at worst a swept-at-
+// startup temp file) or the complete new version.
 func (r *Registry) Publish(name string, m *ml4all.Model) (*ModelVersion, error) {
 	if err := validName(name); err != nil {
 		return nil, err
@@ -144,21 +200,15 @@ func (r *Registry) Publish(name string, m *ml4all.Model) (*ModelVersion, error) 
 	defer r.mu.Unlock()
 	next := r.highV[name] + 1
 	ndir := filepath.Join(r.dir, name)
-	if err := os.MkdirAll(ndir, 0o755); err != nil {
+	if err := r.fs.MkdirAll(ndir); err != nil {
 		return nil, fmt.Errorf("serve: publish %s: %w", name, err)
 	}
 	// Copy with the registry coordinates baked in, so the persisted file and
 	// the served metadata agree.
 	pub := *m
 	pub.Name = name
-	tmp := filepath.Join(ndir, fmt.Sprintf(".tmp-%s", versionFile(next)))
-	if err := ml4all.SaveModel(tmp, &pub); err != nil {
-		os.Remove(tmp) // SaveModel may have created a partial file
-		return nil, fmt.Errorf("serve: publish %s@%d: %w", name, next, err)
-	}
 	path := filepath.Join(ndir, versionFile(next))
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fault.WriteDurable(r.fs, path, ml4all.EncodeModel(&pub)); err != nil {
 		return nil, fmt.Errorf("serve: publish %s@%d: %w", name, next, err)
 	}
 	mv := &ModelVersion{Name: name, Version: next, Path: path, Model: &pub}
@@ -218,7 +268,7 @@ func (r *Registry) Delete(name string, version int) error {
 	}
 	entomb := func(mv *ModelVersion) error {
 		dst := filepath.Join(filepath.Dir(mv.Path), tombstoneFile(mv.Version))
-		if err := os.Rename(mv.Path, dst); err != nil {
+		if err := r.fs.Rename(mv.Path, dst); err != nil {
 			return fmt.Errorf("serve: delete %s@%d: %w", name, mv.Version, err)
 		}
 		return nil

@@ -112,6 +112,11 @@ func TestRegistryReload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The crashed-publish residue is swept, not just ignored: leaking one
+	// temp per crash would grow the directory forever.
+	if _, err := os.Stat(filepath.Join(dir, "m", ".tmp-v000003.model")); !os.IsNotExist(err) {
+		t.Fatalf("stale registry temp survived reload: %v", err)
+	}
 	got, ok := reg2.Get("m", 1)
 	if !ok {
 		t.Fatal("m@1 lost across reload")

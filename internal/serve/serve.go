@@ -31,10 +31,12 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"os"
 	"path/filepath"
 	"time"
 
 	"ml4all"
+	"ml4all/internal/fault"
 )
 
 // Config sizes a Server.
@@ -59,6 +61,20 @@ type Config struct {
 	// Admission bounds in-flight prediction rows (zero value: enabled with
 	// defaults; set Disabled to admit everything).
 	Admission AdmissionConfig
+	// MaxBodyBytes caps request bodies; an overrun returns 413. 0 means
+	// 8 MiB; negative disables the cap.
+	MaxBodyBytes int64
+	// PredictTimeout bounds each predict call beyond the client's own
+	// deadline; an expired call returns 503 + Retry-After. 0 means no
+	// server-side bound (the client context still applies).
+	PredictTimeout time.Duration
+	// RetainCheckpoints is how many checkpoint generations each running job
+	// keeps on disk. 0 means 3.
+	RetainCheckpoints int
+	// Fault, when non-nil, injects deterministic faults at the durability
+	// seams (testing). Nil consults the ML4ALL_FAULT environment variable
+	// (see fault.ParsePlan); unset means no injection.
+	Fault *fault.Injector
 }
 
 // Server wires the job manager, the model registry and the prediction
@@ -69,8 +85,14 @@ type Server struct {
 	registry  *Registry
 	counters  *Counters
 	predictor *Predictor
+	maxBody   int64
 	started   time.Time
 }
+
+// defaultMaxBodyBytes caps request bodies when Config.MaxBodyBytes is 0:
+// 8 MiB holds a ~500-row dense predict batch with room to spare while
+// bounding what one connection can make the decoder buffer.
+const defaultMaxBodyBytes = 8 << 20
 
 // New opens the server's state directory (resuming any interrupted jobs and
 // reloading every published model) and starts the training pool.
@@ -82,28 +104,59 @@ func New(cfg Config) (*Server, error) {
 	if sys == nil {
 		sys = ml4all.NewSystem()
 	}
-	reg, err := OpenRegistry(filepath.Join(cfg.Dir, "models"))
+	inj := cfg.Fault
+	if inj == nil {
+		var err error
+		if inj, err = fault.FromSpec(os.Getenv("ML4ALL_FAULT")); err != nil {
+			return nil, fmt.Errorf("serve: ML4ALL_FAULT: %w", err)
+		}
+	}
+	counters := newCounters()
+	reg, err := OpenRegistryWith(filepath.Join(cfg.Dir, "models"), inj, counters)
 	if err != nil {
 		return nil, err
 	}
 	mgr, err := NewManager(ManagerConfig{
-		Dir:             cfg.Dir,
-		Pool:            cfg.Pool,
-		QueueDepth:      cfg.QueueDepth,
-		CheckpointEvery: cfg.CheckpointEvery,
+		Dir:               cfg.Dir,
+		Pool:              cfg.Pool,
+		QueueDepth:        cfg.QueueDepth,
+		CheckpointEvery:   cfg.CheckpointEvery,
+		RetainCheckpoints: cfg.RetainCheckpoints,
+		Fault:             inj,
+		Counters:          counters,
 	}, sys, reg)
 	if err != nil {
 		return nil, err
 	}
-	counters := newCounters()
+	maxBody := cfg.MaxBodyBytes
+	if maxBody == 0 {
+		maxBody = defaultMaxBodyBytes
+	}
 	return &Server{
 		cfg:       cfg,
 		manager:   mgr,
 		registry:  reg,
 		counters:  counters,
 		predictor: NewPredictor(cfg.Coalesce, cfg.Admission, counters),
+		maxBody:   maxBody,
 		started:   time.Now(),
 	}, nil
+}
+
+// HTTPServer wraps the service in an http.Server with hardened edges: header
+// and body read deadlines (slow-loris), a write deadline longer than any
+// predict pass, an idle keep-alive bound, and a header cap. The caller owns
+// ListenAndServe/Shutdown.
+func (s *Server) HTTPServer(addr string) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
 }
 
 // Manager exposes the job manager (tests and the CLI drive it directly).

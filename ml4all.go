@@ -20,7 +20,9 @@ package ml4all
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
+	"hash/crc32"
 	"math"
 	"os"
 	"sort"
@@ -548,34 +550,77 @@ func (s *System) predictQuery(q *lang.Predict) (Report, error) {
 	return metrics.Evaluate(m.Task, m.Weights, test)
 }
 
-// SaveModel persists a model as a small text file: a header with provenance
-// and one weight per line. The header's key=value fields round-trip through
-// LoadModel (the model registry depends on it); %.17g weight rendering makes
-// the weights themselves round-trip bit-exactly.
+// modelCRCTable is the CRC32-Castagnoli table for the model file trailer —
+// the same polynomial the serving layer frames checkpoints with.
+var modelCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodeModel renders a model in the SaveModel text format — a provenance
+// header, one %.17g weight per line (bit-exact round-trip) — terminated by a
+// "# crc32c=XXXXXXXX" trailer over everything before it, so loaders detect a
+// torn or bit-flipped file instead of serving it. Readers predating the
+// trailer parse it as one more comment.
+func EncodeModel(m *Model) []byte {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "# ml4all model %s task=%s plan=%s iterations=%d converged=%t traintime=%.17g\n",
+		m.Name, m.Task, m.PlanName, m.Iterations, m.Converged, float64(m.TrainTime))
+	for _, v := range m.Weights {
+		fmt.Fprintf(&buf, "%.17g\n", v)
+	}
+	fmt.Fprintf(&buf, "%s%08x\n", modelCRCPrefix, crc32.Checksum(buf.Bytes(), modelCRCTable))
+	return buf.Bytes()
+}
+
+const modelCRCPrefix = "# crc32c="
+
+// SaveModel persists a model as a small text file (see EncodeModel), fsynced
+// before close so a published model survives power loss. The header's
+// key=value fields round-trip through LoadModel (the model registry depends
+// on it).
 func SaveModel(path string, m *Model) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	w := bufio.NewWriter(f)
-	fmt.Fprintf(w, "# ml4all model %s task=%s plan=%s iterations=%d converged=%t traintime=%.17g\n",
-		m.Name, m.Task, m.PlanName, m.Iterations, m.Converged, float64(m.TrainTime))
-	for _, v := range m.Weights {
-		fmt.Fprintf(w, "%.17g\n", v)
+	if _, err := f.Write(EncodeModel(m)); err != nil {
+		f.Close()
+		return err
 	}
-	return w.Flush()
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
-// LoadModel reads a model persisted by SaveModel.
+// LoadModel reads a model persisted by SaveModel, verifying its checksum.
 func LoadModel(path string) (*Model, error) {
-	f, err := os.Open(path)
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	m := &Model{Name: path}
-	sc := bufio.NewScanner(f)
+	return DecodeModel(raw, path)
+}
+
+// DecodeModel parses the SaveModel text format. name labels the model and
+// its error messages (LoadModel passes the path; the registry, the version
+// name). When the checksum trailer is present it must match — a mismatch
+// means the file was torn or corrupted and must not be served; files written
+// before the trailer existed load unverified.
+func DecodeModel(raw []byte, name string) (*Model, error) {
+	if i := bytes.LastIndex(raw, []byte(modelCRCPrefix)); i >= 0 && (i == 0 || raw[i-1] == '\n') {
+		trailer := strings.TrimSpace(string(raw[i+len(modelCRCPrefix):]))
+		want, err := strconv.ParseUint(trailer, 16, 32)
+		if err != nil {
+			return nil, fmt.Errorf("ml4all: model %s: bad checksum trailer %q", name, trailer)
+		}
+		if got := crc32.Checksum(raw[:i], modelCRCTable); got != uint32(want) {
+			return nil, fmt.Errorf("ml4all: model %s: checksum mismatch (file says %08x, content is %08x) — corrupt or torn file", name, uint32(want), got)
+		}
+		raw = raw[:i]
+	}
+	path := name
+	m := &Model{Name: name}
+	sc := bufio.NewScanner(bytes.NewReader(raw))
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
