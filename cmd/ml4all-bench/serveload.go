@@ -31,6 +31,7 @@ import (
 	"ml4all/internal/linalg"
 	"ml4all/internal/metrics"
 	"ml4all/internal/serve"
+	"ml4all/internal/synth"
 )
 
 const (
@@ -137,6 +138,11 @@ type serveLoadReport struct {
 	CPUFeatures   string          `json:"cpu_features"`
 	Notes         []string        `json:"notes"`
 	Rungs         []serveLoadRung `json:"rungs"`
+	// Phases summarizes where server-side wall time goes, per traced span:
+	// optimize/speculate/train/checkpoint from one real training job driven
+	// through the serving manager, predict-batch (kernel-pass latency) from
+	// the sweep's final coalesced arm.
+	Phases map[string]serve.PhaseSummary `json:"phase_summaries,omitempty"`
 }
 
 // baselineScore replicates the pre-pooling predict path: a fresh builder and
@@ -273,6 +279,63 @@ func runServeRung(concurrency int, dur time.Duration, score func(g int) (int, er
 	}, nil
 }
 
+// serveLoadPhases drives one real training job through the serving manager
+// in a throwaway state dir and returns its per-phase span summaries
+// (optimize, speculate, train, checkpoint) — the training-side complement of
+// the predict sweep, so one artifact shows where a served job's wall time
+// goes end to end.
+func serveLoadPhases() (map[string]serve.PhaseSummary, error) {
+	dir, err := os.MkdirTemp("", "ml4all-serve-load-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	ds, err := synth.Generate(synth.Spec{
+		Name: "serveload-train", Task: data.TaskLogisticRegression,
+		N: 4000, D: 32, Density: 1, Noise: 0.1, Margin: 1, Seed: 7,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys := ml4all.NewSystem()
+	sys.RegisterDataset("serveload-train", ds)
+	srv, err := serve.New(serve.Config{
+		Dir: dir, Pool: 1, System: sys,
+		CheckpointEvery: 20 * time.Millisecond,
+		Coalesce:        serve.CoalesceConfig{Disabled: true},
+		Admission:       serve.AdmissionConfig{Disabled: true},
+	})
+	if err != nil {
+		return nil, err
+	}
+	j, err := srv.Manager().SubmitJob(
+		"m = run logistic on serveload-train having epsilon 0.05, max iter 400;",
+		"", serve.SubmitOptions{})
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		st := j.Status()
+		if st.State == serve.JobCompleted {
+			break
+		}
+		if st.State == serve.JobFailed || st.State == serve.JobCancelled {
+			return nil, fmt.Errorf("serve-load: phase-summary job ended %s: %s", st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("serve-load: phase-summary job timed out")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return nil, err
+	}
+	return srv.Counters().PhaseSummaries(), nil
+}
+
 // runServeLoad runs the full sweep and writes the report. fastmath adds a
 // fast-tier pass of the ladder on the coalesced arm.
 func runServeLoad(dur time.Duration, fastmath bool, out string) error {
@@ -370,6 +433,7 @@ func runServeLoad(dur time.Duration, fastmath bool, out string) error {
 		return nil
 	}
 
+	var lastCoalesced *serve.Counters
 	for _, mix := range serveLoadMixes() {
 		// Pre-built per-goroutine requests: generation cost stays out of the
 		// measured loop, and reusing the records keeps the serve arms in
@@ -431,7 +495,34 @@ func runServeLoad(dur time.Duration, fastmath bool, out string) error {
 			if p != nil {
 				p.Close()
 			}
+			if arm.name == "coalesced" {
+				lastCoalesced = counters
+			}
 		}
+	}
+
+	phases, err := serveLoadPhases()
+	if err != nil {
+		return err
+	}
+	if lastCoalesced != nil {
+		if ps, ok := lastCoalesced.PhaseSummaries()["predict-batch"]; ok {
+			phases["predict-batch"] = ps
+		}
+	}
+	report.Phases = phases
+	report.Notes = append(report.Notes,
+		"phase_summaries: optimize/speculate/train/checkpoint spans from one training job driven through the serving manager; predict-batch is kernel-pass latency from the sweep's final coalesced arm")
+	names := make([]string, 0, len(phases))
+	for name := range phases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println("per-phase spans:")
+	for _, name := range names {
+		ps := phases[name]
+		fmt.Printf("  %-14s count=%-7d p50=%.3fms p99=%.3fms total=%.1fms\n",
+			name, ps.Count, ps.P50Seconds*1e3, ps.P99Seconds*1e3, ps.TotalSeconds*1e3)
 	}
 
 	f, err := os.Create(out)

@@ -28,6 +28,8 @@ import (
 	"time"
 
 	"ml4all"
+	"ml4all/internal/linalg"
+	"ml4all/internal/obs"
 	"ml4all/internal/serve"
 )
 
@@ -43,6 +45,7 @@ func run() int {
 	checkpoint := flag.Duration("checkpoint", 2*time.Second, "interval between job checkpoint writes (negative disables)")
 	workers := flag.Int("workers", 0, "engine worker pool per job (0 = GOMAXPROCS; results are identical for any value)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for checkpointing in-flight jobs")
+	pprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiles expose process internals; enable behind trusted ingress only)")
 	flag.Parse()
 
 	sys := ml4all.NewSystem()
@@ -53,6 +56,7 @@ func run() int {
 		QueueDepth:      *queue,
 		CheckpointEvery: *checkpoint,
 		System:          sys,
+		EnablePprof:     *pprof,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ml4all-serve:", err)
@@ -62,7 +66,16 @@ func run() int {
 	httpSrv := srv.HTTPServer(*addr)
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
+	b := obs.Build()
+	build := fmt.Sprintf("version %s (%s)", b.Version, b.Go)
+	if b.Revision != "" {
+		build = fmt.Sprintf("version %s rev %s (%s)", b.Version, b.Revision, b.Go)
+	}
+	fmt.Printf("ml4all-serve: %s, kernel backend %s\n", build, linalg.FastBackend())
 	fmt.Printf("ml4all-serve: listening on %s, state in %s\n", *addr, *dir)
+	if *pprof {
+		fmt.Printf("ml4all-serve: pprof mounted at /debug/pprof/\n")
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -1,7 +1,10 @@
 package data
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"math/rand"
 )
 
@@ -218,6 +221,39 @@ func (ds *Dataset) Sample(m int, seed int64) *Dataset {
 	rng := rand.New(rand.NewSource(seed))
 	perm := rng.Perm(ds.N())
 	return ds.subset(ds.Name+"-sample", perm[:m])
+}
+
+// Fingerprint returns a deterministic 64-bit content fingerprint of the
+// dataset as a 16-hex-digit string: FNV-1a over the identity metadata (name,
+// point count, dimensionality, byte size, density bits) and up to 64 raw
+// lines sampled at evenly spaced indices. Sampling keeps it O(1)-ish on huge
+// datasets while still catching content changes anywhere but in the skipped
+// lines; two datasets with equal fingerprints are the same dataset for the
+// run ledger's purposes (warm-start matching), not cryptographically equal.
+func (ds *Dataset) Fingerprint() string {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	h.Write([]byte(ds.Name))
+	writeInt(int64(ds.Task))
+	writeInt(int64(ds.N()))
+	writeInt(int64(ds.NumFeatures))
+	writeInt(ds.SizeBytes())
+	writeInt(int64(math.Float64bits(ds.Density)))
+	n := len(ds.Raw)
+	samples := 64
+	if n < samples {
+		samples = n
+	}
+	for k := 0; k < samples; k++ {
+		i := k * n / samples
+		writeInt(int64(i))
+		h.Write([]byte(ds.Raw[i]))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // Stats summarizes a dataset in the shape of the paper's Table 2.

@@ -98,6 +98,35 @@ type Options struct {
 	// never interrupted. The serving layer wires a context's Err here so
 	// in-flight training jobs are cancellable between iterations.
 	Interrupt func() error
+
+	// Observer, when non-nil, receives one IterEvent after every completed
+	// Step, carrying the iteration's convergence delta and the simulator's
+	// absolute clock and op accounting at that point. The hook runs on the
+	// driver goroutine after all state for the iteration is final; it must
+	// not retain the event past the call and must be cheap — the trainer
+	// holds no locks but a slow observer stalls training. nil (the
+	// default) costs exactly one branch per iteration and changes nothing
+	// else: results are bit-identical with and without an observer.
+	Observer Observer
+}
+
+// Observer receives per-iteration telemetry from a Trainer. Implementations
+// must be safe for reuse across runs but are only ever called from the
+// single driver goroutine of one run at a time.
+type Observer interface {
+	ObserveIter(ev IterEvent)
+}
+
+// IterEvent is the per-iteration record handed to Options.Observer. All
+// fields are absolute (not per-iteration diffs): SimSeconds is the
+// simulated clock and Units the cumulative unit count at the end of the
+// iteration, so ring buffers can derive increments without the trainer
+// doing subtraction on the hot path.
+type IterEvent struct {
+	Iter       int     // 1-based iteration counter (ctx.Iter)
+	Delta      float64 // convergence delta this iteration
+	SimSeconds float64 // simulated clock after the iteration
+	Units      int64   // cumulative data units processed (Acct.UnitsSeen)
 }
 
 // ErrInterrupted is wrapped into the error Step returns when

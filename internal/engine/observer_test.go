@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"testing"
+
+	"ml4all/internal/cluster"
+	"ml4all/internal/gd"
+)
+
+// recordingObserver captures every IterEvent in order.
+type recordingObserver struct {
+	events []IterEvent
+}
+
+func (o *recordingObserver) ObserveIter(ev IterEvent) { o.events = append(o.events, ev) }
+
+// TestObserverSeesEveryIteration pins the hook's contract: exactly one event
+// per executed iteration, in order, carrying the iteration's delta and the
+// simulated clock/accounting as of that iteration.
+func TestObserverSeesEveryIteration(t *testing.T) {
+	ds := smallDataset(t, 300)
+	st := buildStore(t, ds, 4<<10)
+	p := testParams(ds)
+	plan := gd.NewMGD(p, gd.Lazy, gd.ShuffledPartition)
+
+	obs := &recordingObserver{}
+	sim := cluster.New(noJitterCfg())
+	res, err := Run(sim, st, &plan, Options{Seed: 1, Observer: obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.events) != res.Iterations {
+		t.Fatalf("observer saw %d events, run executed %d iterations", len(obs.events), res.Iterations)
+	}
+	if len(obs.events) != len(res.Deltas) {
+		t.Fatalf("observer saw %d events, delta history has %d", len(obs.events), len(res.Deltas))
+	}
+	var lastSim float64
+	var lastUnits int64
+	for i, ev := range obs.events {
+		if ev.Iter != i+1 {
+			t.Fatalf("event %d has Iter %d, want %d", i, ev.Iter, i+1)
+		}
+		if ev.Delta != res.Deltas[i] {
+			t.Fatalf("event %d Delta %g != recorded delta %g", i, ev.Delta, res.Deltas[i])
+		}
+		if ev.SimSeconds < lastSim {
+			t.Fatalf("simulated clock went backwards at event %d: %g < %g", i, ev.SimSeconds, lastSim)
+		}
+		if ev.Units < lastUnits {
+			t.Fatalf("units seen went backwards at event %d: %d < %d", i, ev.Units, lastUnits)
+		}
+		lastSim, lastUnits = ev.SimSeconds, ev.Units
+	}
+	if lastUnits == 0 {
+		t.Fatal("accounting never advanced: Units stayed 0")
+	}
+}
+
+// TestObserverDoesNotPerturbRun pins the zero-interference contract: an
+// observed run must be bit-identical to an unobserved one — same weights,
+// same deltas, same simulated clock.
+func TestObserverDoesNotPerturbRun(t *testing.T) {
+	ds := smallDataset(t, 300)
+	st := buildStore(t, ds, 4<<10)
+	p := testParams(ds)
+
+	for _, workers := range []int{1, 4} {
+		plan := gd.NewMGD(p, gd.Lazy, gd.ShuffledPartition)
+		base, err := Run(cluster.New(noJitterCfg()), st, &plan, Options{Seed: 1, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan2 := gd.NewMGD(p, gd.Lazy, gd.ShuffledPartition)
+		observed, err := Run(cluster.New(noJitterCfg()), st, &plan2,
+			Options{Seed: 1, Workers: workers, Observer: &recordingObserver{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !base.Weights.Equal(observed.Weights, 0) {
+			t.Fatalf("workers=%d: observed run produced different weights", workers)
+		}
+		if base.Iterations != observed.Iterations || base.FinalDelta != observed.FinalDelta {
+			t.Fatalf("workers=%d: %d/%g vs observed %d/%g", workers,
+				base.Iterations, base.FinalDelta, observed.Iterations, observed.FinalDelta)
+		}
+		if base.Time != observed.Time {
+			t.Fatalf("workers=%d: simulated time %v != %v", workers, base.Time, observed.Time)
+		}
+	}
+}

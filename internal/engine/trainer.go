@@ -247,6 +247,14 @@ func (t *Trainer) Step() error {
 		res.Budgeted = true
 		t.done = true
 	}
+	if t.opts.Observer != nil {
+		t.opts.Observer.ObserveIter(IterEvent{
+			Iter:       ctx.Iter,
+			Delta:      delta,
+			SimSeconds: float64(sim.Now()),
+			Units:      sim.Acct.UnitsSeen,
+		})
+	}
 	return nil
 }
 

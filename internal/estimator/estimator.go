@@ -105,6 +105,33 @@ func FitInverse(seq []Point) (a float64, err error) {
 	return num / den, nil
 }
 
+// RemainingIterations projects how many more iterations a T(ε) = a/ε
+// process needs to go from error level now to target eps. Going from scratch
+// the head of the curve is cheap and the tail expensive, so the projection is
+// a·(1/eps − 1/now) — the iterations a successor plan saves by inheriting an
+// incumbent's progress are exactly the a/now head it skips. The result is
+// ceiled and clamped to at least 1; a non-finite or non-positive a yields
+// +Inf (unfittable) or 0 (nothing to do) respectively.
+func RemainingIterations(a, eps, now float64) float64 {
+	if eps <= 0 {
+		return math.Inf(1)
+	}
+	if math.IsInf(a, 0) || a <= 0 {
+		if a <= 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	rem := a / eps
+	if now > 0 && !math.IsInf(now, 0) {
+		rem -= a / now
+	}
+	if rem < 1 {
+		rem = 1
+	}
+	return math.Ceil(rem)
+}
+
 // MonotoneSequence converts a raw per-iteration delta trace into the
 // monotone "reached tolerance" sequence Algorithm 1 records: ε_i is the best
 // (smallest) delta seen up to iteration i, emitted only when it improves.

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Version is the release identifier stamped at link time:
+//
+//	go build -ldflags "-X ml4all/internal/obs.Version=$(git describe --tags --always --dirty)"
+//
+// Unstamped builds report "dev" (plus the VCS revision when the module was
+// built from a checkout, via the toolchain's embedded build info).
+var Version string
+
+// BuildInfo identifies the running binary for /healthz, the
+// ml4all_build_info metric and startup logs.
+type BuildInfo struct {
+	Version  string `json:"version"`
+	Go       string `json:"go"`
+	Revision string `json:"revision,omitempty"`
+}
+
+// Build returns the binary's build identity.
+func Build() BuildInfo {
+	b := BuildInfo{Version: Version, Go: runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				b.Revision = s.Value
+				if len(b.Revision) > 12 {
+					b.Revision = b.Revision[:12]
+				}
+			}
+		}
+	}
+	if b.Version == "" {
+		b.Version = "dev"
+	}
+	return b
+}

@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"ml4all/internal/engine"
+	"ml4all/internal/estimator"
+)
+
+func TestRingRecordsAndCurve(t *testing.T) {
+	r := NewRing(16)
+	deltas := []float64{0.5, 0.8, 0.25, 0.25, 0.125, 0.0625}
+	for i, d := range deltas {
+		r.ObserveIter(engine.IterEvent{Iter: i + 1, Delta: d, SimSeconds: float64(i), Units: int64(i * 100)})
+	}
+	if r.Count() != len(deltas) {
+		t.Fatalf("Count = %d, want %d", r.Count(), len(deltas))
+	}
+	evs := r.Events()
+	if len(evs) != len(deltas) {
+		t.Fatalf("Events returned %d records, want %d", len(evs), len(deltas))
+	}
+	for i, ev := range evs {
+		if ev.Iter != i+1 || ev.Delta != deltas[i] {
+			t.Fatalf("event %d = {Iter %d, Delta %g}, want {%d, %g}", i, ev.Iter, ev.Delta, i+1, deltas[i])
+		}
+	}
+	// The curve keeps only strict improvements: 0.8 (regression) and the
+	// repeated 0.25 must drop out, what remains must be strictly decreasing.
+	curve := r.Curve()
+	want := []estimator.Point{{Iter: 1, Err: 0.5}, {Iter: 3, Err: 0.25}, {Iter: 5, Err: 0.125}, {Iter: 6, Err: 0.0625}}
+	if len(curve) != len(want) {
+		t.Fatalf("curve has %d points, want %d: %v", len(curve), len(want), curve)
+	}
+	for i := range want {
+		if curve[i] != want[i] {
+			t.Fatalf("curve[%d] = %+v, want %+v", i, curve[i], want[i])
+		}
+	}
+	if r.WallSeconds() < 0 {
+		t.Fatalf("negative wall time %g", r.WallSeconds())
+	}
+}
+
+func TestRingIgnoresNonPositiveDeltasInCurve(t *testing.T) {
+	r := NewRing(8)
+	for i, d := range []float64{math.Inf(1), 0, -1, math.NaN(), 0.5} {
+		r.ObserveIter(engine.IterEvent{Iter: i + 1, Delta: d})
+	}
+	curve := r.Curve()
+	if len(curve) != 1 || curve[0].Err != 0.5 {
+		t.Fatalf("curve = %v, want the single finite positive delta", curve)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(4)
+	for i := 1; i <= 10; i++ {
+		r.ObserveIter(engine.IterEvent{Iter: i, Delta: 1 / float64(i)})
+	}
+	if r.Count() != 10 {
+		t.Fatalf("Count = %d, want 10", r.Count())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Iter != 7+i {
+			t.Fatalf("event %d has Iter %d, want %d (chronological tail)", i, ev.Iter, 7+i)
+		}
+	}
+	// Eviction must not truncate the curve: it spans the whole run.
+	if curve := r.Curve(); len(curve) != 10 {
+		t.Fatalf("curve has %d points, want 10", len(curve))
+	}
+}
+
+func TestCurveETA(t *testing.T) {
+	// Synthesize an exact T(ε) = a/ε run: after iteration i the error is a/i.
+	const a = 200.0
+	var curve []estimator.Point
+	for i := 1; i <= 40; i++ {
+		curve = append(curve, estimator.Point{Iter: i, Err: a / float64(i)})
+	}
+	fitted, rem := CurveETA(curve, 1.0)
+	if math.Abs(fitted-a) > 1e-6*a {
+		t.Fatalf("fitted a = %g, want %g", fitted, a)
+	}
+	// At iteration 40 the error is a/40 = 5; reaching ε=1 needs a/1 - a/5
+	// more iterations = 160.
+	if want := 160.0; math.Abs(rem-want) > 1 {
+		t.Fatalf("remaining = %g, want ≈%g", rem, want)
+	}
+
+	if _, rem := CurveETA(nil, 1.0); rem != -1 {
+		t.Fatalf("empty curve: remaining = %g, want -1", rem)
+	}
+	if _, rem := CurveETA(curve, 0); rem != -1 {
+		t.Fatalf("tol=0 (infinite projection): remaining = %g, want -1", rem)
+	}
+}
+
+func TestFinite(t *testing.T) {
+	for _, v := range []float64{0, 1, -3.5, 1e-300, math.MaxFloat64} {
+		if Finite(v) != v {
+			t.Fatalf("Finite(%g) = %g, want pass-through", v, Finite(v))
+		}
+	}
+	for _, v := range []float64{math.Inf(1), math.Inf(-1), math.NaN()} {
+		if Finite(v) != -1 {
+			t.Fatalf("Finite(%g) = %g, want -1", v, Finite(v))
+		}
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace()
+	root := tr.Start("optimize", -1)
+	child := tr.Start("speculate", root)
+	if d := tr.End(child); d < 0 {
+		t.Fatalf("child duration %v", d)
+	}
+	tr.End(root)
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "optimize" || spans[0].Parent != -1 {
+		t.Fatalf("root span = %+v", spans[0])
+	}
+	if spans[1].Name != "speculate" || spans[1].Parent != root {
+		t.Fatalf("child span = %+v, want parent %d", spans[1], root)
+	}
+	for _, sp := range spans {
+		if sp.EndNanos <= sp.StartNanos {
+			t.Fatalf("span %q not closed: start %d end %d", sp.Name, sp.StartNanos, sp.EndNanos)
+		}
+	}
+	// The child must nest inside the parent on the monotonic timeline.
+	if spans[1].StartNanos < spans[0].StartNanos || spans[1].EndNanos > spans[0].EndNanos {
+		t.Fatalf("child [%d,%d] escapes parent [%d,%d]",
+			spans[1].StartNanos, spans[1].EndNanos, spans[0].StartNanos, spans[0].EndNanos)
+	}
+
+	if tot := tr.Totals(); tot["optimize"] <= 0 || tot["speculate"] <= 0 {
+		t.Fatalf("Totals = %v, want positive per-phase seconds", tot)
+	}
+	// End is idempotent and tolerant of junk ids.
+	if d := tr.End(child); d != 0 {
+		t.Fatalf("double End returned %v, want 0", d)
+	}
+	if tr.End(-1) != 0 || tr.End(99) != 0 {
+		t.Fatal("End of invalid ids must be a no-op")
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	if id := tr.Start("x", -1); id != -1 {
+		t.Fatalf("nil trace Start = %d, want -1", id)
+	}
+	if d := tr.End(0); d != 0 {
+		t.Fatalf("nil trace End = %v, want 0", d)
+	}
+	if spans := tr.Spans(); spans != nil {
+		t.Fatalf("nil trace Spans = %v", spans)
+	}
+}
+
+func TestTraceOnEnd(t *testing.T) {
+	tr := NewTrace()
+	var gotName string
+	var gotDur time.Duration
+	tr.OnEnd(func(name string, d time.Duration) { gotName, gotDur = name, d })
+	id := tr.Start("train", -1)
+	tr.End(id)
+	if gotName != "train" || gotDur <= 0 {
+		t.Fatalf("OnEnd saw (%q, %v), want (train, >0)", gotName, gotDur)
+	}
+}
+
+func TestEventLogReplayAndClose(t *testing.T) {
+	l := NewEventLog(8)
+	l.Append(Event{Type: "state", State: "running"})
+	l.Append(Event{Type: "progress", Iter: 1, Delta: 0.5})
+	l.Append(Event{Type: "progress", Iter: 2, Delta: 0.25})
+
+	evs, closed, err := l.Wait(context.Background(), -1)
+	if err != nil || closed {
+		t.Fatalf("Wait: evs=%d closed=%v err=%v", len(evs), closed, err)
+	}
+	if len(evs) != 3 || evs[0].Seq != 0 || evs[2].Seq != 2 {
+		t.Fatalf("replay = %+v", evs)
+	}
+	// Resume from the middle of the stream.
+	evs, _, _ = l.Wait(context.Background(), 1)
+	if len(evs) != 1 || evs[0].Iter != 2 {
+		t.Fatalf("Wait(after=1) = %+v", evs)
+	}
+
+	l.Close("completed")
+	if !l.Closed() {
+		t.Fatal("log not closed after Close")
+	}
+	evs, closed, err = l.Wait(context.Background(), 2)
+	if err != nil || !closed || len(evs) != 1 || evs[0].State != "completed" {
+		t.Fatalf("terminal Wait: evs=%+v closed=%v err=%v", evs, closed, err)
+	}
+	// Fully drained on a closed stream: empty page, closed=true, immediately.
+	evs, closed, err = l.Wait(context.Background(), 3)
+	if err != nil || !closed || len(evs) != 0 {
+		t.Fatalf("drained Wait: evs=%+v closed=%v err=%v", evs, closed, err)
+	}
+	// Appends after Close are dropped.
+	l.Append(Event{Type: "progress", Iter: 3})
+	if evs, _, _ := l.Wait(context.Background(), 3); len(evs) != 0 {
+		t.Fatalf("append after Close leaked: %+v", evs)
+	}
+}
+
+func TestEventLogRetention(t *testing.T) {
+	l := NewEventLog(4)
+	for i := 0; i < 10; i++ {
+		l.Append(Event{Type: "progress", Iter: i})
+	}
+	evs, _, _ := l.Wait(context.Background(), -1)
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	if evs[0].Seq != 6 || evs[3].Seq != 9 {
+		t.Fatalf("retained window = Seq %d..%d, want 6..9", evs[0].Seq, evs[3].Seq)
+	}
+}
+
+func TestEventLogWaitWakes(t *testing.T) {
+	l := NewEventLog(8)
+	got := make(chan []Event, 1)
+	go func() {
+		evs, _, _ := l.Wait(context.Background(), -1)
+		got <- evs
+	}()
+	time.Sleep(10 * time.Millisecond)
+	l.Append(Event{Type: "progress", Iter: 7})
+	select {
+	case evs := <-got:
+		if len(evs) != 1 || evs[0].Iter != 7 {
+			t.Fatalf("woken with %+v", evs)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait never woke on Append")
+	}
+}
+
+func TestEventLogWaitContext(t *testing.T) {
+	l := NewEventLog(8)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, _, err := l.Wait(ctx, -1); err == nil {
+		t.Fatal("Wait on an empty open stream must respect ctx")
+	}
+}
+
+func TestEventLogNilSafe(t *testing.T) {
+	var l *EventLog
+	l.Append(Event{})
+	l.Close("x")
+	if !l.Closed() {
+		t.Fatal("nil log must report closed")
+	}
+	evs, closed, err := l.Wait(context.Background(), -1)
+	if err != nil || !closed || len(evs) != 0 {
+		t.Fatalf("nil Wait: evs=%v closed=%v err=%v", evs, closed, err)
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	b := Build()
+	if b.Version == "" {
+		t.Fatal("Version must never be empty (falls back to dev)")
+	}
+	if b.Go == "" {
+		t.Fatal("Go version missing")
+	}
+}

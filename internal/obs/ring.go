@@ -1,0 +1,156 @@
+// Package obs is the observability layer: iteration telemetry (Ring),
+// tracing spans (Trace), live job event streams (EventLog), the persistent
+// run ledger (Ledger) and build metadata (Build). It is zero-dependency by
+// design — standard library plus the engine/estimator/fault internals it
+// observes — and every type is safe for the access pattern its producer
+// uses. The contract with the hot paths: a nil observer costs the engine one
+// branch per iteration and the serving predict path zero allocations (the
+// benchgate pins both).
+package obs
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"ml4all/internal/engine"
+	"ml4all/internal/estimator"
+)
+
+// maxCurvePoints bounds the observed-curve memory: when the monotone
+// sequence outgrows it, every other interior point is dropped (the
+// subsequence stays monotone, the fit barely moves).
+const maxCurvePoints = 4096
+
+// IterRecord is one observed iteration: the engine's event plus the wall
+// time since the previous event. The Ring diffs the wall clock itself so
+// the trainer's hot path never reads a clock when no observer is set.
+type IterRecord struct {
+	engine.IterEvent
+	WallNanos int64
+}
+
+// Ring is a fixed-capacity iteration-telemetry buffer implementing
+// engine.Observer. It retains the most recent events verbatim and, across
+// the whole run (including evicted events), accumulates the observed
+// monotone T(ε) curve and total wall time. All methods are safe for
+// concurrent use; ObserveIter is only ever called from the single driver
+// goroutine of a run, readers may be anyone.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []IterRecord
+	next  int // write index once buf is full
+	count int // total events observed, may exceed len(buf)
+	last  time.Time
+	wall  time.Duration
+	curve []estimator.Point
+	best  float64
+}
+
+// NewRing returns a Ring retaining the last capacity events (<=0 means
+// 1024).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Ring{buf: make([]IterRecord, 0, capacity), best: math.Inf(1)}
+}
+
+// ObserveIter implements engine.Observer.
+func (r *Ring) ObserveIter(ev engine.IterEvent) {
+	now := time.Now()
+	r.mu.Lock()
+	var wall int64
+	if !r.last.IsZero() {
+		wall = now.Sub(r.last).Nanoseconds()
+	}
+	r.last = now
+	r.wall += time.Duration(wall)
+	rec := IterRecord{IterEvent: ev, WallNanos: wall}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, rec)
+	} else {
+		r.buf[r.next] = rec
+		r.next = (r.next + 1) % len(r.buf)
+	}
+	r.count++
+	if ev.Delta < r.best && ev.Delta > 0 && !math.IsInf(ev.Delta, 0) {
+		r.best = ev.Delta
+		r.curve = append(r.curve, estimator.Point{Iter: ev.Iter, Err: ev.Delta})
+		if len(r.curve) > maxCurvePoints {
+			kept := r.curve[:0]
+			for i, p := range r.curve {
+				if i%2 == 0 || i == len(r.curve)-1 {
+					kept = append(kept, p)
+				}
+			}
+			r.curve = kept
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Events returns the retained events in chronological order (a copy).
+func (r *Ring) Events() []IterRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]IterRecord, 0, len(r.buf))
+	if len(r.buf) == cap(r.buf) && r.next > 0 {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+		return out
+	}
+	return append(out, r.buf...)
+}
+
+// Curve returns the observed monotone T(ε) sequence accumulated over the
+// whole run (a copy) — the empirical counterpart of the estimator's
+// speculative sequence, fit-ready for FitInverse.
+func (r *Ring) Curve() []estimator.Point {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]estimator.Point(nil), r.curve...)
+}
+
+// Count returns how many iterations have been observed in total.
+func (r *Ring) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// WallSeconds returns the cumulative wall time between observed iterations.
+func (r *Ring) WallSeconds() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.wall.Seconds()
+}
+
+// CurveETA fits T(ε) = a/ε to an observed curve and projects the remaining
+// iterations from the curve's current error level down to tol. It returns
+// the fitted a and the projection; remaining is -1 when no estimate is
+// possible (empty or unfittable curve, or an infinite projection).
+func CurveETA(curve []estimator.Point, tol float64) (a, remaining float64) {
+	if len(curve) == 0 {
+		return 0, -1
+	}
+	a, err := estimator.FitInverse(curve)
+	if err != nil {
+		return 0, -1
+	}
+	rem := estimator.RemainingIterations(a, tol, curve[len(curve)-1].Err)
+	if math.IsInf(rem, 0) {
+		return a, -1
+	}
+	return a, rem
+}
+
+// Finite maps NaN and ±Inf to -1 so values derived from fits (which use
+// +Inf as "unfittable") stay JSON-encodable; finite values pass through
+// bit-exactly.
+func Finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return -1
+	}
+	return v
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one named, timed phase of a run. Timestamps are monotonic
+// nanoseconds relative to the trace's birth, so a timeline renders without
+// wall-clock skew; Parent is the id of the enclosing span or -1 for roots.
+// EndNanos is 0 while the span is open.
+type Span struct {
+	ID         int    `json:"id"`
+	Parent     int    `json:"parent"`
+	Name       string `json:"name"`
+	StartNanos int64  `json:"start_nanos"`
+	EndNanos   int64  `json:"end_nanos,omitempty"`
+}
+
+// Trace collects the spans of one job. A nil *Trace is a valid no-op
+// recorder: Start returns -1 and End ignores it, so call sites thread an
+// optional trace without branching. All methods are safe for concurrent
+// use.
+type Trace struct {
+	mu    sync.Mutex
+	birth time.Time
+	spans []Span
+	onEnd func(name string, d time.Duration)
+}
+
+// NewTrace returns an empty trace whose clock starts now.
+func NewTrace() *Trace { return &Trace{birth: time.Now()} }
+
+// OnEnd registers a callback invoked (outside the trace lock) every time a
+// span closes, with the span's name and duration — the serving layer hooks
+// its per-phase histograms here so trace aggregation costs the producers
+// nothing extra.
+func (t *Trace) OnEnd(fn func(name string, d time.Duration)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.onEnd = fn
+	t.mu.Unlock()
+}
+
+// Start opens a span and returns its id. parent is the enclosing span's id
+// or -1 for a root. On a nil trace it returns -1, which End ignores.
+func (t *Trace) Start(name string, parent int) int {
+	if t == nil {
+		return -1
+	}
+	t.mu.Lock()
+	id := len(t.spans)
+	t.spans = append(t.spans, Span{
+		ID: id, Parent: parent, Name: name,
+		StartNanos: time.Since(t.birth).Nanoseconds(),
+	})
+	t.mu.Unlock()
+	return id
+}
+
+// End closes span id and returns its duration. It is idempotent — a second
+// End of the same id (or an invalid id, including -1) does nothing and
+// returns 0 — so cleanup paths can End unconditionally.
+func (t *Trace) End(id int) time.Duration {
+	if t == nil || id < 0 {
+		return 0
+	}
+	t.mu.Lock()
+	if id >= len(t.spans) || t.spans[id].EndNanos != 0 {
+		t.mu.Unlock()
+		return 0
+	}
+	end := time.Since(t.birth).Nanoseconds()
+	if end <= t.spans[id].StartNanos {
+		end = t.spans[id].StartNanos + 1 // keep EndNanos != 0 as the closed marker
+	}
+	t.spans[id].EndNanos = end
+	d := time.Duration(end - t.spans[id].StartNanos)
+	name := t.spans[id].Name
+	fn := t.onEnd
+	t.mu.Unlock()
+	if fn != nil {
+		fn(name, d)
+	}
+	return d
+}
+
+// Spans returns a copy of all spans recorded so far, in start order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Totals aggregates the closed spans' durations into seconds per name.
+func (t *Trace) Totals() map[string]float64 {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]float64, 8)
+	for _, s := range t.spans {
+		if s.EndNanos != 0 {
+			out[s.Name] += float64(s.EndNanos-s.StartNanos) / 1e9
+		}
+	}
+	return out
+}

@@ -71,6 +71,12 @@ type AdaptiveConfig struct {
 	// (same semantics as engine.Options.Interrupt): the serving layer wires
 	// a context's Err here so adaptive jobs cancel between iterations.
 	Interrupt func() error
+
+	// Observer, when non-nil, is threaded into every training segment's
+	// engine.Options, receiving one IterEvent per iteration across all
+	// segments (iteration counters carry across switches, so the stream is
+	// globally monotone). nil keeps the engine's zero-overhead path.
+	Observer engine.Observer
 }
 
 func (c AdaptiveConfig) withDefaults() AdaptiveConfig {
@@ -117,6 +123,44 @@ type SwitchEvent struct {
 	AltRemaining       cluster.Seconds
 }
 
+// PlanCost is one candidate's projection inside a re-fit check: the curve
+// coefficient the re-costing used (observed for the incumbent's algorithm,
+// speculative — possibly ratcheted — for the others), the projected
+// remaining iterations from the current error level, and the projected
+// remaining cost (including switch overhead for alternatives).
+type PlanCost struct {
+	Plan      string
+	A         float64
+	Remaining float64
+	Cost      cluster.Seconds
+}
+
+// RefitEvent is the structured record of one re-optimization check — the
+// machine-readable counterpart of AdaptiveResult.Log, persisted into the run
+// ledger so past runs' planner decisions can be replayed and audited.
+type RefitEvent struct {
+	Iter    int             // global iteration the check ran after
+	Clock   cluster.Seconds // sim clock at the check
+	Plan    string          // incumbent plan at check time
+	Points  int             // monotone observations available to the fit
+	FittedA float64         // re-fitted a (0 when the check bailed before fitting)
+	SpecA   float64         // speculative a for the incumbent's algorithm
+	Epsilon float64         // best observed delta at check time
+	// Remaining and Cost are the incumbent's own projection at the check
+	// (populated once the check got far enough to compute them).
+	Remaining float64
+	Cost      cluster.Seconds
+	// Costs lists the per-plan projections of every alternative the check
+	// re-costed.
+	Costs []PlanCost
+	// Action is the decision taken: "budget-exhausted", "too-few-points",
+	// "converging", "deviation-gate", "endgame", "no-alternative",
+	// "hysteresis-keep" or "switch".
+	Action string
+	// Reason is the human-readable explanation (mirrors the Log line).
+	Reason string
+}
+
 // AdaptiveResult is the outcome of an adaptive training run.
 type AdaptiveResult struct {
 	// Result merges the training segments: concatenated deltas, the final
@@ -130,6 +174,10 @@ type AdaptiveResult struct {
 	Plans []string
 	// Switches records every executed switch.
 	Switches []SwitchEvent
+	// Refits records every re-optimization check as a structured event
+	// (including the ones that kept the incumbent, with the reason). The
+	// budget-exhausted state is recorded once, like its Log line.
+	Refits []RefitEvent
 	// Checks counts how many re-optimization checks ran.
 	Checks int
 	// Log is the human-readable decision log: one line per check, showing
@@ -137,32 +185,10 @@ type AdaptiveResult struct {
 	Log []string
 }
 
-// remainingIters projects how many more iterations a T(ε) = a/ε process
-// needs to go from error level now to target eps. Going from scratch the
-// head of the curve is cheap and the tail expensive, so the projection is
-// a·(1/eps − 1/now) — the iterations the successor plan saves by inheriting
-// the incumbent's progress are exactly the a/now head it skips.
-func remainingIters(a, eps, now float64) float64 {
-	if eps <= 0 {
-		return math.Inf(1)
-	}
-	if math.IsInf(a, 0) || a <= 0 {
-		if a <= 0 {
-			return 0
-		}
-		return math.Inf(1)
-	}
-	rem := a / eps
-	if now > 0 && !math.IsInf(now, 0) {
-		rem -= a / now
-	}
-	if rem < 1 {
-		rem = 1
-	}
-	return math.Ceil(rem)
-}
-
-// segmentCost prices rem iterations of a plan's steady-state loop.
+// segmentCost prices rem iterations of a plan's steady-state loop. The
+// remaining-iteration projection itself lives in
+// estimator.RemainingIterations, shared with the observability layer's
+// convergence-ETA computation.
 func segmentCost(br costmodel.Breakdown, rem float64) cluster.Seconds {
 	if math.IsInf(rem, 0) {
 		return cluster.Seconds(math.Inf(1))
@@ -192,7 +218,7 @@ func RunAdaptive(sim *cluster.Sim, store *storage.Store, p gd.Params, opts Optio
 	}
 	model := costmodel.New(store, sim.Cfg)
 	model.FastMath = cfg.FastMath
-	eopts := engine.Options{Seed: cfg.Seed, Workers: cfg.Workers, FastMath: cfg.FastMath, Interrupt: cfg.Interrupt}
+	eopts := engine.Options{Seed: cfg.Seed, Workers: cfg.Workers, FastMath: cfg.FastMath, Interrupt: cfg.Interrupt, Observer: cfg.Observer}
 
 	incumbent := dec.Best.Plan
 	out := &AdaptiveResult{Decision: dec, Plans: []string{incumbent.Name()}}
@@ -229,9 +255,13 @@ func RunAdaptive(sim *cluster.Sim, store *storage.Store, p gd.Params, opts Optio
 			// The switch budget is spent: further re-fits could change
 			// nothing, so ride the incumbent out (logged once).
 			if !capLogged {
-				out.Log = append(out.Log, fmt.Sprintf(
-					"iter %d: switch budget (%d) exhausted — riding out %s",
-					tr.Iteration(), cfg.MaxSwitches, incumbent.Name()))
+				reason := fmt.Sprintf("switch budget (%d) exhausted — riding out %s",
+					cfg.MaxSwitches, incumbent.Name())
+				out.Log = append(out.Log, fmt.Sprintf("iter %d: %s", tr.Iteration(), reason))
+				out.Refits = append(out.Refits, RefitEvent{
+					Iter: tr.Iteration(), Clock: sim.Now(), Plan: incumbent.Name(),
+					Action: "budget-exhausted", Reason: reason,
+				})
 				capLogged = true
 			}
 			continue
@@ -242,12 +272,25 @@ func RunAdaptive(sim *cluster.Sim, store *storage.Store, p gd.Params, opts Optio
 		globalIter := tr.Iteration()
 		segIters := globalIter - segStartIter
 		seq := estimator.MonotoneSequence(tr.Deltas())
+		// ev accumulates the structured record of this check; every exit
+		// path below stamps an Action and appends it to out.Refits.
+		ev := RefitEvent{
+			Iter: globalIter, Clock: sim.Now(), Plan: incumbent.Name(),
+			Points: len(seq),
+		}
 		if len(seq) < cfg.MinPoints {
-			out.Log = append(out.Log, fmt.Sprintf("iter %d: %d monotone points, too few to refit", globalIter, len(seq)))
+			ev.Action = "too-few-points"
+			ev.Reason = fmt.Sprintf("%d monotone points, too few to refit", len(seq))
+			out.Refits = append(out.Refits, ev)
+			out.Log = append(out.Log, fmt.Sprintf("iter %d: %s", globalIter, ev.Reason))
 			continue
 		}
 		epsNow := seq[len(seq)-1].Err
+		ev.Epsilon = epsNow
 		if epsNow <= incumbent.Tolerance {
+			ev.Action = "converging"
+			ev.Reason = "best observed delta at or below tolerance"
+			out.Refits = append(out.Refits, ev)
 			continue // converging as we speak
 		}
 		// Append the current position (segIters, epsNow) before fitting:
@@ -267,27 +310,36 @@ func RunAdaptive(sim *cluster.Sim, store *storage.Store, p gd.Params, opts Optio
 		if !math.IsInf(aObs, 0) && aObs > observedA[incumbent.Algorithm] {
 			observedA[incumbent.Algorithm] = aObs
 		}
+		ev.FittedA = aObs
+		ev.SpecA = specA
 
 		// Deviation gate: while the observed curve tracks the speculative
 		// one, the up-front decision stands — no switch chatter.
 		if cfg.DeviationFactor > 0 && !math.IsInf(specA, 0) && aObs <= cfg.DeviationFactor*specA {
-			out.Log = append(out.Log, fmt.Sprintf(
-				"iter %d: refit a=%.4g within %.2gx of spec a=%.4g — speculation on track, keep %s",
-				globalIter, aObs, cfg.DeviationFactor, specA, incumbent.Name()))
+			ev.Action = "deviation-gate"
+			ev.Reason = fmt.Sprintf(
+				"refit a=%.4g within %.2gx of spec a=%.4g — speculation on track, keep %s",
+				aObs, cfg.DeviationFactor, specA, incumbent.Name())
+			out.Refits = append(out.Refits, ev)
+			out.Log = append(out.Log, fmt.Sprintf("iter %d: %s", globalIter, ev.Reason))
 			continue
 		}
 
 		brInc := model.Breakdown(incumbent)
-		remInc := remainingIters(aObs, incumbent.Tolerance, epsNow)
+		remInc := estimator.RemainingIterations(aObs, incumbent.Tolerance, epsNow)
 		costInc := segmentCost(brInc, remInc)
+		ev.Remaining = remInc
+		ev.Cost = costInc
 
 		// Endgame guard: when the incumbent is projected to finish within
 		// one check period, a switch could never be re-evaluated before
 		// the incumbent would have converged anyway — ride it out.
 		if remInc <= float64(cfg.Every) {
-			out.Log = append(out.Log, fmt.Sprintf(
-				"iter %d: %s projected to finish in %.0f iters — ride it out",
-				globalIter, incumbent.Name(), remInc))
+			ev.Action = "endgame"
+			ev.Reason = fmt.Sprintf("%s projected to finish in %.0f iters — ride it out",
+				incumbent.Name(), remInc)
+			out.Refits = append(out.Refits, ev)
+			out.Log = append(out.Log, fmt.Sprintf("iter %d: %s", globalIter, ev.Reason))
 			continue
 		}
 
@@ -320,7 +372,7 @@ func RunAdaptive(sim *cluster.Sim, store *storage.Store, p gd.Params, opts Optio
 					a = ratchet
 				}
 			}
-			rem := remainingIters(a, cand.Tolerance, epsNow)
+			rem := estimator.RemainingIterations(a, cand.Tolerance, epsNow)
 			// A candidate whose projection does not fit the remaining
 			// iteration budget cannot reach the tolerance at all —
 			// switching to it would trade a slow plan for a hopeless one.
@@ -329,12 +381,18 @@ func RunAdaptive(sim *cluster.Sim, store *storage.Store, p gd.Params, opts Optio
 			}
 			br := model.Breakdown(cand)
 			cost := switchCost(br) + segmentCost(br, rem)
+			ev.Costs = append(ev.Costs, PlanCost{
+				Plan: cand.Name(), A: a, Remaining: rem, Cost: cost,
+			})
 			if cost < bestCost {
 				bestCost, bestPlan, found = cost, cand, true
 			}
 		}
 		if !found {
-			out.Log = append(out.Log, fmt.Sprintf("iter %d: no alternative can be re-costed", globalIter))
+			ev.Action = "no-alternative"
+			ev.Reason = "no alternative can be re-costed"
+			out.Refits = append(out.Refits, ev)
+			out.Log = append(out.Log, fmt.Sprintf("iter %d: %s", globalIter, ev.Reason))
 			continue
 		}
 
@@ -344,12 +402,18 @@ func RunAdaptive(sim *cluster.Sim, store *storage.Store, p gd.Params, opts Optio
 			incumbent.Name(), float64(costInc), bestPlan.Name(), float64(bestCost))
 
 		if !(float64(bestCost) < float64(costInc)*(1-cfg.Hysteresis)) {
-			out.Log = append(out.Log, line+" -> keep")
+			ev.Action = "hysteresis-keep"
+			ev.Reason = line + " -> keep"
+			out.Refits = append(out.Refits, ev)
+			out.Log = append(out.Log, ev.Reason)
 			continue
 		}
 
 		// --- switch: close the segment, carry weights and counter ---
-		out.Log = append(out.Log, line+" -> switch")
+		ev.Action = "switch"
+		ev.Reason = line + " -> switch"
+		out.Refits = append(out.Refits, ev)
+		out.Log = append(out.Log, ev.Reason)
 		out.Switches = append(out.Switches, SwitchEvent{
 			Iter: globalIter, Clock: sim.Now(),
 			From: incumbent.Name(), To: bestPlan.Name(),

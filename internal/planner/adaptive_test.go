@@ -1,6 +1,7 @@
 package planner
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -8,7 +9,9 @@ import (
 	"ml4all/internal/data"
 	"ml4all/internal/engine"
 	"ml4all/internal/estimator"
+	"ml4all/internal/fault"
 	"ml4all/internal/gd"
+	"ml4all/internal/obs"
 	"ml4all/internal/storage"
 	"ml4all/internal/synth"
 )
@@ -133,5 +136,132 @@ func TestAdaptiveRescuesMisestimatedPlan(t *testing.T) {
 	}
 	if static.Converged {
 		t.Fatalf("scenario lost its sting: static %s converged in %d iters", chosen.Name(), static.Iterations)
+	}
+}
+
+// TestAdaptiveRefitTelemetry re-runs the rescue scenario with the observer
+// attached and pins the PR-10 telemetry: every check leaves a structured
+// RefitEvent mirroring the decision log, the switch is recorded with its
+// costed alternatives, the iteration ring accumulates the observed monotone
+// T(ε) curve, and the whole run condenses into a ledger record that
+// round-trips through disk — the batch-API path of the run ledger (the
+// serving manager rejects adaptive statements).
+func TestAdaptiveRefitTelemetry(t *testing.T) {
+	st := adaptiveStore(t, 19531)
+	p := gd.Params{Task: st.Dataset.Task, Format: st.Dataset.Format, Lambda: 0.01, Tolerance: 2e-4, MaxIter: 4000}
+	est := estimator.Config{SampleSize: 1000, SpecTolerance: 0.1, TimeBudget: 3, Seed: 1}
+
+	ring := obs.NewRing(0)
+	sim := cluster.New(cluster.Default())
+	ar, err := RunAdaptive(sim, st, p, Options{Estimator: est},
+		AdaptiveConfig{Every: 50, Seed: 1, Observer: ring})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ar.Switches) == 0 {
+		t.Fatal("scenario lost its sting: no switch")
+	}
+
+	// --- structured refits mirror the checks ---
+	if len(ar.Refits) == 0 {
+		t.Fatal("no RefitEvents recorded")
+	}
+	if len(ar.Refits) < ar.Checks {
+		t.Fatalf("%d refit events for %d checks", len(ar.Refits), ar.Checks)
+	}
+	valid := map[string]bool{
+		"budget-exhausted": true, "too-few-points": true, "converging": true,
+		"deviation-gate": true, "endgame": true, "no-alternative": true,
+		"hysteresis-keep": true, "switch": true,
+	}
+	var switches []RefitEvent
+	for i, ev := range ar.Refits {
+		if !valid[ev.Action] {
+			t.Fatalf("refit %d has unknown action %q", i, ev.Action)
+		}
+		if ev.Iter <= 0 || ev.Plan == "" {
+			t.Fatalf("refit %d incomplete: %+v", i, ev)
+		}
+		if ev.Action == "switch" {
+			switches = append(switches, ev)
+		}
+	}
+	if len(switches) != len(ar.Switches) {
+		t.Fatalf("%d switch refits vs %d SwitchEvents", len(switches), len(ar.Switches))
+	}
+	sw := switches[0]
+	if sw.FittedA != ar.Switches[0].FittedA || sw.Iter != ar.Switches[0].Iter {
+		t.Fatalf("switch refit %+v disagrees with SwitchEvent %+v", sw, ar.Switches[0])
+	}
+	if len(sw.Costs) == 0 {
+		t.Fatal("switch refit carries no per-plan cost table")
+	}
+	if sw.Reason == "" || !strings.Contains(sw.Reason, "switch") {
+		t.Fatalf("switch refit reason %q", sw.Reason)
+	}
+
+	// --- the ring observed the whole run ---
+	if ring.Count() != len(ar.Result.Deltas) {
+		t.Fatalf("ring observed %d iterations, run executed %d", ring.Count(), len(ar.Result.Deltas))
+	}
+	curve := ring.Curve()
+	if len(curve) == 0 {
+		t.Fatal("observed T(ε) curve is empty")
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Err >= curve[i-1].Err {
+			t.Fatalf("curve not strictly decreasing at %d: %g then %g", i, curve[i-1].Err, curve[i].Err)
+		}
+	}
+
+	// --- the run condenses into a ledger record and survives reopen ---
+	fp := st.Dataset.Fingerprint()
+	if fp == "" {
+		t.Fatal("dataset fingerprint empty")
+	}
+	rec := obs.Record{
+		Kind:       "adaptive",
+		Dataset:    obs.DatasetInfo{Fingerprint: fp, Name: st.Dataset.Name, Points: st.Dataset.N()},
+		Plan:       ar.Result.PlanName,
+		Iterations: ar.Result.Iterations, Converged: ar.Result.Converged,
+		FinalDelta: obs.Finite(ar.Result.FinalDelta),
+	}
+	for _, pt := range curve {
+		rec.Curve = append(rec.Curve, obs.CurvePoint{Iter: pt.Iter, Err: pt.Err})
+	}
+	for _, s := range ar.Switches {
+		rec.Switches = append(rec.Switches, obs.SwitchRecord{
+			Iter: s.Iter, Clock: obs.Finite(float64(s.Clock)), From: s.From, To: s.To,
+			FittedA: obs.Finite(s.FittedA), SpecA: obs.Finite(s.SpecA), Epsilon: obs.Finite(s.Epsilon),
+		})
+	}
+	for _, ev := range ar.Refits {
+		rec.Refits = append(rec.Refits, obs.RefitRecord{
+			Iter: ev.Iter, Plan: ev.Plan, Action: ev.Action, Reason: ev.Reason,
+			FittedA: obs.Finite(ev.FittedA), SpecA: obs.Finite(ev.SpecA), Epsilon: obs.Finite(ev.Epsilon),
+		})
+	}
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	led, err := obs.OpenLedger(fault.NewFS(nil, "ledger"), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := led.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	re, err := obs.OpenLedger(fault.NewFS(nil, "ledger"), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := re.Records()
+	if len(recs) != 1 {
+		t.Fatalf("reopened %d records", len(recs))
+	}
+	got := recs[0]
+	if got.Dataset.Fingerprint != fp || len(got.Curve) == 0 || len(got.Refits) == 0 || len(got.Switches) == 0 {
+		t.Fatalf("ledger record lost telemetry: %+v", got)
+	}
+	if len(got.Curve) != len(rec.Curve) || got.Curve[len(got.Curve)-1] != rec.Curve[len(rec.Curve)-1] {
+		t.Fatal("curve did not round-trip bit-exactly")
 	}
 }

@@ -74,6 +74,13 @@ type Options struct {
 	// will execute with engine.Options.FastMath, so the optimizer ranks the
 	// eleven-plan space under the rates the run will actually see.
 	FastMath bool
+	// Span, when non-nil, brackets the optimizer's internal phases for
+	// tracing: Choose calls Span(name) at a phase start and the returned
+	// func at its end (currently one "speculate" span per speculated
+	// algorithm). nil costs nothing. The hook is a plain closure rather
+	// than an obs type so the planner stays import-free of the
+	// observability layer.
+	Span func(name string) func()
 }
 
 // Choose runs the full optimization: speculate (unless iterations are fixed),
@@ -92,7 +99,14 @@ func Choose(sim *cluster.Sim, store *storage.Store, p gd.Params, opts Options) (
 		}
 		est, ok := dec.Estimates[plan.Algorithm]
 		if !ok {
+			var end func()
+			if opts.Span != nil {
+				end = opts.Span("speculate")
+			}
 			est, err = estimator.Speculate(plan, store, opts.Estimator)
+			if end != nil {
+				end()
+			}
 			if err != nil {
 				return 0, false, err
 			}

@@ -125,6 +125,7 @@ func putBatch(b *batch) {
 type coalescer struct {
 	cfg      CoalesceConfig
 	counters *Counters
+	phase    *routeStats // "predict-batch" span histogram; nil without counters
 	adm      *admitter
 	active   *atomic.Int64 // the Predictor's in-flight call gauge
 
@@ -151,7 +152,7 @@ func newCoalescer(cfg CoalesceConfig, counters *Counters, adm *admitter, active 
 	if cfg.MaxRows <= 0 {
 		cfg.MaxRows = defaultCoalesceMaxRows
 	}
-	return &coalescer{
+	c := &coalescer{
 		cfg:      cfg,
 		counters: counters,
 		adm:      adm,
@@ -161,6 +162,10 @@ func newCoalescer(cfg CoalesceConfig, counters *Counters, adm *admitter, active 
 		quit:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	if counters != nil {
+		c.phase = counters.phase("predict-batch")
+	}
+	return c
 }
 
 // allParked reports whether every in-flight predict call is waiting in a
@@ -295,7 +300,8 @@ func (c *coalescer) flush(b *batch) {
 		m := b.mv.Model
 		scores := floatPool.get(b.rows)
 		var start time.Time
-		timed := c.adm.timed()
+		admTimed := c.adm.timed()
+		timed := admTimed || c.phase != nil
 		if timed {
 			start = time.Now()
 		}
@@ -305,7 +311,13 @@ func (c *coalescer) flush(b *batch) {
 			metrics.ScoresInto(m.Weights, merged, scores)
 		}
 		if timed {
-			c.adm.observeRate(b.rows, time.Since(start))
+			d := time.Since(start)
+			if admTimed {
+				c.adm.observeRate(b.rows, d)
+			}
+			if c.phase != nil {
+				c.phase.observe(d, false)
+			}
 		}
 		lo := 0
 		for _, cl := range b.calls {

@@ -18,8 +18,13 @@ import (
 // derives p50/p95/p99 per route; totals are monotonic — rates are the
 // scraper's job.
 type Counters struct {
-	mu     sync.Mutex // guards route registration only; stats are atomic
+	mu     sync.Mutex // guards route/phase registration only; stats are atomic
 	routes map[string]*routeStats
+
+	// phases aggregates tracing spans (optimize, speculate, train,
+	// checkpoint, recover, predict-batch) into the same lock-free histogram
+	// machinery the routes use, rendered as ml4all_phase_seconds.
+	phases map[string]*routeStats
 
 	predictRows      atomic.Uint64 // rows scored across all predict calls
 	predictBatches   atomic.Uint64 // predict calls that reached the kernels
@@ -36,6 +41,12 @@ type Counters struct {
 	registryFallbacks atomic.Uint64 // model versions entombed as corrupt on load
 	recoveredPanics   atomic.Uint64 // panics converted to job/request errors
 	deadlineExpired   atomic.Uint64 // predicts abandoned on context expiry
+
+	// Run-ledger counters: records appended to jobs/ledger.jsonl, and
+	// append failures (the job still completes — a ledger error degrades
+	// history, not training).
+	ledgerRecords atomic.Uint64
+	ledgerErrors  atomic.Uint64
 }
 
 // histBuckets is the bucket count of the per-route latency histograms:
@@ -116,7 +127,7 @@ func (rs *routeStats) quantile(q float64) float64 {
 }
 
 func newCounters() *Counters {
-	return &Counters{routes: map[string]*routeStats{}}
+	return &Counters{routes: map[string]*routeStats{}, phases: map[string]*routeStats{}}
 }
 
 // NewCounters builds an empty metrics registry. Embedders driving a Predictor
@@ -162,6 +173,77 @@ func (c *Counters) route(name string) *routeStats {
 // that did not pre-resolve the record.
 func (c *Counters) observe(route string, d time.Duration, isErr bool) {
 	c.route(route).observe(d, isErr)
+}
+
+// phase returns (registering if needed) a phase's stats record; like route,
+// callers on hot paths resolve it once so observing is pure atomics.
+func (c *Counters) phase(name string) *routeStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rs := c.phases[name]
+	if rs == nil {
+		rs = &routeStats{}
+		c.phases[name] = rs
+	}
+	return rs
+}
+
+// observePhase records one closed tracing span. Nil-safe so the manager can
+// hook traces unconditionally in embedded/test setups without counters.
+func (c *Counters) observePhase(name string, d time.Duration) {
+	if c != nil {
+		c.phase(name).observe(d, false)
+	}
+}
+
+// PhaseSummary is one phase's aggregate as numbers — the
+// ml4all_phase_seconds series for harnesses that read rather than scrape
+// (the load harness embeds these in its JSON artifact).
+type PhaseSummary struct {
+	Count        uint64  `json:"count"`
+	P50Seconds   float64 `json:"p50_seconds"`
+	P99Seconds   float64 `json:"p99_seconds"`
+	MaxSeconds   float64 `json:"max_seconds"`
+	TotalSeconds float64 `json:"total_seconds"`
+}
+
+// PhaseSummaries snapshots every observed phase.
+func (c *Counters) PhaseSummaries() map[string]PhaseSummary {
+	c.mu.Lock()
+	phases := make(map[string]*routeStats, len(c.phases))
+	for name, rs := range c.phases {
+		phases[name] = rs
+	}
+	c.mu.Unlock()
+	out := make(map[string]PhaseSummary, len(phases))
+	for name, rs := range phases {
+		out[name] = PhaseSummary{
+			Count:        rs.count.Load(),
+			P50Seconds:   rs.quantile(0.50),
+			P99Seconds:   rs.quantile(0.99),
+			MaxSeconds:   time.Duration(rs.maxNanos.Load()).Seconds(),
+			TotalSeconds: time.Duration(rs.nanos.Load()).Seconds(),
+		}
+	}
+	return out
+}
+
+// The ledger observers tolerate a nil receiver like the durability ones.
+func (c *Counters) ledgerRecord() {
+	if c != nil {
+		c.ledgerRecords.Add(1)
+	}
+}
+
+func (c *Counters) ledgerError() {
+	if c != nil {
+		c.ledgerErrors.Add(1)
+	}
+}
+
+// LedgerTotals reports (records appended, append errors).
+func (c *Counters) LedgerTotals() (records, errors uint64) {
+	return c.ledgerRecords.Load(), c.ledgerErrors.Load()
 }
 
 // observePredict records one prediction call's row count.
@@ -246,10 +328,17 @@ var reportedQuantiles = [...]struct {
 	q     float64
 }{{"0.5", 0.50}, {"0.95", 0.95}, {"0.99", 0.99}}
 
+// header writes a metric family's # HELP and # TYPE comment pair. Every
+// family gets both, in that order — the exposition-lint test enforces it.
+func header(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+}
+
 // WriteText renders the counters in Prometheus text format. Field ordering
-// is deterministic: metrics render in a fixed sequence, routes sort
-// lexicographically within each metric, and quantiles ascend within each
-// route.
+// is deterministic: metrics render in a fixed sequence, routes and phases
+// sort lexicographically within each metric, and quantiles ascend within
+// each route.
 func (c *Counters) WriteText(w io.Writer) {
 	c.mu.Lock()
 	names := make([]string, 0, len(c.routes))
@@ -258,66 +347,90 @@ func (c *Counters) WriteText(w io.Writer) {
 		names = append(names, name)
 		routes[name] = rs
 	}
+	phaseNames := make([]string, 0, len(c.phases))
+	phases := make(map[string]*routeStats, len(c.phases))
+	for name, rs := range c.phases {
+		phaseNames = append(phaseNames, name)
+		phases[name] = rs
+	}
 	c.mu.Unlock()
 	sort.Strings(names)
+	sort.Strings(phaseNames)
 
-	fmt.Fprintln(w, "# TYPE ml4all_requests_total counter")
+	header(w, "ml4all_requests_total", "counter", "Requests served, by route.")
 	for _, name := range names {
 		fmt.Fprintf(w, "ml4all_requests_total{route=%q} %d\n", name, routes[name].count.Load())
 	}
-	fmt.Fprintln(w, "# TYPE ml4all_request_errors_total counter")
+	header(w, "ml4all_request_errors_total", "counter", "Requests answered with status >= 400, by route.")
 	for _, name := range names {
 		fmt.Fprintf(w, "ml4all_request_errors_total{route=%q} %d\n", name, routes[name].errors.Load())
 	}
-	fmt.Fprintln(w, "# TYPE ml4all_request_seconds_total counter")
+	header(w, "ml4all_request_seconds_total", "counter", "Total request latency, by route.")
 	for _, name := range names {
 		fmt.Fprintf(w, "ml4all_request_seconds_total{route=%q} %g\n", name, time.Duration(routes[name].nanos.Load()).Seconds())
 	}
-	fmt.Fprintln(w, "# TYPE ml4all_request_seconds_max gauge")
+	header(w, "ml4all_request_seconds_max", "gauge", "Largest single request latency seen, by route.")
 	for _, name := range names {
 		fmt.Fprintf(w, "ml4all_request_seconds_max{route=%q} %g\n", name, time.Duration(routes[name].maxNanos.Load()).Seconds())
 	}
-	fmt.Fprintln(w, "# TYPE ml4all_request_seconds gauge")
+	header(w, "ml4all_request_seconds", "gauge", "Request latency quantiles (bucket upper bounds, deterministic), by route.")
 	for _, name := range names {
 		for _, rq := range reportedQuantiles {
 			fmt.Fprintf(w, "ml4all_request_seconds{route=%q,quantile=%q} %g\n",
 				name, rq.label, routes[name].quantile(rq.q))
 		}
 	}
-	fmt.Fprintln(w, "# TYPE ml4all_request_seconds_bucket counter")
+	header(w, "ml4all_request_seconds_bucket", "counter", "Cumulative request latency histogram, by route.")
 	for _, name := range names {
-		var cum uint64
-		for i := 0; i < histBuckets; i++ {
-			cum += routes[name].buckets[i].Load()
-			if i == histBuckets-1 {
-				fmt.Fprintf(w, "ml4all_request_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", name, cum)
-			} else {
-				fmt.Fprintf(w, "ml4all_request_seconds_bucket{route=%q,le=%q} %d\n", name, fmt.Sprintf("%g", bucketBound(i)), cum)
-			}
+		writeBuckets(w, "ml4all_request_seconds_bucket", "route", name, routes[name])
+	}
+	header(w, "ml4all_phase_seconds", "histogram", "Traced phase durations (optimize, speculate, train, checkpoint, recover, predict-batch).")
+	for _, name := range phaseNames {
+		rs := phases[name]
+		writeBuckets(w, "ml4all_phase_seconds_bucket", "phase", name, rs)
+		fmt.Fprintf(w, "ml4all_phase_seconds_sum{phase=%q} %g\n", name, time.Duration(rs.nanos.Load()).Seconds())
+		fmt.Fprintf(w, "ml4all_phase_seconds_count{phase=%q} %d\n", name, rs.count.Load())
+	}
+	header(w, "ml4all_predict_rows_total", "counter", "Rows scored across all predict calls.")
+	fmt.Fprintf(w, "ml4all_predict_rows_total %d\n", c.predictRows.Load())
+	header(w, "ml4all_predict_batches_total", "counter", "Predict calls that reached the kernels.")
+	fmt.Fprintf(w, "ml4all_predict_batches_total %d\n", c.predictBatches.Load())
+	header(w, "ml4all_predict_coalesced_batches_total", "counter", "Kernel passes that served more than one request.")
+	fmt.Fprintf(w, "ml4all_predict_coalesced_batches_total %d\n", c.coalescedBatches.Load())
+	header(w, "ml4all_predict_coalesced_rows_total", "counter", "Rows scored through shared kernel passes.")
+	fmt.Fprintf(w, "ml4all_predict_coalesced_rows_total %d\n", c.coalescedRows.Load())
+	header(w, "ml4all_predict_rejected_total", "counter", "Requests refused by admission control.")
+	fmt.Fprintf(w, "ml4all_predict_rejected_total %d\n", c.rejected.Load())
+	header(w, "ml4all_predict_inflight_rows", "gauge", "Rows admitted whose response is not yet built.")
+	fmt.Fprintf(w, "ml4all_predict_inflight_rows %d\n", c.inFlightRows.Load())
+	header(w, "ml4all_checkpoints_written_total", "counter", "Durable checkpoint frames written.")
+	fmt.Fprintf(w, "ml4all_checkpoints_written_total %d\n", c.ckptWritten.Load())
+	header(w, "ml4all_checkpoints_verified_total", "counter", "Checkpoint frames that passed their checksum on resume.")
+	fmt.Fprintf(w, "ml4all_checkpoints_verified_total %d\n", c.ckptVerified.Load())
+	header(w, "ml4all_checkpoints_discarded_corrupt_total", "counter", "Checkpoint frames discarded as corrupt or unreadable.")
+	fmt.Fprintf(w, "ml4all_checkpoints_discarded_corrupt_total %d\n", c.ckptCorrupt.Load())
+	header(w, "ml4all_registry_fallbacks_total", "counter", "Model versions entombed as corrupt on registry load.")
+	fmt.Fprintf(w, "ml4all_registry_fallbacks_total %d\n", c.registryFallbacks.Load())
+	header(w, "ml4all_recovered_panics_total", "counter", "Panics converted to job or request errors.")
+	fmt.Fprintf(w, "ml4all_recovered_panics_total %d\n", c.recoveredPanics.Load())
+	header(w, "ml4all_deadline_expired_total", "counter", "Predict requests abandoned on context expiry.")
+	fmt.Fprintf(w, "ml4all_deadline_expired_total %d\n", c.deadlineExpired.Load())
+	header(w, "ml4all_ledger_records_total", "counter", "Run-ledger records appended.")
+	fmt.Fprintf(w, "ml4all_ledger_records_total %d\n", c.ledgerRecords.Load())
+	header(w, "ml4all_ledger_errors_total", "counter", "Run-ledger append failures (job completion is unaffected).")
+	fmt.Fprintf(w, "ml4all_ledger_errors_total %d\n", c.ledgerErrors.Load())
+}
+
+// writeBuckets renders one series' cumulative histogram buckets with the
+// terminal +Inf bucket.
+func writeBuckets(w io.Writer, metric, label, series string, rs *routeStats) {
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += rs.buckets[i].Load()
+		if i == histBuckets-1 {
+			fmt.Fprintf(w, "%s{%s=%q,le=\"+Inf\"} %d\n", metric, label, series, cum)
+		} else {
+			fmt.Fprintf(w, "%s{%s=%q,le=%q} %d\n", metric, label, series, fmt.Sprintf("%g", bucketBound(i)), cum)
 		}
 	}
-	fmt.Fprintln(w, "# TYPE ml4all_predict_rows_total counter")
-	fmt.Fprintf(w, "ml4all_predict_rows_total %d\n", c.predictRows.Load())
-	fmt.Fprintln(w, "# TYPE ml4all_predict_batches_total counter")
-	fmt.Fprintf(w, "ml4all_predict_batches_total %d\n", c.predictBatches.Load())
-	fmt.Fprintln(w, "# TYPE ml4all_predict_coalesced_batches_total counter")
-	fmt.Fprintf(w, "ml4all_predict_coalesced_batches_total %d\n", c.coalescedBatches.Load())
-	fmt.Fprintln(w, "# TYPE ml4all_predict_coalesced_rows_total counter")
-	fmt.Fprintf(w, "ml4all_predict_coalesced_rows_total %d\n", c.coalescedRows.Load())
-	fmt.Fprintln(w, "# TYPE ml4all_predict_rejected_total counter")
-	fmt.Fprintf(w, "ml4all_predict_rejected_total %d\n", c.rejected.Load())
-	fmt.Fprintln(w, "# TYPE ml4all_predict_inflight_rows gauge")
-	fmt.Fprintf(w, "ml4all_predict_inflight_rows %d\n", c.inFlightRows.Load())
-	fmt.Fprintln(w, "# TYPE ml4all_checkpoints_written_total counter")
-	fmt.Fprintf(w, "ml4all_checkpoints_written_total %d\n", c.ckptWritten.Load())
-	fmt.Fprintln(w, "# TYPE ml4all_checkpoints_verified_total counter")
-	fmt.Fprintf(w, "ml4all_checkpoints_verified_total %d\n", c.ckptVerified.Load())
-	fmt.Fprintln(w, "# TYPE ml4all_checkpoints_discarded_corrupt_total counter")
-	fmt.Fprintf(w, "ml4all_checkpoints_discarded_corrupt_total %d\n", c.ckptCorrupt.Load())
-	fmt.Fprintln(w, "# TYPE ml4all_registry_fallbacks_total counter")
-	fmt.Fprintf(w, "ml4all_registry_fallbacks_total %d\n", c.registryFallbacks.Load())
-	fmt.Fprintln(w, "# TYPE ml4all_recovered_panics_total counter")
-	fmt.Fprintf(w, "ml4all_recovered_panics_total %d\n", c.recoveredPanics.Load())
-	fmt.Fprintln(w, "# TYPE ml4all_deadline_expired_total counter")
-	fmt.Fprintf(w, "ml4all_deadline_expired_total %d\n", c.deadlineExpired.Load())
 }

@@ -14,6 +14,7 @@ import (
 
 	"ml4all/internal/lang"
 	"ml4all/internal/linalg"
+	"ml4all/internal/obs"
 )
 
 // httpError pairs a client-visible message with a status code; retryAfter,
@@ -215,6 +216,96 @@ func (s *Server) handleJobResume(r *http.Request) (any, error) {
 	return j.Status(), nil
 }
 
+// handleJobTrace returns the job's span timeline: every named phase span
+// (optimize, speculate, train, checkpoint, recover) with monotonic
+// nanosecond offsets from the trace's birth and parent links, so a client
+// can reconstruct the whole run as a flame chart.
+func (s *Server) handleJobTrace(r *http.Request) (any, error) {
+	j, err := s.getJob(r)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{"job": j.ID, "spans": j.Trace().Spans()}, nil
+}
+
+// eventsHandler streams a job's live event log. Two modes:
+//
+//   - default: Server-Sent Events — each event is one SSE frame (id: the
+//     sequence number, event: the type, data: the JSON payload), held open
+//     until the job reaches a terminal state or the client disconnects.
+//     Reconnecting clients resume with ?after=<last seq seen>.
+//   - ?once: long-poll JSON — block until at least one event past ?after
+//     exists (or ~10s elapse), then return {"events": [...], "closed": bool}
+//     in one response. Curl-friendly, and the mode the e2e tests exercise.
+//
+// The route streams instead of buffering, so it bypasses wrap; its stats
+// record is resolved once here to keep the per-request path lock-free.
+func (s *Server) eventsHandler() http.HandlerFunc {
+	rs := s.counters.route("jobs.events")
+	jsonErr := func(w http.ResponseWriter, status int, format string, args ...any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.PathValue("id")
+		j, ok := s.manager.Job(id)
+		if !ok {
+			rs.observe(time.Since(start), true)
+			jsonErr(w, http.StatusNotFound, "job %q not found", id)
+			return
+		}
+		after := -1 // replay the whole retained window by default
+		if raw := r.URL.Query().Get("after"); raw != "" {
+			v, err := strconv.Atoi(raw)
+			if err != nil {
+				rs.observe(time.Since(start), true)
+				jsonErr(w, http.StatusBadRequest, "bad after %q", raw)
+				return
+			}
+			after = v
+		}
+		if r.URL.Query().Has("once") {
+			ctx, cancel := context.WithTimeout(r.Context(), 10*time.Second)
+			defer cancel()
+			evs, closed, err := j.Events().Wait(ctx, after)
+			if err != nil { // poll window elapsed: an empty page, not an error
+				evs, closed = nil, j.Events().Closed()
+			}
+			if evs == nil {
+				evs = []obs.Event{}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]any{"events": evs, "closed": closed})
+			rs.observe(time.Since(start), false)
+			return
+		}
+		fl, canFlush := w.(http.Flusher)
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.WriteHeader(http.StatusOK)
+		for {
+			evs, closed, err := j.Events().Wait(r.Context(), after)
+			if err != nil { // client went away
+				break
+			}
+			for _, ev := range evs {
+				data, _ := json.Marshal(ev)
+				fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+				after = ev.Seq
+			}
+			if canFlush {
+				fl.Flush()
+			}
+			if closed {
+				break
+			}
+		}
+		rs.observe(time.Since(start), false)
+	}
+}
+
 // modelInfo is the metadata view of one model version.
 type modelInfo struct {
 	Name       string  `json:"name"`
@@ -340,9 +431,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// Info-style gauge naming the kernel backend FastMath work dispatches to
 	// right now (the exact tier always runs the bit-exact loops), so scraped
 	// latency series are attributable to the silicon that produced them.
+	fmt.Fprintln(w, "# HELP ml4all_kernel_backend_info Kernel backend the fast-math tier dispatches to.")
 	fmt.Fprintln(w, "# TYPE ml4all_kernel_backend_info gauge")
 	fmt.Fprintf(w, "ml4all_kernel_backend_info{fast_backend=%q,cpu=%q} 1\n",
 		linalg.FastBackend(), linalg.CPUFeatures())
+	b := obs.Build()
+	fmt.Fprintln(w, "# HELP ml4all_build_info Build identity of the running binary.")
+	fmt.Fprintln(w, "# TYPE ml4all_build_info gauge")
+	fmt.Fprintf(w, "ml4all_build_info{version=%q,go=%q,revision=%q} 1\n",
+		b.Version, b.Go, b.Revision)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -354,6 +451,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"models":         len(s.registry.Names()),
 		"kernel_backend": linalg.FastBackend(),
 		"cpu_features":   linalg.CPUFeatures(),
+		"build":          obs.Build(),
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(payload)

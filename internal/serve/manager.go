@@ -18,6 +18,8 @@ import (
 	"ml4all"
 	"ml4all/internal/fault"
 	"ml4all/internal/lang"
+	"ml4all/internal/linalg"
+	"ml4all/internal/obs"
 )
 
 // JobState is a training job's lifecycle state.
@@ -78,12 +80,29 @@ type Job struct {
 	cancelled chan struct{}
 	pause     bool
 
+	// Observability surfaces, attached once at submission/reload and
+	// immutable thereafter (no lock needed to read the pointers):
+	// iteration telemetry, the span timeline, and the live event stream.
+	ring   *obs.Ring
+	trace  *obs.Trace
+	events *obs.EventLog
+
 	// fromRestart marks a job re-queued by loadJobs after a restart;
 	// replayed flips once its trainer reopens (or the job settles without
 	// one), draining the manager's recovering gauge.
 	fromRestart bool
 	replayed    bool
 }
+
+// Ring returns the job's iteration-telemetry ring buffer.
+func (j *Job) Ring() *obs.Ring { return j.ring }
+
+// Trace returns the job's span timeline (the /v1/jobs/{id}/trace source).
+func (j *Job) Trace() *obs.Trace { return j.trace }
+
+// Events returns the job's live event stream (the /v1/jobs/{id}/events
+// source).
+func (j *Job) Events() *obs.EventLog { return j.events }
 
 // JobStatus is the externally visible snapshot of a job.
 type JobStatus struct {
@@ -174,6 +193,11 @@ type Manager struct {
 	ckptFS fault.FS
 	mfFS   fault.FS
 
+	// ledger is the persistent run history at jobs/ledger.jsonl: one record
+	// per completed job, written through the same durable-write protocol as
+	// checkpoints (fault tag "ledger").
+	ledger *obs.Ledger
+
 	// recovering counts restart-recovered jobs whose trainers have not yet
 	// replayed; the HTTP layer sheds submissions while it is non-zero.
 	recovering atomic.Int64
@@ -212,6 +236,15 @@ func NewManager(cfg ManagerConfig, sys *ml4all.System, reg *Registry) (*Manager,
 	if err := m.mfFS.MkdirAll(m.jobsDir()); err != nil {
 		return nil, fmt.Errorf("serve: jobs dir: %w", err)
 	}
+	// A crash inside a ledger append strands a ".tmp-*" in the jobs root;
+	// sweep before opening (loadJobs sweeps the per-job directories).
+	ledgerFS := fault.NewFS(cfg.Fault, "ledger")
+	fault.SweepTemps(ledgerFS, m.jobsDir())
+	ledger, err := obs.OpenLedger(ledgerFS, filepath.Join(m.jobsDir(), "ledger.jsonl"))
+	if err != nil {
+		return nil, fmt.Errorf("serve: run ledger: %w", err)
+	}
+	m.ledger = ledger
 	resumable, err := m.loadJobs()
 	if err != nil {
 		return nil, err
@@ -241,6 +274,19 @@ func NewManager(cfg ManagerConfig, sys *ml4all.System, reg *Registry) (*Manager,
 
 func (m *Manager) jobsDir() string         { return filepath.Join(m.cfg.Dir, "jobs") }
 func (m *Manager) jobDir(id string) string { return filepath.Join(m.jobsDir(), id) }
+
+// Ledger returns the manager's persistent run history.
+func (m *Manager) Ledger() *obs.Ledger { return m.ledger }
+
+// attachObs wires a job's observability surfaces: the iteration-telemetry
+// ring, a span trace whose closed spans feed the per-phase histograms, and
+// the live event stream.
+func (m *Manager) attachObs(j *Job) {
+	j.ring = obs.NewRing(0)
+	j.trace = obs.NewTrace()
+	j.trace.OnEnd(func(name string, d time.Duration) { m.cfg.Counters.observePhase(name, d) })
+	j.events = obs.NewEventLog(0)
+}
 
 // Recovering reports whether restart-recovered jobs are still replaying
 // toward their pre-crash state. While true the server answers new
@@ -301,6 +347,12 @@ func (m *Manager) loadJobs() ([]*Job, error) {
 			stmt: stmt, state: mf.State, errMsg: mf.Error, planName: mf.Plan,
 			iteration: mf.Iteration,
 			cancelled: make(chan struct{}),
+		}
+		m.attachObs(j)
+		if j.state.terminal() {
+			// The stream of a job that settled in a previous process is
+			// born closed: subscribers get the final state and EOF.
+			j.events.Close(string(j.state))
 		}
 		if n, err := strconv.Atoi(strings.TrimPrefix(id, "job-")); err == nil && n >= m.nextID {
 			m.nextID = n + 1
@@ -384,6 +436,7 @@ func (m *Manager) SubmitJob(script, model string, opts SubmitOptions) (*Job, err
 		stmt: q, state: JobQueued,
 		cancelled: make(chan struct{}),
 	}
+	m.attachObs(j)
 	m.jobs[id] = j
 	m.order = append(m.order, id)
 	m.mu.Unlock()
@@ -471,6 +524,7 @@ func (m *Manager) Cancel(id string) error {
 	}
 	j.mu.Unlock()
 	if settled {
+		j.events.Close(string(JobCancelled))
 		m.persist(j)
 		m.replayDone(j)
 	}
@@ -553,6 +607,8 @@ func (m *Manager) persist(j *Job) error {
 // window. The trainer is passed explicitly — it is the runner's, taken under
 // j.mu once.
 func (m *Manager) writeCheckpoint(j *Job, tj *ml4all.TrainJob) error {
+	sp := j.trace.Start("checkpoint", -1)
+	defer j.trace.End(sp)
 	state, err := tj.Checkpoint()
 	if err != nil {
 		return err
@@ -639,14 +695,20 @@ func (m *Manager) interruptHook(j *Job) func() error {
 // job opens fresh. Catalog access and planning run under sysMu; the trainer
 // is job-local.
 func (m *Manager) openJob(j *Job) error {
-	opts := ml4all.JobOptions{Interrupt: m.interruptHook(j), FastMath: j.FastMath}
+	opts := ml4all.JobOptions{Interrupt: m.interruptHook(j), FastMath: j.FastMath, Observer: j.ring, Trace: j.trace}
 	m.sysMu.Lock()
 	defer m.sysMu.Unlock()
 	dir := m.jobDir(j.ID)
-	for _, name := range listCheckpoints(m.ckptFS, dir) {
+	ckpts := listCheckpoints(m.ckptFS, dir)
+	rec := -1
+	if len(ckpts) > 0 {
+		rec = j.trace.Start("recover", -1)
+	}
+	for _, name := range ckpts {
 		raw, err := m.ckptFS.ReadFile(filepath.Join(dir, name))
 		if err != nil {
 			if errors.Is(err, fault.ErrCrash) {
+				j.trace.End(rec)
 				return err // simulated process death: stop, don't burn frames
 			}
 			m.cfg.Counters.checkpointCorrupt()
@@ -668,8 +730,10 @@ func (m *Manager) openJob(j *Job) error {
 		j.mu.Lock()
 		j.job = tj
 		j.mu.Unlock()
+		j.trace.End(rec)
 		return nil
 	}
+	j.trace.End(rec)
 	tj, err := m.sys.OpenJob(j.stmt, opts)
 	if err != nil {
 		return err
@@ -721,6 +785,18 @@ func (m *Manager) runJob(j *Job) {
 	j.iteration = tj.Iteration()
 	j.mu.Unlock()
 	m.persist(j) // record the chosen plan
+	j.events.Append(obs.Event{Type: "state", State: string(JobRunning), Plan: tj.PlanName(), Iter: tj.Iteration()})
+
+	// The train span covers the whole stepping loop; the deferred End
+	// closes it on every exit path (End is idempotent — the completion
+	// path closes it explicitly before the ledger record snapshots the
+	// phase totals).
+	train := j.trace.Start("train", -1)
+	defer j.trace.End(train)
+
+	// etaA/etaRem cache the convergence projection between re-fits: the
+	// observed curve is re-fitted every 8 iterations, not every event.
+	etaA, etaRem := 0.0, -1.0
 
 	lastCkpt := time.Now()
 	for !tj.Done() {
@@ -733,6 +809,7 @@ func (m *Manager) runJob(j *Job) {
 			j.state = JobCancelled
 			j.job = nil
 			j.mu.Unlock()
+			j.events.Close(string(JobCancelled))
 			m.persist(j)
 			return
 		default:
@@ -748,6 +825,7 @@ func (m *Manager) runJob(j *Job) {
 			j.mu.Lock()
 			j.state = JobPaused
 			j.mu.Unlock()
+			j.events.Append(obs.Event{Type: "state", State: string(JobPaused), Iter: tj.Iteration()})
 			m.persist(j)
 			return
 		}
@@ -771,6 +849,7 @@ func (m *Manager) runJob(j *Job) {
 				j.mu.Lock()
 				j.state = JobQueued
 				j.mu.Unlock()
+				j.events.Append(obs.Event{Type: "state", State: string(JobQueued), Iter: tj.Iteration()})
 				m.persist(j)
 				return
 			case errors.Is(err, errCancelled):
@@ -778,6 +857,7 @@ func (m *Manager) runJob(j *Job) {
 				j.state = JobCancelled
 				j.job = nil
 				j.mu.Unlock()
+				j.events.Close(string(JobCancelled))
 				m.persist(j)
 				return
 			default:
@@ -785,6 +865,18 @@ func (m *Manager) runJob(j *Job) {
 				return
 			}
 		}
+		iter := tj.Iteration()
+		if iter%8 == 1 {
+			etaA, etaRem = obs.CurveETA(j.ring.Curve(), tj.Tolerance())
+		}
+		var delta float64
+		if ds := tj.Deltas(); len(ds) > 0 {
+			delta = ds[len(ds)-1]
+		}
+		j.events.Append(obs.Event{
+			Type: "progress", Iter: iter, Delta: obs.Finite(delta),
+			FittedA: obs.Finite(etaA), EtaIters: etaRem,
+		})
 
 		if m.cfg.CheckpointEvery > 0 && time.Since(lastCkpt) >= m.cfg.CheckpointEvery {
 			if err := m.writeCheckpoint(j, tj); err != nil {
@@ -794,10 +886,13 @@ func (m *Manager) runJob(j *Job) {
 			lastCkpt = time.Now()
 		}
 	}
+	j.trace.End(train)
 	m.complete(j)
 }
 
-// complete publishes the finished model and settles the job.
+// complete publishes the finished model, appends the run's ledger record
+// and settles the job. A ledger append failure is counted and logged into
+// the metrics, never fails the job — history degrades, training does not.
 func (m *Manager) complete(j *Job) {
 	j.mu.Lock()
 	tj := j.job
@@ -817,12 +912,63 @@ func (m *Manager) complete(j *Job) {
 	j.published = mv.Version
 	j.job = nil // release the trainer
 	j.mu.Unlock()
+	if m.ledger != nil {
+		if err := m.ledger.Append(m.runRecord(j, tj, model, prog)); err != nil {
+			m.cfg.Counters.ledgerError()
+		} else {
+			m.cfg.Counters.ledgerRecord()
+		}
+	}
+	j.events.Close(string(JobCompleted))
 	dir := m.jobDir(j.ID) // terminal jobs don't resume: drop every checkpoint
 	for _, name := range listCheckpoints(m.ckptFS, dir) {
 		m.ckptFS.Remove(filepath.Join(dir, name))
 	}
 	m.persist(j)
 	m.replayDone(j)
+}
+
+// runRecord assembles the completed job's ledger record: dataset identity
+// and stats, the plan the optimizer chose, the kernel tier and backend it
+// executed on, the trained weights' fingerprint, the observed T(ε) curve,
+// and where the time went (simulated training clock, observed wall time,
+// per-phase span totals).
+func (m *Manager) runRecord(j *Job, tj *ml4all.TrainJob, model *ml4all.Model, prog ml4all.JobProgress) obs.Record {
+	ds := tj.Dataset()
+	st := ds.Stats()
+	j.mu.Lock()
+	fast := j.FastMath || j.stmt.FastMath
+	j.mu.Unlock()
+	rec := obs.Record{
+		Kind:  "job",
+		JobID: j.ID,
+		Model: j.Model,
+		Dataset: obs.DatasetInfo{
+			Fingerprint: ds.Fingerprint(),
+			Name:        st.Name,
+			Task:        st.Task.String(),
+			Points:      st.Points,
+			Features:    st.Features,
+			Bytes:       st.Bytes,
+			Density:     st.Density,
+		},
+		Plan:        prog.PlanName,
+		FastMath:    fast || m.sys.FastMath,
+		Backend:     linalg.FastBackend(),
+		WeightsHash: obs.WeightsHash(model.Weights),
+		Iterations:  prog.Iteration,
+		Converged:   prog.Converged,
+		FinalDelta:  obs.Finite(prog.FinalDelta),
+		SimSeconds:  obs.Finite(float64(prog.TrainTime)),
+		Phases:      j.trace.Totals(),
+	}
+	if j.ring != nil {
+		for _, p := range j.ring.Curve() {
+			rec.Curve = append(rec.Curve, obs.CurvePoint{Iter: p.Iter, Err: p.Err})
+		}
+		rec.WallSeconds = j.ring.WallSeconds()
+	}
+	return rec
 }
 
 // fail settles a job as failed.
@@ -832,6 +978,7 @@ func (m *Manager) fail(j *Job, err error) {
 	j.errMsg = err.Error()
 	j.job = nil
 	j.mu.Unlock()
+	j.events.Close(string(JobFailed))
 	m.persist(j)
 	m.replayDone(j)
 }

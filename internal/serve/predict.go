@@ -57,6 +57,7 @@ type PredictResponse struct {
 // (model, version, layout, tier).
 type Predictor struct {
 	counters *Counters
+	phase    *routeStats // "predict-batch" span histogram; nil without counters
 	adm      *admitter
 	co       *coalescer // nil when coalescing is disabled
 	active   atomic.Int64
@@ -70,6 +71,12 @@ type Predictor struct {
 // is active regardless.
 func NewPredictor(cc CoalesceConfig, ac AdmissionConfig, counters *Counters) *Predictor {
 	p := &Predictor{counters: counters}
+	if counters != nil {
+		// Resolved once so the per-pass observation is lock-free atomics —
+		// the timing shares the admission path's clock reads, keeping the
+		// scoring hot path at zero allocations (benchgate-pinned).
+		p.phase = counters.phase("predict-batch")
+	}
 	p.adm = newAdmitter(ac, counters)
 	if !cc.Disabled && (cc.Force || runtime.GOMAXPROCS(0) > 1) {
 		p.co = newCoalescer(cc, counters, p.adm, &p.active)
@@ -167,7 +174,8 @@ func (p *Predictor) scoreDirect(mv *ModelVersion, fast bool, mat *data.Matrix, r
 	n := mat.NumRows()
 	scores := floatPool.get(n)
 	var start time.Time
-	timed := p.adm.timed()
+	admTimed := p.adm.timed()
+	timed := admTimed || p.phase != nil
 	if timed {
 		start = time.Now()
 	}
@@ -177,7 +185,13 @@ func (p *Predictor) scoreDirect(mv *ModelVersion, fast bool, mat *data.Matrix, r
 		metrics.ScoresInto(m.Weights, mat, scores)
 	}
 	if timed {
-		p.adm.observeRate(n, time.Since(start))
+		d := time.Since(start)
+		if admTimed {
+			p.adm.observeRate(n, d)
+		}
+		if p.phase != nil {
+			p.phase.observe(d, false)
+		}
 	}
 	setResponse(resp, mv, scores)
 }

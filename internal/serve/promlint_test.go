@@ -1,0 +1,240 @@
+package serve
+
+// A self-contained Prometheus text-exposition linter, run against the full
+// /metrics output of a server that has seen real traffic. It enforces the
+// format rules a strict scraper cares about: metric/label name charsets,
+// HELP/TYPE pairing and ordering, samples belonging to a declared family
+// (with the histogram suffix rules), parseable values, and — for histograms
+// — cumulative non-decreasing buckets ending in a le="+Inf" terminal.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"ml4all/internal/data"
+	"ml4all/internal/synth"
+)
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	// sampleRe splits a sample line into name, optional label block, value.
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$`)
+	labelRe  = regexp.MustCompile(`([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"`)
+)
+
+// histSeries tracks one histogram series' cumulative bucket walk.
+type histSeries struct {
+	last    uint64
+	sawInf  bool
+	buckets int
+}
+
+func lintExposition(t *testing.T, text string) {
+	t.Helper()
+	type family struct {
+		typ     string
+		hasHelp bool
+	}
+	families := map[string]*family{}
+	var pendingHelp string // family name of the HELP line awaiting its TYPE
+	hists := map[string]*histSeries{}
+
+	baseName := func(name string) (string, bool) {
+		// Resolve a sample to its declared family, honoring histogram
+		// suffixes. Returns ok=false when no family declares it.
+		if f, ok := families[name]; ok {
+			return name, f.typ != "histogram" || true
+		}
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suf) {
+				base := strings.TrimSuffix(name, suf)
+				if f, ok := families[base]; ok && f.typ == "histogram" {
+					return base, true
+				}
+			}
+		}
+		return "", false
+	}
+
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		lineNo := ln + 1
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || help == "" {
+				t.Fatalf("line %d: HELP without text: %q", lineNo, line)
+			}
+			if !metricNameRe.MatchString(name) {
+				t.Fatalf("line %d: bad metric name %q in HELP", lineNo, name)
+			}
+			if f, exists := families[name]; exists && f.hasHelp {
+				t.Fatalf("line %d: duplicate HELP for %s", lineNo, name)
+			}
+			families[name] = &family{hasHelp: true}
+			pendingHelp = name
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", lineNo, line)
+			}
+			name, typ := parts[0], parts[1]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown type %q", lineNo, typ)
+			}
+			f, exists := families[name]
+			if !exists {
+				t.Fatalf("line %d: TYPE %s without a preceding HELP", lineNo, name)
+			}
+			if f.typ != "" {
+				t.Fatalf("line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			// HELP must immediately precede TYPE for the same family.
+			if pendingHelp != name {
+				t.Fatalf("line %d: TYPE %s does not follow its HELP (pending %q)", lineNo, name, pendingHelp)
+			}
+			f.typ = typ
+			pendingHelp = ""
+		case strings.HasPrefix(line, "#"):
+			// other comments are legal and ignored
+		default:
+			m := sampleRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: unparseable sample: %q", lineNo, line)
+			}
+			name, labelBlock, value := m[1], m[2], m[3]
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				t.Fatalf("line %d: value %q does not parse as float: %v", lineNo, value, err)
+			}
+			base, ok := baseName(name)
+			if !ok {
+				t.Fatalf("line %d: sample %s belongs to no declared family", lineNo, name)
+			}
+			if f := families[base]; f.typ == "" || !f.hasHelp {
+				t.Fatalf("line %d: family %s sampled before full HELP+TYPE declaration", lineNo, base)
+			}
+			labels := map[string]string{}
+			if labelBlock != "" {
+				inner := strings.Trim(labelBlock, "{}")
+				for _, lm := range labelRe.FindAllStringSubmatch(inner, -1) {
+					if !labelNameRe.MatchString(lm[1]) {
+						t.Fatalf("line %d: bad label name %q", lineNo, lm[1])
+					}
+					labels[lm[1]] = lm[2]
+				}
+				if got := labelRe.ReplaceAllString(inner, ""); strings.Trim(got, ", ") != "" {
+					t.Fatalf("line %d: unparseable label residue %q in %q", lineNo, got, labelBlock)
+				}
+			}
+			if strings.HasSuffix(name, "_bucket") && families[base].typ == "histogram" {
+				le, hasLE := labels["le"]
+				if !hasLE {
+					t.Fatalf("line %d: histogram bucket without le label: %q", lineNo, line)
+				}
+				// Series key: every label except le.
+				var kb strings.Builder
+				kb.WriteString(name)
+				for k, v := range labels {
+					if k != "le" {
+						fmt.Fprintf(&kb, "|%s=%s", k, v)
+					}
+				}
+				hs := hists[kb.String()]
+				if hs == nil {
+					hs = &histSeries{}
+					hists[kb.String()] = hs
+				}
+				if hs.sawInf {
+					t.Fatalf("line %d: bucket after le=\"+Inf\" terminal: %q", lineNo, line)
+				}
+				cum, err := strconv.ParseUint(m[3], 10, 64)
+				if err != nil {
+					t.Fatalf("line %d: bucket value %q not a count", lineNo, m[3])
+				}
+				if cum < hs.last {
+					t.Fatalf("line %d: cumulative bucket decreased (%d -> %d): %q", lineNo, hs.last, cum, line)
+				}
+				hs.last = cum
+				hs.buckets++
+				if le == "+Inf" {
+					hs.sawInf = true
+				} else if _, err := strconv.ParseFloat(le, 64); err != nil {
+					t.Fatalf("line %d: bucket bound %q not a float", lineNo, le)
+				}
+			}
+		}
+	}
+	if pendingHelp != "" {
+		t.Fatalf("trailing HELP for %s without a TYPE", pendingHelp)
+	}
+	for name, f := range families {
+		if f.typ == "" {
+			t.Fatalf("family %s declared HELP but no TYPE", name)
+		}
+	}
+	for key, hs := range hists {
+		if !hs.sawInf {
+			t.Fatalf("histogram series %s has no le=\"+Inf\" terminal bucket", key)
+		}
+	}
+	if len(hists) == 0 {
+		t.Fatal("exposition contains no histogram series — traffic generation failed")
+	}
+}
+
+// TestMetricsExpositionLint scrapes a server that has served jobs and
+// predictions — so every metric family renders — and lints the full output.
+func TestMetricsExpositionLint(t *testing.T) {
+	trainPath, _ := writeDataset(t, synth.Spec{
+		Name: "lint-train", Task: data.TaskLogisticRegression,
+		N: 600, D: 16, Density: 0.5, Noise: 0.1, Margin: 1, Seed: 9,
+	})
+	srv, ts := obsServer(t, t.TempDir())
+	defer func() {
+		ctx, cancel := ctxTimeout(t)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	script := fmt.Sprintf("m = run logistic on %s having epsilon 0.05, max iter 200;", trainPath)
+	var st JobStatus
+	postJSON(t, ts.URL+"/v1/jobs", map[string]string{"script": script}, &st)
+	waitState(t, func() JobStatus {
+		var cur JobStatus
+		getJSON(t, ts.URL+"/v1/jobs/"+st.ID, &cur)
+		return cur
+	}, JobCompleted, 30*time.Second)
+
+	// Generate predict + error + events traffic so those series render too.
+	var pr PredictResponse
+	postJSON(t, ts.URL+"/v1/models/m/predict", map[string]any{"instances": [][]float64{{0.5, -0.25}}}, &pr)
+	postJSON(t, ts.URL+"/v1/jobs", map[string]string{"script": "bogus"}, nil)
+	var page map[string]any
+	getJSON(t, ts.URL+"/v1/jobs/"+st.ID+"/events?once", &page)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lintExposition(t, string(raw))
+}

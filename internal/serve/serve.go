@@ -31,6 +31,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"time"
@@ -75,6 +76,15 @@ type Config struct {
 	// seams (testing). Nil consults the ML4ALL_FAULT environment variable
 	// (see fault.ParsePlan); unset means no injection.
 	Fault *fault.Injector
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by default:
+	// profiles expose process internals, so production deployments should
+	// only turn this on behind trusted ingress.
+	EnablePprof bool
+
+	// stepHook, when non-nil, runs after every training iteration
+	// (testing: lets HTTP-level tests slow jobs down to pin race-prone
+	// orderings). Forwarded to ManagerConfig.stepHook.
+	stepHook func(jobID string, iter int)
 }
 
 // Server wires the job manager, the model registry and the prediction
@@ -124,6 +134,7 @@ func New(cfg Config) (*Server, error) {
 		RetainCheckpoints: cfg.RetainCheckpoints,
 		Fault:             inj,
 		Counters:          counters,
+		stepHook:          cfg.stepHook,
 	}, sys, reg)
 	if err != nil {
 		return nil, err
@@ -169,6 +180,10 @@ func (s *Server) Registry() *Registry { return s.registry }
 // it without the HTTP layer).
 func (s *Server) Predictor() *Predictor { return s.predictor }
 
+// Counters exposes the server's metrics registry (the load harness reads
+// per-phase span summaries from it without scraping /metrics).
+func (s *Server) Counters() *Counters { return s.counters }
+
 // Shutdown drains the service gracefully: pending coalesced batches flush
 // (predict calls still in flight score directly), then the training pool
 // drains — running jobs checkpoint and are left resumable on disk. The HTTP
@@ -187,11 +202,20 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.wrap("jobs.cancel", s.handleJobCancel))
 	mux.HandleFunc("POST /v1/jobs/{id}/pause", s.wrap("jobs.pause", s.handleJobPause))
 	mux.HandleFunc("POST /v1/jobs/{id}/resume", s.wrap("jobs.resume", s.handleJobResume))
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.wrap("jobs.trace", s.handleJobTrace))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.eventsHandler())
 	mux.HandleFunc("GET /v1/models", s.wrap("models.list", s.handleModelList))
 	mux.HandleFunc("GET /v1/models/{name}", s.wrap("models.get", s.handleModelGet))
 	mux.HandleFunc("DELETE /v1/models/{name}", s.wrap("models.delete", s.handleModelDelete))
 	mux.HandleFunc("POST /v1/models/{name}/predict", s.wrap("predict", s.handlePredict))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }

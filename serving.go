@@ -9,6 +9,7 @@ import (
 	"ml4all/internal/gd"
 	"ml4all/internal/lang"
 	"ml4all/internal/metrics"
+	"ml4all/internal/obs"
 	"ml4all/internal/planner"
 	"ml4all/internal/storage"
 )
@@ -37,6 +38,18 @@ type JobOptions struct {
 	// run to be meaningful, which is why the serving layer persists it in
 	// the job manifest next to the script.
 	FastMath bool
+
+	// Observer, when non-nil, receives per-iteration telemetry
+	// (engine.Options.Observer). nil keeps the engine's zero-overhead path;
+	// observed and unobserved runs are bit-identical.
+	Observer engine.Observer
+
+	// Trace, when non-nil, collects named spans around the job's phases:
+	// OpenJob/ResumeJob record an "optimize" span over the cost-based
+	// optimizer with one "speculate" child per speculated algorithm. The
+	// serving layer adds its own train/checkpoint/recover spans on the same
+	// trace. nil records nothing.
+	Trace *obs.Trace
 }
 
 // TrainJob is a resumable handle on one declarative training statement: the
@@ -158,7 +171,17 @@ func (s *System) costJob(q *lang.Run, jo JobOptions) (*TrainJob, *Decision, erro
 	if err != nil {
 		return nil, nil, err
 	}
-	dec, err := planner.Choose(sim, stn, p, planner.Options{Estimator: s.estimatorConfig(), FastMath: s.jobFastMath(q, jo)})
+	popts := planner.Options{Estimator: s.estimatorConfig(), FastMath: s.jobFastMath(q, jo)}
+	optimize := -1
+	if jo.Trace != nil {
+		optimize = jo.Trace.Start("optimize", -1)
+		popts.Span = func(name string) func() {
+			id := jo.Trace.Start(name, optimize)
+			return func() { jo.Trace.End(id) }
+		}
+	}
+	dec, err := planner.Choose(sim, stn, p, popts)
+	jo.Trace.End(optimize)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -175,7 +198,7 @@ func (s *System) jobFastMath(q *lang.Run, jo JobOptions) bool {
 
 // jobEngineOptions maps system settings plus job options onto the engine's.
 func (s *System) jobEngineOptions(q *lang.Run, jo JobOptions) engine.Options {
-	return engine.Options{Seed: s.Cluster.Seed, Workers: s.Workers, FastMath: s.jobFastMath(q, jo), Interrupt: jo.Interrupt}
+	return engine.Options{Seed: s.Cluster.Seed, Workers: s.Workers, FastMath: s.jobFastMath(q, jo), Interrupt: jo.Interrupt, Observer: jo.Observer}
 }
 
 // Step executes exactly one plan iteration (engine.Trainer.Step).
@@ -189,6 +212,14 @@ func (j *TrainJob) Iteration() int { return j.trainer.Iteration() }
 
 // PlanName names the physical plan the optimizer chose for this job.
 func (j *TrainJob) PlanName() string { return j.plan.Name() }
+
+// Deltas returns the per-iteration convergence deltas observed so far
+// (live; callers must not modify — see engine.Trainer.Deltas).
+func (j *TrainJob) Deltas() []float64 { return j.trainer.Deltas() }
+
+// Tolerance returns the chosen plan's convergence tolerance εd, the target
+// the live-progress ETA projects down to.
+func (j *TrainJob) Tolerance() float64 { return j.plan.Tolerance }
 
 // Decision returns the optimizer's costed choice for this job.
 func (j *TrainJob) Decision() *Decision { return j.dec }
